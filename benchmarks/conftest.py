@@ -1,0 +1,64 @@
+"""Shared benchmark fixtures: cached populations and artifact output.
+
+Every benchmark regenerates one table or figure of the paper.  Each
+writes its rendered rows/series to ``benchmarks/out/<name>.txt`` (and
+prints them), so a bench run leaves a complete, diffable set of
+artifacts mirroring the paper's evaluation section.
+
+Scaling note: the paper trains on 1K addresses and generates 1M
+candidates per network.  The benchmarks train on 1K but generate 50K
+candidates (a 20x scale-down) to keep a full run in minutes; success
+*rates* are density-driven and stable under this scaling.
+"""
+
+import pathlib
+
+import pytest
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+#: Candidates generated per scanning/prediction experiment (paper: 1M).
+N_CANDIDATES = 50_000
+
+#: Training set size (same as the paper).
+TRAIN_SIZE = 1000
+
+
+@pytest.fixture(scope="session")
+def artifact():
+    """Writer: artifact('table4', text) → benchmarks/out/table4.txt."""
+    OUT_DIR.mkdir(exist_ok=True)
+
+    def write(name: str, text: str) -> str:
+        path = OUT_DIR / f"{name}.txt"
+        path.write_text(text + "\n", encoding="utf-8")
+        print(f"\n=== {name} ===\n{text}")
+        return str(path)
+
+    return write
+
+
+@pytest.fixture(scope="session")
+def networks():
+    """All 16 synthetic networks, built once."""
+    from repro.datasets.networks import all_networks
+
+    return {n.name: n for n in all_networks()}
+
+
+@pytest.fixture(scope="session")
+def jp_analysis(networks):
+    """Fitted Entropy/IP model of the Fig. 1 Japanese telco sample."""
+    from repro.core.pipeline import EntropyIP
+
+    sample = networks["JP"].sample(5000, seed=0)
+    return EntropyIP.fit(sample)
+
+
+@pytest.fixture(scope="session")
+def s1_analysis(networks):
+    """Fitted model of the S1 server sample (Figs. 4, 5, 7; Table 3)."""
+    from repro.core.pipeline import EntropyIP
+
+    sample = networks["S1"].sample(8000, seed=0)
+    return EntropyIP.fit(sample)

@@ -1,0 +1,44 @@
+"""Ablation: mining parameters (nomination cap, stop fraction).
+
+§4.3 fixes two constants: at most 10 nominations per step and a 0.1%
+stop threshold.  This bench sweeps both on the S1 sample and reports
+the model-size consequences (total number of codes), verifying the
+constants sit at a sensible knee: more nominations grow the model,
+higher stop thresholds shrink it.
+"""
+
+from repro.core.mining import MiningConfig
+from repro.core.pipeline import EntropyIP
+
+
+def total_codes(analysis):
+    return sum(m.cardinality for m in analysis.encoder.mined_segments)
+
+
+def test_ablation_mining(benchmark, networks, artifact):
+    sample = networks["S1"].sample(5000, seed=0)
+
+    def run():
+        outcomes = {}
+        for cap in (3, 10, 25):
+            config = MiningConfig(max_nominations=cap)
+            outcomes[f"cap={cap}"] = total_codes(
+                EntropyIP.fit(sample, mining=config)
+            )
+        for stop in (0.0, 0.001, 0.05):
+            config = MiningConfig(stop_fraction=stop)
+            outcomes[f"stop={stop}"] = total_codes(
+                EntropyIP.fit(sample, mining=config)
+            )
+        return outcomes
+
+    outcomes = benchmark.pedantic(run, rounds=1, iterations=1)
+    artifact(
+        "ablation_mining",
+        "\n".join(f"{k:>12}: {v} total codes" for k, v in outcomes.items()),
+    )
+
+    # Larger nomination caps never shrink the code inventory.
+    assert outcomes["cap=3"] <= outcomes["cap=10"] <= outcomes["cap=25"]
+    # Earlier stopping never grows it.
+    assert outcomes["stop=0.05"] <= outcomes["stop=0.001"] <= outcomes["stop=0.0"]

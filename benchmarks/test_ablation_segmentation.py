@@ -1,0 +1,43 @@
+"""Ablation: segmentation parameters (DESIGN.md §5).
+
+Section 6 flags the hard-wired /32 cut and the threshold/hysteresis
+values as known sensitivities.  This bench sweeps the hysteresis and
+toggles the hard cuts on the S1 sample, reporting the segment counts,
+and checks the paper's tuning rationale: the default parameters produce
+a moderate number of segments (neither one-per-nybble nor one blob).
+"""
+
+from repro.core.pipeline import EntropyIP
+from repro.core.segmentation import SegmentationConfig
+
+
+def test_ablation_segmentation(benchmark, networks, artifact):
+    sample = networks["S1"].sample(5000, seed=0)
+
+    def run():
+        outcomes = {}
+        for hysteresis in (0.0, 0.05, 0.2):
+            config = SegmentationConfig(hysteresis=hysteresis)
+            analysis = EntropyIP.fit(sample, segmentation=config)
+            outcomes[f"Th={hysteresis}"] = len(analysis.segments)
+        for hard in (True, False):
+            config = SegmentationConfig(hard_cut_32=hard, hard_cut_64=hard)
+            analysis = EntropyIP.fit(sample, segmentation=config)
+            outcomes[f"hard_cuts={hard}"] = len(analysis.segments)
+        return outcomes
+
+    outcomes = benchmark.pedantic(run, rounds=1, iterations=1)
+    artifact(
+        "ablation_segmentation",
+        "\n".join(f"{k:>18}: {v} segments" for k, v in outcomes.items()),
+    )
+
+    # Higher hysteresis merges segments (monotone non-increasing).
+    assert outcomes["Th=0.0"] >= outcomes["Th=0.05"] >= outcomes["Th=0.2"]
+    # Hard cuts trade boundaries: they force cuts at bits 32/64 but
+    # merge everything inside bits 1-32 into one segment A (S1's two
+    # /32s differ in several nybbles, so disabling the cuts actually
+    # *adds* segments there — the §6 sensitivity this ablation probes).
+    assert outcomes["hard_cuts=True"] != outcomes["hard_cuts=False"]
+    # The default lands in a sane range for a 10-segment-ish network.
+    assert 4 <= outcomes["Th=0.05"] <= 20

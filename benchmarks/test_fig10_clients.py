@@ -1,0 +1,56 @@
+"""Fig. 10: C1 (mobile clients) entropy vs ACR + browser under F = 01.
+
+The paper's most striking client finding: 47% of IIDs end in 01 with
+D = 00000 (one vendor's Android), creating entropy ~0.7 in segments D
+and F with a statistical dependency the BN uncovers — conditioning on
+F = 01 makes D a string of zeros.
+"""
+
+import pytest
+
+from repro.core.pipeline import EntropyIP
+from repro.viz.figures import render_acr_entropy_plot, render_browser
+
+
+def test_fig10_clients(benchmark, networks, artifact):
+    def analyze():
+        sample = networks["C1"].sample(6000, seed=0)
+        return EntropyIP.fit(sample)
+
+    analysis = benchmark.pedantic(analyze, rounds=1, iterations=1)
+
+    last = analysis.encoder.mined_segments[-1]
+    code_01 = next(
+        v.code for v in last.values if v.low == 1 and not v.is_range
+    )
+    artifact(
+        "fig10_clients",
+        render_acr_entropy_plot(analysis, title="Fig 10(a): C1")
+        + "\n\n"
+        + render_browser(
+            analysis.browse().click(code_01),
+            title="Fig 10(b): conditioned on F = 01 (47% of IPs)",
+        ),
+    )
+
+    entropy = analysis.entropy()
+    # D region (bits 64-84): entropy ~0.7 (47% zeros, 53% random).
+    assert 0.5 < float(entropy[17:21].mean()) < 0.85
+    # E region (bits 88-116): near 1 (random under both patterns).
+    assert float(entropy[22:29].mean()) > 0.9
+    # F region (last byte): depressed like D.
+    assert 0.4 < float(entropy[31]) < 0.85
+
+    # The 01 suffix carries ~47% mass.
+    value_01 = next(v for v in last.values if v.low == 1 and not v.is_range)
+    assert value_01.frequency == pytest.approx(0.47, abs=0.04)
+
+    # Conditioning on F=01 collapses D to zeros (Fig. 10(b)).
+    d_label = next(
+        m.segment.label for m in analysis.encoder.mined_segments
+        if m.segment.first_nybble == 17
+    )
+    browser = analysis.browse().click(code_01)
+    top_d = browser.top_values(d_label, limit=1)[0]
+    assert top_d.value_text.strip("0") == ""
+    assert top_d.probability > 0.9

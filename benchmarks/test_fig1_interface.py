@@ -1,0 +1,45 @@
+"""Fig. 1: the Entropy/IP interface on the Japanese telco client set.
+
+(a) entropy per nybble with segment boundaries; (b) the conditional
+probability browser, unconditioned; (c) the browser after clicking the
+zeros value of the wide IID segment — C collapses to 10 at ~100%.
+"""
+
+from repro.viz.figures import render_acr_entropy_plot, render_browser
+
+
+def zero_code_of_wide_segment(analysis):
+    """The J-analog: the widest IID-side segment's all-zeros value."""
+    wide = max(
+        analysis.encoder.mined_segments,
+        key=lambda m: (m.segment.first_nybble >= 17) * m.segment.nybble_count,
+    )
+    return next(v.code for v in wide.values if v.low == 0 and not v.is_range)
+
+
+def test_fig1_interface(benchmark, jp_analysis, artifact):
+    def render():
+        plot = render_acr_entropy_plot(
+            jp_analysis, title="Fig 1(a): Japanese telco client prefix"
+        )
+        before = render_browser(
+            jp_analysis.browse(), title="Fig 1(b): unconditioned browser"
+        )
+        code = zero_code_of_wide_segment(jp_analysis)
+        after = render_browser(
+            jp_analysis.browse().click(code),
+            title=f"Fig 1(c): after clicking {code} (the 00000... value)",
+        )
+        return plot, before, after, code
+
+    plot, before, after, code = benchmark.pedantic(render, rounds=1, iterations=1)
+    artifact("fig1_interface", "\n\n".join([plot, before, after]))
+
+    # Shape: clicking the 60% zeros value forces C to its 10 value at
+    # ~100%, exactly the Fig. 1(b)→(c) transition.
+    browser = jp_analysis.browse().click(code)
+    top_c = browser.top_values("C", limit=1)[0]
+    assert top_c.value_text == "10"
+    assert top_c.probability > 0.95
+    unconditioned_c = jp_analysis.browse().top_values("C", limit=1)[0]
+    assert unconditioned_c.probability < 0.75  # ~60% before the click

@@ -1,0 +1,34 @@
+"""Fig. 4: the value histogram of S1's segment C with mined annotations.
+
+The paper's scatter plot shows popular point values (C1-C5, found by the
+outlier step) and a uniformly-dense range (C6, found by the histogram
+DBSCAN) inside a 2-nybble segment.
+"""
+
+from repro.viz.figures import render_segment_histogram
+
+
+def test_fig4_mining_histogram(benchmark, s1_analysis, artifact):
+    mined_c = next(
+        m for m in s1_analysis.encoder.mined_segments
+        if m.segment.label == "C"
+    )
+
+    text = benchmark.pedantic(
+        lambda: render_segment_histogram(mined_c, s1_analysis),
+        rounds=1,
+        iterations=1,
+    )
+    artifact("fig4_mining_histogram", text)
+
+    # Shape: the segment mines both point values and at least one range
+    # (the paper's C1..C5 points + C6 range).
+    points = [v for v in mined_c.values if not v.is_range]
+    ranges = [v for v in mined_c.values if v.is_range]
+    assert len(points) >= 2
+    assert len(ranges) >= 1
+    # The dominant point is 0x00 at ~67%.
+    top = max(mined_c.values, key=lambda v: v.frequency)
+    assert top.low == 0 and not top.is_range
+    # Ranges cover meaningfully wide spans of the 256-value space.
+    assert max(r.span() for r in ranges) >= 16

@@ -1,0 +1,32 @@
+"""Fig. 5: windowed entropy analysis of dataset S1.
+
+Every nybble-aligned (position, length) window's unnormalized entropy,
+rendered as the triangular heat map of the paper's Fig. 5.
+"""
+
+import numpy as np
+
+from repro.viz.figures import render_windowing_map
+
+
+def test_fig5_windowing(benchmark, s1_analysis, artifact):
+    result = benchmark.pedantic(
+        lambda: s1_analysis.windowing(measure="entropy"),
+        rounds=1,
+        iterations=1,
+    )
+    artifact("fig5_windowing", render_windowing_map(result))
+
+    by_key = {(c.position_bits, c.length_bits): c.score for c in result.cells}
+
+    # Shape checks against the paper's Fig. 5 for S1:
+    # (1) windows inside the constant /32 prefix region carry little
+    #     entropy relative to same-length windows over the variable
+    #     bits 40-56 region;
+    assert by_key[(8, 16)] < by_key[(40, 16)]
+    # (2) entropy grows with window length at a fixed position;
+    assert by_key[(32, 32)] >= by_key[(32, 16)]
+    # (3) wide windows approach the saturation bound log2(n).
+    n = len(s1_analysis.address_set)
+    assert result.max_score() <= np.log2(n) + 1e-9
+    assert result.max_score() > 0.5 * np.log2(n)

@@ -1,0 +1,41 @@
+"""Fig. 9: R1 entropy vs ACR + BN browser.
+
+The paper reads R1 as: bits 28-64 discriminate prefixes, bits 64-124
+nearly constant (no pseudo-random IIDs), and the last hex character is
+1 or 2 (point-to-point links).  H_S = 4.6 in the paper.
+"""
+
+from repro.core.pipeline import EntropyIP
+from repro.viz.figures import render_acr_entropy_plot, render_browser
+
+
+def test_fig9_routers(benchmark, networks, artifact):
+    def analyze():
+        sample = networks["R1"].sample(5000, seed=0)
+        return EntropyIP.fit(sample)
+
+    analysis = benchmark.pedantic(analyze, rounds=1, iterations=1)
+    artifact(
+        "fig9_routers",
+        render_acr_entropy_plot(analysis, title="Fig 9(a): R1")
+        + "\n\n"
+        + render_browser(analysis.browse(), title="Fig 9(b): BN browser"),
+    )
+
+    entropy = analysis.entropy()
+    acr = analysis.acr()
+
+    # Low total entropy (paper: 4.6).
+    assert analysis.total_entropy() < 8
+    # Prefix-discriminating region: entropy and ACR both active in
+    # bits 32-64.
+    assert float(entropy[8:14].mean()) > 0.3
+    assert float(acr[8:14].mean()) > 0.2
+    # IID region near-constant except the trailing nybble (1-or-2:
+    # a binary choice is 0.25 normalized entropy, log2/log16).
+    assert float(entropy[16:31].max()) < 0.1
+    assert entropy[31] > 0.2
+    # Last segment is 1-or-2 (point-to-point).
+    last = analysis.encoder.mined_segments[-1]
+    point_values = {v.low for v in last.values if not v.is_range}
+    assert {1, 2} <= point_values

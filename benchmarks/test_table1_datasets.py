@@ -1,0 +1,48 @@
+"""Table 1: dataset inventory (unique IPv6 addresses per dataset).
+
+The paper's Table 1 lists unique-address counts per dataset and source;
+our synthetic populations stand in for them (DESIGN.md §2).  The bench
+builds every population and prints the size table, asserting the
+category-level orderings the paper's data shows (client sets dwarf
+router sets; aggregates cover many /32s).
+"""
+
+from repro.datasets.aggregates import aggregate_by_name
+from repro.ipv6.prefix import count_prefixes
+
+
+def test_table1_dataset_inventory(benchmark, networks, artifact):
+    def build():
+        sizes = {}
+        for name, network in networks.items():
+            sizes[name] = len(network.population(0))
+        aggregates = {
+            name: aggregate_by_name(name, n=20_000)
+            for name in ("AS", "AR", "AC", "AT")
+        }
+        return sizes, aggregates
+
+    sizes, aggregates = benchmark.pedantic(build, rounds=1, iterations=1)
+
+    lines = ["Type     ID   unique IPs"]
+    for name in ("S1", "S2", "S3", "S4", "S5"):
+        lines.append(f"Servers  {name}  {sizes[name]:>9,}")
+    for name in ("R1", "R2", "R3", "R4", "R5"):
+        lines.append(f"Routers  {name}  {sizes[name]:>9,}")
+    for name in ("C1", "C2", "C3", "C4", "C5", "JP"):
+        lines.append(f"Clients  {name}  {sizes[name]:>9,}")
+    for name, sample in aggregates.items():
+        slash32s = count_prefixes(sample.addresses(), 32)
+        lines.append(
+            f"Aggr.    {name}  {len(sample):>9,}  ({slash32s} /32 prefixes)"
+        )
+    artifact("table1_datasets", "\n".join(lines))
+
+    # Shape: client populations are the largest, router sets small
+    # (paper: C* in the millions-to-billions, R4/R5 in the hundreds).
+    assert max(sizes[f"C{i}"] for i in range(1, 6)) > max(
+        sizes[f"R{i}"] for i in range(1, 6)
+    )
+    assert min(sizes.values()) >= 1000
+    for sample in aggregates.values():
+        assert count_prefixes(sample.addresses(), 32) > 20

@@ -1,0 +1,66 @@
+"""Table 4: IPv6 scanning results for servers (S*) and routers (R*).
+
+Methodology of §5.5: train a BN on 1K real addresses per network,
+generate candidates (50K here; the paper generates 1M), score against
+the held-out test set, the simulated ping oracle, and the simulated
+rDNS oracle; report overall success rate and newly-discovered /64s.
+
+Asserted shape (paper's Table 4):
+- S3 (anycast, one /96) has the highest success rate;
+- S1 (pseudo-random IIDs) is hopeless (≈0%);
+- routers are scannable and yield new /64 prefixes (R1 the most);
+- R3/R4 yield few or no new /64s (their /64s are the prefix pool seen
+  in training).
+"""
+
+from conftest import N_CANDIDATES, TRAIN_SIZE
+
+from repro.scan.evaluate import scan_experiment
+
+NAMES = ["S1", "S2", "S3", "S4", "S5", "R1", "R2", "R3", "R4", "R5"]
+
+
+def test_table4_scanning(benchmark, networks, artifact):
+    def run():
+        return {
+            name: scan_experiment(
+                networks[name],
+                train_size=TRAIN_SIZE,
+                n_candidates=N_CANDIDATES,
+                seed=0,
+            )
+            for name in NAMES
+        }
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    header = (
+        f"Table 4 (train={TRAIN_SIZE}, candidates={N_CANDIDATES}; "
+        "paper: 1K/1M)"
+    )
+    artifact(
+        "table4_scanning",
+        header + "\n" + "\n".join(results[name].row() for name in NAMES),
+    )
+
+    rates = {name: results[name].success_rate for name in NAMES}
+
+    # S3 wins among all datasets; S1 is effectively zero.
+    assert rates["S3"] == max(rates.values())
+    assert rates["S1"] < 0.005
+    # Every dataset except S1 finds something (paper: 14 of 15).
+    for name in NAMES:
+        if name != "S1":
+            assert results[name].found_overall > 0, name
+    # Routers discover new /64s (the paper's headline contribution).
+    assert results["R1"].new_prefixes64 > 100
+    assert results["R2"].new_prefixes64 > 0
+    assert results["R5"].new_prefixes64 > 0
+    # R3/R4: /64 space equals the training-visible prefix pool.
+    assert results["R3"].new_prefixes64 < 100
+    assert results["R4"].new_prefixes64 < 100
+    # Server ordering: the dense anycast beats the sparse cloud.
+    assert rates["S3"] > rates["S2"] > rates["S4"]
+    # R5 is the weakest router (paper: 0.55%).
+    router_rates = {n: rates[n] for n in ("R1", "R2", "R3", "R4", "R5")}
+    assert router_rates["R5"] <= sorted(router_rates.values())[2]

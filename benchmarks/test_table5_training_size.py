@@ -1,0 +1,50 @@
+"""Table 5: success rate vs training-set size (S5, R1, C5).
+
+The paper's observation: "a larger training set often does not cause
+better scanning performance and can even make it worse" — the success
+rate saturates (or degrades) past ~1K training addresses.
+"""
+
+from conftest import N_CANDIDATES
+
+from repro.scan.evaluate import training_size_sweep
+
+SIZES = (100, 1000, 10_000)
+
+
+def test_table5_training_size(benchmark, networks, artifact):
+    def run():
+        return {
+            "S5": training_size_sweep(
+                networks["S5"], train_sizes=SIZES,
+                n_candidates=N_CANDIDATES, seed=0,
+            ),
+            "R1": training_size_sweep(
+                networks["R1"], train_sizes=SIZES,
+                n_candidates=N_CANDIDATES, seed=0,
+            ),
+            "C5": training_size_sweep(
+                networks["C5"], train_sizes=SIZES,
+                n_candidates=N_CANDIDATES, prefix_mode=True, seed=0,
+            ),
+        }
+
+    sweeps = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    lines = ["Table 5: success rate vs training sample size"]
+    lines.append("dataset  " + "".join(f"{s:>9}" for s in SIZES))
+    for name, sweep in sweeps.items():
+        cells = "".join(
+            f"{100 * sweep[s]:>8.2f}%" if s in sweep else "        -"
+            for s in SIZES
+        )
+        lines.append(f"{name:>7}  {cells}")
+    artifact("table5_training_size", "\n".join(lines))
+
+    # Shape: going from 1K to 10K training addresses must not yield a
+    # large improvement — the paper found flat-to-worse behaviour.
+    for name, sweep in sweeps.items():
+        if 1000 in sweep and 10_000 in sweep:
+            assert sweep[10_000] < sweep[1000] * 1.5, name
+        # And every configuration achieves something.
+        assert all(rate > 0 for rate in sweep.values()), name

@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Quickstart: analyze an IPv6 address set and explore its structure.
+
+Runs the full Entropy/IP pipeline (entropy → segmentation → mining →
+Bayesian network) on a synthetic client network, prints the entropy/ACR
+plot and the mined segment table, conditions the probability browser on
+a value (the Fig. 1 interaction), and generates candidate addresses.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import EntropyIP
+from repro.datasets import build_network
+from repro.viz import render_acr_entropy_plot, render_browser, render_mining_table
+
+def main():
+    # 1. Get a set of active addresses.  Here: a synthetic model of the
+    #    paper's Fig. 1 Japanese telco; in practice, read your own list
+    #    of address strings and pass it straight to EntropyIP.fit().
+    network = build_network("JP")
+    addresses = network.sample(4000, seed=0)
+    print(f"training on {len(addresses)} addresses, e.g.:")
+    for address in addresses.addresses()[:3]:
+        print(f"  {address}")
+
+    # 2. Fit the full pipeline.
+    analysis = EntropyIP.fit(addresses)
+    print()
+    print(analysis.describe())
+
+    # 3. Explore: entropy/ACR plot and the per-segment value table.
+    print()
+    print(render_acr_entropy_plot(analysis, title="entropy vs 4-bit ACR"))
+    print()
+    print(render_mining_table(analysis))
+
+    # 4. Condition the browser on a mined value (click a box in Fig. 1).
+    wide = max(
+        analysis.encoder.mined_segments,
+        key=lambda m: (m.segment.first_nybble >= 17) * m.segment.nybble_count,
+    )
+    zero_code = next(
+        v.code for v in wide.values if v.low == 0 and not v.is_range
+    )
+    print()
+    print(render_browser(
+        analysis.browse().click(zero_code),
+        title=f"browser conditioned on {zero_code} (the zeros block)",
+    ))
+
+    # 5. Generate candidate targets the model believes are plausible.
+    candidates = analysis.generate_addresses(10, np.random.default_rng(1))
+    print("\n10 generated candidate addresses (not seen in training):")
+    for candidate in candidates:
+        print(f"  {candidate}")
+
+
+if __name__ == "__main__":
+    main()

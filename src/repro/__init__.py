@@ -1,0 +1,42 @@
+"""Entropy/IP: Uncovering Structure in IPv6 Addresses — full reproduction.
+
+A from-scratch Python implementation of the Entropy/IP system (Foremski,
+Plonka, Berger — IMC 2016): information-theoretic analysis of IPv6
+address sets, automatic segmentation, segment value mining, Bayesian
+network modeling, interactive conditional browsing, and candidate target
+generation for IPv6 scanning.
+
+Quickstart::
+
+    from repro import EntropyIP
+    analysis = EntropyIP.fit(list_of_address_strings)
+    print(analysis.describe())
+    candidates = analysis.generate_addresses(1000)
+
+See :mod:`repro.core.pipeline` for the facade, :mod:`repro.datasets` for
+the synthetic network models used in the evaluation, and
+:mod:`repro.scan` for the scanning/prediction harness.
+"""
+
+from repro.core.browser import ConditionalBrowser
+from repro.core.mining import MiningConfig
+from repro.core.pipeline import EntropyIP
+from repro.core.segmentation import SegmentationConfig
+from repro.bayes.structure import StructureConfig
+from repro.ipv6.address import IPv6Address
+from repro.ipv6.prefix import Prefix
+from repro.ipv6.sets import AddressSet
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AddressSet",
+    "ConditionalBrowser",
+    "EntropyIP",
+    "IPv6Address",
+    "MiningConfig",
+    "Prefix",
+    "SegmentationConfig",
+    "StructureConfig",
+    "__version__",
+]

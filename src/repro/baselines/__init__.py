@@ -1,0 +1,19 @@
+"""Baseline methods the paper compares against or improves upon.
+
+- :mod:`repro.baselines.addr6` — the stateless per-address classifier
+  of RFC 7707 / the SI6 ``addr6`` tool, whose context-blindness
+  motivates Entropy/IP's set-level approach (§1, §2);
+- :mod:`repro.baselines.iid_patterns` — an Ullrich-et-al.-style
+  recurring-IID-pattern target generator, the §2 comparison point that
+  only predicts the bottom 64 bits.
+"""
+
+from repro.baselines.addr6 import IIDClass, classify_address, classify_iid
+from repro.baselines.iid_patterns import IIDPatternModel
+
+__all__ = [
+    "IIDClass",
+    "IIDPatternModel",
+    "classify_address",
+    "classify_iid",
+]

@@ -1,0 +1,89 @@
+"""Stateless IID classification à la RFC 7707 / the SI6 ``addr6`` tool.
+
+Section 1 of the paper calls out exactly this approach as error-prone:
+
+    "the reasonable, but stateless, rules to detect pseudo-random IIDs
+    implemented in the addr6 tool misclassify
+    2001:db8:221:ffff:ffff:ffff:ffc0:122a as having a randomized IID
+    even when it is accompanied by one thousand other similarly
+    constructed addresses in the 2001:db8:221:ffff:ffff:ffff:ff::/104
+    prefix."
+
+We implement the classifier faithfully (per-address, no context) so the
+benchmark suite can demonstrate the misclassification and show that
+Entropy/IP's set-level entropy analysis gets the same case right.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Union
+
+from repro.ipv6.address import IPv6Address
+from repro.ipv6.eui64 import decode_ipv4_decimal_words, is_eui64_iid
+
+
+class IIDClass(enum.Enum):
+    """addr6-style interface-identifier classes."""
+
+    EUI64 = "ieee-derived"
+    EMBEDDED_IPV4 = "embedded-ipv4"
+    EMBEDDED_PORT = "embedded-port"
+    LOW_BYTE = "low-byte"
+    PATTERN_BYTES = "pattern-bytes"
+    RANDOMIZED = "randomized"
+
+
+#: Well-known service ports addr6 looks for in the low word — both as
+#: plain integers and as the hex words that *display* as the port
+#: number (operators write ``::443`` meaning HTTPS, which is 0x443).
+_PORT_NUMBERS = (21, 22, 25, 53, 80, 123, 443, 8080)
+_SERVICE_PORTS = frozenset(_PORT_NUMBERS) | frozenset(
+    int(str(port), 16) for port in _PORT_NUMBERS
+)
+
+
+def classify_iid(iid: int) -> IIDClass:
+    """Classify a 64-bit IID using only the IID itself (stateless).
+
+    Rules, in addr6's priority order:
+
+    1. ``ff:fe`` in the middle → IEEE-derived (Modified EUI-64);
+    2. decodable base-10 octets per word, or hex IPv4 in the low 32
+       bits with zeros above → embedded IPv4;
+    3. low word equals a well-known service port, rest zeros → port;
+    4. only the low byte (plus at most the second-low nybble) set →
+       low-byte;
+    5. few distinct bytes / repeated bytes → pattern-bytes;
+    6. otherwise → randomized.
+    """
+    if not 0 <= iid < (1 << 64):
+        raise ValueError(f"IID out of range: {iid}")
+    if is_eui64_iid(iid):
+        return IIDClass.EUI64
+    if decode_ipv4_decimal_words(iid) is not None and iid >> 48 != 0:
+        return IIDClass.EMBEDDED_IPV4
+    if (iid >> 32) == 0 and iid > 0xFFFF:
+        # Hex-embedded IPv4 in the low 32 bits: plausible dotted quad.
+        octets = [(iid >> (8 * k)) & 0xFF for k in range(4)]
+        if all(o != 0 for o in octets[2:]) or octets[3] != 0:
+            return IIDClass.EMBEDDED_IPV4
+    if (iid >> 16) == 0 and iid in _SERVICE_PORTS:
+        return IIDClass.EMBEDDED_PORT
+    if iid <= 0xFFF:
+        return IIDClass.LOW_BYTE
+    bytes_ = [(iid >> (8 * k)) & 0xFF for k in range(8)]
+    distinct = len(set(bytes_))
+    if distinct <= 2:
+        return IIDClass.PATTERN_BYTES
+    return IIDClass.RANDOMIZED
+
+
+def classify_address(address: Union[IPv6Address, int, str]) -> IIDClass:
+    """Classify the IID of a full address (bottom 64 bits)."""
+    return classify_iid(IPv6Address(address).interface_identifier())
+
+
+def looks_predictable(iid_class: IIDClass) -> bool:
+    """addr6's implied scanability verdict per class."""
+    return iid_class is not IIDClass.RANDOMIZED

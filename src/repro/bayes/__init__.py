@@ -1,0 +1,49 @@
+"""Bayesian-network substrate (Section 4.4 of the paper).
+
+The paper models the code-vector representation of IPv6 addresses with a
+Bayesian network learned by BNFinder [Wilczynski & Dojer 2009] under the
+constraint that segment k may only depend on earlier segments.  This
+package is a from-scratch implementation of the same family of methods:
+
+- :mod:`repro.bayes.factor` — discrete factors with multiply /
+  marginalize / reduce;
+- :mod:`repro.bayes.cpd` — conditional probability tables with smoothing;
+- :mod:`repro.bayes.network` — the DAG model;
+- :mod:`repro.bayes.scores` — BDeu and MDL/BIC family scores;
+- :mod:`repro.bayes.structure` — exact ordered parent-set selection
+  (Dojer 2006-style, the algorithm behind BNFinder);
+- :mod:`repro.bayes.inference` — variable elimination, which realizes the
+  "evidential reasoning" (backwards influence) of Fig. 1(b,c);
+- :mod:`repro.bayes.sampling` — forward sampling and likelihood-weighted
+  conditional sampling for candidate generation;
+- :mod:`repro.bayes.markov` — the first-order Markov-model baseline the
+  paper compares against conceptually in §4.5.
+"""
+
+from repro.bayes.cpd import CPD, estimate_cpd
+from repro.bayes.export import browser_to_json, to_dot
+from repro.bayes.factor import Factor
+from repro.bayes.inference import VariableElimination
+from repro.bayes.markov import MarkovChainModel
+from repro.bayes.network import BayesianNetwork
+from repro.bayes.sampling import forward_sample, likelihood_weighted_sample
+from repro.bayes.scores import bdeu_score, bic_score, family_log_likelihood
+from repro.bayes.structure import StructureConfig, learn_structure
+
+__all__ = [
+    "BayesianNetwork",
+    "CPD",
+    "Factor",
+    "MarkovChainModel",
+    "StructureConfig",
+    "VariableElimination",
+    "bdeu_score",
+    "browser_to_json",
+    "to_dot",
+    "bic_score",
+    "estimate_cpd",
+    "family_log_likelihood",
+    "forward_sample",
+    "learn_structure",
+    "likelihood_weighted_sample",
+]

@@ -1,0 +1,120 @@
+"""Conditional probability tables (CPDs) with Dirichlet smoothing.
+
+Each BN vertex holds P(child | parents) as a table; we estimate tables
+from code-vector data with a symmetric Dirichlet prior so that candidate
+generation (Section 5.5) can venture slightly beyond the exact training
+combinations without assigning zero mass to unseen parent configurations.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Sequence, Tuple
+
+import numpy as np
+
+from repro.bayes.factor import Factor
+
+
+class CPD:
+    """P(child | parents) as a normalized table.
+
+    ``table`` has axes ordered ``(child, *parents)``; every slice along
+    the child axis for a fixed parent assignment sums to 1.
+    """
+
+    __slots__ = ("child", "parents", "table")
+
+    def __init__(self, child: str, parents: Sequence[str], table: np.ndarray):
+        self.child = child
+        self.parents: Tuple[str, ...] = tuple(parents)
+        self.table = np.asarray(table, dtype=np.float64)
+        if self.child in self.parents:
+            raise ValueError(f"{child!r} cannot be its own parent")
+        if self.table.ndim != 1 + len(self.parents):
+            raise ValueError(
+                f"table rank {self.table.ndim} != 1 + {len(self.parents)} parents"
+            )
+        if np.any(self.table < 0):
+            raise ValueError("CPD table must be non-negative")
+        sums = self.table.sum(axis=0)
+        if not np.allclose(sums, 1.0, atol=1e-9):
+            raise ValueError("CPD columns must each sum to 1")
+
+    @property
+    def child_cardinality(self) -> int:
+        return self.table.shape[0]
+
+    def parent_cardinalities(self) -> Dict[str, int]:
+        return {p: s for p, s in zip(self.parents, self.table.shape[1:])}
+
+    def distribution(self, parent_states: Mapping[str, int]) -> np.ndarray:
+        """P(child | the given parent assignment), as a vector."""
+        index = tuple(parent_states[p] for p in self.parents)
+        return self.table[(slice(None),) + index]
+
+    def probability(self, child_state: int, parent_states: Mapping[str, int]) -> float:
+        """P(child = child_state | parent assignment)."""
+        return float(self.distribution(parent_states)[child_state])
+
+    def to_factor(self) -> Factor:
+        """The CPD viewed as a factor over (child, *parents)."""
+        return Factor((self.child,) + self.parents, self.table)
+
+    def __repr__(self) -> str:
+        return (
+            f"CPD(child={self.child!r}, parents={self.parents}, "
+            f"shape={self.table.shape})"
+        )
+
+
+def count_family(
+    data: np.ndarray,
+    child_index: int,
+    parent_indices: Sequence[int],
+    cardinalities: Sequence[int],
+) -> np.ndarray:
+    """Joint counts N(child, parents) from categorical data.
+
+    ``data`` is an (n, num_vars) integer matrix; the result has axes
+    ``(child, *parents)`` matching :class:`CPD` layout.
+    """
+    child_card = cardinalities[child_index]
+    parent_cards = [cardinalities[i] for i in parent_indices]
+    shape = (child_card, *parent_cards)
+    # Flatten the family columns into a single index for fast bincount.
+    flat = data[:, child_index].astype(np.int64)
+    for parent_index, parent_card in zip(parent_indices, parent_cards):
+        flat = flat * parent_card + data[:, parent_index].astype(np.int64)
+    counts = np.bincount(flat, minlength=int(np.prod(shape)))
+    return counts.reshape(shape).astype(np.float64)
+
+
+def estimate_cpd(
+    data: np.ndarray,
+    child_index: int,
+    parent_indices: Sequence[int],
+    cardinalities: Sequence[int],
+    names: Sequence[str],
+    alpha: float = 0.5,
+) -> CPD:
+    """Estimate P(child | parents) with a symmetric Dirichlet prior.
+
+    ``alpha`` is the per-cell pseudo-count; 0 gives the raw MLE (parent
+    configurations never observed then fall back to uniform).
+    """
+    if alpha < 0:
+        raise ValueError("alpha must be non-negative")
+    counts = count_family(data, child_index, parent_indices, cardinalities)
+    smoothed = counts + alpha
+    column_totals = smoothed.sum(axis=0)
+    # Guard the alpha == 0 case: unseen parent configs become uniform.
+    zero_mask = column_totals == 0
+    if np.any(zero_mask):
+        smoothed = smoothed + np.where(zero_mask, 1.0, 0.0)
+        column_totals = smoothed.sum(axis=0)
+    table = smoothed / column_totals
+    return CPD(
+        names[child_index],
+        [names[i] for i in parent_indices],
+        table,
+    )

@@ -1,0 +1,75 @@
+"""Export formats for learned models (DOT graphs, browser JSON).
+
+The paper's system renders its results as an interactive web page;
+these exporters produce the equivalent machine-readable artifacts: a
+Graphviz DOT description of the BN structure (Fig. 2) and a JSON
+document with the segments, mined values, and current conditional
+distributions (the data behind Fig. 1's browser).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Optional
+
+from repro.bayes.network import BayesianNetwork
+
+
+def to_dot(
+    network: BayesianNetwork,
+    highlight_child: Optional[str] = None,
+    graph_name: str = "entropy_ip_bn",
+) -> str:
+    """Graphviz DOT for the BN structure.
+
+    Edges into ``highlight_child`` are drawn red, matching Fig. 2's
+    marking of segment J's direct parents.
+    """
+    lines = [f"digraph {graph_name} {{", "  rankdir=LR;"]
+    for variable in network.variables:
+        lines.append(
+            f'  {variable} [shape=circle, label="{variable}"];'
+        )
+    for parent, child in network.edges():
+        attributes = ' [color=red, penwidth=2]' if child == highlight_child else ""
+        lines.append(f"  {parent} -> {child}{attributes};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def browser_to_json(browser, indent: Optional[int] = None) -> str:
+    """JSON document of the conditional browser's current state.
+
+    Layout per segment: bit span, and the mined values with their code,
+    text rendering, posterior probability, and evidence flag — exactly
+    the data the paper's web page binds to its colored boxes.
+    """
+    from repro.core.browser import ConditionalBrowser
+
+    if not isinstance(browser, ConditionalBrowser):
+        raise TypeError("expected a ConditionalBrowser")
+    rows = browser.rows()
+    document = {
+        "evidence": browser.evidence_codes(),
+        "evidence_probability": browser.probability_of_evidence(),
+        "segments": [],
+    }
+    for mined in browser.model.encoder.mined_segments:
+        label = mined.segment.label
+        start, end = mined.segment.bits
+        document["segments"].append(
+            {
+                "label": label,
+                "bits": [start, end],
+                "values": [
+                    {
+                        "code": row.code,
+                        "value": row.value_text,
+                        "probability": round(row.probability, 6),
+                        "selected": row.is_evidence,
+                    }
+                    for row in rows[label]
+                ],
+            }
+        )
+    return json.dumps(document, indent=indent)

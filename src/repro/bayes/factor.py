@@ -1,0 +1,149 @@
+"""Discrete factors: the workhorse of exact BN inference.
+
+A factor is a non-negative table over the joint assignments of a tuple of
+named categorical variables.  Conditional probability tables, evidence
+reductions, and intermediate products in variable elimination are all
+factors.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Sequence, Tuple
+
+import numpy as np
+
+
+class Factor:
+    """A table over joint assignments of named discrete variables.
+
+    ``variables`` orders the axes of ``table``; ``table.shape[i]`` is the
+    cardinality of ``variables[i]``.
+
+    >>> f = Factor(("a",), np.array([0.25, 0.75]))
+    >>> f.cardinality("a")
+    2
+    """
+
+    __slots__ = ("variables", "table")
+
+    def __init__(self, variables: Sequence[str], table: np.ndarray):
+        self.variables: Tuple[str, ...] = tuple(variables)
+        self.table = np.asarray(table, dtype=np.float64)
+        if len(set(self.variables)) != len(self.variables):
+            raise ValueError(f"duplicate variables: {self.variables}")
+        if self.table.ndim != len(self.variables):
+            raise ValueError(
+                f"table rank {self.table.ndim} != {len(self.variables)} variables"
+            )
+        if np.any(self.table < 0):
+            raise ValueError("factor tables must be non-negative")
+
+    def cardinality(self, variable: str) -> int:
+        """Number of states of ``variable``."""
+        return self.table.shape[self.variables.index(variable)]
+
+    def cardinalities(self) -> Dict[str, int]:
+        """All variable cardinalities."""
+        return {v: s for v, s in zip(self.variables, self.table.shape)}
+
+    # ------------------------------------------------------------------
+    # algebra
+    # ------------------------------------------------------------------
+
+    def multiply(self, other: "Factor") -> "Factor":
+        """Pointwise product over the union of the two scopes."""
+        union = list(self.variables)
+        union.extend(v for v in other.variables if v not in self.variables)
+        return Factor(
+            union,
+            self._expand_to(union) * other._expand_to(union),
+        )
+
+    __mul__ = multiply
+
+    def marginalize(self, variable: str) -> "Factor":
+        """Sum out one variable."""
+        axis = self.variables.index(variable)
+        remaining = self.variables[:axis] + self.variables[axis + 1 :]
+        return Factor(remaining, self.table.sum(axis=axis))
+
+    def marginalize_all_but(self, keep: Iterable[str]) -> "Factor":
+        """Sum out everything not in ``keep``."""
+        keep_set = set(keep)
+        result = self
+        for variable in self.variables:
+            if variable not in keep_set:
+                result = result.marginalize(variable)
+        return result
+
+    def reduce(self, variable: str, state: int) -> "Factor":
+        """Condition on ``variable == state``, dropping the variable."""
+        axis = self.variables.index(variable)
+        if not 0 <= state < self.table.shape[axis]:
+            raise IndexError(
+                f"state {state} out of range for {variable} "
+                f"(cardinality {self.table.shape[axis]})"
+            )
+        remaining = self.variables[:axis] + self.variables[axis + 1 :]
+        return Factor(remaining, np.take(self.table, state, axis=axis))
+
+    def reduce_evidence(self, evidence: Mapping[str, int]) -> "Factor":
+        """Condition on every in-scope variable of ``evidence``."""
+        result = self
+        for variable, state in evidence.items():
+            if variable in result.variables:
+                result = result.reduce(variable, state)
+        return result
+
+    def normalize(self) -> "Factor":
+        """Scale so the table sums to 1 (error if the total mass is 0)."""
+        total = self.table.sum()
+        if total <= 0:
+            raise ZeroDivisionError("cannot normalize a zero factor")
+        return Factor(self.variables, self.table / total)
+
+    def reorder(self, variables: Sequence[str]) -> "Factor":
+        """Permute the axes into the requested variable order."""
+        variables = tuple(variables)
+        if set(variables) != set(self.variables):
+            raise ValueError(f"{variables} is not a permutation of {self.variables}")
+        permutation = [self.variables.index(v) for v in variables]
+        return Factor(variables, np.transpose(self.table, permutation))
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+
+    def value(self, assignment: Mapping[str, int]) -> float:
+        """Table entry for a full assignment of the factor's scope."""
+        index = tuple(assignment[v] for v in self.variables)
+        return float(self.table[index])
+
+    def argmax(self) -> Dict[str, int]:
+        """The most probable joint assignment."""
+        flat_index = int(np.argmax(self.table))
+        states = np.unravel_index(flat_index, self.table.shape)
+        return {v: int(s) for v, s in zip(self.variables, states)}
+
+    def _expand_to(self, union: Sequence[str]) -> np.ndarray:
+        """View of the table broadcastable over the ``union`` scope."""
+        shape = []
+        source_axes = []
+        for variable in union:
+            if variable in self.variables:
+                axis = self.variables.index(variable)
+                shape.append(self.table.shape[axis])
+                source_axes.append(axis)
+            else:
+                shape.append(1)
+        # Move existing axes into union order, then insert singleton axes.
+        transposed = np.transpose(self.table, source_axes)
+        return transposed.reshape(shape)
+
+    def __repr__(self) -> str:
+        return f"Factor(variables={self.variables}, shape={self.table.shape})"
+
+
+def unit_factor() -> Factor:
+    """The multiplicative identity (scalar 1.0 over no variables)."""
+    return Factor((), np.asarray(1.0))

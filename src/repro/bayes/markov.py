@@ -1,0 +1,64 @@
+"""First-order Markov-chain baseline model.
+
+Section 4.5 discusses Markov Models as an alternative to BNs and rejects
+them because "MMs assume that a given segment depends only on the
+previous segment.  Thus, MMs cannot directly handle dependency between
+non-adjacent segments."  We implement the baseline anyway so the ablation
+benchmark can quantify the difference on scanning success.
+
+A first-order MM over code vectors is simply a BN in which segment k has
+exactly the single parent k-1 — so we reuse all the BN machinery.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.bayes.cpd import estimate_cpd
+from repro.bayes.network import BayesianNetwork
+
+
+class MarkovChainModel:
+    """First-order chain over categorical code vectors.
+
+    >>> data = np.array([[0, 1], [0, 1], [1, 0]])
+    >>> model = MarkovChainModel.fit(data, ["A", "B"], [2, 2])
+    >>> model.network.parents("B")
+    ('A',)
+    """
+
+    def __init__(self, network: BayesianNetwork):
+        for i, variable in enumerate(network.variables):
+            expected = (network.variables[i - 1],) if i else ()
+            if network.parents(variable) != expected:
+                raise ValueError("network is not a first-order chain")
+        self.network = network
+
+    @classmethod
+    def fit(
+        cls,
+        data: np.ndarray,
+        names: Sequence[str],
+        cardinalities: Sequence[int],
+        alpha: float = 0.05,
+    ) -> "MarkovChainModel":
+        """Estimate the chain CPDs from a code matrix."""
+        data = np.asarray(data)
+        cpds = [
+            estimate_cpd(
+                data,
+                child,
+                [child - 1] if child else [],
+                cardinalities,
+                names,
+                alpha=alpha,
+            )
+            for child in range(data.shape[1])
+        ]
+        return cls(BayesianNetwork(names, cpds))
+
+    def log_likelihood(self, data: np.ndarray) -> float:
+        """Chain log-likelihood of a code matrix."""
+        return self.network.log_likelihood(data)

@@ -1,0 +1,132 @@
+"""The Bayesian network model: an ordered DAG of CPDs.
+
+The paper constrains the network so that segment k can only depend on
+earlier segments (Section 4.4); :class:`BayesianNetwork` enforces that
+parents precede children in the declared variable order, which also makes
+the order itself a valid topological order for sampling.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+import networkx as nx
+import numpy as np
+
+from repro.bayes.cpd import CPD
+from repro.bayes.factor import Factor
+
+
+class BayesianNetwork:
+    """A discrete Bayesian network with a fixed left-to-right order.
+
+    ``variables`` fixes both the topological order and the data-column
+    order; ``cpds`` must contain exactly one CPD per variable whose
+    parents all appear earlier in ``variables``.
+    """
+
+    def __init__(self, variables: Sequence[str], cpds: Sequence[CPD]):
+        self.variables: Tuple[str, ...] = tuple(variables)
+        if len(set(self.variables)) != len(self.variables):
+            raise ValueError("duplicate variable names")
+        by_child = {cpd.child: cpd for cpd in cpds}
+        if set(by_child) != set(self.variables):
+            missing = set(self.variables) - set(by_child)
+            extra = set(by_child) - set(self.variables)
+            raise ValueError(f"CPD mismatch: missing={missing}, extra={extra}")
+        order = {v: i for i, v in enumerate(self.variables)}
+        for cpd in cpds:
+            for parent in cpd.parents:
+                if parent not in order:
+                    raise ValueError(f"unknown parent {parent!r} of {cpd.child!r}")
+                if order[parent] >= order[cpd.child]:
+                    raise ValueError(
+                        f"parent {parent!r} does not precede child {cpd.child!r}"
+                    )
+        self._cpds: Dict[str, CPD] = {v: by_child[v] for v in self.variables}
+
+    # ------------------------------------------------------------------
+    # structure accessors
+    # ------------------------------------------------------------------
+
+    def cpd(self, variable: str) -> CPD:
+        """The CPD attached to ``variable``."""
+        return self._cpds[variable]
+
+    def parents(self, variable: str) -> Tuple[str, ...]:
+        """Parents of ``variable``."""
+        return self._cpds[variable].parents
+
+    def children(self, variable: str) -> List[str]:
+        """Variables that have ``variable`` as a parent."""
+        return [v for v in self.variables if variable in self._cpds[v].parents]
+
+    def cardinality(self, variable: str) -> int:
+        """Number of states of ``variable``."""
+        return self._cpds[variable].child_cardinality
+
+    def cardinalities(self) -> Dict[str, int]:
+        """All variable cardinalities."""
+        return {v: self.cardinality(v) for v in self.variables}
+
+    def edges(self) -> List[Tuple[str, str]]:
+        """All (parent, child) edges."""
+        return [
+            (parent, child)
+            for child in self.variables
+            for parent in self._cpds[child].parents
+        ]
+
+    def to_networkx(self) -> nx.DiGraph:
+        """The structure as a networkx DiGraph (for viz / graph queries)."""
+        graph = nx.DiGraph()
+        graph.add_nodes_from(self.variables)
+        graph.add_edges_from(self.edges())
+        return graph
+
+    def markov_blanket(self, variable: str) -> List[str]:
+        """Parents, children, and co-parents of ``variable``."""
+        blanket = set(self.parents(variable))
+        for child in self.children(variable):
+            blanket.add(child)
+            blanket.update(self.parents(child))
+        blanket.discard(variable)
+        return [v for v in self.variables if v in blanket]
+
+    # ------------------------------------------------------------------
+    # probability computations
+    # ------------------------------------------------------------------
+
+    def factors(self) -> List[Factor]:
+        """All CPDs as factors (the VE starting point)."""
+        return [self._cpds[v].to_factor() for v in self.variables]
+
+    def joint_probability(self, assignment: Mapping[str, int]) -> float:
+        """P(full assignment) via the chain-rule factorization."""
+        probability = 1.0
+        for variable in self.variables:
+            cpd = self._cpds[variable]
+            probability *= cpd.probability(assignment[variable], assignment)
+        return probability
+
+    def log_likelihood(self, data: np.ndarray) -> float:
+        """Total log-probability of an (n, num_vars) code matrix."""
+        if data.shape[1] != len(self.variables):
+            raise ValueError("data column count != number of variables")
+        total = 0.0
+        index = {v: i for i, v in enumerate(self.variables)}
+        for variable in self.variables:
+            cpd = self._cpds[variable]
+            child_column = data[:, index[variable]]
+            parent_columns = tuple(data[:, index[p]] for p in cpd.parents)
+            probabilities = cpd.table[(child_column,) + parent_columns]
+            if np.any(probabilities <= 0):
+                return float("-inf")
+            total += float(np.log(probabilities).sum())
+        return total
+
+    def __repr__(self) -> str:
+        return (
+            f"BayesianNetwork(variables={len(self.variables)}, "
+            f"edges={len(self.edges())})"
+        )

@@ -1,0 +1,184 @@
+"""Command-line interface: ``entropy-ip`` / ``python -m repro``.
+
+Subcommands:
+
+- ``analyze``  — read addresses from a file (or stdin), print the
+  entropy/ACR plot, segmentation, mining table and BN structure;
+- ``generate`` — fit on a file of addresses and emit candidate targets;
+- ``dataset``  — emit one of the built-in synthetic datasets;
+- ``scan``     — run the §5.5 scanning experiment on a built-in network;
+- ``mi``       — pairwise nybble mutual-information heat map (§6);
+- ``compare``  — temporal comparison of two address files (§6);
+- ``report``   — full composed analysis report (the §1 "web page").
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.pipeline import EntropyIP
+from repro.datasets.networks import build_network
+from repro.ipv6.address import addresses_from_text
+from repro.scan.evaluate import scan_experiment
+from repro.viz.figures import (
+    render_acr_entropy_plot,
+    render_bn_graph,
+    render_mining_table,
+)
+
+
+def _read_addresses(path: str) -> List[str]:
+    stream = sys.stdin if path == "-" else open(path, "r", encoding="utf-8")
+    try:
+        return [a.hex32() for a in addresses_from_text(stream)]
+    finally:
+        if stream is not sys.stdin:
+            stream.close()
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    addresses = _read_addresses(args.file)
+    analysis = EntropyIP.fit(addresses, width=args.width)
+    print(render_acr_entropy_plot(analysis, title=f"Entropy/IP: {args.file}"))
+    print()
+    print(render_mining_table(analysis))
+    print()
+    print(render_bn_graph(analysis))
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    addresses = _read_addresses(args.file)
+    analysis = EntropyIP.fit(addresses, width=args.width)
+    rng = np.random.default_rng(args.seed)
+    for address in analysis.generate_addresses(args.count, rng):
+        print(address.compressed())
+    return 0
+
+
+def _cmd_dataset(args: argparse.Namespace) -> int:
+    network = build_network(args.name)
+    sample = network.sample(args.count, seed=args.seed)
+    for address in sample.addresses():
+        print(address.compressed())
+    return 0
+
+
+def _cmd_scan(args: argparse.Namespace) -> int:
+    network = build_network(args.name)
+    result = scan_experiment(
+        network,
+        train_size=args.train,
+        n_candidates=args.count,
+        seed=args.seed,
+    )
+    print(result.row())
+    return 0
+
+
+def _cmd_mi(args: argparse.Namespace) -> int:
+    from repro.ipv6.sets import AddressSet
+    from repro.stats.mutual_information import top_dependent_pairs
+    from repro.viz.figures import render_mi_heatmap
+
+    addresses = _read_addresses(args.file)
+    address_set = AddressSet.from_strings(addresses, width=args.width)
+    print(render_mi_heatmap(address_set))
+    pairs = top_dependent_pairs(address_set, limit=10)
+    if pairs:
+        print("\nstrongest non-adjacent dependencies (1-indexed nybbles):")
+        for i, j, nmi in pairs:
+            print(f"  nybble {i:>2} <-> nybble {j:>2}   NMI={nmi:.2f}")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    from repro.core.temporal import compare_snapshots
+    from repro.viz.figures import render_snapshot_delta
+
+    before = EntropyIP.fit(_read_addresses(args.before), width=args.width)
+    after = EntropyIP.fit(_read_addresses(args.after), width=args.width)
+    delta = compare_snapshots(before, after)
+    print(render_snapshot_delta(delta))
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.core.report import full_report
+
+    analysis = EntropyIP.fit(_read_addresses(args.file), width=args.width)
+    rng = np.random.default_rng(args.seed)
+    print(full_report(analysis, title=f"Entropy/IP report: {args.file}",
+                      n_candidates=args.count, rng=rng))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser with all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="entropy-ip",
+        description="Entropy/IP: uncover structure in IPv6 address sets "
+        "(IMC 2016 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    analyze = sub.add_parser("analyze", help="analyze an address file")
+    analyze.add_argument("file", help="address file, '-' for stdin")
+    analyze.add_argument("--width", type=int, default=32,
+                         help="nybbles to analyze (16 = /64 prefix mode)")
+    analyze.set_defaults(func=_cmd_analyze)
+
+    generate = sub.add_parser("generate", help="generate candidate targets")
+    generate.add_argument("file", help="training address file, '-' for stdin")
+    generate.add_argument("--count", type=int, default=1000)
+    generate.add_argument("--width", type=int, default=32)
+    generate.add_argument("--seed", type=int, default=0)
+    generate.set_defaults(func=_cmd_generate)
+
+    dataset = sub.add_parser("dataset", help="emit a built-in synthetic set")
+    dataset.add_argument("name", help="S1-S5, R1-R5, C1-C5 or JP")
+    dataset.add_argument("--count", type=int, default=1000)
+    dataset.add_argument("--seed", type=int, default=0)
+    dataset.set_defaults(func=_cmd_dataset)
+
+    scan = sub.add_parser("scan", help="run the scanning experiment")
+    scan.add_argument("name", help="S1-S5, R1-R5 or JP")
+    scan.add_argument("--train", type=int, default=1000)
+    scan.add_argument("--count", type=int, default=10_000)
+    scan.add_argument("--seed", type=int, default=0)
+    scan.set_defaults(func=_cmd_scan)
+
+    mi = sub.add_parser("mi", help="mutual-information heat map")
+    mi.add_argument("file", help="address file, '-' for stdin")
+    mi.add_argument("--width", type=int, default=32)
+    mi.set_defaults(func=_cmd_mi)
+
+    compare = sub.add_parser("compare", help="compare two snapshots")
+    compare.add_argument("before", help="earlier address file")
+    compare.add_argument("after", help="later address file")
+    compare.add_argument("--width", type=int, default=32)
+    compare.set_defaults(func=_cmd_compare)
+
+    report = sub.add_parser("report", help="full composed analysis report")
+    report.add_argument("file", help="address file, '-' for stdin")
+    report.add_argument("--width", type=int, default=32)
+    report.add_argument("--count", type=int, default=10,
+                        help="candidate targets to append")
+    report.add_argument("--seed", type=int, default=0)
+    report.set_defaults(func=_cmd_report)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

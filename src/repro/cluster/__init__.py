@@ -1,0 +1,20 @@
+"""Clustering substrate: DBSCAN and interval utilities.
+
+The paper's segment-mining step (Section 4.3) runs DBSCAN [Ester et al.
+1996] twice per segment: once over the value space to find dense ranges,
+and once over the histogram (value, count) plane to find ranges that are
+uniformly distributed and relatively continuous.  This package implements
+DBSCAN from scratch with weighted points and a grid spatial index.
+"""
+
+from repro.cluster.dbscan import DBSCAN, NOISE, dbscan_labels
+from repro.cluster.intervals import Interval, merge_intervals, subtract_intervals
+
+__all__ = [
+    "DBSCAN",
+    "Interval",
+    "NOISE",
+    "dbscan_labels",
+    "merge_intervals",
+    "subtract_intervals",
+]

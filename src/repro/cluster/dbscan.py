@@ -1,0 +1,164 @@
+"""DBSCAN (Ester, Kriegel, Sander, Xu — KDD 1996), from scratch.
+
+Density-based clustering: a point is a *core* point if at least
+``min_samples`` points (including itself, counted with weights) lie
+within distance ``eps`` of it; clusters are the connected components of
+core points under the eps-neighborhood relation, plus any *border* points
+within eps of a core point.  Everything else is noise.
+
+This implementation supports:
+
+- weighted points (a point with weight w contributes w samples to every
+  neighborhood it belongs to) — the mining step clusters *distinct*
+  segment values weighted by their frequencies instead of expanding
+  multisets;
+- a uniform-grid spatial index with cell size eps, so region queries only
+  examine neighboring cells (expected near-linear behaviour for the low
+  dimensional, 1-D/2-D, inputs used here).
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+#: Cluster label assigned to noise points.
+NOISE = -1
+
+
+class DBSCAN:
+    """Reusable DBSCAN clusterer.
+
+    >>> points = [[0.0], [0.1], [0.2], [9.0]]
+    >>> DBSCAN(eps=0.5, min_samples=2).fit(points).labels.tolist()
+    [0, 0, 0, -1]
+    """
+
+    def __init__(self, eps: float, min_samples: float):
+        if eps <= 0:
+            raise ValueError("eps must be positive")
+        if min_samples <= 0:
+            raise ValueError("min_samples must be positive")
+        self.eps = float(eps)
+        self.min_samples = float(min_samples)
+        self.labels: Optional[np.ndarray] = None
+
+    def fit(
+        self, points: Sequence[Sequence[float]], weights: Sequence[float] = None
+    ) -> "DBSCAN":
+        """Cluster ``points``; results land in :attr:`labels`."""
+        array = np.asarray(points, dtype=np.float64)
+        if array.ndim == 1:
+            array = array.reshape(-1, 1)
+        n = array.shape[0]
+        if weights is None:
+            weight_array = np.ones(n, dtype=np.float64)
+        else:
+            weight_array = np.asarray(weights, dtype=np.float64)
+            if weight_array.shape != (n,):
+                raise ValueError("weights must match number of points")
+            if np.any(weight_array < 0):
+                raise ValueError("weights must be non-negative")
+        self.labels = _dbscan(array, weight_array, self.eps, self.min_samples)
+        return self
+
+    def clusters(self) -> Dict[int, List[int]]:
+        """Cluster label → member point indices (noise excluded)."""
+        if self.labels is None:
+            raise RuntimeError("fit() has not been called")
+        result: Dict[int, List[int]] = {}
+        for index, label in enumerate(self.labels):
+            if label != NOISE:
+                result.setdefault(int(label), []).append(index)
+        return result
+
+
+def dbscan_labels(
+    points: Sequence[Sequence[float]],
+    eps: float,
+    min_samples: float,
+    weights: Sequence[float] = None,
+) -> np.ndarray:
+    """Functional one-shot interface to :class:`DBSCAN`."""
+    return DBSCAN(eps, min_samples).fit(points, weights).labels
+
+
+class _GridIndex:
+    """Uniform-grid spatial index with cell size eps.
+
+    All points within eps of a query point lie in the query's cell or one
+    of its immediate neighbors, so a region query examines at most 3^d
+    cells.
+    """
+
+    def __init__(self, points: np.ndarray, eps: float):
+        self._points = points
+        self._eps = eps
+        self._cells: Dict[Tuple[int, ...], List[int]] = {}
+        keys = np.floor(points / eps).astype(np.int64)
+        for index, key in enumerate(map(tuple, keys)):
+            self._cells.setdefault(key, []).append(index)
+        dims = points.shape[1]
+        self._offsets = list(product((-1, 0, 1), repeat=dims))
+
+    def neighbors(self, index: int) -> List[int]:
+        """Indices of all points within eps of point ``index`` (incl. it)."""
+        point = self._points[index]
+        key = tuple(np.floor(point / self._eps).astype(np.int64))
+        candidates: List[int] = []
+        for offset in self._offsets:
+            cell = tuple(k + o for k, o in zip(key, offset))
+            candidates.extend(self._cells.get(cell, ()))
+        if not candidates:
+            return []
+        candidate_array = np.asarray(candidates, dtype=np.intp)
+        deltas = self._points[candidate_array] - point
+        distances = np.sqrt((deltas * deltas).sum(axis=1))
+        within = candidate_array[distances <= self._eps]
+        return within.tolist()
+
+
+def _dbscan(
+    points: np.ndarray, weights: np.ndarray, eps: float, min_samples: float
+) -> np.ndarray:
+    n = points.shape[0]
+    labels = np.full(n, NOISE, dtype=np.int64)
+    if n == 0:
+        return labels
+    index = _GridIndex(points, eps)
+
+    neighbor_cache: Dict[int, List[int]] = {}
+
+    def region(i: int) -> List[int]:
+        if i not in neighbor_cache:
+            neighbor_cache[i] = index.neighbors(i)
+        return neighbor_cache[i]
+
+    def is_core(i: int) -> bool:
+        return float(weights[np.asarray(region(i), dtype=np.intp)].sum()) >= min_samples
+
+    cluster_id = 0
+    visited = np.zeros(n, dtype=bool)
+    for start in range(n):
+        if visited[start]:
+            continue
+        visited[start] = True
+        if not is_core(start):
+            continue  # may become a border point of a later cluster
+        labels[start] = cluster_id
+        frontier = [i for i in region(start) if i != start]
+        while frontier:
+            current = frontier.pop()
+            if labels[current] == NOISE:
+                labels[current] = cluster_id  # border or core, joins cluster
+            if visited[current]:
+                continue
+            visited[current] = True
+            if is_core(current):
+                for neighbor in region(current):
+                    if labels[neighbor] == NOISE or not visited[neighbor]:
+                        frontier.append(neighbor)
+        cluster_id += 1
+    return labels

@@ -1,0 +1,108 @@
+"""Closed integer intervals, used to express mined value ranges.
+
+Segment mining (Section 4.3) emits *ranges* of segment values, e.g.
+``G11 = 0000000000001-0000000000af0`` in Table 3.  This module provides a
+small interval algebra for building, merging and subtracting such ranges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple
+
+
+@dataclass(frozen=True, order=True)
+class Interval:
+    """A closed integer interval [low, high]."""
+
+    low: int
+    high: int
+
+    def __post_init__(self):
+        if self.low > self.high:
+            raise ValueError(f"empty interval: [{self.low}, {self.high}]")
+
+    def __contains__(self, value: int) -> bool:
+        return self.low <= value <= self.high
+
+    def __len__(self) -> int:
+        return self.high - self.low + 1
+
+    def overlaps(self, other: "Interval") -> bool:
+        """True if the two intervals share at least one integer."""
+        return self.low <= other.high and other.low <= self.high
+
+    def touches(self, other: "Interval") -> bool:
+        """True if the intervals overlap or are adjacent."""
+        return self.low <= other.high + 1 and other.low <= self.high + 1
+
+    def union(self, other: "Interval") -> "Interval":
+        """Smallest interval covering both (must touch)."""
+        if not self.touches(other):
+            raise ValueError(f"cannot union disjoint intervals {self} and {other}")
+        return Interval(min(self.low, other.low), max(self.high, other.high))
+
+    def intersect(self, other: "Interval") -> "Interval":
+        """The overlapping part (must overlap)."""
+        if not self.overlaps(other):
+            raise ValueError(f"intervals {self} and {other} do not overlap")
+        return Interval(max(self.low, other.low), min(self.high, other.high))
+
+
+def merge_intervals(intervals: Iterable[Interval]) -> List[Interval]:
+    """Coalesce overlapping/adjacent intervals into a sorted minimal set."""
+    ordered = sorted(intervals)
+    merged: List[Interval] = []
+    for interval in ordered:
+        if merged and merged[-1].touches(interval):
+            merged[-1] = merged[-1].union(interval)
+        else:
+            merged.append(interval)
+    return merged
+
+
+def subtract_intervals(
+    universe: Interval, holes: Iterable[Interval]
+) -> List[Interval]:
+    """Parts of ``universe`` not covered by any of ``holes``."""
+    remaining: List[Interval] = [universe]
+    for hole in merge_intervals(holes):
+        next_remaining: List[Interval] = []
+        for part in remaining:
+            if not part.overlaps(hole):
+                next_remaining.append(part)
+                continue
+            if part.low < hole.low:
+                next_remaining.append(Interval(part.low, hole.low - 1))
+            if hole.high < part.high:
+                next_remaining.append(Interval(hole.high + 1, part.high))
+        remaining = next_remaining
+    return remaining
+
+
+def covered_count(intervals: Sequence[Interval]) -> int:
+    """Total number of integers covered by the (merged) intervals."""
+    return sum(len(i) for i in merge_intervals(intervals))
+
+
+def clusters_to_intervals(
+    values: Sequence[int], labels: Sequence[int]
+) -> List[Tuple[int, Interval]]:
+    """Convert DBSCAN output over scalar values into labeled intervals.
+
+    Returns (label, interval) pairs sorted by interval; noise (-1) is
+    skipped.
+    """
+    spans: dict = {}
+    for value, label in zip(values, labels):
+        if label < 0:
+            continue
+        value = int(value)
+        if label in spans:
+            low, high = spans[label]
+            spans[label] = (min(low, value), max(high, value))
+        else:
+            spans[label] = (value, value)
+    pairs = [(label, Interval(low, high)) for label, (low, high) in spans.items()]
+    pairs.sort(key=lambda pair: pair[1])
+    return pairs

@@ -1,0 +1,50 @@
+"""The paper's primary contribution: the Entropy/IP pipeline.
+
+Stepwise (Section 1): ingest a sample set of addresses, compute
+entropies, discover and mine segments, build a BN model, and expose the
+results for exploration and candidate generation.
+
+- :mod:`repro.core.segmentation` — §4.2 threshold/hysteresis segmentation;
+- :mod:`repro.core.mining` — §4.3 three-step value/range mining;
+- :mod:`repro.core.encoding` — §4.3 address ↔ code-vector encoding;
+- :mod:`repro.core.model` — §4.4 BN model over code vectors;
+- :mod:`repro.core.acr` — 4-bit Aggregate Count Ratio (Figs. 7-10);
+- :mod:`repro.core.windowing` — §4.5 windowed entropy (Fig. 5);
+- :mod:`repro.core.browser` — the conditional probability browser;
+- :mod:`repro.core.pipeline` — the one-stop :class:`EntropyIP` facade.
+"""
+
+from repro.core.acr import aggregate_count_ratio
+from repro.core.browser import ConditionalBrowser
+from repro.core.classify import Classification, classify_set, signature_of
+from repro.core.encoding import AddressEncoder
+from repro.core.mining import MinedSegment, MiningConfig, SegmentValue, mine_segment
+from repro.core.model import AddressModel
+from repro.core.pipeline import EntropyIP
+from repro.core.report import full_report
+from repro.core.segmentation import Segment, SegmentationConfig, segment_addresses
+from repro.core.temporal import SnapshotDelta, compare_snapshots, detect_changes
+from repro.core.windowing import windowing_analysis
+
+__all__ = [
+    "AddressEncoder",
+    "AddressModel",
+    "Classification",
+    "ConditionalBrowser",
+    "classify_set",
+    "signature_of",
+    "EntropyIP",
+    "MinedSegment",
+    "MiningConfig",
+    "Segment",
+    "SegmentValue",
+    "SegmentationConfig",
+    "SnapshotDelta",
+    "aggregate_count_ratio",
+    "compare_snapshots",
+    "detect_changes",
+    "full_report",
+    "mine_segment",
+    "segment_addresses",
+    "windowing_analysis",
+]

@@ -1,0 +1,143 @@
+"""The conditional probability browser (Fig. 1(b,c)).
+
+The paper's web UI shows, for every segment, the mined values with their
+probabilities as a colored heat map; clicking a value conditions the BN
+on it and re-renders every other segment's distribution.  This module is
+the programmatic equivalent: :class:`ConditionalBrowser` holds the
+current evidence, exposes per-segment rows, and ``click``/``unclick``
+return new browsers with updated evidence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.core.model import AddressModel
+
+
+@dataclass(frozen=True)
+class BrowserRow:
+    """One value box of the browser: a code with its posterior mass."""
+
+    code: str
+    value_text: str
+    probability: float
+    is_evidence: bool
+
+
+class ConditionalBrowser:
+    """Navigable view over an :class:`AddressModel`'s posterior."""
+
+    def __init__(
+        self,
+        model: AddressModel,
+        evidence: Optional[Mapping[str, Union[str, int]]] = None,
+    ):
+        self._model = model
+        self._evidence: Dict[str, int] = model.normalize_evidence(evidence)
+
+    @property
+    def model(self) -> AddressModel:
+        return self._model
+
+    @property
+    def evidence(self) -> Dict[str, int]:
+        """Current evidence as segment → state index."""
+        return dict(self._evidence)
+
+    def evidence_codes(self) -> Dict[str, str]:
+        """Current evidence as segment → code string."""
+        result = {}
+        for label, state in self._evidence.items():
+            mined = self._model._mined_by_label(label)
+            result[label] = mined.values[state].code
+        return result
+
+    # ------------------------------------------------------------------
+    # navigation
+    # ------------------------------------------------------------------
+
+    def click(self, code: str) -> "ConditionalBrowser":
+        """Condition on a value, like clicking its box in the UI.
+
+        ``code`` is a mined code such as ``"J1"``; its leading letters
+        name the segment.
+        """
+        label, _ = _split_code(code)
+        evidence = self.evidence_codes()
+        evidence[label] = code
+        return ConditionalBrowser(self._model, evidence)
+
+    def unclick(self, label: str) -> "ConditionalBrowser":
+        """Drop the evidence on one segment."""
+        evidence = self.evidence_codes()
+        evidence.pop(label, None)
+        return ConditionalBrowser(self._model, evidence)
+
+    def reset(self) -> "ConditionalBrowser":
+        """Back to the unconditioned view (Fig. 1b)."""
+        return ConditionalBrowser(self._model)
+
+    # ------------------------------------------------------------------
+    # rendering data
+    # ------------------------------------------------------------------
+
+    def rows(self) -> Dict[str, List[BrowserRow]]:
+        """Per-segment value rows with posterior probabilities.
+
+        Evidence segments show probability 1 on the selected value (the
+        100% boxes of Fig. 1c); every other segment shows its posterior
+        under the evidence.
+        """
+        marginals = self._model.marginals(self._evidence)
+        result: Dict[str, List[BrowserRow]] = {}
+        for mined in self._model.encoder.mined_segments:
+            label = mined.segment.label
+            nybbles = mined.segment.nybble_count
+            if label in self._evidence:
+                selected = self._evidence[label]
+                distribution = np.zeros(mined.cardinality)
+                distribution[selected] = 1.0
+            else:
+                distribution = marginals[label]
+            result[label] = [
+                BrowserRow(
+                    code=value.code,
+                    value_text=value.format_value(nybbles),
+                    probability=float(distribution[index]),
+                    is_evidence=(
+                        label in self._evidence and self._evidence[label] == index
+                    ),
+                )
+                for index, value in enumerate(mined.values)
+            ]
+        return result
+
+    def top_values(self, label: str, limit: int = 5) -> List[BrowserRow]:
+        """The most probable rows of one segment under current evidence."""
+        rows = sorted(
+            self.rows()[label], key=lambda r: -r.probability
+        )
+        return rows[:limit]
+
+    def probability_of_evidence(self) -> float:
+        """Joint probability of all current clicks."""
+        if not self._evidence:
+            return 1.0
+        return self._model.evidence_probability(self._evidence)
+
+    def __repr__(self) -> str:
+        clicks = ", ".join(sorted(self.evidence_codes().values())) or "none"
+        return f"ConditionalBrowser(evidence={clicks})"
+
+
+def _split_code(code: str) -> Tuple[str, int]:
+    """Split 'J12' into ('J', 12)."""
+    head = code.rstrip("0123456789")
+    tail = code[len(head):]
+    if not head or not tail:
+        raise ValueError(f"malformed code: {code!r}")
+    return head, int(tail)

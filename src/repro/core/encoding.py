@@ -1,0 +1,207 @@
+"""Address ↔ code-vector encoding (Section 4.3, Table 3).
+
+Once every segment's V_k is mined, each address can be rewritten as a
+vector of categorical codes, e.g.::
+
+    2001:0db8:08c2:2500:0000:d9a0:5345:0012
+        → (A1, B2, C3, D4, E5, F1, G12, H1, I2, J3)
+
+Encoding a range code loses the exact value ("this is acceptable for our
+purposes"); decoding a range code draws a uniform value from the range,
+which is what lets the generator materialize addresses never seen in
+training.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.mining import MinedSegment
+from repro.ipv6.address import IPv6Address
+from repro.ipv6.sets import AddressSet
+
+
+def _rand_below(rng: np.random.Generator, bound: int) -> int:
+    """Uniform integer in [0, bound) for arbitrarily wide bounds.
+
+    Composes 32-bit draws and rejects out-of-range values, so there is
+    no modulo bias and no 64-bit overflow for >64-bit segment spans.
+    """
+    if bound <= 1:
+        return 0
+    bits = (bound - 1).bit_length()
+    while True:
+        value = 0
+        remaining = bits
+        while remaining > 0:
+            chunk = min(32, remaining)
+            value = (value << chunk) | int(rng.integers(0, 1 << chunk))
+            remaining -= chunk
+        if value < bound:
+            return value
+
+
+class AddressEncoder:
+    """Bidirectional mapping between nybble rows and code vectors."""
+
+    def __init__(self, mined_segments: Sequence[MinedSegment]):
+        if not mined_segments:
+            raise ValueError("need at least one mined segment")
+        self._mined: Tuple[MinedSegment, ...] = tuple(mined_segments)
+        expected = 1
+        for mined in self._mined:
+            if mined.segment.first_nybble != expected:
+                raise ValueError(
+                    f"segment {mined.segment.label} does not start at "
+                    f"nybble {expected}"
+                )
+            expected = mined.segment.last_nybble + 1
+        self._width = self._mined[-1].segment.last_nybble
+
+    @property
+    def mined_segments(self) -> Tuple[MinedSegment, ...]:
+        return self._mined
+
+    @property
+    def width(self) -> int:
+        """Total width in nybbles covered by the segments."""
+        return self._width
+
+    @property
+    def variable_names(self) -> List[str]:
+        """Segment labels, the BN variable names."""
+        return [m.segment.label for m in self._mined]
+
+    @property
+    def cardinalities(self) -> List[int]:
+        """Number of codes per segment."""
+        return [m.cardinality for m in self._mined]
+
+    # ------------------------------------------------------------------
+    # encoding
+    # ------------------------------------------------------------------
+
+    def encode_set(self, address_set: AddressSet) -> np.ndarray:
+        """Encode a whole set into an (n, num_segments) code matrix.
+
+        Uses an exact-value lookup table per segment, built once, so
+        encoding is O(n log d) rather than O(n * |V_k|).
+        """
+        if address_set.width != self._width:
+            raise ValueError(
+                f"address set width {address_set.width} != encoder width "
+                f"{self._width}"
+            )
+        n = len(address_set)
+        matrix = np.zeros((n, len(self._mined)), dtype=np.int64)
+        for column, mined in enumerate(self._mined):
+            seg = mined.segment
+            values = address_set.segment_values(seg.first_nybble, seg.last_nybble)
+            matrix[:, column] = self._encode_column(mined, values)
+        return matrix
+
+    def encode_address(self, address: IPv6Address) -> List[str]:
+        """Encode one address into code strings, e.g. ['A1', 'B2', ...]."""
+        row = AddressSet.from_addresses([address], width=32).truncate(self._width)
+        indices = self.encode_set(row)[0]
+        return [
+            mined.values[index].code
+            for mined, index in zip(self._mined, indices)
+        ]
+
+    @staticmethod
+    def _encode_column(mined: MinedSegment, values: np.ndarray) -> np.ndarray:
+        distinct, inverse = np.unique(values, return_inverse=True)
+        code_of = np.asarray(
+            [mined.code_index(int(v)) for v in distinct], dtype=np.int64
+        )
+        return code_of[inverse]
+
+    # ------------------------------------------------------------------
+    # decoding
+    # ------------------------------------------------------------------
+
+    def decode_matrix(
+        self, codes: np.ndarray, rng: np.random.Generator
+    ) -> List[int]:
+        """Materialize code vectors into ``width``-nybble integers.
+
+        Point codes decode exactly; range codes draw uniformly from their
+        interval (vectorized per segment).
+        """
+        codes = np.asarray(codes)
+        if codes.ndim != 2 or codes.shape[1] != len(self._mined):
+            raise ValueError("code matrix shape mismatch")
+        n = codes.shape[0]
+        pieces: List[object] = []
+        for column, mined in enumerate(self._mined):
+            column_codes = codes[:, column]
+            if np.any(column_codes < 0) or np.any(
+                column_codes >= mined.cardinality
+            ):
+                raise IndexError(
+                    f"code out of range for segment {mined.segment.label}"
+                )
+            if mined.segment.nybble_count <= 16:
+                # Exact uint64 arithmetic: float64 would corrupt values
+                # wider than 53 bits.
+                lows = np.asarray([v.low for v in mined.values], dtype=np.uint64)
+                highs = np.asarray(
+                    [v.high for v in mined.values], dtype=np.uint64
+                )
+                row_lows = lows[column_codes]
+                # endpoint=True keeps the bound at span-1, which always
+                # fits in uint64 even for a full 64-bit segment range.
+                offsets = rng.integers(
+                    0,
+                    highs[column_codes] - row_lows,
+                    dtype=np.uint64,
+                    endpoint=True,
+                )
+                pieces.append(row_lows + offsets)
+            else:
+                # Segments wider than 64 bits (only possible when the
+                # hard /32 and /64 cuts are disabled): Python-int path.
+                values = []
+                for code in column_codes:
+                    element = mined.values[int(code)]
+                    values.append(element.low + _rand_below(rng, element.span()))
+                pieces.append(values)
+        results: List[int] = []
+        for row in range(n):
+            value = 0
+            for column, mined in enumerate(self._mined):
+                value = (value << (4 * mined.segment.nybble_count)) | int(
+                    pieces[column][row]
+                )
+            results.append(value)
+        return results
+
+    def decode_codes(
+        self, code_strings: Sequence[str], rng: np.random.Generator
+    ) -> int:
+        """Materialize one vector of code strings (e.g. ['A1', 'B2', ...])."""
+        if len(code_strings) != len(self._mined):
+            raise ValueError("one code per segment is required")
+        indices = []
+        for mined, code in zip(self._mined, code_strings):
+            try:
+                indices.append(mined.codes().index(code))
+            except ValueError:
+                raise KeyError(
+                    f"unknown code {code!r} for segment {mined.segment.label}"
+                ) from None
+        return self.decode_matrix(np.asarray([indices]), rng)[0]
+
+    def code_table(self) -> Dict[str, List[Tuple[str, str, float]]]:
+        """Table-3-style dump: label → [(code, value text, frequency)]."""
+        table: Dict[str, List[Tuple[str, str, float]]] = {}
+        for mined in self._mined:
+            nybbles = mined.segment.nybble_count
+            table[mined.segment.label] = [
+                (v.code, v.format_value(nybbles), v.frequency)
+                for v in mined.values
+            ]
+        return table

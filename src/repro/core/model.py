@@ -1,0 +1,217 @@
+"""The BN address model (Section 4.4) over mined code vectors.
+
+:class:`AddressModel` glues the encoder (Section 4.3) to the Bayesian
+network substrate: it learns structure and parameters from a training
+set's code matrix, answers conditional queries (the probability browser),
+and generates candidate addresses (Section 5.5).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple, Union
+
+import numpy as np
+
+from repro.bayes.inference import VariableElimination
+from repro.bayes.network import BayesianNetwork
+from repro.bayes.sampling import forward_sample, likelihood_weighted_sample
+from repro.bayes.structure import StructureConfig, learn_structure
+from repro.core.encoding import AddressEncoder
+from repro.ipv6.sets import AddressSet
+
+#: Evidence may name states by code string ("J1") or by index (0).
+EvidenceLike = Mapping[str, Union[str, int]]
+
+
+class AddressModel:
+    """A fitted Entropy/IP statistical model of one address set."""
+
+    def __init__(self, encoder: AddressEncoder, network: BayesianNetwork):
+        if list(network.variables) != encoder.variable_names:
+            raise ValueError("network variables do not match encoder segments")
+        self.encoder = encoder
+        self.network = network
+        self._inference = VariableElimination(network)
+
+    # ------------------------------------------------------------------
+    # fitting
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def fit(
+        cls,
+        address_set: AddressSet,
+        encoder: AddressEncoder,
+        config: StructureConfig = StructureConfig(),
+    ) -> "AddressModel":
+        """Learn BN structure + parameters from a training set."""
+        codes = encoder.encode_set(address_set)
+        network = learn_structure(
+            codes,
+            encoder.variable_names,
+            encoder.cardinalities,
+            config,
+        )
+        return cls(encoder, network)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+
+    def normalize_evidence(self, evidence: Optional[EvidenceLike]) -> Dict[str, int]:
+        """Resolve code strings / indices into state indices."""
+        resolved: Dict[str, int] = {}
+        for label, state in (evidence or {}).items():
+            mined = self._mined_by_label(label)
+            if isinstance(state, str):
+                try:
+                    resolved[label] = mined.codes().index(state)
+                except ValueError:
+                    raise KeyError(
+                        f"unknown code {state!r} for segment {label}"
+                    ) from None
+            else:
+                if not 0 <= int(state) < mined.cardinality:
+                    raise IndexError(
+                        f"state {state} out of range for segment {label}"
+                    )
+                resolved[label] = int(state)
+        return resolved
+
+    def marginals(
+        self, evidence: Optional[EvidenceLike] = None
+    ) -> Dict[str, np.ndarray]:
+        """Posterior distribution of every non-evidence segment.
+
+        This is the quantity behind the conditional probability browser:
+        evidence on any segment reshapes all the others, in both
+        directions (evidential reasoning, Fig. 1b→1c).
+        """
+        return self._inference.all_marginals(self.normalize_evidence(evidence))
+
+    def joint(
+        self, labels: Sequence[str], evidence: Optional[EvidenceLike] = None
+    ):
+        """Joint posterior factor over several segments."""
+        return self._inference.query(labels, self.normalize_evidence(evidence))
+
+    def evidence_probability(self, evidence: EvidenceLike) -> float:
+        """P(evidence) under the model (e.g. the 60% of Fig. 1b)."""
+        return self._inference.evidence_probability(
+            self.normalize_evidence(evidence)
+        )
+
+    def conditional_probability_table(
+        self,
+        target: str,
+        target_state: Union[str, int],
+        given: Sequence[str],
+    ) -> Dict[Tuple[int, ...], float]:
+        """P(target = state | each joint configuration of ``given``).
+
+        Reproduces Table 2: probability of segment J's value conditional
+        on the values of segments H and C.
+        """
+        target_index = self.normalize_evidence({target: target_state})[target]
+        factor = self._inference.query([target] + list(given))
+        table: Dict[Tuple[int, ...], float] = {}
+        given_cards = [self.network.cardinality(g) for g in given]
+        for flat in range(int(np.prod(given_cards)) if given_cards else 1):
+            states = []
+            remainder = flat
+            for card in reversed(given_cards):
+                states.append(remainder % card)
+                remainder //= card
+            states.reverse()
+            assignment = {g: s for g, s in zip(given, states)}
+            assignment[target] = target_index
+            joint_value = factor.value(assignment)
+            reduced = factor
+            for g, s in zip(given, states):
+                reduced = reduced.reduce(g, s)
+            denominator = reduced.table.sum()
+            table[tuple(states)] = (
+                joint_value / denominator if denominator > 0 else 0.0
+            )
+        return table
+
+    def log_likelihood(self, address_set: AddressSet) -> float:
+        """Model log-likelihood of a (held-out) address set's codes."""
+        return self.network.log_likelihood(self.encoder.encode_set(address_set))
+
+    # ------------------------------------------------------------------
+    # generation (Section 5.5)
+    # ------------------------------------------------------------------
+
+    def sample_codes(
+        self,
+        n: int,
+        rng: np.random.Generator,
+        evidence: Optional[EvidenceLike] = None,
+    ) -> np.ndarray:
+        """Draw code vectors from the model."""
+        resolved = self.normalize_evidence(evidence)
+        if resolved:
+            return likelihood_weighted_sample(self.network, n, rng, resolved)
+        return forward_sample(self.network, n, rng)
+
+    def generate(
+        self,
+        n: int,
+        rng: np.random.Generator,
+        evidence: Optional[EvidenceLike] = None,
+        exclude: Optional[Iterable[int]] = None,
+        max_batches: int = 64,
+    ) -> List[int]:
+        """Generate ``n`` distinct candidate values (``width``-nybble ints).
+
+        Candidates in ``exclude`` (typically the training set — the paper
+        scans for addresses "not yet seen") are suppressed.  Gives up
+        after ``max_batches`` rounds if the model's support is too small
+        to produce ``n`` distinct values, returning what it has.
+        """
+        if n < 0:
+            raise ValueError("n must be non-negative")
+        excluded: Set[int] = set(exclude or ())
+        found: List[int] = []
+        seen: Set[int] = set()
+        batch_size = max(n, 4096)
+        for _ in range(max_batches):
+            if len(found) >= n:
+                break
+            codes = self.sample_codes(batch_size, rng, evidence)
+            for value in self.encoder.decode_matrix(codes, rng):
+                if value in seen or value in excluded:
+                    continue
+                seen.add(value)
+                found.append(value)
+                if len(found) >= n:
+                    break
+        return found
+
+    def generate_set(
+        self,
+        n: int,
+        rng: np.random.Generator,
+        evidence: Optional[EvidenceLike] = None,
+        exclude: Optional[Iterable[int]] = None,
+    ) -> AddressSet:
+        """Like :meth:`generate`, packaged as an :class:`AddressSet`."""
+        values = self.generate(n, rng, evidence=evidence, exclude=exclude)
+        return AddressSet.from_ints(
+            values, width=self.encoder.width, already_truncated=True
+        )
+
+    # ------------------------------------------------------------------
+
+    def _mined_by_label(self, label: str):
+        for mined in self.encoder.mined_segments:
+            if mined.segment.label == label:
+                return mined
+        raise KeyError(f"no segment labeled {label!r}")
+
+    def __repr__(self) -> str:
+        return (
+            f"AddressModel(segments={len(self.encoder.mined_segments)}, "
+            f"edges={len(self.network.edges())})"
+        )

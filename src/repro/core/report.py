@@ -1,0 +1,89 @@
+"""Full analysis reports — the text analogue of the §1 "graphical web
+page ... for a network analyst to navigate".
+
+The paper's system prepares, per analyzed set: the entropy/ACR plot,
+the BN dependency graph, the segment value browser, and the target
+generator.  :func:`full_report` composes all of these (plus the
+windowing map and subnet discovery) into one deterministic document.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.pipeline import EntropyIP
+from repro.ipv6.trie import discover_subnets
+from repro.stats.mutual_information import top_dependent_pairs
+from repro.viz.figures import (
+    render_acr_entropy_plot,
+    render_bn_graph,
+    render_browser,
+    render_mining_table,
+    render_windowing_map,
+)
+
+
+def full_report(
+    analysis: EntropyIP,
+    title: str = "Entropy/IP analysis",
+    n_candidates: int = 10,
+    rng: Optional[np.random.Generator] = None,
+    include_windowing: bool = True,
+    include_subnets: bool = True,
+) -> str:
+    """One self-contained report with every §1 page element."""
+    sections: List[str] = [f"# {title}", "", analysis.describe(), ""]
+
+    sections.append("## Entropy and 4-bit ACR")
+    sections.append(render_acr_entropy_plot(analysis))
+    sections.append("")
+
+    sections.append("## Segment values (mining results)")
+    sections.append(render_mining_table(analysis))
+    sections.append("")
+
+    sections.append("## Bayesian network")
+    sections.append(render_bn_graph(analysis))
+    sections.append("")
+
+    sections.append("## Conditional probability browser (unconditioned)")
+    sections.append(render_browser(analysis.browse()))
+    sections.append("")
+
+    pairs = top_dependent_pairs(analysis.address_set, limit=5)
+    if pairs:
+        sections.append("## Strongest non-adjacent nybble dependencies")
+        for i, j, nmi in pairs:
+            sections.append(f"- nybble {i} <-> nybble {j}: NMI {nmi:.2f}")
+        sections.append("")
+
+    if include_windowing:
+        sections.append("## Windowed entropy")
+        sections.append(render_windowing_map(analysis.windowing()))
+        sections.append("")
+
+    if include_subnets and analysis.address_set.width == 32:
+        subnets = discover_subnets(
+            analysis.address_set.to_ints(), min_members=max(8, len(analysis.address_set) // 200)
+        )
+        sections.append("## Discovered candidate subnets")
+        if subnets:
+            for subnet in subnets[:20]:
+                sections.append(
+                    f"- {subnet.prefix}  ({subnet.members} members)"
+                )
+            if len(subnets) > 20:
+                sections.append(f"- ... and {len(subnets) - 20} more")
+        else:
+            sections.append("- (none above the density threshold)")
+        sections.append("")
+
+    if n_candidates > 0:
+        sections.append("## Generated candidate targets")
+        for address in analysis.generate_addresses(n_candidates, rng):
+            sections.append(f"- {address}")
+        sections.append("")
+
+    return "\n".join(sections)

@@ -1,0 +1,183 @@
+"""Address segmentation (Section 4.2).
+
+Adjacent nybbles with similar entropy are grouped into *segments*,
+labeled A, B, C, ... left to right.  A new segment starts at nybble i
+whenever H(X_i) compared with H(X_{i-1}) passes through any of the
+thresholds T = {0.025, 0.1, 0.3, 0.5, 0.9}, subject to a hysteresis of
+Th = 0.05: |H(X_i) - H(X_{i-1})| must exceed Th.
+
+Worked example from the paper: if H(X_{i-1}) = 0.49, the next segment
+starts only if H(X_i) < 0.3 (the nearest lower threshold) or
+H(X_i) > 0.54 (= 0.49 + Th, which dominates the nearest upper threshold
+0.5).  Both conditions are instances of the single rule
+"crosses a threshold AND moves more than Th".
+
+Two hard boundaries are always inserted (motivated by RIR /32
+allocations and the RFC 4291 /64 network/interface split): bits 1-32 are
+always segment A, and a boundary always falls after bit 64.  Both can be
+disabled via :class:`SegmentationConfig` — Section 6 discusses the /32
+hard-wiring as a known limitation, and our ablation bench exercises it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from string import ascii_uppercase
+from typing import List, Sequence, Tuple
+
+from repro.ipv6.sets import AddressSet
+from repro.stats.entropy import nybble_entropies
+
+#: The paper's threshold set T.
+DEFAULT_THRESHOLDS: Tuple[float, ...] = (0.025, 0.1, 0.3, 0.5, 0.9)
+
+#: The paper's hysteresis Th.
+DEFAULT_HYSTERESIS: float = 0.05
+
+
+@dataclass(frozen=True)
+class SegmentationConfig:
+    """Parameters of the segmentation algorithm (all from §4.2)."""
+
+    thresholds: Tuple[float, ...] = DEFAULT_THRESHOLDS
+    hysteresis: float = DEFAULT_HYSTERESIS
+    #: Always make bits 1-32 a single segment A — RIR /32 practice.
+    #: (This both forces a boundary after nybble 8 and suppresses any
+    #: entropy-driven boundary inside nybbles 2-8: Table 3's segment A
+    #: spans the full /32 even though its two prefix values differ in
+    #: several hex characters.)
+    hard_cut_32: bool = True
+    #: Always cut after bit 64 (nybble 16) — network/IID split.
+    hard_cut_64: bool = True
+
+    def __post_init__(self):
+        if not self.thresholds:
+            raise ValueError("at least one threshold is required")
+        if any(not 0 < t < 1 for t in self.thresholds):
+            raise ValueError("thresholds must lie strictly inside (0, 1)")
+        if self.hysteresis < 0:
+            raise ValueError("hysteresis must be non-negative")
+
+
+@dataclass(frozen=True)
+class Segment:
+    """A contiguous run of nybbles with similar entropy.
+
+    Nybble positions are 1-indexed and inclusive, matching §4.1; bit
+    positions follow the paper's figure labels (``bits`` of segment A in
+    a 32-nybble address is (0, 32)).
+    """
+
+    label: str
+    first_nybble: int
+    last_nybble: int
+
+    def __post_init__(self):
+        if self.first_nybble < 1 or self.first_nybble > self.last_nybble:
+            raise ValueError(
+                f"invalid segment bounds: ({self.first_nybble}, {self.last_nybble})"
+            )
+
+    @property
+    def nybble_count(self) -> int:
+        """Width in nybbles."""
+        return self.last_nybble - self.first_nybble + 1
+
+    @property
+    def bit_count(self) -> int:
+        """Width in bits."""
+        return 4 * self.nybble_count
+
+    @property
+    def bits(self) -> Tuple[int, int]:
+        """(start_bit, end_bit), 0-indexed, end exclusive."""
+        return (4 * (self.first_nybble - 1), 4 * self.last_nybble)
+
+    @property
+    def cardinality(self) -> int:
+        """Number of possible raw values (16**nybbles)."""
+        return 16 ** self.nybble_count
+
+    def __str__(self) -> str:
+        start, end = self.bits
+        return f"{self.label}({start}-{end})"
+
+
+def segment_label(index: int) -> str:
+    """Label of the ``index``-th segment: A..Z, then AA, AB, ..."""
+    if index < 0:
+        raise ValueError("segment index must be non-negative")
+    if index < 26:
+        return ascii_uppercase[index]
+    return (
+        ascii_uppercase[index // 26 - 1] + ascii_uppercase[index % 26]
+    )
+
+
+def crosses_threshold(
+    previous: float, current: float, thresholds: Sequence[float], hysteresis: float
+) -> bool:
+    """The §4.2 rule: passes through a threshold and moves more than Th."""
+    if abs(current - previous) <= hysteresis:
+        return False
+    low, high = min(previous, current), max(previous, current)
+    return any(low < t <= high for t in thresholds)
+
+
+def boundaries_from_entropy(
+    entropies: Sequence[float], config: SegmentationConfig = SegmentationConfig()
+) -> List[int]:
+    """Segment start positions (1-indexed nybbles) for an entropy profile.
+
+    Always contains 1; hard cuts at 9 (after bit 32) and 17 (after bit
+    64) are added when enabled and within range.
+    """
+    width = len(entropies)
+    if width == 0:
+        raise ValueError("empty entropy profile")
+    starts = {1}
+    if config.hard_cut_32 and width > 8:
+        starts.add(9)
+    if config.hard_cut_64 and width > 16:
+        starts.add(17)
+    for i in range(1, width):
+        if config.hard_cut_32 and i < 8:
+            continue  # bits 1-32 stay one segment (see hard_cut_32)
+        if crosses_threshold(
+            entropies[i - 1], entropies[i], config.thresholds, config.hysteresis
+        ):
+            starts.add(i + 1)  # segment starts at 1-indexed nybble i+1
+    return sorted(starts)
+
+
+def segments_from_boundaries(starts: Sequence[int], width: int) -> List[Segment]:
+    """Materialize labeled segments from sorted start positions."""
+    if not starts or starts[0] != 1:
+        raise ValueError("boundaries must start at nybble 1")
+    segments = []
+    for index, first in enumerate(starts):
+        last = (starts[index + 1] - 1) if index + 1 < len(starts) else width
+        segments.append(Segment(segment_label(index), first, last))
+    return segments
+
+
+def segment_addresses(
+    address_set: AddressSet, config: SegmentationConfig = SegmentationConfig()
+) -> List[Segment]:
+    """Full segmentation of an address set (entropy → boundaries → labels).
+
+    >>> s = AddressSet.from_strings(["2001:db8::1", "2001:db8::2"])
+    >>> [str(seg) for seg in segment_addresses(s)][:2]
+    ['A(0-32)', 'B(32-64)']
+    """
+    entropies = nybble_entropies(address_set)
+    starts = boundaries_from_entropy(entropies, config)
+    return segments_from_boundaries(starts, address_set.width)
+
+
+def segment_by_label(segments: Sequence[Segment], label: str) -> Segment:
+    """Find a segment by its letter label."""
+    for segment in segments:
+        if segment.label == label:
+            return segment
+    raise KeyError(f"no segment labeled {label!r}")

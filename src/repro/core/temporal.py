@@ -1,0 +1,234 @@
+"""Temporal structural analysis (§6 future work).
+
+The paper: "future work would benefit from integrating temporal
+considerations into our method ... Another consideration for future
+work is structural analysis in time-series, e.g., to detect changes in
+network deployments."
+
+This module compares Entropy/IP analyses of the same network at
+different times: per-nybble entropy drift, appearance/disappearance of
+segment boundaries, per-segment distribution divergence, and /64
+prefix churn — enough to flag renumbering events, new subnet rollouts,
+and addressing-policy changes in a snapshot series.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.pipeline import EntropyIP
+from repro.ipv6.sets import AddressSet
+from repro.scan.generator import prefixes64
+
+
+@dataclass(frozen=True)
+class SegmentDrift:
+    """Distribution change of one aligned nybble region."""
+
+    label: str
+    first_nybble: int
+    last_nybble: int
+    js_divergence: float  # Jensen-Shannon divergence, in [0, log 2]
+
+    @property
+    def changed(self) -> bool:
+        """True when the divergence is structurally meaningful."""
+        return self.js_divergence > 0.1
+
+
+@dataclass(frozen=True)
+class SnapshotDelta:
+    """The full comparison of two snapshots of one network."""
+
+    entropy_delta: np.ndarray
+    boundary_added: Tuple[int, ...]
+    boundary_removed: Tuple[int, ...]
+    segment_drift: Tuple[SegmentDrift, ...]
+    new_prefixes64: int
+    vanished_prefixes64: int
+    shared_prefixes64: int
+
+    def max_entropy_shift(self) -> float:
+        """Largest absolute per-nybble entropy change."""
+        return float(np.abs(self.entropy_delta).max()) if len(
+            self.entropy_delta
+        ) else 0.0
+
+    def renumbering_suspected(self) -> bool:
+        """Heuristic: most prefixes replaced between snapshots."""
+        total = self.shared_prefixes64 + self.vanished_prefixes64
+        return total > 0 and self.vanished_prefixes64 > 0.5 * total
+
+    def summary(self) -> str:
+        """One-paragraph human-readable delta."""
+        drifted = [d.label for d in self.segment_drift if d.changed]
+        return (
+            f"max entropy shift {self.max_entropy_shift():.2f}; "
+            f"boundaries +{list(self.boundary_added)} "
+            f"-{list(self.boundary_removed)}; "
+            f"drifted segments {drifted or 'none'}; "
+            f"/64s: {self.new_prefixes64} new, "
+            f"{self.vanished_prefixes64} vanished, "
+            f"{self.shared_prefixes64} shared"
+            + ("; RENUMBERING SUSPECTED" if self.renumbering_suspected() else "")
+        )
+
+
+def jensen_shannon(p: np.ndarray, q: np.ndarray) -> float:
+    """Jensen-Shannon divergence between two count/probability vectors.
+
+    Symmetric, bounded by log 2; zero iff the distributions match.
+    """
+    p = np.asarray(p, dtype=np.float64)
+    q = np.asarray(q, dtype=np.float64)
+    if p.shape != q.shape:
+        raise ValueError("distributions must have equal length")
+    if p.sum() <= 0 or q.sum() <= 0:
+        raise ValueError("distributions must have positive mass")
+    p = p / p.sum()
+    q = q / q.sum()
+    mid = 0.5 * (p + q)
+
+    def kl(a: np.ndarray, b: np.ndarray) -> float:
+        mask = a > 0
+        return float((a[mask] * np.log(a[mask] / b[mask])).sum())
+
+    return 0.5 * kl(p, mid) + 0.5 * kl(q, mid)
+
+
+def compare_snapshots(
+    before: EntropyIP, after: EntropyIP
+) -> SnapshotDelta:
+    """Compare two fitted analyses of (ostensibly) the same network."""
+    if before.address_set.width != after.address_set.width:
+        raise ValueError("snapshots must share the address width")
+
+    entropy_delta = after.entropy() - before.entropy()
+
+    starts_before = {s.first_nybble for s in before.segments}
+    starts_after = {s.first_nybble for s in after.segments}
+    boundary_added = tuple(sorted(starts_after - starts_before))
+    boundary_removed = tuple(sorted(starts_before - starts_after))
+
+    # Compare value distributions over the *before* segmentation so the
+    # regions stay aligned even if the segmentation itself moved.
+    drifts: List[SegmentDrift] = []
+    for segment in before.segments:
+        p = _value_distribution(before.address_set, segment.first_nybble,
+                                segment.last_nybble)
+        q = _value_distribution(after.address_set, segment.first_nybble,
+                                segment.last_nybble)
+        p_vector, q_vector = _align_top_k(p, q)
+        drifts.append(
+            SegmentDrift(
+                label=segment.label,
+                first_nybble=segment.first_nybble,
+                last_nybble=segment.last_nybble,
+                js_divergence=jensen_shannon(p_vector, q_vector),
+            )
+        )
+
+    width = before.address_set.width
+    if width >= 16:
+        before_64s = prefixes64(before.address_set.to_ints(), width)
+        after_64s = prefixes64(after.address_set.to_ints(), width)
+    else:
+        before_64s, after_64s = set(), set()
+
+    return SnapshotDelta(
+        entropy_delta=entropy_delta,
+        boundary_added=boundary_added,
+        boundary_removed=boundary_removed,
+        segment_drift=tuple(drifts),
+        new_prefixes64=len(after_64s - before_64s),
+        vanished_prefixes64=len(before_64s - after_64s),
+        shared_prefixes64=len(before_64s & after_64s),
+    )
+
+
+def _value_distribution(
+    address_set: AddressSet, first: int, last: int
+) -> Dict[int, float]:
+    values = address_set.segment_values(first, last)
+    distinct, counts = np.unique(values, return_counts=True)
+    total = counts.sum()
+    return {int(v): float(c) / total for v, c in zip(distinct, counts)}
+
+
+#: Number of popular values compared exactly; the rest is one bucket.
+_TOP_K = 64
+
+
+def _align_top_k(
+    p: Dict[int, float], q: Dict[int, float]
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Align two value distributions on the top-K shared support.
+
+    Wide segments (e.g. pseudo-random IIDs) have empirical supports
+    that barely overlap between two honest samples of the *same*
+    network; comparing them value-by-value would always scream change.
+    Keeping the K most popular values (by combined mass) and lumping
+    the long tail into an "other" bucket makes the divergence reflect
+    structural change (renumbered subnets, shifted popular values)
+    rather than sampling noise.
+    """
+    combined = sorted(
+        set(p) | set(q), key=lambda v: -(p.get(v, 0.0) + q.get(v, 0.0))
+    )
+    top = combined[:_TOP_K]
+    p_vector = [p.get(v, 0.0) for v in top]
+    q_vector = [q.get(v, 0.0) for v in top]
+    p_vector.append(max(0.0, 1.0 - sum(p_vector)))  # the tail bucket
+    q_vector.append(max(0.0, 1.0 - sum(q_vector)))
+    return np.asarray(p_vector), np.asarray(q_vector)
+
+
+@dataclass(frozen=True)
+class SeriesChangePoint:
+    """A detected structural change between consecutive snapshots."""
+
+    index: int  # change between snapshots index-1 and index
+    score: float
+    delta: SnapshotDelta
+
+
+def detect_changes(
+    snapshots: Sequence[AddressSet],
+    threshold: float = 0.15,
+) -> List[SeriesChangePoint]:
+    """Scan a snapshot series for structural change points.
+
+    Each consecutive pair is compared; the change score is the maximum
+    of three normalized components: the largest per-nybble entropy
+    shift, the largest segment JS divergence (/ log 2), and the excess
+    /64 churn beyond the 50% a merely-resampled snapshot could show
+    (so ordinary client churn does not fire, but renumbering — where
+    nearly every prefix vanishes — does).  Pairs scoring above
+    ``threshold`` are reported.
+    """
+    if len(snapshots) < 2:
+        return []
+    analyses = [EntropyIP.fit(s) for s in snapshots]
+    changes: List[SeriesChangePoint] = []
+    for index in range(1, len(analyses)):
+        delta = compare_snapshots(analyses[index - 1], analyses[index])
+        js_max = max(
+            (d.js_divergence for d in delta.segment_drift), default=0.0
+        )
+        total_before = delta.shared_prefixes64 + delta.vanished_prefixes64
+        churn_excess = 0.0
+        if total_before > 0:
+            vanished_fraction = delta.vanished_prefixes64 / total_before
+            churn_excess = max(0.0, (vanished_fraction - 0.5) * 2.0)
+        score = max(
+            delta.max_entropy_shift(), js_max / math.log(2), churn_excess
+        )
+        if score > threshold:
+            changes.append(
+                SeriesChangePoint(index=index, score=score, delta=delta)
+            )
+    return changes

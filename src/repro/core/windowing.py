@@ -1,0 +1,132 @@
+"""Windowing analysis of entropy (Section 4.5, Fig. 5).
+
+For every possible address window — determined by a starting bit position
+and a length, both nybble-aligned — compute the (unnormalized) entropy of
+the window's values across the dataset.  Fig. 5 renders these as a
+triangular heat map (window length on X, window position on Y).
+
+The paper floats this as "a preliminary idea ... especially useful in
+conjunction with ... visual discovery of patterns"; we implement it fully
+along with a pluggable variability measure, since §4.5 notes one could
+use "a different variability measure than the entropy, e.g. number of
+distinct values, inter-quartile range, frequency of the most popular
+value".
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Tuple
+
+import numpy as np
+
+from repro.ipv6.sets import AddressSet
+from repro.stats.entropy import entropy_of_counts
+
+#: A variability measure maps the counts of distinct window values to a
+#: single score.
+VariabilityMeasure = Callable[[np.ndarray], float]
+
+
+def entropy_bits(counts: np.ndarray) -> float:
+    """Shannon entropy in bits (the Fig. 5 measure)."""
+    return entropy_of_counts(counts) / math.log(2)
+
+
+def distinct_values(counts: np.ndarray) -> float:
+    """Number of distinct values in the window."""
+    return float(len(counts))
+
+
+def top_value_frequency(counts: np.ndarray) -> float:
+    """Relative frequency of the most popular value (low = variable)."""
+    total = counts.sum()
+    return float(counts.max() / total) if total else 0.0
+
+
+MEASURES: Dict[str, VariabilityMeasure] = {
+    "entropy": entropy_bits,
+    "distinct": distinct_values,
+    "top-frequency": top_value_frequency,
+}
+
+
+@dataclass(frozen=True)
+class WindowCell:
+    """One (position, length) cell of the windowing analysis."""
+
+    position_bits: int
+    length_bits: int
+    score: float
+
+
+@dataclass(frozen=True)
+class WindowingResult:
+    """All cells plus enough metadata to render a Fig. 5-style map."""
+
+    cells: Tuple[WindowCell, ...]
+    measure: str
+    n_addresses: int
+
+    def as_matrix(self, bit_step: int = 4) -> np.ndarray:
+        """Dense (position, length) matrix with NaN for absent cells.
+
+        Rows index window position, columns window length (both in
+        ``bit_step`` units, matching the axes of Fig. 5).
+        """
+        if not self.cells:
+            return np.full((0, 0), np.nan)
+        max_position = max(c.position_bits for c in self.cells)
+        max_length = max(c.length_bits for c in self.cells)
+        matrix = np.full(
+            (max_position // bit_step + 1, max_length // bit_step + 1), np.nan
+        )
+        for cell in self.cells:
+            matrix[cell.position_bits // bit_step, cell.length_bits // bit_step] = (
+                cell.score
+            )
+        return matrix
+
+    def max_score(self) -> float:
+        return max((c.score for c in self.cells), default=0.0)
+
+
+def windowing_analysis(
+    address_set: AddressSet,
+    measure: str = "entropy",
+    bit_step: int = 4,
+    max_window_bits: int = 64,
+) -> WindowingResult:
+    """Evaluate the variability measure for every nybble-aligned window.
+
+    ``max_window_bits`` bounds window length (the entropy of very wide
+    windows saturates at log2 n anyway, and 64 bits keeps the segment
+    values vectorizable).
+    """
+    if measure not in MEASURES:
+        raise KeyError(
+            f"unknown measure {measure!r}; available: {sorted(MEASURES)}"
+        )
+    if bit_step % 4 != 0 or bit_step <= 0:
+        raise ValueError("bit_step must be a positive multiple of 4")
+    score = MEASURES[measure]
+    nybble_step = bit_step // 4
+    width = address_set.width
+    cells: List[WindowCell] = []
+    for start in range(0, width, nybble_step):
+        for stop in range(start + nybble_step, width + 1, nybble_step):
+            if (stop - start) * 4 > max_window_bits:
+                continue
+            values = address_set.segment_values(start + 1, stop)
+            _, counts = np.unique(values, return_counts=True)
+            cells.append(
+                WindowCell(
+                    position_bits=start * 4,
+                    length_bits=(stop - start) * 4,
+                    score=score(counts.astype(np.float64)),
+                )
+            )
+    return WindowingResult(
+        cells=tuple(cells), measure=measure, n_addresses=len(address_set)
+    )

@@ -1,0 +1,52 @@
+"""Synthetic dataset substrate (Section 3, Table 1).
+
+The paper trains on proprietary hitlists (CDN logs, DNSDB, Rapid7 FDNS,
+rDNS walks, traceroutes, a BitTorrent crawl).  Offline, we substitute
+*synthetic network models*: per-dataset address generators that reproduce
+every structural phenomenon the paper reports for S1-S5, R1-R5, C1-C5,
+the aggregates AS/AR/AC/AT, and the Fig. 1 Japanese-telco client set.
+DESIGN.md §2 documents the substitution argument.
+
+- :mod:`repro.datasets.parts` — field samplers (EUI-64, privacy IIDs,
+  embedded IPv4, weighted pools, ...);
+- :mod:`repro.datasets.schema` — the address-scheme composition DSL;
+- :mod:`repro.datasets.networks` — the 16 named network models;
+- :mod:`repro.datasets.aggregates` — AS/AR/AC/AT mixtures;
+- :mod:`repro.datasets.sampling` — stratified per-/32 sampling (§3).
+"""
+
+from repro.datasets.aggregates import (
+    build_aggregate_clients,
+    build_aggregate_routers,
+    build_aggregate_servers,
+    build_bittorrent_clients,
+)
+from repro.datasets.networks import (
+    SyntheticNetwork,
+    all_networks,
+    build_network,
+    client_networks,
+    router_networks,
+    server_networks,
+)
+from repro.datasets.sampling import stratified_sample
+from repro.datasets.schema import AddressScheme, Field
+from repro.datasets.temporal import SnapshotSeries, TemporalEvent
+
+__all__ = [
+    "AddressScheme",
+    "Field",
+    "SnapshotSeries",
+    "SyntheticNetwork",
+    "TemporalEvent",
+    "all_networks",
+    "build_aggregate_clients",
+    "build_aggregate_routers",
+    "build_aggregate_servers",
+    "build_bittorrent_clients",
+    "build_network",
+    "client_networks",
+    "router_networks",
+    "server_networks",
+    "stratified_sample",
+]

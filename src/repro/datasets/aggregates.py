@@ -1,0 +1,133 @@
+"""Aggregate datasets AS, AR, AC and AT (Section 3 / Fig. 6).
+
+The paper's aggregates pool many operators per category; their entropy
+profiles (Fig. 6) show the category-level artifacts:
+
+- servers (AS): oscillating entropy, low overall randomness, entropy
+  rising from bit 80 toward 128 (low-order static assignment);
+- routers (AR): a dip at bits 68-72 and a deeper drop to ~0.5 at bits
+  88-104 (a fraction of Modified EUI-64 IIDs);
+- CDN clients (AC): near-1 IID entropy with ~0.8 at bits 68-72
+  (mixture of privacy addresses and other IID types);
+- BitTorrent clients (AT): like AC but with more EUI-64, visible at
+  bits 88-104.
+
+We build each aggregate as a stratified mixture: category schemes with
+the /32 replaced by a per-operator pool, plus category-specific IID
+mixtures calibrated to those Fig. 6 features.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets import parts
+from repro.datasets.schema import AddressScheme, Field
+from repro.ipv6.sets import AddressSet
+
+#: Number of synthetic operators (/32s) per aggregate.
+DEFAULT_OPERATORS = 48
+
+
+def _operator_prefixes(count: int, seed: int) -> parts.Sampler:
+    """A pool of distinct /32 values standing in for many operators."""
+    return parts.pool(count, 8, seed=seed, low=0x20010000, high=0x2A0FFFFF)
+
+
+def build_aggregate_servers(
+    n: int = 40_000, seed: int = 1, operators: int = DEFAULT_OPERATORS
+) -> AddressSet:
+    """AS: server aggregate with oscillating, low entropy."""
+    scheme = AddressScheme(
+        [
+            Field("plen32", 8, _operator_prefixes(operators, seed=1001)),
+            Field("site", 4, parts.zipf_pool(300, 4, seed=1002)),
+            Field("subnet", 4, parts.mixture([
+                (0.5, parts.constant(0)),
+                (0.5, parts.uniform_range(0x0, 0xFF)),
+            ])),
+            Field("zero", 8, parts.constant(0)),
+            # Static low-order assignment: entropy grows toward bit 128.
+            Field("host", 8, parts.sequential_low(1 << 28)),
+        ]
+    )
+    rng = np.random.default_rng(seed)
+    return AddressSet.from_ints(
+        scheme.generate(n, rng), width=32, already_truncated=True
+    )
+
+
+def build_aggregate_routers(
+    n: int = 40_000, seed: int = 2, operators: int = DEFAULT_OPERATORS
+) -> AddressSet:
+    """AR: router aggregate with partial EUI-64 (dip at bits 88-104)."""
+    scheme = AddressScheme(
+        [
+            Field("plen32", 8, _operator_prefixes(operators, seed=2001)),
+            Field("net", 8, parts.mixture([
+                (0.6, parts.uniform_range(0x0, 0xFFFF)),
+                (0.4, parts.zipf_pool(500, 8, seed=2002)),
+            ])),
+            # IID mixture: ~40% EUI-64 (fffe at 88-104, u=1), ~35%
+            # point-to-point low values, ~25% operator-specific random.
+            Field("iid", 16, parts.mixture([
+                (0.40, parts.eui64_iid(seed=2003)),
+                (0.35, parts.point_to_point_iid((1, 2, 3), (0.5, 0.35, 0.15))),
+                (0.25, parts.uniform(16)),
+            ])),
+        ]
+    )
+    rng = np.random.default_rng(seed)
+    return AddressSet.from_ints(
+        scheme.generate(n, rng), width=32, already_truncated=True
+    )
+
+
+def build_aggregate_clients(
+    n: int = 40_000, seed: int = 3, operators: int = DEFAULT_OPERATORS
+) -> AddressSet:
+    """AC: CDN-observed client aggregate (mostly privacy IIDs)."""
+    return _client_aggregate(n, seed, operators, eui64_fraction=0.10)
+
+
+def build_bittorrent_clients(
+    n: int = 40_000, seed: int = 4, operators: int = DEFAULT_OPERATORS
+) -> AddressSet:
+    """AT: BitTorrent peers — more EUI-64 than AC (Fig. 6's 88-104 gap)."""
+    return _client_aggregate(n, seed, operators, eui64_fraction=0.40)
+
+
+def _client_aggregate(
+    n: int, seed: int, operators: int, eui64_fraction: float
+) -> AddressSet:
+    privacy_fraction = 1.0 - eui64_fraction
+    scheme = AddressScheme(
+        [
+            Field("plen32", 8, _operator_prefixes(operators, seed=3001 + seed)),
+            Field("net", 8, parts.mixture([
+                (0.6, parts.uniform_range(0x0, 0x3FFFFF)),
+                (0.4, parts.pool(5000, 8, seed=3002 + seed, high=0x00FFFFFF)),
+            ])),
+            Field("iid", 16, parts.mixture([
+                (privacy_fraction, parts.privacy_iid()),
+                (eui64_fraction, parts.eui64_iid(seed=3003 + seed)),
+            ])),
+        ]
+    )
+    rng = np.random.default_rng(seed)
+    return AddressSet.from_ints(
+        scheme.generate(n, rng), width=32, already_truncated=True
+    )
+
+
+def aggregate_by_name(name: str, n: int = 40_000) -> AddressSet:
+    """Build AS/AR/AC/AT by name."""
+    builders = {
+        "AS": build_aggregate_servers,
+        "AR": build_aggregate_routers,
+        "AC": build_aggregate_clients,
+        "AT": build_bittorrent_clients,
+    }
+    if name not in builders:
+        raise KeyError(f"unknown aggregate {name!r}; known: {sorted(builders)}")
+    return builders[name](n)

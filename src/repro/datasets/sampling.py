@@ -1,0 +1,53 @@
+"""Stratified per-/32 sampling (Section 3).
+
+    "In order to avoid some networks from being over-represented ...
+    we used stratified sampling by randomly selecting 1K IPs from the
+    /32 prefixes."
+
+Used when analyzing the aggregate datasets (Section 5.1 / Fig. 6).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from repro.ipv6.sets import AddressSet
+
+
+def stratified_sample(
+    address_set: AddressSet,
+    per_stratum: int = 1000,
+    stratum_nybbles: int = 8,
+    rng: np.random.Generator = None,
+) -> AddressSet:
+    """At most ``per_stratum`` random rows from each /32 (or other) stratum.
+
+    ``stratum_nybbles`` selects the stratum width: 8 nybbles = /32, the
+    paper's choice.
+    """
+    if rng is None:
+        rng = np.random.default_rng(0)
+    if per_stratum < 1:
+        raise ValueError("per_stratum must be >= 1")
+    if not 1 <= stratum_nybbles <= address_set.width:
+        raise ValueError(f"invalid stratum width: {stratum_nybbles}")
+    strata = address_set.segment_values(1, stratum_nybbles)
+    chosen_rows: List[int] = []
+    for stratum in np.unique(strata):
+        rows = np.nonzero(strata == stratum)[0]
+        if len(rows) > per_stratum:
+            rows = rng.choice(rows, size=per_stratum, replace=False)
+        chosen_rows.extend(int(r) for r in rows)
+    chosen_rows.sort()
+    return address_set.take(chosen_rows)
+
+
+def strata_sizes(
+    address_set: AddressSet, stratum_nybbles: int = 8
+) -> Dict[int, int]:
+    """Row count per stratum (e.g. per /32 prefix value)."""
+    strata = address_set.segment_values(1, stratum_nybbles)
+    values, counts = np.unique(strata, return_counts=True)
+    return {int(v): int(c) for v, c in zip(values, counts)}

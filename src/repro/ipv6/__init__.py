@@ -1,0 +1,56 @@
+"""IPv6 address substrate for Entropy/IP.
+
+This package implements everything the paper's pipeline needs to know
+about IPv6 addresses themselves:
+
+- :mod:`repro.ipv6.address` — parsing/formatting of RFC 4291 text forms
+  and the paper's fixed-width 32-nybble form (Fig. 3);
+- :mod:`repro.ipv6.prefix` — CIDR prefixes and aggregate counting;
+- :mod:`repro.ipv6.eui64` — Modified EUI-64 interface identifiers;
+- :mod:`repro.ipv6.anonymize` — the anonymization scheme of Section 3;
+- :mod:`repro.ipv6.sets` — the vectorized nybble-matrix container the
+  analysis pipeline operates on.
+"""
+
+from repro.ipv6.address import (
+    IPv6Address,
+    NYBBLES_PER_ADDRESS,
+    parse_hex32,
+    parse_ipv6,
+)
+from repro.ipv6.anonymize import anonymize_address, anonymize_set
+from repro.ipv6.eui64 import (
+    embedded_ipv4_dotted_quad,
+    iid_from_mac,
+    is_eui64_iid,
+    mac_from_iid,
+)
+from repro.ipv6.prefix import Prefix, aggregate_counts, count_prefixes
+from repro.ipv6.trie import (
+    DiscoveredSubnet,
+    PrefixTrie,
+    discover_subnets,
+    mra_count_ratios,
+)
+from repro.ipv6.sets import AddressSet
+
+__all__ = [
+    "AddressSet",
+    "DiscoveredSubnet",
+    "PrefixTrie",
+    "discover_subnets",
+    "mra_count_ratios",
+    "IPv6Address",
+    "NYBBLES_PER_ADDRESS",
+    "Prefix",
+    "aggregate_counts",
+    "anonymize_address",
+    "anonymize_set",
+    "count_prefixes",
+    "embedded_ipv4_dotted_quad",
+    "iid_from_mac",
+    "is_eui64_iid",
+    "mac_from_iid",
+    "parse_hex32",
+    "parse_ipv6",
+]

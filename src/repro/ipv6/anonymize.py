@@ -1,0 +1,83 @@
+"""Address anonymization, as described in Section 3 of the paper.
+
+    "We changed the first 32 bits in IPv6 addresses to the documentation
+    prefix (2001:db8::/32), incrementing the first nybble when necessary.
+    To anonymize IPv4 addresses embedded within IPv6 addresses, we changed
+    the first byte to the 127.0.0.0/8 prefix."
+
+"Incrementing the first nybble when necessary" preserves the *identity* of
+distinct /32s: the first distinct /32 seen maps to ``2001:db8::/32``, the
+second to ``3001:db8::/32``, and so on — exactly what makes Fig. 7(b) show
+two distinct anonymized prefixes (``20010db8`` / ``30010db8``) for S1's
+two real /32s.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from repro.ipv6.address import IPv6Address
+
+#: The IPv6 documentation prefix value for the top 32 bits (2001:0db8).
+DOCUMENTATION_TOP32 = 0x20010DB8
+
+
+class AnonymizationError(ValueError):
+    """Raised when a set has more distinct /32s than nybble slots."""
+
+
+class Anonymizer:
+    """Stateful /32 anonymizer preserving distinct-prefix identity.
+
+    Each distinct real top-32-bit value is mapped, in order of first
+    appearance, to the documentation prefix with an incremented first
+    nybble: ``2001:db8``, ``3001:db8``, ``4001:db8``, ...  At most 14
+    distinct /32s can be represented this way (first nybble 2..f).
+    """
+
+    def __init__(self):
+        self._mapping: Dict[int, int] = {}
+
+    def anonymize(self, address: IPv6Address) -> IPv6Address:
+        """Anonymize the top 32 bits of one address."""
+        top32 = int(address) >> 96
+        if top32 not in self._mapping:
+            slot = len(self._mapping)
+            first_nybble = 2 + slot
+            if first_nybble > 0xF:
+                raise AnonymizationError(
+                    "more than 14 distinct /32 prefixes; cannot anonymize "
+                    "with the incrementing-nybble scheme"
+                )
+            self._mapping[top32] = (DOCUMENTATION_TOP32 & 0x0FFFFFFF) | (
+                first_nybble << 28
+            )
+        anonymized_top = self._mapping[top32]
+        low96 = int(address) & ((1 << 96) - 1)
+        return IPv6Address((anonymized_top << 96) | low96)
+
+    @property
+    def mapping(self) -> Dict[int, int]:
+        """Copy of the real-top32 → anonymized-top32 mapping so far."""
+        return dict(self._mapping)
+
+
+def anonymize_address(
+    address: IPv6Address, anonymizer: Optional[Anonymizer] = None
+) -> IPv6Address:
+    """Anonymize a single address (fresh mapping unless one is passed)."""
+    return (anonymizer or Anonymizer()).anonymize(address)
+
+
+def anonymize_set(addresses: Iterable[IPv6Address]) -> List[IPv6Address]:
+    """Anonymize a whole set with a shared, order-consistent mapping."""
+    anonymizer = Anonymizer()
+    return [anonymizer.anonymize(a) for a in addresses]
+
+
+def anonymize_embedded_ipv4(ipv4: str) -> str:
+    """Anonymize an embedded IPv4 address: first octet → 127."""
+    parts = ipv4.split(".")
+    if len(parts) != 4:
+        raise ValueError(f"invalid IPv4 address: {ipv4!r}")
+    return ".".join(["127"] + parts[1:])

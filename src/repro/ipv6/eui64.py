@@ -1,0 +1,157 @@
+"""Modified EUI-64 interface identifiers and embedded IPv4 detection.
+
+The paper repeatedly refers to two structural artifacts of SLAAC
+addressing (Sections 1, 5.1, 5.3):
+
+- Modified EUI-64 IIDs derived from 48-bit MAC addresses, which insert
+  the constant word ``0xfffe`` in bits 88-104 of the address and flip the
+  universal/local ("u") bit — the cause of the entropy dips at bits 88-104
+  and 68-72 in Fig. 6;
+- IPv6 addresses that embed literal IPv4 addresses, either as hex octets
+  (dataset S1, §5.2) or as base-10 octets written across colon-separated
+  16-bit words (dataset R4, §5.3).
+
+This module implements the conversions so the dataset generators can
+produce such addresses and so analysts can decode what Entropy/IP finds.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple, Union
+
+from repro.ipv6.address import IPv6Address
+
+#: The constant 16-bit word EUI-64 inserts between the two MAC halves.
+EUI64_FILLER = 0xFFFE
+
+#: Mask of the universal/local bit within a 64-bit IID (bit 7 of the
+#: first octet, i.e. bit 70 of the address).
+U_BIT = 1 << 57
+
+
+def iid_from_mac(mac: Union[str, int]) -> int:
+    """Build a Modified EUI-64 interface identifier from a MAC address.
+
+    Per RFC 4291 Appendix A: split the 48-bit MAC into OUI and NIC halves,
+    insert ``ff:fe`` between them, and invert the universal/local bit.
+
+    >>> hex(iid_from_mac("00:11:22:33:44:55"))
+    '0x21122fffe334455'
+    """
+    value = _mac_to_int(mac)
+    oui = value >> 24
+    nic = value & 0xFFFFFF
+    iid = (oui << 40) | (EUI64_FILLER << 24) | nic
+    return iid ^ U_BIT
+
+
+def mac_from_iid(iid: int) -> Optional[str]:
+    """Recover the MAC address from a Modified EUI-64 IID.
+
+    Returns ``None`` if the IID does not carry the ``ff:fe`` filler.
+    """
+    if not is_eui64_iid(iid):
+        return None
+    iid ^= U_BIT
+    oui = iid >> 40
+    nic = iid & 0xFFFFFF
+    value = (oui << 24) | nic
+    octets = [(value >> (8 * i)) & 0xFF for i in reversed(range(6))]
+    return ":".join(format(o, "02x") for o in octets)
+
+
+def is_eui64_iid(iid: int) -> bool:
+    """True if the 64-bit IID has the ``ff:fe`` filler in the middle.
+
+    This is the *stateless* test the paper warns about in Section 1 —
+    Entropy/IP itself never uses it for discovery, but the dataset
+    generators and decoding helpers do.
+    """
+    if not 0 <= iid < (1 << 64):
+        raise ValueError(f"IID out of range: {iid}")
+    return (iid >> 24) & 0xFFFF == EUI64_FILLER
+
+
+def _mac_to_int(mac: Union[str, int]) -> int:
+    if isinstance(mac, int):
+        if not 0 <= mac < (1 << 48):
+            raise ValueError(f"MAC out of range: {mac}")
+        return mac
+    cleaned = mac.replace(":", "").replace("-", "").lower()
+    if len(cleaned) != 12:
+        raise ValueError(f"invalid MAC address: {mac!r}")
+    return int(cleaned, 16)
+
+
+def iid_from_ipv4_hex(ipv4: Union[str, int]) -> int:
+    """Embed an IPv4 address as the low 32 bits of an IID (hex octets).
+
+    This is the S1 variant (§5.2): ``203.0.113.5`` → ``::cb00:7105``.
+    """
+    return _ipv4_to_int(ipv4)
+
+
+def iid_from_ipv4_decimal_words(ipv4: Union[str, int]) -> int:
+    """Embed an IPv4 address as base-10 octets in 16-bit aligned words.
+
+    This is the R4 variant (§5.3): each octet is written in decimal inside
+    its own colon-separated word, so ``203.0.113.5`` becomes the IID
+    ``0203:0000:0113:0005`` (hex digits spelling the decimal octets).
+    """
+    value = _ipv4_to_int(ipv4)
+    octets = [(value >> (8 * i)) & 0xFF for i in reversed(range(4))]
+    iid = 0
+    for octet in octets:
+        word = int(str(octet), 16)  # decimal digits reinterpreted as hex
+        iid = (iid << 16) | word
+    return iid
+
+
+def decode_ipv4_decimal_words(iid: int) -> Optional[str]:
+    """Inverse of :func:`iid_from_ipv4_decimal_words`, or ``None``."""
+    if not 0 <= iid < (1 << 64):
+        raise ValueError(f"IID out of range: {iid}")
+    octets = []
+    for shift in (48, 32, 16, 0):
+        word = (iid >> shift) & 0xFFFF
+        text = format(word, "x")
+        if not text.isdigit():
+            return None
+        octet = int(text)
+        if octet > 255:
+            return None
+        octets.append(octet)
+    return ".".join(str(o) for o in octets)
+
+
+def embedded_ipv4_dotted_quad(address: IPv6Address) -> str:
+    """The low 32 bits of ``address`` rendered as an IPv4 dotted quad.
+
+    Useful when exploring S1-style hex-embedded IPv4 aliases.
+    """
+    low = int(address) & 0xFFFFFFFF
+    octets = [(low >> (8 * i)) & 0xFF for i in reversed(range(4))]
+    return ".".join(str(o) for o in octets)
+
+
+def _ipv4_to_int(ipv4: Union[str, int]) -> int:
+    if isinstance(ipv4, int):
+        if not 0 <= ipv4 < (1 << 32):
+            raise ValueError(f"IPv4 out of range: {ipv4}")
+        return ipv4
+    parts = ipv4.split(".")
+    if len(parts) != 4:
+        raise ValueError(f"invalid IPv4 address: {ipv4!r}")
+    value = 0
+    for part in parts:
+        octet = int(part)
+        if not 0 <= octet <= 255:
+            raise ValueError(f"invalid IPv4 octet: {part!r}")
+        value = (value << 8) | octet
+    return value
+
+
+def split_mac(mac: Union[str, int]) -> Tuple[int, int]:
+    """Split a MAC into (OUI, NIC) 24-bit halves."""
+    value = _mac_to_int(mac)
+    return value >> 24, value & 0xFFFFFF

@@ -1,0 +1,177 @@
+"""CIDR prefixes and aggregate counting.
+
+The paper's evaluation leans on prefix-level bookkeeping: stratified
+sampling of training data per /32 (Section 3), counting active /64
+"subnets" discovered by scanning (Table 4), and the 4-bit Aggregate Count
+Ratio (ACR) that Figures 7-10 plot next to entropy.  This module provides
+the :class:`Prefix` value type and the aggregate counting primitives; the
+ACR metric itself lives in :mod:`repro.core.acr`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Set, Union
+
+from repro.ipv6.address import BITS_PER_ADDRESS, IPv6Address
+
+
+class Prefix:
+    """An IPv6 CIDR prefix (network address + mask length).
+
+    >>> p = Prefix("2001:db8::/32")
+    >>> IPv6Address("2001:db8::1") in p
+    True
+    >>> p.length
+    32
+    """
+
+    __slots__ = ("_network", "_length")
+
+    def __init__(self, spec: Union[str, "Prefix"], length: int = None):
+        if isinstance(spec, Prefix):
+            self._network, self._length = spec._network, spec._length
+            return
+        if isinstance(spec, str) and length is None:
+            if "/" not in spec:
+                raise ValueError(f"prefix must contain '/': {spec!r}")
+            address_text, length_text = spec.rsplit("/", 1)
+            address = IPv6Address(address_text)
+            length = int(length_text)
+        elif isinstance(spec, (str, int, IPv6Address)) and length is not None:
+            address = IPv6Address(spec)
+        else:
+            raise ValueError(f"cannot build prefix from {spec!r}")
+        if not 0 <= length <= BITS_PER_ADDRESS:
+            raise ValueError(f"prefix length out of range: {length}")
+        self._network = address.truncate(length)
+        self._length = length
+
+    @property
+    def network(self) -> IPv6Address:
+        """The (masked) network address."""
+        return self._network
+
+    @property
+    def length(self) -> int:
+        """Mask length in bits."""
+        return self._length
+
+    def contains(self, address: Union[IPv6Address, int, str]) -> bool:
+        """True if ``address`` falls inside this prefix."""
+        return IPv6Address(address).truncate(self._length) == self._network
+
+    __contains__ = contains
+
+    def subsumes(self, other: "Prefix") -> bool:
+        """True if ``other`` is equal to or nested inside this prefix."""
+        return other._length >= self._length and self.contains(other._network)
+
+    def first_address(self) -> IPv6Address:
+        """Lowest address in the prefix."""
+        return self._network
+
+    def last_address(self) -> IPv6Address:
+        """Highest address in the prefix."""
+        host_bits = BITS_PER_ADDRESS - self._length
+        return IPv6Address(self._network.value | ((1 << host_bits) - 1))
+
+    def num_addresses(self) -> int:
+        """Size of the prefix (2**host_bits)."""
+        return 1 << (BITS_PER_ADDRESS - self._length)
+
+    def child(self, index: int, child_length: int) -> "Prefix":
+        """The ``index``-th sub-prefix of length ``child_length``."""
+        if child_length < self._length:
+            raise ValueError("child prefix must be longer than parent")
+        extra = child_length - self._length
+        if not 0 <= index < (1 << extra):
+            raise ValueError(f"child index out of range: {index}")
+        shift = BITS_PER_ADDRESS - child_length
+        value = self._network.value | (index << shift)
+        return Prefix(IPv6Address(value), child_length)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Prefix):
+            return self._network == other._network and self._length == other._length
+        return NotImplemented
+
+    def __lt__(self, other: "Prefix") -> bool:
+        if isinstance(other, Prefix):
+            return (self._network.value, self._length) < (
+                other._network.value,
+                other._length,
+            )
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash((self._network.value, self._length))
+
+    def __repr__(self) -> str:
+        return f"Prefix({str(self)!r})"
+
+    def __str__(self) -> str:
+        return f"{self._network.compressed()}/{self._length}"
+
+
+def count_prefixes(
+    addresses: Iterable[Union[IPv6Address, int]], length: int
+) -> int:
+    """Number of distinct ``length``-bit prefixes covering ``addresses``."""
+    if not 0 <= length <= BITS_PER_ADDRESS:
+        raise ValueError(f"prefix length out of range: {length}")
+    shift = BITS_PER_ADDRESS - length
+    return len({int(a) >> shift for a in addresses})
+
+
+def distinct_prefixes(
+    addresses: Iterable[Union[IPv6Address, int]], length: int
+) -> Set[Prefix]:
+    """The set of distinct ``length``-bit prefixes covering ``addresses``."""
+    shift = BITS_PER_ADDRESS - length
+    networks = {int(a) >> shift for a in addresses}
+    return {Prefix(IPv6Address(n << shift), length) for n in networks}
+
+
+def aggregate_counts(
+    addresses: Iterable[Union[IPv6Address, int]],
+    lengths: Iterable[int] = None,
+) -> Dict[int, int]:
+    """Distinct-aggregate counts at each prefix length.
+
+    This is the hierarchical counting of Kohler et al. / Plonka & Berger
+    (MRA) restricted to the requested lengths; by default every 4-bit
+    (nybble-aligned) length 0..128, which is what the 4-bit ACR uses.
+    """
+    values = [int(a) for a in addresses]
+    if lengths is None:
+        lengths = range(0, BITS_PER_ADDRESS + 1, 4)
+    counts: Dict[int, int] = {}
+    for length in lengths:
+        shift = BITS_PER_ADDRESS - length
+        counts[length] = len({v >> shift for v in values})
+    return counts
+
+
+def group_by_prefix(
+    addresses: Iterable[Union[IPv6Address, int]], length: int
+) -> Dict[Prefix, List[IPv6Address]]:
+    """Group addresses by their covering ``length``-bit prefix.
+
+    Used for the stratified per-/32 sampling of Section 3.
+    """
+    shift = BITS_PER_ADDRESS - length
+    groups: Dict[int, List[IPv6Address]] = {}
+    for address in addresses:
+        address = IPv6Address(address)
+        groups.setdefault(address.value >> shift, []).append(address)
+    return {
+        Prefix(IPv6Address(network << shift), length): members
+        for network, members in groups.items()
+    }
+
+
+def iter_addresses(prefix: Prefix) -> Iterator[IPv6Address]:
+    """Iterate every address in a (small!) prefix, lowest first."""
+    base = prefix.network.value
+    for offset in range(prefix.num_addresses()):
+        yield IPv6Address(base + offset)

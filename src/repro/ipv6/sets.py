@@ -1,0 +1,229 @@
+"""The vectorized address-set container the analysis pipeline runs on.
+
+Entropy/IP's analyses (Section 4) are column-oriented: per-nybble entropy,
+segment extraction, and value mining all look at the *i-th hex character
+across all addresses*.  :class:`AddressSet` therefore stores a set of
+addresses as an ``(n, width)`` numpy ``uint8`` matrix of nybble values,
+exactly the fixed-width representation of Fig. 3.
+
+``width`` is 32 nybbles for full addresses, but any smaller width is
+supported — the prefix-prediction mode of Section 5.6 runs the identical
+pipeline on 16-nybble (/64) rows.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Sequence, Union
+
+import numpy as np
+
+from repro.ipv6.address import IPv6Address, NYBBLES_PER_ADDRESS
+
+_HEX = "0123456789abcdef"
+
+# ASCII code → nybble value lookup table (255 = invalid).
+_ASCII_TO_NYBBLE = np.full(256, 255, dtype=np.uint8)
+for _i, _c in enumerate(_HEX):
+    _ASCII_TO_NYBBLE[ord(_c)] = _i
+    _ASCII_TO_NYBBLE[ord(_c.upper())] = _i
+
+
+class AddressSet:
+    """An immutable set (with multiplicity) of fixed-width nybble rows.
+
+    >>> s = AddressSet.from_strings(["2001:db8::1", "2001:db8::2"])
+    >>> len(s), s.width
+    (2, 32)
+    >>> s.column(32).tolist()
+    [1, 2]
+    """
+
+    __slots__ = ("_matrix",)
+
+    def __init__(self, matrix: np.ndarray):
+        matrix = np.ascontiguousarray(matrix, dtype=np.uint8)
+        if matrix.ndim != 2:
+            raise ValueError(f"expected 2-D nybble matrix, got {matrix.ndim}-D")
+        if matrix.size and matrix.max() > 0xF:
+            raise ValueError("nybble matrix contains values > 0xf")
+        self._matrix = matrix
+        self._matrix.setflags(write=False)
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_addresses(
+        cls, addresses: Iterable[Union[IPv6Address, int]], width: int = NYBBLES_PER_ADDRESS
+    ) -> "AddressSet":
+        """Build from address objects or 128-bit integers.
+
+        When ``width < 32``, the *top* ``width`` nybbles are kept (so a
+        width of 16 keeps the /64 network identifier, as §5.6 needs).
+        """
+        values = [int(a) for a in addresses]
+        return cls.from_ints(values, width=width)
+
+    @classmethod
+    def from_ints(
+        cls,
+        values: Sequence[int],
+        width: int = NYBBLES_PER_ADDRESS,
+        already_truncated: bool = False,
+    ) -> "AddressSet":
+        """Build from 128-bit integers (or ``width``-nybble integers).
+
+        ``already_truncated`` marks ``values`` as ``width``-nybble
+        integers rather than full 128-bit addresses to shift down.
+        """
+        if not 1 <= width <= NYBBLES_PER_ADDRESS:
+            raise ValueError(f"width out of range: {width}")
+        shift = 0 if already_truncated else 4 * (NYBBLES_PER_ADDRESS - width)
+        # Go through a single hex string + frombuffer: orders of magnitude
+        # faster than per-nybble Python loops for large sets.
+        fmt = f"0{width}x"
+        text = "".join(format(v >> shift, fmt) for v in values)
+        if len(text) != width * len(values):
+            raise ValueError("a value does not fit in the requested width")
+        flat = np.frombuffer(text.encode("ascii"), dtype=np.uint8)
+        matrix = _ASCII_TO_NYBBLE[flat].reshape(len(values), width)
+        return cls(matrix)
+
+    @classmethod
+    def from_strings(
+        cls, texts: Iterable[str], width: int = NYBBLES_PER_ADDRESS
+    ) -> "AddressSet":
+        """Build from address strings in any supported text form."""
+        return cls.from_addresses((IPv6Address(t) for t in texts), width=width)
+
+    @classmethod
+    def empty(cls, width: int = NYBBLES_PER_ADDRESS) -> "AddressSet":
+        """An empty set of the given width."""
+        return cls(np.empty((0, width), dtype=np.uint8))
+
+    # ------------------------------------------------------------------
+    # basic accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def matrix(self) -> np.ndarray:
+        """The read-only ``(n, width)`` nybble matrix."""
+        return self._matrix
+
+    @property
+    def width(self) -> int:
+        """Number of nybbles per row (32 for full addresses)."""
+        return self._matrix.shape[1]
+
+    def __len__(self) -> int:
+        return self._matrix.shape[0]
+
+    def column(self, position: int) -> np.ndarray:
+        """Values of the 1-indexed nybble ``position`` across the set."""
+        if not 1 <= position <= self.width:
+            raise IndexError(f"nybble position out of range: {position}")
+        return self._matrix[:, position - 1]
+
+    def segment_values(self, first: int, last: int) -> np.ndarray:
+        """Integer value of nybbles ``first``..``last`` (1-indexed,
+        inclusive) for every row.
+
+        Returns ``uint64`` when the segment fits in 64 bits (i.e. at most
+        16 nybbles — always true given the hard /32 and /64 segmentation
+        cuts), otherwise a Python-object array.
+        """
+        if not 1 <= first <= last <= self.width:
+            raise IndexError(f"invalid segment range: ({first}, {last})")
+        nybble_count = last - first + 1
+        block = self._matrix[:, first - 1 : last]
+        if nybble_count <= 16:
+            values = np.zeros(len(self), dtype=np.uint64)
+            for i in range(nybble_count):
+                values = (values << np.uint64(4)) | block[:, i].astype(np.uint64)
+            return values
+        result = np.empty(len(self), dtype=object)
+        for row in range(len(self)):
+            value = 0
+            for nybble in block[row]:
+                value = (value << 4) | int(nybble)
+            result[row] = value
+        return result
+
+    def row_int(self, row: int) -> int:
+        """The ``width``-nybble integer value of one row."""
+        value = 0
+        for nybble in self._matrix[row]:
+            value = (value << 4) | int(nybble)
+        return value
+
+    def to_ints(self) -> List[int]:
+        """All rows as ``width``-nybble integers."""
+        return [self.row_int(row) for row in range(len(self))]
+
+    def addresses(self) -> List[IPv6Address]:
+        """Rows as full addresses (zero-padded on the right if width<32)."""
+        pad = 4 * (NYBBLES_PER_ADDRESS - self.width)
+        return [IPv6Address(v << pad) for v in self.to_ints()]
+
+    def hex_rows(self) -> Iterator[str]:
+        """Rows as fixed-width hex strings (the Fig. 3 representation)."""
+        for row in range(len(self)):
+            yield "".join(_HEX[n] for n in self._matrix[row])
+
+    # ------------------------------------------------------------------
+    # set operations
+    # ------------------------------------------------------------------
+
+    def unique(self) -> "AddressSet":
+        """Distinct rows (order not preserved; sorted lexicographically)."""
+        return AddressSet(np.unique(self._matrix, axis=0))
+
+    def sample(self, k: int, rng: np.random.Generator) -> "AddressSet":
+        """Uniform sample of ``k`` rows without replacement."""
+        if k > len(self):
+            raise ValueError(f"cannot sample {k} of {len(self)} rows")
+        index = rng.choice(len(self), size=k, replace=False)
+        return AddressSet(self._matrix[np.sort(index)])
+
+    def truncate(self, width: int) -> "AddressSet":
+        """Keep only the top ``width`` nybbles of each row."""
+        if not 1 <= width <= self.width:
+            raise ValueError(f"cannot truncate width {self.width} to {width}")
+        return AddressSet(self._matrix[:, :width])
+
+    def concat(self, other: "AddressSet") -> "AddressSet":
+        """Concatenate two sets of equal width (keeps duplicates)."""
+        if other.width != self.width:
+            raise ValueError("cannot concat sets of different widths")
+        return AddressSet(np.vstack([self._matrix, other._matrix]))
+
+    def take(self, indices: Sequence[int]) -> "AddressSet":
+        """Select rows by position."""
+        return AddressSet(self._matrix[np.asarray(indices, dtype=np.intp)])
+
+    def __iter__(self) -> Iterator[IPv6Address]:
+        return iter(self.addresses())
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, AddressSet):
+            return self._matrix.shape == other._matrix.shape and bool(
+                np.all(self._matrix == other._matrix)
+            )
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        return f"AddressSet(n={len(self)}, width={self.width})"
+
+
+def split_train_test(
+    address_set: AddressSet, train_size: int, rng: np.random.Generator
+) -> "tuple[AddressSet, AddressSet]":
+    """Random train/test split, as used throughout Section 5.5."""
+    n = len(address_set)
+    if train_size >= n:
+        raise ValueError(f"train size {train_size} >= set size {n}")
+    order = rng.permutation(n)
+    train = address_set.take(order[:train_size])
+    test = address_set.take(order[train_size:])
+    return train, test

@@ -1,0 +1,190 @@
+"""Binary prefix trie and Multi-Resolution Aggregate (MRA) analysis.
+
+The 4-bit ACR the paper plots next to entropy (Figs. 7-10) is derived
+from the Multi-Resolution Aggregate analysis of Plonka & Berger [27],
+itself building on Kohler et al. [19]: count distinct aggregates
+(prefixes) of every length and study the count ratios between
+resolutions.  This module provides the full substrate:
+
+- :class:`PrefixTrie` — a binary trie over 128-bit addresses with
+  per-node counts, supporting aggregate counting at any length and
+  dense-prefix discovery;
+- :func:`mra_count_ratios` — aggregate-count ratios at a configurable
+  bit stride (1, 4 or 16 in the papers);
+- :func:`discover_subnets` — the §1 goal ("discover CIDR prefixes,
+  IGP subnets"): find maximal prefixes whose address density exceeds a
+  threshold, i.e. candidate subnets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple, Union
+
+from repro.ipv6.address import BITS_PER_ADDRESS, IPv6Address
+from repro.ipv6.prefix import Prefix
+
+
+class _Node:
+    __slots__ = ("count", "children")
+
+    def __init__(self):
+        self.count = 0
+        self.children: List[Optional["_Node"]] = [None, None]
+
+
+class PrefixTrie:
+    """Binary trie over addresses with subtree counts at every node."""
+
+    def __init__(self):
+        self._root = _Node()
+
+    def insert(self, address: Union[IPv6Address, int], multiplicity: int = 1):
+        """Insert one address (``multiplicity`` occurrences)."""
+        if multiplicity < 1:
+            raise ValueError("multiplicity must be >= 1")
+        value = int(address)
+        if not 0 <= value < (1 << BITS_PER_ADDRESS):
+            raise ValueError(f"address out of range: {value}")
+        node = self._root
+        node.count += multiplicity
+        for bit_index in range(BITS_PER_ADDRESS):
+            bit = (value >> (BITS_PER_ADDRESS - 1 - bit_index)) & 1
+            if node.children[bit] is None:
+                node.children[bit] = _Node()
+            node = node.children[bit]
+            node.count += multiplicity
+
+    @classmethod
+    def from_addresses(
+        cls, addresses: Iterable[Union[IPv6Address, int]]
+    ) -> "PrefixTrie":
+        """Build a trie from an address iterable."""
+        trie = cls()
+        for address in addresses:
+            trie.insert(address)
+        return trie
+
+    @property
+    def total(self) -> int:
+        """Total inserted multiplicity."""
+        return self._root.count
+
+    def count(self, prefix: Prefix) -> int:
+        """Number of inserted addresses inside ``prefix``."""
+        node = self._root
+        value = prefix.network.value
+        for bit_index in range(prefix.length):
+            bit = (value >> (BITS_PER_ADDRESS - 1 - bit_index)) & 1
+            child = node.children[bit]
+            if child is None:
+                return 0
+            node = child
+        return node.count
+
+    def aggregates(self, length: int) -> Dict[Prefix, int]:
+        """All non-empty aggregates of the given prefix length."""
+        if not 0 <= length <= BITS_PER_ADDRESS:
+            raise ValueError(f"prefix length out of range: {length}")
+        result: Dict[Prefix, int] = {}
+        for value, node in self._walk(length):
+            shift = BITS_PER_ADDRESS - length
+            result[Prefix(IPv6Address(value << shift), length)] = node.count
+        return result
+
+    def aggregate_count(self, length: int) -> int:
+        """Number of distinct aggregates at the given length."""
+        return sum(1 for _ in self._walk(length))
+
+    def _walk(self, depth: int) -> Iterator[Tuple[int, _Node]]:
+        """All (path-value, node) pairs at exactly ``depth`` bits."""
+        stack: List[Tuple[int, int, _Node]] = [(0, 0, self._root)]
+        while stack:
+            level, value, node = stack.pop()
+            if level == depth:
+                yield value, node
+                continue
+            for bit in (0, 1):
+                child = node.children[bit]
+                if child is not None:
+                    stack.append((level + 1, (value << 1) | bit, child))
+
+
+def mra_count_ratios(
+    addresses: Iterable[Union[IPv6Address, int]],
+    bit_stride: int = 4,
+) -> List[float]:
+    """Aggregate-count ratios between successive resolutions.
+
+    Element i is A_{(i+1)*s} / A_{i*s} for stride s — how many times
+    each aggregate splits when the resolution is refined by one stride.
+    Plonka & Berger use strides 1 and 16; the paper's figures use 4.
+    """
+    if bit_stride < 1 or BITS_PER_ADDRESS % bit_stride != 0:
+        raise ValueError("bit_stride must divide 128")
+    trie = PrefixTrie.from_addresses(addresses)
+    counts = [
+        trie.aggregate_count(length)
+        for length in range(0, BITS_PER_ADDRESS + 1, bit_stride)
+    ]
+    return [b / a for a, b in zip(counts, counts[1:])]
+
+
+@dataclass(frozen=True)
+class DiscoveredSubnet:
+    """A candidate subnet: a prefix with its member count and density."""
+
+    prefix: Prefix
+    members: int
+    density: float  # members / prefix size, only meaningful when small
+
+
+def discover_subnets(
+    addresses: Iterable[Union[IPv6Address, int]],
+    min_members: int = 8,
+    max_length: int = 64,
+    min_length: int = 48,
+    split_ratio: float = 0.75,
+) -> List[DiscoveredSubnet]:
+    """Find prefixes that plausibly correspond to subnets.
+
+    Walk the trie top-down and report a node as a subnet when it holds
+    at least ``min_members`` addresses, sits at a plausible subnet
+    depth (at least ``min_length`` bits — shallower balanced splits are
+    aggregation points between *different* subnets, so both halves are
+    explored), and its members genuinely spread across the prefix
+    (neither child holds more than ``split_ratio`` of them).
+    ``max_length`` bounds the search at the conventional /64 size.
+    """
+    if not 0 < split_ratio < 1:
+        raise ValueError("split_ratio must be in (0, 1)")
+    if not 0 <= min_length <= max_length <= BITS_PER_ADDRESS:
+        raise ValueError("need 0 <= min_length <= max_length <= 128")
+    trie = PrefixTrie.from_addresses(addresses)
+    found: List[DiscoveredSubnet] = []
+    stack: List[Tuple[int, int, _Node]] = [(0, 0, trie._root)]
+    while stack:
+        level, value, node = stack.pop()
+        if node.count < min_members:
+            continue
+        children = [c for c in node.children if c is not None]
+        dominant = max((c.count for c in children), default=0)
+        balanced = len(children) == 2 and dominant <= split_ratio * node.count
+        if level >= max_length or (balanced and level >= min_length):
+            shift = BITS_PER_ADDRESS - level
+            prefix = Prefix(IPv6Address(value << shift), level)
+            size = prefix.num_addresses()
+            found.append(
+                DiscoveredSubnet(
+                    prefix=prefix,
+                    members=node.count,
+                    density=node.count / size if size else 1.0,
+                )
+            )
+            continue
+        for bit in (0, 1):
+            child = node.children[bit]
+            if child is not None:
+                stack.append((level + 1, (value << 1) | bit, child))
+    found.sort(key=lambda s: (s.prefix.length, s.prefix.network.value))
+    return found

@@ -1,0 +1,35 @@
+"""Scanning substrate: candidate generation, responder oracle, metrics.
+
+Implements the evaluation methodology of Sections 5.5-5.6: train a model
+on 1K known addresses, generate candidate targets, and score them with a
+held-out test set, a (simulated) ICMPv6 ping oracle, and a (simulated)
+reverse-DNS oracle; count the active /64 prefixes never seen in training.
+"""
+
+from repro.scan.evaluate import (
+    PrefixPredictionResult,
+    ScanResult,
+    prefix_prediction_experiment,
+    scan_experiment,
+    training_size_sweep,
+)
+from repro.scan.campaign import CampaignResult, ScanCampaign, run_campaign
+from repro.scan.generator import generate_candidates
+from repro.scan.rdns import SimulatedRdnsZone, rdns_harvest, walk_rdns_tree
+from repro.scan.responder import SimulatedResponder
+
+__all__ = [
+    "CampaignResult",
+    "PrefixPredictionResult",
+    "ScanCampaign",
+    "run_campaign",
+    "ScanResult",
+    "SimulatedResponder",
+    "SimulatedRdnsZone",
+    "generate_candidates",
+    "rdns_harvest",
+    "walk_rdns_tree",
+    "prefix_prediction_experiment",
+    "scan_experiment",
+    "training_size_sweep",
+]

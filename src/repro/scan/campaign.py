@@ -1,0 +1,153 @@
+"""Budgeted scanning campaigns: the operational side of §5.5.
+
+The paper's evaluation scores a fixed 1M-candidate batch.  A real
+survey (zmap-style, [8]) runs under a *probe budget* and wants hits as
+early as possible.  :class:`ScanCampaign` drives a fitted Entropy/IP
+model against a responder in rounds, records the progressive discovery
+curve, and optionally *adapts*: addresses confirmed in earlier rounds
+are folded back into the training set and the model is refitted — the
+bootstrap loop the paper sketches ("use them to bootstrap active
+address discovery").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Set
+
+import numpy as np
+
+from repro.core.pipeline import EntropyIP
+from repro.ipv6.sets import AddressSet
+from repro.scan.generator import prefixes64
+from repro.scan.responder import SimulatedResponder
+
+
+@dataclass(frozen=True)
+class CampaignRound:
+    """Bookkeeping for one probing round."""
+
+    index: int
+    probes_sent: int
+    hits: int
+    cumulative_probes: int
+    cumulative_hits: int
+    new_prefixes64: int
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits per probe within this round."""
+        return self.hits / self.probes_sent if self.probes_sent else 0.0
+
+
+@dataclass(frozen=True)
+class CampaignResult:
+    """Outcome of a whole campaign."""
+
+    rounds: Sequence[CampaignRound]
+    discovered: Sequence[int]
+    discovered_prefixes64: Set[int]
+
+    @property
+    def total_probes(self) -> int:
+        return self.rounds[-1].cumulative_probes if self.rounds else 0
+
+    @property
+    def total_hits(self) -> int:
+        return self.rounds[-1].cumulative_hits if self.rounds else 0
+
+    def discovery_curve(self) -> List[int]:
+        """Cumulative hits after each round (the survey's yield curve)."""
+        return [r.cumulative_hits for r in self.rounds]
+
+
+class ScanCampaign:
+    """Round-based prober over a fitted model and a responder oracle."""
+
+    def __init__(
+        self,
+        training: AddressSet,
+        responder: SimulatedResponder,
+        probe_budget: int = 50_000,
+        round_size: int = 10_000,
+        adaptive: bool = False,
+        seed: int = 0,
+    ):
+        if probe_budget < 1 or round_size < 1:
+            raise ValueError("budget and round size must be positive")
+        self._training = training
+        self._responder = responder
+        self._budget = probe_budget
+        self._round_size = round_size
+        self._adaptive = adaptive
+        self._rng = np.random.default_rng(seed)
+
+    def run(self) -> CampaignResult:
+        """Probe until the budget is exhausted; return the full record."""
+        train = self._training
+        analysis = EntropyIP.fit(train)
+        known: Set[int] = set(train.to_ints())
+        probed: Set[int] = set(known)
+        train_64s = prefixes64(train.to_ints(), train.width)
+
+        rounds: List[CampaignRound] = []
+        discovered: List[int] = []
+        discovered_64s: Set[int] = set()
+        spent = 0
+        index = 0
+        while spent < self._budget:
+            want = min(self._round_size, self._budget - spent)
+            candidates = analysis.model.generate(
+                want, self._rng, exclude=probed
+            )
+            if not candidates:
+                break  # model support exhausted
+            probed.update(candidates)
+            hits = self._responder.ping_many(candidates)
+            spent += len(candidates)
+            discovered.extend(hits)
+            discovered_64s = prefixes64(discovered, 32) - train_64s
+            index += 1
+            rounds.append(
+                CampaignRound(
+                    index=index,
+                    probes_sent=len(candidates),
+                    hits=len(hits),
+                    cumulative_probes=spent,
+                    cumulative_hits=len(discovered),
+                    new_prefixes64=len(discovered_64s),
+                )
+            )
+            if self._adaptive and hits:
+                # Fold confirmed addresses back in and refit — the
+                # bootstrap loop.  Known-but-probed addresses stay
+                # excluded from future candidate batches via `probed`.
+                train = train.concat(
+                    AddressSet.from_ints(hits, width=train.width,
+                                         already_truncated=True)
+                )
+                analysis = EntropyIP.fit(train)
+        return CampaignResult(
+            rounds=tuple(rounds),
+            discovered=tuple(discovered),
+            discovered_prefixes64=discovered_64s,
+        )
+
+
+def run_campaign(
+    training: AddressSet,
+    responder: SimulatedResponder,
+    probe_budget: int = 50_000,
+    round_size: int = 10_000,
+    adaptive: bool = False,
+    seed: int = 0,
+) -> CampaignResult:
+    """Functional one-shot interface to :class:`ScanCampaign`."""
+    return ScanCampaign(
+        training,
+        responder,
+        probe_budget=probe_budget,
+        round_size=round_size,
+        adaptive=adaptive,
+        seed=seed,
+    ).run()

@@ -1,0 +1,220 @@
+"""Scanning and prefix-prediction experiments (Tables 4, 5 and 6).
+
+The methodology follows Section 5.5 exactly:
+
+1. sample a training set of ``train_size`` real addresses from the
+   network's observed dataset;
+2. fit Entropy/IP on the training set;
+3. generate ``n_candidates`` distinct candidates (training excluded);
+4. score: membership in the held-out test set, simulated ping, and
+   simulated rDNS; "Overall" = any of the three; success rate =
+   overall / candidates; "New /64s" = overall hits in /64 prefixes not
+   present in training.
+
+Section 5.6's prefix prediction runs the same pipeline constrained to
+the top 64 bits (``width=16``), scoring candidates against the /64s
+active on the training day and across the whole week.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Set
+
+import numpy as np
+
+from repro.core.pipeline import EntropyIP
+from repro.datasets.networks import SyntheticNetwork
+from repro.ipv6.sets import AddressSet, split_train_test
+from repro.scan.generator import prefixes64
+from repro.scan.responder import SimulatedResponder
+
+
+@dataclass(frozen=True)
+class ScanResult:
+    """One row of Table 4."""
+
+    dataset: str
+    train_size: int
+    n_candidates: int
+    found_test_set: int
+    found_ping: int
+    found_rdns: int
+    found_overall: int
+    new_prefixes64: int
+
+    @property
+    def success_rate(self) -> float:
+        """Overall hits / generated candidates (the paper's "Success rate")."""
+        return self.found_overall / self.n_candidates if self.n_candidates else 0.0
+
+    def row(self) -> str:
+        """Render like a Table 4 line."""
+        return (
+            f"{self.dataset:>4}  test={self.found_test_set:>7}  "
+            f"ping={self.found_ping:>7}  rdns={self.found_rdns:>7}  "
+            f"overall={self.found_overall:>7}  "
+            f"success={100 * self.success_rate:5.2f}%  "
+            f"new/64s={self.new_prefixes64:>6}"
+        )
+
+
+@dataclass(frozen=True)
+class PrefixPredictionResult:
+    """One row of Table 6."""
+
+    dataset: str
+    train_size: int
+    n_candidates: int
+    predicted_day: int
+    predicted_week: int
+
+    @property
+    def success_rate_week(self) -> float:
+        """7-day success rate (the paper's rightmost column)."""
+        return self.predicted_week / self.n_candidates if self.n_candidates else 0.0
+
+    def row(self) -> str:
+        """Render like a Table 6 line."""
+        return (
+            f"{self.dataset:>4}  day={self.predicted_day:>7}  "
+            f"week={self.predicted_week:>7}  "
+            f"success={100 * self.success_rate_week:5.2f}%"
+        )
+
+
+def scan_experiment(
+    network: SyntheticNetwork,
+    train_size: int = 1000,
+    n_candidates: int = 100_000,
+    dataset_size: Optional[int] = None,
+    seed: int = 0,
+) -> ScanResult:
+    """Run the full §5.5 scanning experiment against one network.
+
+    ``dataset_size`` bounds the observed dataset sampled from the
+    population (defaults to half the population, leaving the rest as
+    never-observed-but-active addresses the ping oracle can confirm).
+    """
+    population = network.population(seed)
+    responder = SimulatedResponder(
+        population,
+        ping_rate=network.ping_rate,
+        rdns_rate=network.rdns_rate,
+        seed=seed,
+    )
+    rng = np.random.default_rng(seed + 17)
+    if dataset_size is None:
+        dataset_size = max(train_size * 2, len(population) // 2)
+    dataset = population.sample(min(dataset_size, len(population)), rng)
+    train, test = split_train_test(dataset, train_size, rng)
+
+    analysis = EntropyIP.fit(train)
+    candidates = analysis.model.generate(
+        n_candidates, rng, exclude=set(train.to_ints())
+    )
+
+    test_members: Set[int] = set(test.to_ints())
+    found_test = [c for c in candidates if c in test_members]
+    found_ping = responder.ping_many(candidates)
+    found_rdns = responder.rdns_many(candidates)
+    overall = set(found_test) | set(found_ping) | set(found_rdns)
+
+    train_prefixes = prefixes64(train.to_ints(), train.width)
+    new_64s = {p for p in prefixes64(list(overall), 32)} - train_prefixes
+
+    return ScanResult(
+        dataset=network.name,
+        train_size=train_size,
+        n_candidates=len(candidates),
+        found_test_set=len(found_test),
+        found_ping=len(found_ping),
+        found_rdns=len(found_rdns),
+        found_overall=len(overall),
+        new_prefixes64=len(new_64s),
+    )
+
+
+def prefix_prediction_experiment(
+    network: SyntheticNetwork,
+    train_size: int = 1000,
+    n_candidates: int = 100_000,
+    day_fraction: float = 0.45,
+    seed: int = 0,
+) -> PrefixPredictionResult:
+    """Run the §5.6 client /64 prediction experiment.
+
+    The population's /64 set plays the role of the prefixes active at
+    least once in the week; a random ``day_fraction`` of them is "seen
+    on March 17th".  Training samples 1K day-1 prefixes; candidates are
+    scored against the day-1 set and the full week set.
+    """
+    population = network.population(seed)
+    week_prefixes = sorted(prefixes64(population.to_ints(), population.width))
+    rng = np.random.default_rng(seed + 29)
+    day_count = max(train_size + 1, int(len(week_prefixes) * day_fraction))
+    day_count = min(day_count, len(week_prefixes))
+    day_rows = rng.choice(len(week_prefixes), size=day_count, replace=False)
+    day_prefixes = [week_prefixes[i] for i in day_rows]
+
+    train_rows = rng.choice(len(day_prefixes), size=train_size, replace=False)
+    train_values = [day_prefixes[i] for i in train_rows]
+    train = AddressSet.from_ints(train_values, width=16, already_truncated=True)
+
+    analysis = EntropyIP.fit(train, width=16)
+    candidates = analysis.model.generate(
+        n_candidates, rng, exclude=set(train_values)
+    )
+
+    day_set = set(day_prefixes)
+    week_set = set(week_prefixes)
+    predicted_day = sum(1 for c in candidates if c in day_set)
+    predicted_week = sum(1 for c in candidates if c in week_set)
+
+    return PrefixPredictionResult(
+        dataset=network.name,
+        train_size=train_size,
+        n_candidates=len(candidates),
+        predicted_day=predicted_day,
+        predicted_week=predicted_week,
+    )
+
+
+def training_size_sweep(
+    network: SyntheticNetwork,
+    train_sizes: Sequence[int] = (100, 1000, 10_000),
+    n_candidates: int = 50_000,
+    prefix_mode: bool = False,
+    seed: int = 0,
+) -> Dict[int, float]:
+    """Success rate vs training size (Table 5).
+
+    Returns train_size → success rate.  Sizes larger than the available
+    dataset are skipped.
+    """
+    results: Dict[int, float] = {}
+    for train_size in train_sizes:
+        if prefix_mode:
+            population = network.population(seed)
+            available = len(prefixes64(population.to_ints(), population.width))
+        else:
+            available = len(network.population(seed))
+        if train_size * 2 >= available:
+            continue
+        if prefix_mode:
+            result = prefix_prediction_experiment(
+                network,
+                train_size=train_size,
+                n_candidates=n_candidates,
+                seed=seed,
+            )
+            results[train_size] = result.success_rate_week
+        else:
+            scan = scan_experiment(
+                network,
+                train_size=train_size,
+                n_candidates=n_candidates,
+                seed=seed,
+            )
+            results[train_size] = scan.success_rate
+    return results

@@ -1,0 +1,59 @@
+"""Candidate-target generation helpers (Section 5.5).
+
+Thin conveniences over :meth:`repro.core.model.AddressModel.generate`:
+the heavy lifting (BN sampling, range materialization, dedup, training
+exclusion) lives in the model; this module packages the workflow the
+evaluation uses — "train on 1K, generate 1M" — and utilities to turn
+candidates into /64 prefixes.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set
+
+import numpy as np
+
+from repro.core.pipeline import EntropyIP
+from repro.ipv6.sets import AddressSet
+from repro.stats.rng import default_rng
+
+
+def generate_candidates(
+    analysis: EntropyIP,
+    n: int,
+    rng: Optional[np.random.Generator] = None,
+    evidence=None,
+) -> List[int]:
+    """Generate ``n`` distinct candidates not seen in training.
+
+    Returns width-nybble integers (128-bit values for full addresses,
+    64-bit for prefix mode).
+    """
+    rng = default_rng(rng)
+    return analysis.model.generate(
+        n,
+        rng,
+        evidence=evidence,
+        exclude=set(analysis.address_set.to_ints()),
+    )
+
+
+def prefixes64(values: List[int], width_nybbles: int = 32) -> Set[int]:
+    """The set of /64 network identifiers covering ``values``.
+
+    ``width_nybbles`` tells how wide the integers are (32 for full
+    addresses, 16 when already /64 identifiers).
+    """
+    if width_nybbles < 16:
+        raise ValueError("values narrower than 64 bits have no /64 prefix")
+    shift = 4 * (width_nybbles - 16)
+    return {v >> shift for v in values}
+
+
+def new_prefixes64(
+    candidates: List[int],
+    training: AddressSet,
+) -> Set[int]:
+    """/64 prefixes among ``candidates`` that never appear in training."""
+    seen = prefixes64(training.to_ints(), training.width)
+    return prefixes64(candidates, training.width) - seen

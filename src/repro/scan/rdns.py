@@ -1,0 +1,138 @@
+"""Reverse-DNS tree walking (RFC 7707 §2.2, the paper's "rDNS" source).
+
+One of the paper's data sources (Table 1, column "rDNS") is the
+technique of Gont & Chown: walk the ``ip6.arpa`` reverse-DNS tree,
+using the fact that a correct name server answers NXDOMAIN for an
+empty branch but NOERROR for an existing one, to enumerate a network's
+addresses nybble by nybble without scanning.
+
+Offline we simulate the authoritative zone from a synthetic network's
+population (only a fraction of addresses have PTR records, as in the
+wild) and implement the walker against it.  The walker's query count
+demonstrates why the technique works: it is proportional to the number
+of *populated branches*, not to the 2^124 possible names.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Set, Tuple, Union
+
+from repro.ipv6.address import IPv6Address, NYBBLES_PER_ADDRESS
+from repro.ipv6.prefix import Prefix
+from repro.ipv6.sets import AddressSet
+from repro.scan.responder import _keyed_uniform, _splitmix64
+
+
+class SimulatedRdnsZone:
+    """An ip6.arpa-style zone over a population's PTR records.
+
+    Answers the only question the walker needs: "does any PTR record
+    exist under this nybble-aligned prefix?"  ``coverage`` controls the
+    fraction of population addresses that have PTR records, decided by
+    a keyed hash (deterministic per address).
+    """
+
+    def __init__(
+        self,
+        population: AddressSet,
+        coverage: float = 0.5,
+        seed: int = 0,
+    ):
+        if not 0 <= coverage <= 1:
+            raise ValueError("coverage must lie in [0, 1]")
+        if population.width != NYBBLES_PER_ADDRESS:
+            raise ValueError("rDNS zones need full-width addresses")
+        key = _splitmix64(seed ^ 0x7D5)
+        self._records: Set[int] = {
+            value
+            for value in population.to_ints()
+            if _keyed_uniform(value, key) < coverage
+        }
+        # Precompute all populated nybble-aligned branches for O(1)
+        # existence answers (the real DNS server's zone tree).
+        self._branches: Set[Tuple[int, int]] = set()
+        for value in self._records:
+            for nybbles in range(NYBBLES_PER_ADDRESS + 1):
+                shift = 4 * (NYBBLES_PER_ADDRESS - nybbles)
+                self._branches.add((nybbles, value >> shift))
+        self.queries = 0
+
+    @property
+    def record_count(self) -> int:
+        """Number of PTR records in the zone."""
+        return len(self._records)
+
+    def branch_exists(self, nybbles: int, branch_value: int) -> bool:
+        """One simulated DNS query: does this branch have any records?"""
+        self.queries += 1
+        return (nybbles, branch_value) in self._branches
+
+    def has_record(self, address: Union[IPv6Address, int]) -> bool:
+        """Terminal PTR lookup."""
+        self.queries += 1
+        return int(address) in self._records
+
+
+@dataclass(frozen=True)
+class RdnsWalkResult:
+    """Outcome of a tree walk."""
+
+    addresses: Tuple[int, ...]
+    queries: int
+    truncated: bool
+
+    def address_objects(self) -> List[IPv6Address]:
+        return [IPv6Address(v) for v in self.addresses]
+
+
+def walk_rdns_tree(
+    zone: SimulatedRdnsZone,
+    root: Prefix,
+    max_queries: int = 1_000_000,
+) -> RdnsWalkResult:
+    """Enumerate all PTR-holding addresses under ``root``.
+
+    Classic RFC 7707 walk: depth-first over nybbles, pruning branches
+    the zone reports empty.  ``max_queries`` bounds the walk (real
+    surveys budget their query volume); the result notes truncation.
+    """
+    if root.length % 4 != 0:
+        raise ValueError("the walk starts at a nybble-aligned prefix")
+    start_nybbles = root.length // 4
+    start_value = root.network.value >> (4 * (NYBBLES_PER_ADDRESS - start_nybbles))
+
+    found: List[int] = []
+    truncated = False
+    start_queries = zone.queries
+    stack: List[Tuple[int, int]] = [(start_nybbles, start_value)]
+    while stack:
+        if zone.queries - start_queries >= max_queries:
+            truncated = True
+            break
+        nybbles, value = stack.pop()
+        if not zone.branch_exists(nybbles, value):
+            continue
+        if nybbles == NYBBLES_PER_ADDRESS:
+            found.append(value)
+            continue
+        # Push children in reverse so the walk visits 0..f in order.
+        for nybble in range(15, -1, -1):
+            stack.append((nybbles + 1, (value << 4) | nybble))
+    return RdnsWalkResult(
+        addresses=tuple(sorted(found)),
+        queries=zone.queries - start_queries,
+        truncated=truncated,
+    )
+
+
+def rdns_harvest(
+    population: AddressSet,
+    root: Prefix,
+    coverage: float = 0.5,
+    seed: int = 0,
+    max_queries: int = 1_000_000,
+) -> RdnsWalkResult:
+    """Convenience: build the zone and walk it in one call."""
+    zone = SimulatedRdnsZone(population, coverage=coverage, seed=seed)
+    return walk_rdns_tree(zone, root, max_queries=max_queries)

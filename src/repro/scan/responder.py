@@ -1,0 +1,101 @@
+"""The simulated network oracle standing in for live scanning.
+
+The paper validated generated candidates by (a) membership in the
+held-out test set, (b) ICMPv6 echo ("Ping"), and (c) reverse DNS
+("rDNS").  Offline we replace (b) and (c) with a deterministic oracle
+over the synthetic network's *population* — the full set of deployed
+addresses, of which any observed dataset is only a sample.  Each
+population member answers pings with probability ``ping_rate`` and has
+an rDNS record with probability ``rdns_rate``, decided by a keyed hash
+so the same address always behaves the same way.
+
+The paper also notes a validation caveat: "part of the positive
+responses ... might have been generated automatically (e.g. replying to
+any ping request destined to a certain prefix, causing false
+positives)."  ``wildcard_ping_prefixes`` models exactly that failure
+mode for robustness testing.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Set
+
+from repro.ipv6.prefix import Prefix
+from repro.ipv6.sets import AddressSet
+
+
+def _splitmix64(value: int) -> int:
+    """SplitMix64 finalizer: a fast, well-mixed 64-bit hash."""
+    value = (value + 0x9E3779B97F4A7C15) & 0xFFFFFFFFFFFFFFFF
+    value = ((value ^ (value >> 30)) * 0xBF58476D1CE4E5B9) & 0xFFFFFFFFFFFFFFFF
+    value = ((value ^ (value >> 27)) * 0x94D049BB133111EB) & 0xFFFFFFFFFFFFFFFF
+    return value ^ (value >> 31)
+
+
+def _keyed_uniform(value: int, key: int) -> float:
+    """Deterministic pseudo-uniform in [0, 1) keyed by (value, key)."""
+    mixed = _splitmix64((value & 0xFFFFFFFFFFFFFFFF) ^ _splitmix64(value >> 64) ^ key)
+    return mixed / 2.0**64
+
+
+class SimulatedResponder:
+    """Deterministic ping/rDNS oracle over a ground-truth population."""
+
+    def __init__(
+        self,
+        population: AddressSet,
+        ping_rate: float = 0.8,
+        rdns_rate: float = 0.3,
+        seed: int = 0,
+        wildcard_ping_prefixes: Sequence[Prefix] = (),
+    ):
+        if not 0 <= ping_rate <= 1 or not 0 <= rdns_rate <= 1:
+            raise ValueError("rates must lie in [0, 1]")
+        self._members: Set[int] = set(population.to_ints())
+        self._width = population.width
+        self._ping_rate = ping_rate
+        self._rdns_rate = rdns_rate
+        self._ping_key = _splitmix64(seed * 2 + 1)
+        self._rdns_key = _splitmix64(seed * 2 + 2)
+        self._wildcards = list(wildcard_ping_prefixes)
+
+    @property
+    def population_size(self) -> int:
+        return len(self._members)
+
+    def is_member(self, value: int) -> bool:
+        """True if the address belongs to the deployed population."""
+        return value in self._members
+
+    def ping(self, value: int) -> bool:
+        """Simulated ICMPv6 echo: member + responder, or wildcard hit."""
+        if value in self._members:
+            return _keyed_uniform(value, self._ping_key) < self._ping_rate
+        if self._wildcards:
+            shift = 4 * (32 - self._width)
+            padded = value << shift
+            return any(p.contains(padded) for p in self._wildcards)
+        return False
+
+    def rdns(self, value: int) -> bool:
+        """Simulated reverse-DNS lookup (dynamic records excluded)."""
+        return (
+            value in self._members
+            and _keyed_uniform(value, self._rdns_key) < self._rdns_rate
+        )
+
+    # ------------------------------------------------------------------
+    # batch interfaces
+    # ------------------------------------------------------------------
+
+    def ping_many(self, values: Iterable[int]) -> List[int]:
+        """The subset of ``values`` answering pings."""
+        return [v for v in values if self.ping(v)]
+
+    def rdns_many(self, values: Iterable[int]) -> List[int]:
+        """The subset of ``values`` with rDNS records."""
+        return [v for v in values if self.rdns(v)]
+
+    def responding_population(self) -> List[int]:
+        """All population members that would answer a ping."""
+        return [v for v in sorted(self._members) if self.ping(v)]

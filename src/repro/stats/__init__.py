@@ -1,0 +1,45 @@
+"""Statistical substrate: entropy, histograms, outlier detection, RNG.
+
+Implements the information-theoretic core of Section 4.1 (empirical
+normalized entropy, total entropy H_S) plus the frequency-analysis
+helpers the segment-mining step of Section 4.3 relies on.
+"""
+
+from repro.stats.entropy import (
+    empirical_entropy,
+    entropy_of_counts,
+    nybble_entropies,
+    total_entropy,
+    windowed_entropy,
+)
+from repro.stats.histogram import Histogram, value_counts
+from repro.stats.mutual_information import (
+    intra_segment_mi,
+    mi_matrix,
+    mutual_information,
+    normalized_mutual_information,
+    segment_string_entropy,
+    top_dependent_pairs,
+)
+from repro.stats.outliers import tukey_fence, tukey_outlier_values
+from repro.stats.rng import default_rng, spawn_rng
+
+__all__ = [
+    "Histogram",
+    "intra_segment_mi",
+    "mi_matrix",
+    "mutual_information",
+    "normalized_mutual_information",
+    "segment_string_entropy",
+    "top_dependent_pairs",
+    "default_rng",
+    "empirical_entropy",
+    "entropy_of_counts",
+    "nybble_entropies",
+    "spawn_rng",
+    "total_entropy",
+    "tukey_fence",
+    "tukey_outlier_values",
+    "value_counts",
+    "windowed_entropy",
+]

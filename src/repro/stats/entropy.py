@@ -1,0 +1,126 @@
+"""Empirical entropy, as defined in Section 4.1 of the paper.
+
+The paper uses Shannon entropy of the empirical distribution of values at
+each nybble position, normalized by the maximum possible entropy
+``log k`` (eq. 2), plus the *total entropy* ``H_S`` (eq. 3): the sum of
+the 32 per-nybble normalized entropies.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.ipv6.sets import AddressSet
+
+#: Number of possible values of one nybble; ``log NYBBLE_CARDINALITY`` is
+#: the normalizer of eq. (2).
+NYBBLE_CARDINALITY = 16
+
+
+def entropy_of_counts(counts: Sequence[float], base_cardinality: int = None) -> float:
+    """Shannon entropy of a count vector, optionally normalized.
+
+    With ``base_cardinality`` set, the result is divided by
+    ``log(base_cardinality)`` (the paper's normalization); otherwise the
+    raw entropy in nats is returned.
+
+    >>> entropy_of_counts([2, 3], base_cardinality=16)  # eq. (2) example
+    0.242792...
+    """
+    array = np.asarray(counts, dtype=np.float64)
+    array = array[array > 0]
+    total = array.sum()
+    if total <= 0 or array.size <= 1:
+        entropy = 0.0
+    else:
+        p = array / total
+        entropy = float(-(p * np.log(p)).sum())
+    if base_cardinality is not None:
+        if base_cardinality < 2:
+            raise ValueError("base_cardinality must be >= 2")
+        entropy /= math.log(base_cardinality)
+    return entropy
+
+
+def empirical_entropy(
+    values: Iterable[Union[int, str]], base_cardinality: int = None
+) -> float:
+    """Entropy of the empirical distribution of ``values``."""
+    counts: Dict[Union[int, str], int] = {}
+    for value in values:
+        counts[value] = counts.get(value, 0) + 1
+    return entropy_of_counts(list(counts.values()), base_cardinality)
+
+
+def nybble_entropies(address_set: AddressSet) -> np.ndarray:
+    """Normalized entropy of each nybble column (eq. 1-2).
+
+    Returns an array of ``width`` floats in [0, 1]; element ``i`` is
+    ``H^(X_{i+1})`` of Section 4.1.
+    """
+    matrix = address_set.matrix
+    n, width = matrix.shape
+    result = np.zeros(width, dtype=np.float64)
+    if n == 0:
+        return result
+    log_norm = math.log(NYBBLE_CARDINALITY)
+    for column in range(width):
+        counts = np.bincount(matrix[:, column], minlength=NYBBLE_CARDINALITY)
+        result[column] = entropy_of_counts(counts) / log_norm
+    return result
+
+
+def total_entropy(address_set: AddressSet) -> float:
+    """Total entropy H_S (eq. 3): the sum of per-nybble entropies.
+
+    Quantifies how hard it is to guess addresses in the set by chance;
+    e.g. the paper reports H_S = 4.6 for router dataset R1 and
+    H_S = 21.2 for client dataset C1.
+    """
+    return float(nybble_entropies(address_set).sum())
+
+
+def windowed_entropy(
+    address_set: AddressSet,
+    bit_step: int = 4,
+) -> List[Tuple[int, int, float]]:
+    """Unnormalized entropy for every (position, length) address window.
+
+    This reproduces the "windowing analysis" of Section 4.5 / Fig. 5:
+    for every window of ``length`` bits starting at ``position`` bits
+    (both multiples of ``bit_step``), compute the entropy (in bits,
+    unnormalized) of the window's values across the set.
+
+    Returns a list of ``(position_bits, length_bits, entropy_bits)``.
+    Windows wider than 64 bits are skipped (their values would not be
+    vectorizable and the paper's Fig. 5 colour scale saturates well below
+    that anyway — entropy is capped by ``log2 n``).
+    """
+    if bit_step % 4 != 0:
+        raise ValueError("bit_step must be a multiple of 4 (nybble-aligned)")
+    nybble_step = bit_step // 4
+    width = address_set.width
+    results: List[Tuple[int, int, float]] = []
+    for start in range(0, width, nybble_step):
+        for stop in range(start + nybble_step, width + 1, nybble_step):
+            if (stop - start) * 4 > 64:
+                continue
+            values = address_set.segment_values(start + 1, stop)
+            _, counts = np.unique(values, return_counts=True)
+            entropy_nats = entropy_of_counts(counts)
+            results.append((start * 4, (stop - start) * 4, entropy_nats / math.log(2)))
+    return results
+
+
+def entropy_profile(address_set: AddressSet) -> Dict[str, object]:
+    """Convenience bundle: per-nybble entropies plus H_S."""
+    entropies = nybble_entropies(address_set)
+    return {
+        "per_nybble": entropies,
+        "total": float(entropies.sum()),
+        "n": len(address_set),
+        "width": address_set.width,
+    }

@@ -1,0 +1,128 @@
+"""Value-frequency histograms for segment mining (Section 4.3).
+
+The mining heuristic looks at a segment's data three ways: raw value
+frequencies (outlier step), the multiset of values (value-space DBSCAN),
+and the histogram viewed as (value, count) points (histogram DBSCAN).
+:class:`Histogram` is the shared representation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+
+def value_counts(values: Iterable[int]) -> Dict[int, int]:
+    """Exact counts of each distinct value."""
+    counts: Dict[int, int] = {}
+    for value in values:
+        key = int(value)
+        counts[key] = counts.get(key, 0) + 1
+    return counts
+
+
+class Histogram:
+    """A sparse histogram over non-negative integer values.
+
+    Stores sorted distinct values and their counts; provides the views
+    the mining steps need.
+
+    >>> h = Histogram.from_values([1, 1, 2, 9])
+    >>> h.values.tolist(), h.counts.tolist()
+    ([1, 2, 9], [2, 1, 1])
+    >>> h.total
+    4
+    """
+
+    __slots__ = ("values", "counts")
+
+    def __init__(self, values: Sequence[int], counts: Sequence[int]):
+        self.values = np.asarray(values, dtype=object if _needs_object(values) else np.uint64)
+        self.counts = np.asarray(counts, dtype=np.int64)
+        if len(self.values) != len(self.counts):
+            raise ValueError("values and counts must have equal length")
+        if len(self.values) > 1 and not all(
+            self.values[i] < self.values[i + 1] for i in range(len(self.values) - 1)
+        ):
+            raise ValueError("values must be strictly increasing")
+        if np.any(self.counts <= 0):
+            raise ValueError("counts must be positive")
+
+    @classmethod
+    def from_values(cls, values: Iterable[int]) -> "Histogram":
+        """Build from a multiset of values."""
+        counts = value_counts(values)
+        ordered = sorted(counts)
+        return cls(ordered, [counts[v] for v in ordered])
+
+    @property
+    def total(self) -> int:
+        """Total number of observations."""
+        return int(self.counts.sum())
+
+    @property
+    def distinct(self) -> int:
+        """Number of distinct values."""
+        return len(self.values)
+
+    def min_value(self) -> int:
+        if not len(self.values):
+            raise ValueError("empty histogram")
+        return int(self.values[0])
+
+    def max_value(self) -> int:
+        if not len(self.values):
+            raise ValueError("empty histogram")
+        return int(self.values[-1])
+
+    def frequency(self, value: int) -> float:
+        """Relative frequency of ``value`` (0.0 if unseen)."""
+        index = np.searchsorted(self.values.astype(object), value)
+        if index < len(self.values) and int(self.values[index]) == value:
+            return float(self.counts[index]) / self.total
+        return 0.0
+
+    def count_in_range(self, low: int, high: int) -> int:
+        """Total count of observations with ``low <= value <= high``."""
+        mask = [(low <= int(v) <= high) for v in self.values]
+        return int(self.counts[np.asarray(mask, dtype=bool)].sum()) if mask else 0
+
+    def remove_values(self, to_remove: Iterable[int]) -> "Histogram":
+        """New histogram with the given distinct values dropped."""
+        removal = {int(v) for v in to_remove}
+        keep = [i for i, v in enumerate(self.values) if int(v) not in removal]
+        return Histogram(
+            [int(self.values[i]) for i in keep],
+            [int(self.counts[i]) for i in keep],
+        )
+
+    def remove_range(self, low: int, high: int) -> "Histogram":
+        """New histogram with all values in [low, high] dropped."""
+        keep = [i for i, v in enumerate(self.values) if not low <= int(v) <= high]
+        return Histogram(
+            [int(self.values[i]) for i in keep],
+            [int(self.counts[i]) for i in keep],
+        )
+
+    def items(self) -> List[Tuple[int, int]]:
+        """Sorted (value, count) pairs."""
+        return [(int(v), int(c)) for v, c in zip(self.values, self.counts)]
+
+    def expand(self) -> List[int]:
+        """Back to a sorted multiset (careful with large totals)."""
+        result: List[int] = []
+        for value, count in self.items():
+            result.extend([value] * count)
+        return result
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def __repr__(self) -> str:
+        return f"Histogram(distinct={self.distinct}, total={self.total})"
+
+
+def _needs_object(values: Sequence[int]) -> bool:
+    """True if any value exceeds the uint64 range."""
+    return any(int(v) >= (1 << 64) for v in values)

@@ -1,0 +1,124 @@
+"""Mutual information between address nybbles (§6 future work).
+
+The paper notes: "our Bayesian Network model captures dependencies
+between segments ... we did not study dependencies across nybbles
+within segments.  We intend to do so in future research, possibly
+employing the concept of mutual information."  This module implements
+that study: empirical MI between nybble columns, a full pairwise MI
+matrix, and a normalized variant suitable for heat-map rendering.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.ipv6.sets import AddressSet
+from repro.stats.entropy import entropy_of_counts
+
+#: Number of possible nybble values.
+_CARD = 16
+
+
+def mutual_information(x: np.ndarray, y: np.ndarray) -> float:
+    """Empirical MI I(X;Y) in nats between two nybble columns.
+
+    I(X;Y) = H(X) + H(Y) - H(X,Y), estimated from the joint counts.
+    Always >= 0 up to floating-point error.
+    """
+    x = np.asarray(x, dtype=np.int64)
+    y = np.asarray(y, dtype=np.int64)
+    if x.shape != y.shape:
+        raise ValueError("columns must have equal length")
+    if x.size == 0:
+        return 0.0
+    joint = np.bincount(x * _CARD + y, minlength=_CARD * _CARD)
+    h_x = entropy_of_counts(np.bincount(x, minlength=_CARD))
+    h_y = entropy_of_counts(np.bincount(y, minlength=_CARD))
+    h_xy = entropy_of_counts(joint)
+    return max(0.0, h_x + h_y - h_xy)
+
+
+def normalized_mutual_information(x: np.ndarray, y: np.ndarray) -> float:
+    """MI normalized to [0, 1] by min(H(X), H(Y)).
+
+    1 means one column determines the other; 0 means independence.
+    Degenerate (constant) columns have NMI 0 by convention.
+    """
+    x = np.asarray(x, dtype=np.int64)
+    y = np.asarray(y, dtype=np.int64)
+    h_x = entropy_of_counts(np.bincount(x, minlength=_CARD))
+    h_y = entropy_of_counts(np.bincount(y, minlength=_CARD))
+    denominator = min(h_x, h_y)
+    if denominator <= 0:
+        return 0.0
+    return min(1.0, mutual_information(x, y) / denominator)
+
+
+def mi_matrix(
+    address_set: AddressSet, normalized: bool = True
+) -> np.ndarray:
+    """Pairwise (width x width) MI matrix over all nybble columns.
+
+    The diagonal holds each column's self-NMI (1 for non-constant
+    columns under normalization, H(X) otherwise).
+    """
+    matrix = address_set.matrix
+    width = address_set.width
+    measure = normalized_mutual_information if normalized else mutual_information
+    result = np.zeros((width, width), dtype=np.float64)
+    for i in range(width):
+        for j in range(i, width):
+            value = measure(matrix[:, i], matrix[:, j])
+            result[i, j] = value
+            result[j, i] = value
+    return result
+
+
+def top_dependent_pairs(
+    address_set: AddressSet,
+    limit: int = 10,
+    min_nmi: float = 0.2,
+) -> Sequence[Tuple[int, int, float]]:
+    """The most-dependent non-adjacent column pairs, strongest first.
+
+    Returns (position_i, position_j, nmi) with 1-indexed positions,
+    skipping trivially-correlated adjacent columns so the output
+    surfaces the long-range structure the BN cares about.
+    """
+    matrix = mi_matrix(address_set, normalized=True)
+    width = matrix.shape[0]
+    pairs = []
+    for i in range(width):
+        for j in range(i + 2, width):  # skip adjacent columns
+            if matrix[i, j] >= min_nmi:
+                pairs.append((i + 1, j + 1, float(matrix[i, j])))
+    pairs.sort(key=lambda triple: -triple[2])
+    return pairs[:limit]
+
+
+def intra_segment_mi(
+    address_set: AddressSet, first_nybble: int, last_nybble: int
+) -> np.ndarray:
+    """MI matrix restricted to one segment's nybbles (§6's question)."""
+    if not 1 <= first_nybble <= last_nybble <= address_set.width:
+        raise IndexError("invalid segment bounds")
+    sub = AddressSet(address_set.matrix[:, first_nybble - 1 : last_nybble])
+    return mi_matrix(sub, normalized=True)
+
+
+def segment_string_entropy(
+    address_set: AddressSet, first_nybble: int, last_nybble: int
+) -> float:
+    """Entropy of the segment viewed as one string, length-normalized.
+
+    The §6 alternative: "an entropy measure of the string of nybbles
+    within a segment, where the normalization considers the length of
+    that segment".  Returns H(values) / (n_nybbles * log 16) ∈ [0, 1].
+    """
+    values = address_set.segment_values(first_nybble, last_nybble)
+    _, counts = np.unique(values, return_counts=True)
+    width = last_nybble - first_nybble + 1
+    return entropy_of_counts(counts) / (width * math.log(_CARD))

@@ -1,0 +1,59 @@
+"""Tukey-fence outlier detection for the mining step (Section 4.3(a)).
+
+    "Assuming normal distribution of frequencies of values, we select the
+    values more common than Q3 + 1.5*IQR, where Q3 is the third quartile
+    and IQR is the inter-quartile range."
+
+Applied to a segment's value-frequency histogram, this surfaces unusually
+prevalent values such as C1..C5 in Fig. 4.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.stats.histogram import Histogram
+
+
+def tukey_fence(samples: Sequence[float], k: float = 1.5) -> float:
+    """The upper Tukey fence Q3 + k*IQR of ``samples``.
+
+    Uses linear-interpolation quartiles (the standard numpy default).
+    """
+    array = np.asarray(samples, dtype=np.float64)
+    if array.size == 0:
+        raise ValueError("cannot compute fence of empty sample")
+    q1, q3 = np.percentile(array, [25, 75])
+    return float(q3 + k * (q3 - q1))
+
+
+def tukey_outlier_values(
+    histogram: Histogram, k: float = 1.5, max_results: int = None
+) -> List[Tuple[int, int]]:
+    """Unusually prevalent values of a histogram, most frequent first.
+
+    Returns (value, count) pairs whose count strictly exceeds the upper
+    fence of the count distribution.  ``max_results`` caps the output
+    (the paper nominates at most 10 per mining step).
+
+    A histogram with a single distinct value has zero IQR, so that value
+    is returned as the (sole) outlier — it plainly dominates the segment.
+    """
+    if len(histogram) == 0:
+        return []
+    counts = histogram.counts.astype(np.float64)
+    if len(histogram) == 1:
+        outliers = [(int(histogram.values[0]), int(histogram.counts[0]))]
+        return outliers[:max_results] if max_results else outliers
+    fence = tukey_fence(counts, k=k)
+    chosen = [
+        (int(v), int(c))
+        for v, c in zip(histogram.values, histogram.counts)
+        if c > fence
+    ]
+    chosen.sort(key=lambda pair: (-pair[1], pair[0]))
+    if max_results is not None:
+        chosen = chosen[:max_results]
+    return chosen

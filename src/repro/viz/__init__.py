@@ -1,0 +1,35 @@
+"""Text visualizations of Entropy/IP's figures.
+
+The paper's system renders an interactive web page; offline we render
+deterministic ASCII: entropy/ACR line plots (Figs. 6-10), the
+conditional probability browser heat map (Fig. 1b/c), the BN dependency
+graph (Fig. 2), the mining histogram (Fig. 4), and the windowing heat
+map (Fig. 5).
+"""
+
+from repro.viz.ascii import bar, heat_char, line_plot, sparkline
+from repro.viz.figures import (
+    render_acr_entropy_plot,
+    render_mi_heatmap,
+    render_snapshot_delta,
+    render_bn_graph,
+    render_browser,
+    render_mining_table,
+    render_segment_histogram,
+    render_windowing_map,
+)
+
+__all__ = [
+    "bar",
+    "heat_char",
+    "line_plot",
+    "render_acr_entropy_plot",
+    "render_bn_graph",
+    "render_browser",
+    "render_mi_heatmap",
+    "render_mining_table",
+    "render_snapshot_delta",
+    "render_segment_histogram",
+    "render_windowing_map",
+    "sparkline",
+]

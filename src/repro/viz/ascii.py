@@ -1,0 +1,75 @@
+"""Low-level ASCII plotting primitives.
+
+Pure-text building blocks used by :mod:`repro.viz.figures`: horizontal
+bars, sparklines, multi-row line plots, and heat-map shading characters.
+Everything returns plain strings so outputs are diffable and testable.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+#: Shading ramp for heat maps, light to dark.
+HEAT_RAMP = " .:-=+*#%@"
+
+#: Eight-level block characters for sparklines.
+SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+
+
+def heat_char(value: float, low: float = 0.0, high: float = 1.0) -> str:
+    """Map a value to a shading character ('.'-ish light → '@' dark)."""
+    if high <= low:
+        return HEAT_RAMP[0]
+    fraction = (value - low) / (high - low)
+    fraction = min(max(fraction, 0.0), 1.0)
+    index = min(int(fraction * len(HEAT_RAMP)), len(HEAT_RAMP) - 1)
+    return HEAT_RAMP[index]
+
+
+def sparkline(values: Sequence[float], low: float = 0.0, high: float = 1.0) -> str:
+    """One-line block-character plot of a numeric series."""
+    if high <= low:
+        high = low + 1.0
+    chars = []
+    for value in values:
+        fraction = (value - low) / (high - low)
+        fraction = min(max(fraction, 0.0), 1.0)
+        index = min(int(fraction * len(SPARK_LEVELS)), len(SPARK_LEVELS) - 1)
+        chars.append(SPARK_LEVELS[index])
+    return "".join(chars)
+
+
+def bar(value: float, width: int = 40, high: float = 1.0) -> str:
+    """A horizontal bar of '#' characters proportional to ``value``."""
+    if high <= 0:
+        raise ValueError("high must be positive")
+    filled = int(round(min(max(value / high, 0.0), 1.0) * width))
+    return "#" * filled + " " * (width - filled)
+
+
+def line_plot(
+    series: Sequence[Sequence[float]],
+    height: int = 10,
+    markers: str = "*o+x",
+    low: float = 0.0,
+    high: float = 1.0,
+) -> List[str]:
+    """Plot one or more series as character rows (top row = ``high``).
+
+    Later series draw over earlier ones where they collide.  Returns the
+    plot rows without axes; callers add labels.
+    """
+    if not series or not series[0]:
+        return []
+    width = max(len(s) for s in series)
+    if high <= low:
+        high = low + 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for series_index, values in enumerate(series):
+        marker = markers[series_index % len(markers)]
+        for x, value in enumerate(values):
+            fraction = (value - low) / (high - low)
+            fraction = min(max(fraction, 0.0), 1.0)
+            y = height - 1 - min(int(fraction * height), height - 1)
+            grid[y][x] = marker
+    return ["".join(row) for row in grid]

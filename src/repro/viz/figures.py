@@ -1,0 +1,208 @@
+"""Figure-level renderings (text analogues of the paper's plots).
+
+Each function returns a multi-line string; the benchmark harness prints
+these so every figure in the paper has a regenerable artifact.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.browser import ConditionalBrowser
+from repro.core.mining import MinedSegment
+from repro.core.pipeline import EntropyIP
+from repro.core.windowing import WindowingResult
+from repro.viz.ascii import heat_char, line_plot
+
+
+def render_acr_entropy_plot(
+    analysis: EntropyIP, title: str = "", height: int = 12
+) -> str:
+    """Figs. 6-10 style: entropy ('*') vs 4-bit ACR ('o') per nybble.
+
+    Segment boundaries are marked under the X axis with the segment
+    labels, like the dashed lines of Fig. 1(a).
+    """
+    entropy = analysis.entropy()
+    acr = analysis.acr()
+    rows = line_plot([list(entropy), list(acr)], height=height, markers="*o")
+    width = len(entropy)
+    labels = [" "] * width
+    for segment in analysis.segments:
+        labels[segment.first_nybble - 1] = "|"
+        mid = (segment.first_nybble + segment.last_nybble) // 2 - 1
+        if labels[mid] == " ":
+            labels[mid] = segment.label[0]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(
+        f"H_S={analysis.total_entropy():.1f}  "
+        f"n={len(analysis.address_set)}  (*=entropy, o=4-bit ACR)"
+    )
+    lines.append("1.0 " + "-" * width)
+    lines.extend("    " + row for row in rows)
+    lines.append("0.0 " + "-" * width)
+    lines.append("    " + "".join(labels))
+    lines.append("    bits 0" + " " * (width - 9) + "128"[: max(0, width - 6)])
+    return "\n".join(lines)
+
+
+def render_browser(
+    browser: ConditionalBrowser,
+    max_rows: int = 8,
+    title: str = "",
+) -> str:
+    """Fig. 1(b,c) style: per-segment value boxes with probabilities."""
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    evidence = browser.evidence_codes()
+    if evidence:
+        clicks = ", ".join(f"{k}={v}" for k, v in sorted(evidence.items()))
+        lines.append(f"conditioned on: {clicks} "
+                     f"(P={browser.probability_of_evidence():.3f})")
+    else:
+        lines.append("unconditioned")
+    for label, rows in browser.rows().items():
+        ordered = sorted(rows, key=lambda r: -r.probability)[:max_rows]
+        lines.append(f"segment {label}:")
+        for row in ordered:
+            if row.probability < 0.001 and not row.is_evidence:
+                continue
+            mark = "▶" if row.is_evidence else " "
+            shade = heat_char(row.probability)
+            lines.append(
+                f"  {mark}{shade} {row.code:<6} {row.value_text:<28} "
+                f"{100 * row.probability:6.2f}%"
+            )
+    return "\n".join(lines)
+
+
+def render_bn_graph(analysis: EntropyIP, highlight: Optional[str] = None) -> str:
+    """Fig. 2 style: the segment dependency graph as an edge list.
+
+    ``highlight`` marks the direct parents of one segment (the red edges
+    of Fig. 2).
+    """
+    network = analysis.model.network
+    lines = ["Bayesian network structure (parent -> child):"]
+    edges = network.edges()
+    if not edges:
+        lines.append("  (no edges: all segments independent)")
+    for parent, child in edges:
+        marker = " <== direct influence" if highlight and child == highlight else ""
+        lines.append(f"  {parent} -> {child}{marker}")
+    for variable in network.variables:
+        if highlight == variable:
+            parents = network.parents(variable)
+            lines.append(
+                f"segment {variable} depends directly on: "
+                f"{', '.join(parents) if parents else '(nothing)'}"
+            )
+    return "\n".join(lines)
+
+
+def render_mining_table(analysis: EntropyIP) -> str:
+    """Table 3 style: per-segment codes, values, frequencies."""
+    lines = ["Seg.  Code   Value                          Freq."]
+    for mined in analysis.encoder.mined_segments:
+        segment = mined.segment
+        start, end = segment.bits
+        header = f"{segment.label} ({start}-{end})"
+        lines.append(header)
+        nybbles = segment.nybble_count
+        for value in mined.values:
+            lines.append(
+                f"      {value.code:<6} {value.format_value(nybbles):<30} "
+                f"{100 * value.frequency:6.2f}%"
+            )
+    return "\n".join(lines)
+
+
+def render_segment_histogram(
+    mined: MinedSegment,
+    analysis: EntropyIP,
+    width: int = 64,
+) -> str:
+    """Fig. 4 style: the segment's value histogram with code annotations."""
+    segment = mined.segment
+    values = analysis.address_set.segment_values(
+        segment.first_nybble, segment.last_nybble
+    )
+    distinct, counts = np.unique(values, return_counts=True)
+    max_count = counts.max() if len(counts) else 1
+    lines = [
+        f"histogram of segment {segment.label} "
+        f"({len(distinct)} distinct values, annotations = mined codes)"
+    ]
+    # Bucket the value space into `width` columns.
+    cardinality = segment.cardinality
+    buckets = np.zeros(width)
+    for value, count in zip(distinct, counts):
+        bucket = min(int(int(value) / cardinality * width), width - 1)
+        buckets[bucket] += count
+    top = buckets.max() if buckets.max() > 0 else 1
+    lines.append("".join(heat_char(b, 0, top) for b in buckets))
+    for element in mined.values:
+        low_bucket = min(int(element.low / cardinality * width), width - 1)
+        lines.append(
+            " " * low_bucket + f"^{element.code} ({100 * element.frequency:.1f}%)"
+        )
+    return "\n".join(lines)
+
+
+def render_windowing_map(result: WindowingResult, bit_step: int = 4) -> str:
+    """Fig. 5 style: triangular (position x length) heat map."""
+    matrix = result.as_matrix(bit_step)
+    if matrix.size == 0:
+        return "(empty windowing result)"
+    top = np.nanmax(matrix)
+    lines = [
+        f"windowed {result.measure} (rows = window position, "
+        f"cols = window length, step {bit_step} bits, max={top:.1f})"
+    ]
+    rows, cols = matrix.shape
+    for r in range(rows):
+        cells = []
+        for c in range(cols):
+            value = matrix[r, c]
+            cells.append(" " if np.isnan(value) else heat_char(value, 0, top))
+        lines.append(f"{r * bit_step:>4} " + "".join(cells))
+    return "\n".join(lines)
+
+
+def render_mi_heatmap(address_set, normalized: bool = True) -> str:
+    """§6 extension: pairwise nybble mutual-information heat map."""
+    from repro.stats.mutual_information import mi_matrix
+
+    matrix = mi_matrix(address_set, normalized=normalized)
+    top = float(np.nanmax(matrix)) or 1.0
+    lines = [
+        f"pairwise {'normalized ' if normalized else ''}mutual information "
+        f"({address_set.width} nybbles, max={top:.2f})"
+    ]
+    for i in range(matrix.shape[0]):
+        row = "".join(heat_char(matrix[i, j], 0, top)
+                      for j in range(matrix.shape[1]))
+        lines.append(f"{i + 1:>3} {row}")
+    return "\n".join(lines)
+
+
+def render_snapshot_delta(delta, height: int = 8) -> str:
+    """§6 extension: render a temporal comparison of two snapshots."""
+    lines = ["temporal snapshot comparison:"]
+    lines.append("entropy delta (+ = more random in the later snapshot):")
+    shifted = 0.5 + delta.entropy_delta / 2.0  # map [-1,1] -> [0,1]
+    rows = line_plot([list(shifted)], height=height, markers="*")
+    lines.extend("  " + row for row in rows)
+    lines.append(f"  {delta.summary()}")
+    for drift in delta.segment_drift:
+        marker = "CHANGED" if drift.changed else "stable"
+        lines.append(
+            f"  segment {drift.label:<3} "
+            f"JS={drift.js_divergence:6.3f}  {marker}"
+        )
+    return "\n".join(lines)

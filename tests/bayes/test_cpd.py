@@ -1,0 +1,84 @@
+"""Tests for CPDs and their estimation."""
+
+import numpy as np
+import pytest
+
+from repro.bayes.cpd import CPD, count_family, estimate_cpd
+
+
+class TestCPD:
+    def test_valid_table(self):
+        cpd = CPD("x", (), np.array([0.25, 0.75]))
+        assert cpd.child_cardinality == 2
+
+    def test_rejects_non_normalized(self):
+        with pytest.raises(ValueError):
+            CPD("x", (), np.array([0.3, 0.3]))
+
+    def test_rejects_self_parent(self):
+        with pytest.raises(ValueError):
+            CPD("x", ("x",), np.ones((2, 2)) / 2)
+
+    def test_rejects_rank_mismatch(self):
+        with pytest.raises(ValueError):
+            CPD("x", ("y",), np.array([0.5, 0.5]))
+
+    def test_distribution_and_probability(self):
+        table = np.array([[0.9, 0.2], [0.1, 0.8]])
+        cpd = CPD("x", ("y",), table)
+        assert np.allclose(cpd.distribution({"y": 1}), [0.2, 0.8])
+        assert cpd.probability(0, {"y": 0}) == pytest.approx(0.9)
+
+    def test_parent_cardinalities(self):
+        cpd = CPD("x", ("y",), np.ones((2, 3)) / 2)
+        assert cpd.parent_cardinalities() == {"y": 3}
+
+    def test_to_factor(self):
+        table = np.array([[0.9, 0.2], [0.1, 0.8]])
+        factor = CPD("x", ("y",), table).to_factor()
+        assert factor.variables == ("x", "y")
+        assert factor.value({"x": 1, "y": 1}) == pytest.approx(0.8)
+
+
+class TestCountFamily:
+    def test_counts(self):
+        data = np.array([[0, 0], [0, 1], [1, 1], [1, 1]])
+        counts = count_family(data, 1, [0], [2, 2])
+        # axes: (child=col1, parent=col0)
+        assert counts[0, 0] == 1  # child 0, parent 0
+        assert counts[1, 1] == 2
+
+    def test_no_parents(self):
+        data = np.array([[0], [1], [1]])
+        counts = count_family(data, 0, [], [2])
+        assert counts.tolist() == [1, 2]
+
+
+class TestEstimation:
+    def test_mle_without_smoothing(self):
+        data = np.array([[0], [0], [1], [0]])
+        cpd = estimate_cpd(data, 0, [], [2], ["x"], alpha=0.0)
+        assert np.allclose(cpd.table, [0.75, 0.25])
+
+    def test_smoothing_pulls_toward_uniform(self):
+        data = np.array([[0]] * 100)
+        smoothed = estimate_cpd(data, 0, [], [2], ["x"], alpha=1.0)
+        assert 0 < smoothed.table[1] < 0.05
+
+    def test_unseen_parent_config_uniform(self):
+        # parent value 1 never observed → uniform child distribution.
+        data = np.array([[0, 0], [1, 0]])
+        cpd = estimate_cpd(data, 0, [1], [2, 2], ["x", "y"], alpha=0.0)
+        assert np.allclose(cpd.table[:, 1], [0.5, 0.5])
+
+    def test_conditional_estimation(self):
+        # x copies y exactly.
+        y = np.array([0, 1] * 50)
+        data = np.column_stack([y, y])
+        cpd = estimate_cpd(data, 0, [1], [2, 2], ["x", "y"], alpha=0.0)
+        assert cpd.probability(0, {"y": 0}) == pytest.approx(1.0)
+        assert cpd.probability(1, {"y": 1}) == pytest.approx(1.0)
+
+    def test_rejects_negative_alpha(self):
+        with pytest.raises(ValueError):
+            estimate_cpd(np.array([[0]]), 0, [], [2], ["x"], alpha=-1)

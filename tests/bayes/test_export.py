@@ -1,0 +1,72 @@
+"""Tests for DOT/JSON export of learned models."""
+
+import json
+
+import pytest
+
+from repro.bayes.export import browser_to_json, to_dot
+from repro.core.pipeline import EntropyIP
+
+
+@pytest.fixture(scope="module")
+def analysis(structured_set):
+    return EntropyIP.fit(structured_set)
+
+
+class TestDot:
+    def test_structure(self, analysis):
+        dot = to_dot(analysis.model.network)
+        assert dot.startswith("digraph entropy_ip_bn {")
+        assert dot.rstrip().endswith("}")
+        for variable in analysis.model.network.variables:
+            assert f"{variable} [shape=circle" in dot
+
+    def test_edges_rendered(self, analysis):
+        dot = to_dot(analysis.model.network)
+        for parent, child in analysis.model.network.edges():
+            assert f"{parent} -> {child}" in dot
+
+    def test_highlight(self, analysis):
+        edges = analysis.model.network.edges()
+        if not edges:
+            pytest.skip("no edges to highlight")
+        _, child = edges[0]
+        dot = to_dot(analysis.model.network, highlight_child=child)
+        assert "color=red" in dot
+
+    def test_custom_name(self, analysis):
+        assert "digraph g2 {" in to_dot(analysis.model.network,
+                                        graph_name="g2")
+
+
+class TestBrowserJson:
+    def test_round_trips_through_json(self, analysis):
+        document = json.loads(browser_to_json(analysis.browse()))
+        assert document["evidence"] == {}
+        assert document["evidence_probability"] == 1.0
+        labels = [s["label"] for s in document["segments"]]
+        assert labels == analysis.encoder.variable_names
+
+    def test_probabilities_sum_per_segment(self, analysis):
+        document = json.loads(browser_to_json(analysis.browse()))
+        for segment in document["segments"]:
+            total = sum(v["probability"] for v in segment["values"])
+            assert total == pytest.approx(1.0, abs=1e-3)
+
+    def test_evidence_marked(self, analysis):
+        label = analysis.segments[0].label
+        browser = analysis.browse().click(f"{label}1")
+        document = json.loads(browser_to_json(browser))
+        assert document["evidence"] == {label: f"{label}1"}
+        first = next(s for s in document["segments"] if s["label"] == label)
+        selected = [v for v in first["values"] if v["selected"]]
+        assert len(selected) == 1
+        assert selected[0]["code"] == f"{label}1"
+
+    def test_rejects_non_browser(self):
+        with pytest.raises(TypeError):
+            browser_to_json("not a browser")
+
+    def test_indentation(self, analysis):
+        pretty = browser_to_json(analysis.browse(), indent=2)
+        assert "\n  " in pretty

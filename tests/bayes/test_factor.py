@@ -1,0 +1,108 @@
+"""Tests for discrete factors."""
+
+import numpy as np
+import pytest
+
+from repro.bayes.factor import Factor, unit_factor
+
+
+@pytest.fixture
+def joint_ab():
+    """P(a, b) with a binary, b ternary."""
+    table = np.array([[0.1, 0.2, 0.1], [0.3, 0.2, 0.1]])
+    return Factor(("a", "b"), table)
+
+
+class TestConstruction:
+    def test_cardinalities(self, joint_ab):
+        assert joint_ab.cardinality("a") == 2
+        assert joint_ab.cardinality("b") == 3
+        assert joint_ab.cardinalities() == {"a": 2, "b": 3}
+
+    def test_rejects_duplicate_variables(self):
+        with pytest.raises(ValueError):
+            Factor(("a", "a"), np.ones((2, 2)))
+
+    def test_rejects_rank_mismatch(self):
+        with pytest.raises(ValueError):
+            Factor(("a",), np.ones((2, 2)))
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Factor(("a",), np.array([-0.1, 1.1]))
+
+
+class TestAlgebra:
+    def test_multiply_shared_variable(self):
+        f = Factor(("a",), np.array([0.5, 0.5]))
+        g = Factor(("a", "b"), np.array([[1.0, 2.0], [3.0, 4.0]]))
+        product = f.multiply(g)
+        assert set(product.variables) == {"a", "b"}
+        assert product.value({"a": 1, "b": 0}) == pytest.approx(1.5)
+
+    def test_multiply_disjoint_is_outer_product(self):
+        f = Factor(("a",), np.array([1.0, 2.0]))
+        g = Factor(("b",), np.array([3.0, 4.0]))
+        product = f * g
+        assert product.value({"a": 1, "b": 1}) == pytest.approx(8.0)
+
+    def test_multiply_commutes(self, joint_ab):
+        g = Factor(("b", "c"), np.arange(6, dtype=float).reshape(3, 2))
+        left = joint_ab.multiply(g)
+        right = g.multiply(joint_ab)
+        assert np.allclose(
+            left.reorder(("a", "b", "c")).table,
+            right.reorder(("a", "b", "c")).table,
+        )
+
+    def test_marginalize(self, joint_ab):
+        marginal = joint_ab.marginalize("b")
+        assert marginal.variables == ("a",)
+        assert np.allclose(marginal.table, [0.4, 0.6])
+
+    def test_marginalize_all_but(self, joint_ab):
+        marginal = joint_ab.marginalize_all_but(["b"])
+        assert marginal.variables == ("b",)
+        assert np.allclose(marginal.table, [0.4, 0.4, 0.2])
+
+    def test_reduce(self, joint_ab):
+        reduced = joint_ab.reduce("a", 1)
+        assert reduced.variables == ("b",)
+        assert np.allclose(reduced.table, [0.3, 0.2, 0.1])
+
+    def test_reduce_out_of_range(self, joint_ab):
+        with pytest.raises(IndexError):
+            joint_ab.reduce("a", 5)
+
+    def test_reduce_evidence_ignores_out_of_scope(self, joint_ab):
+        reduced = joint_ab.reduce_evidence({"a": 0, "zz": 1})
+        assert reduced.variables == ("b",)
+
+    def test_normalize(self, joint_ab):
+        assert joint_ab.normalize().table.sum() == pytest.approx(1.0)
+
+    def test_normalize_zero_factor_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            Factor(("a",), np.zeros(2)).normalize()
+
+    def test_reorder(self, joint_ab):
+        flipped = joint_ab.reorder(("b", "a"))
+        assert flipped.variables == ("b", "a")
+        assert flipped.value({"a": 1, "b": 2}) == joint_ab.value({"a": 1, "b": 2})
+
+    def test_reorder_rejects_non_permutation(self, joint_ab):
+        with pytest.raises(ValueError):
+            joint_ab.reorder(("a", "c"))
+
+
+class TestQueries:
+    def test_value(self, joint_ab):
+        assert joint_ab.value({"a": 0, "b": 1}) == pytest.approx(0.2)
+
+    def test_argmax(self, joint_ab):
+        assert joint_ab.argmax() == {"a": 1, "b": 0}
+
+    def test_unit_factor(self):
+        unit = unit_factor()
+        product = unit.multiply(Factor(("a",), np.array([2.0, 3.0])))
+        assert np.allclose(product.table, [2.0, 3.0])

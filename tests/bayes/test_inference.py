@@ -1,0 +1,127 @@
+"""Tests for variable elimination, validated against brute-force enumeration."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.bayes.cpd import CPD
+from repro.bayes.inference import VariableElimination
+from repro.bayes.network import BayesianNetwork
+
+
+@pytest.fixture
+def sprinkler():
+    """Classic rain/sprinkler/wet-grass network (binary variables).
+
+    rain ~ Bern(0.2); sprinkler | rain; wet | rain, sprinkler.
+    """
+    rain = CPD("rain", (), np.array([0.8, 0.2]))
+    sprinkler = CPD(
+        "sprinkler", ("rain",), np.array([[0.6, 0.99], [0.4, 0.01]])
+    )
+    wet_table = np.zeros((2, 2, 2))
+    # P(wet=1 | rain, sprinkler)
+    p_wet = {(0, 0): 0.0, (0, 1): 0.9, (1, 0): 0.8, (1, 1): 0.99}
+    for (r, s), p in p_wet.items():
+        wet_table[1, r, s] = p
+        wet_table[0, r, s] = 1 - p
+    wet = CPD("wet", ("rain", "sprinkler"), wet_table)
+    return BayesianNetwork(["rain", "sprinkler", "wet"], [rain, sprinkler, wet])
+
+
+def brute_force_marginal(network, variable, evidence):
+    """Enumerate the full joint and condition."""
+    cards = network.cardinalities()
+    names = list(network.variables)
+    result = np.zeros(cards[variable])
+    for states in itertools.product(*(range(cards[v]) for v in names)):
+        assignment = dict(zip(names, states))
+        if any(assignment[k] != v for k, v in evidence.items()):
+            continue
+        result[assignment[variable]] += network.joint_probability(assignment)
+    return result / result.sum()
+
+
+class TestQueries:
+    def test_prior_marginal(self, sprinkler):
+        ve = VariableElimination(sprinkler)
+        assert np.allclose(ve.marginal("rain"), [0.8, 0.2])
+
+    def test_posterior_matches_enumeration(self, sprinkler):
+        ve = VariableElimination(sprinkler)
+        for evidence in ({}, {"wet": 1}, {"wet": 0}, {"sprinkler": 1}):
+            for variable in sprinkler.variables:
+                if variable in evidence:
+                    continue
+                ours = ve.marginal(variable, evidence)
+                reference = brute_force_marginal(sprinkler, variable, evidence)
+                assert np.allclose(ours, reference), (variable, evidence)
+
+    def test_evidential_reasoning_backwards(self, sprinkler):
+        # Observing wet grass raises the probability of rain: influence
+        # flows against edge direction (the Fig. 1b→1c phenomenon).
+        ve = VariableElimination(sprinkler)
+        prior = ve.marginal("rain")[1]
+        posterior = ve.marginal("rain", {"wet": 1})[1]
+        assert posterior > prior
+
+    def test_explaining_away(self, sprinkler):
+        # Given wet grass, learning the sprinkler ran lowers P(rain).
+        ve = VariableElimination(sprinkler)
+        with_wet = ve.marginal("rain", {"wet": 1})[1]
+        with_both = ve.marginal("rain", {"wet": 1, "sprinkler": 1})[1]
+        assert with_both < with_wet
+
+    def test_joint_query(self, sprinkler):
+        ve = VariableElimination(sprinkler)
+        joint = ve.query(["rain", "sprinkler"])
+        assert joint.variables == ("rain", "sprinkler")
+        assert joint.table.sum() == pytest.approx(1.0)
+        # P(rain=1, sprinkler=1) = 0.2 * 0.01
+        assert joint.value({"rain": 1, "sprinkler": 1}) == pytest.approx(0.002)
+
+    def test_all_marginals_excludes_evidence(self, sprinkler):
+        ve = VariableElimination(sprinkler)
+        marginals = ve.all_marginals({"rain": 1})
+        assert set(marginals) == {"sprinkler", "wet"}
+
+    def test_evidence_probability(self, sprinkler):
+        ve = VariableElimination(sprinkler)
+        # P(sprinkler=1) = 0.8*0.4 + 0.2*0.01
+        assert ve.evidence_probability({"sprinkler": 1}) == pytest.approx(0.322)
+        assert ve.evidence_probability({}) == 1.0
+
+    def test_map_assignment(self, sprinkler):
+        ve = VariableElimination(sprinkler)
+        assignment = ve.map_assignment()
+        assert assignment["rain"] == 0
+
+    def test_query_validation(self, sprinkler):
+        ve = VariableElimination(sprinkler)
+        with pytest.raises(KeyError):
+            ve.query(["nope"])
+        with pytest.raises(ValueError):
+            ve.query(["rain"], {"rain": 1})
+
+
+class TestRandomNetworks:
+    def test_random_chain_matches_enumeration(self):
+        rng = np.random.default_rng(3)
+        # Random 4-chain with cardinality 3.
+        names = ["x0", "x1", "x2", "x3"]
+        cpds = []
+        for i, name in enumerate(names):
+            parents = (names[i - 1],) if i else ()
+            shape = (3, 3) if i else (3,)
+            raw = rng.random(shape) + 0.05
+            table = raw / raw.sum(axis=0)
+            cpds.append(CPD(name, parents, table))
+        network = BayesianNetwork(names, cpds)
+        ve = VariableElimination(network)
+        evidence = {"x3": 2}
+        for variable in ["x0", "x1", "x2"]:
+            assert np.allclose(
+                ve.marginal(variable, evidence),
+                brute_force_marginal(network, variable, evidence),
+            )

@@ -1,0 +1,44 @@
+"""Tests for the Markov-chain baseline (§4.5 comparison)."""
+
+import numpy as np
+import pytest
+
+from repro.bayes.cpd import CPD
+from repro.bayes.markov import MarkovChainModel
+from repro.bayes.network import BayesianNetwork
+
+
+class TestMarkovChain:
+    def test_fit_builds_chain(self):
+        rng = np.random.default_rng(0)
+        data = rng.integers(0, 3, size=(200, 4))
+        model = MarkovChainModel.fit(data, ["a", "b", "c", "d"], [3, 3, 3, 3])
+        assert model.network.parents("a") == ()
+        assert model.network.parents("b") == ("a",)
+        assert model.network.parents("d") == ("c",)
+
+    def test_rejects_non_chain(self):
+        a = CPD("a", (), np.array([0.5, 0.5]))
+        b = CPD("b", (), np.array([0.5, 0.5]))  # missing a→b edge
+        with pytest.raises(ValueError):
+            MarkovChainModel(BayesianNetwork(["a", "b"], [a, b]))
+
+    def test_cannot_capture_non_adjacent_dependency(self):
+        # c copies a, b is noise: a BN recovers this, a chain cannot.
+        rng = np.random.default_rng(1)
+        a = rng.integers(0, 2, size=1000)
+        b = rng.integers(0, 2, size=1000)
+        data = np.column_stack([a, b, a])
+        chain = MarkovChainModel.fit(data, ["a", "b", "c"], [2, 2, 2])
+        # In the chain, c's parent is b; P(c|b) is near 50/50 because b
+        # is independent noise.
+        cpd = chain.network.cpd("c")
+        assert abs(cpd.probability(0, {"b": 0}) - 0.5) < 0.1
+
+    def test_log_likelihood_delegates(self):
+        rng = np.random.default_rng(2)
+        data = rng.integers(0, 2, size=(100, 3))
+        model = MarkovChainModel.fit(data, ["a", "b", "c"], [2, 2, 2])
+        assert model.log_likelihood(data) == pytest.approx(
+            model.network.log_likelihood(data)
+        )

@@ -1,0 +1,90 @@
+"""Tests for the BayesianNetwork container."""
+
+import numpy as np
+import pytest
+
+from repro.bayes.cpd import CPD
+from repro.bayes.network import BayesianNetwork
+
+
+@pytest.fixture
+def triple():
+    a = CPD("a", (), np.array([0.5, 0.5]))
+    b = CPD("b", ("a",), np.array([[0.9, 0.1], [0.1, 0.9]]))
+    c = CPD("c", ("a",), np.array([[0.8, 0.3], [0.2, 0.7]]))
+    return BayesianNetwork(["a", "b", "c"], [a, b, c])
+
+
+class TestValidation:
+    def test_rejects_parent_after_child(self):
+        a = CPD("a", ("b",), np.ones((2, 2)) / 2)
+        b = CPD("b", (), np.array([0.5, 0.5]))
+        with pytest.raises(ValueError):
+            BayesianNetwork(["a", "b"], [a, b])
+
+    def test_rejects_missing_cpd(self):
+        a = CPD("a", (), np.array([0.5, 0.5]))
+        with pytest.raises(ValueError):
+            BayesianNetwork(["a", "b"], [a])
+
+    def test_rejects_unknown_parent(self):
+        a = CPD("a", (), np.array([0.5, 0.5]))
+        b = CPD("b", ("zz",), np.ones((2, 2)) / 2)
+        with pytest.raises(ValueError):
+            BayesianNetwork(["a", "b"], [a, b])
+
+    def test_rejects_duplicate_names(self):
+        a = CPD("a", (), np.array([0.5, 0.5]))
+        with pytest.raises(ValueError):
+            BayesianNetwork(["a", "a"], [a, a])
+
+
+class TestAccessors:
+    def test_parents_children(self, triple):
+        assert triple.parents("b") == ("a",)
+        assert triple.children("a") == ["b", "c"]
+
+    def test_cardinalities(self, triple):
+        assert triple.cardinalities() == {"a": 2, "b": 2, "c": 2}
+
+    def test_edges(self, triple):
+        assert set(triple.edges()) == {("a", "b"), ("a", "c")}
+
+    def test_markov_blanket(self, triple):
+        assert triple.markov_blanket("a") == ["b", "c"]
+        assert triple.markov_blanket("b") == ["a"]
+
+    def test_to_networkx(self, triple):
+        graph = triple.to_networkx()
+        assert graph.number_of_nodes() == 3
+        assert graph.has_edge("a", "b")
+
+
+class TestProbability:
+    def test_joint_probability(self, triple):
+        # P(a=0) * P(b=0|a=0) * P(c=0|a=0) = 0.5 * 0.9 * 0.8
+        p = triple.joint_probability({"a": 0, "b": 0, "c": 0})
+        assert p == pytest.approx(0.36)
+
+    def test_joint_sums_to_one(self, triple):
+        total = sum(
+            triple.joint_probability({"a": a, "b": b, "c": c})
+            for a in range(2)
+            for b in range(2)
+            for c in range(2)
+        )
+        assert total == pytest.approx(1.0)
+
+    def test_log_likelihood(self, triple):
+        data = np.array([[0, 0, 0], [1, 1, 1]])
+        expected = np.log(0.36) + np.log(0.5 * 0.9 * 0.7)
+        assert triple.log_likelihood(data) == pytest.approx(expected)
+
+    def test_log_likelihood_shape_mismatch(self, triple):
+        with pytest.raises(ValueError):
+            triple.log_likelihood(np.zeros((2, 2), dtype=int))
+
+    def test_log_likelihood_zero_probability(self):
+        a = CPD("a", (), np.array([1.0, 0.0]))
+        network = BayesianNetwork(["a"], [a])
+        assert network.log_likelihood(np.array([[1]])) == float("-inf")

@@ -1,0 +1,94 @@
+"""Tests for forward and likelihood-weighted sampling."""
+
+import numpy as np
+import pytest
+
+from repro.bayes.cpd import CPD
+from repro.bayes.inference import VariableElimination
+from repro.bayes.network import BayesianNetwork
+from repro.bayes.sampling import (
+    forward_sample,
+    likelihood_weighted_sample,
+    sample_assignments,
+)
+
+
+@pytest.fixture
+def coupled():
+    """x ~ Bern(0.3); y = x with probability 0.9."""
+    x = CPD("x", (), np.array([0.7, 0.3]))
+    y = CPD("y", ("x",), np.array([[0.9, 0.1], [0.1, 0.9]]))
+    return BayesianNetwork(["x", "y"], [x, y])
+
+
+class TestForwardSampling:
+    def test_shape_and_range(self, coupled, rng):
+        samples = forward_sample(coupled, 500, rng)
+        assert samples.shape == (500, 2)
+        assert samples.min() >= 0 and samples.max() <= 1
+
+    def test_marginal_frequencies(self, coupled):
+        rng = np.random.default_rng(0)
+        samples = forward_sample(coupled, 20000, rng)
+        assert samples[:, 0].mean() == pytest.approx(0.3, abs=0.02)
+
+    def test_conditional_frequencies(self, coupled):
+        rng = np.random.default_rng(1)
+        samples = forward_sample(coupled, 20000, rng)
+        x, y = samples[:, 0], samples[:, 1]
+        agree = (x == y).mean()
+        assert agree == pytest.approx(0.9, abs=0.02)
+
+    def test_zero_samples(self, coupled, rng):
+        assert forward_sample(coupled, 0, rng).shape == (0, 2)
+
+    def test_negative_rejected(self, coupled, rng):
+        with pytest.raises(ValueError):
+            forward_sample(coupled, -1, rng)
+
+    def test_deterministic_given_seed(self, coupled):
+        a = forward_sample(coupled, 50, np.random.default_rng(7))
+        b = forward_sample(coupled, 50, np.random.default_rng(7))
+        assert np.array_equal(a, b)
+
+
+class TestLikelihoodWeighting:
+    def test_matches_exact_posterior(self, coupled):
+        rng = np.random.default_rng(2)
+        samples = likelihood_weighted_sample(
+            coupled, 20000, rng, evidence={"y": 1}
+        )
+        exact = VariableElimination(coupled).marginal("x", {"y": 1})
+        empirical = samples[:, 0].mean()
+        assert empirical == pytest.approx(exact[1], abs=0.02)
+
+    def test_evidence_clamped(self, coupled, rng):
+        samples = likelihood_weighted_sample(coupled, 100, rng, {"y": 0})
+        assert np.all(samples[:, 1] == 0)
+
+    def test_no_evidence_falls_back_to_forward(self, coupled, rng):
+        samples = likelihood_weighted_sample(coupled, 50, rng, {})
+        assert samples.shape == (50, 2)
+
+    def test_unknown_evidence_variable(self, coupled, rng):
+        with pytest.raises(KeyError):
+            likelihood_weighted_sample(coupled, 10, rng, {"zz": 0})
+
+    def test_impossible_evidence(self):
+        x = CPD("x", (), np.array([1.0, 0.0]))
+        y = CPD("y", ("x",), np.array([[1.0, 0.0], [0.0, 1.0]]))
+        network = BayesianNetwork(["x", "y"], [x, y])
+        rng = np.random.default_rng(3)
+        with pytest.raises(ValueError):
+            likelihood_weighted_sample(network, 10, rng, {"y": 1})
+
+
+class TestAssignments:
+    def test_dict_form(self, coupled, rng):
+        assignments = sample_assignments(coupled, 5, rng)
+        assert len(assignments) == 5
+        assert set(assignments[0]) == {"x", "y"}
+
+    def test_with_evidence(self, coupled, rng):
+        assignments = sample_assignments(coupled, 5, rng, evidence={"y": 1})
+        assert all(a["y"] == 1 for a in assignments)

@@ -1,0 +1,108 @@
+"""Tests for family scoring functions (BDeu, BIC, log-likelihood)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.bayes.cpd import count_family
+from repro.bayes.scores import (
+    bdeu_score,
+    bic_score,
+    family_log_likelihood,
+    family_score,
+)
+
+
+def make_dependent_data(n=400, seed=0):
+    """Column 1 copies column 0; column 2 is independent noise."""
+    rng = np.random.default_rng(seed)
+    a = rng.integers(0, 2, size=n)
+    c = rng.integers(0, 2, size=n)
+    return np.column_stack([a, a, c])
+
+
+class TestLogLikelihood:
+    def test_deterministic_family_is_zero(self):
+        # If the child is a function of the parent, LL = 0 (prob 1).
+        data = make_dependent_data()
+        counts = count_family(data, 1, [0], [2, 2, 2][:2])
+        assert family_log_likelihood(counts) == pytest.approx(0.0)
+
+    def test_independent_fair_coin(self):
+        counts = np.array([50.0, 50.0])
+        assert family_log_likelihood(counts) == pytest.approx(
+            100 * math.log(0.5)
+        )
+
+    def test_more_parents_never_decrease_ll(self):
+        data = make_dependent_data()
+        cards = [2, 2, 2]
+        ll_none = family_log_likelihood(count_family(data, 1, [], cards))
+        ll_one = family_log_likelihood(count_family(data, 1, [0], cards))
+        assert ll_one >= ll_none - 1e-9
+
+
+class TestBic:
+    def test_penalizes_parameters(self):
+        data = make_dependent_data()
+        cards = [2, 2, 2]
+        # Noise parent: LL gain ~0 but doubles parameters → lower BIC.
+        counts_no = count_family(data, 2, [], cards)
+        counts_with = count_family(data, 2, [0], cards)
+        assert bic_score(counts_no, len(data)) > bic_score(counts_with, len(data))
+
+    def test_real_parent_wins(self):
+        data = make_dependent_data()
+        cards = [2, 2, 2]
+        counts_no = count_family(data, 1, [], cards)
+        counts_with = count_family(data, 1, [0], cards)
+        assert bic_score(counts_with, len(data)) > bic_score(counts_no, len(data))
+
+    def test_rejects_bad_n(self):
+        with pytest.raises(ValueError):
+            bic_score(np.array([1.0, 1.0]), 0)
+
+
+class TestBdeu:
+    def test_real_parent_wins(self):
+        data = make_dependent_data()
+        cards = [2, 2, 2]
+        counts_no = count_family(data, 1, [], cards)
+        counts_with = count_family(data, 1, [0], cards)
+        assert bdeu_score(counts_with) > bdeu_score(counts_no)
+
+    def test_noise_parent_loses(self):
+        data = make_dependent_data()
+        cards = [2, 2, 2]
+        counts_no = count_family(data, 2, [], cards)
+        counts_with = count_family(data, 2, [0], cards)
+        assert bdeu_score(counts_no) > bdeu_score(counts_with)
+
+    def test_is_log_marginal_likelihood_for_tiny_case(self):
+        # One binary variable, one observation of state 0, ess=2:
+        # P(x=0) under Beta(1,1) prior = 1/2 → score = log(1/2).
+        counts = np.array([1.0, 0.0])
+        assert bdeu_score(counts, equivalent_sample_size=2.0) == pytest.approx(
+            math.log(0.5)
+        )
+
+    def test_rejects_bad_ess(self):
+        with pytest.raises(ValueError):
+            bdeu_score(np.array([1.0, 1.0]), equivalent_sample_size=0)
+
+
+class TestFamilyScore:
+    def test_dispatch(self):
+        data = make_dependent_data()
+        cards = [2, 2, 2]
+        assert family_score(data, 1, [0], cards, method="bdeu") == pytest.approx(
+            bdeu_score(count_family(data, 1, [0], cards))
+        )
+        assert family_score(data, 1, [0], cards, method="bic") == pytest.approx(
+            bic_score(count_family(data, 1, [0], cards), len(data))
+        )
+
+    def test_unknown_method(self):
+        with pytest.raises(ValueError):
+            family_score(make_dependent_data(), 1, [0], [2, 2, 2], method="x")

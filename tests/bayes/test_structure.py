@@ -1,0 +1,99 @@
+"""Tests for ordered structure learning (the BNFinder substitute)."""
+
+import numpy as np
+import pytest
+
+from repro.bayes.structure import (
+    StructureConfig,
+    _subset_count,
+    learn_structure,
+    learned_parent_map,
+)
+
+
+def chain_data(n=800, seed=0):
+    """a → b → c chain plus independent noise d."""
+    rng = np.random.default_rng(seed)
+    a = rng.integers(0, 3, size=n)
+    b = (a + (rng.random(n) < 0.05).astype(int)) % 3  # b ≈ a
+    c = (b + (rng.random(n) < 0.05).astype(int)) % 3  # c ≈ b
+    d = rng.integers(0, 3, size=n)
+    return np.column_stack([a, b, c, d])
+
+
+class TestLearning:
+    def test_recovers_chain(self):
+        data = chain_data()
+        bn = learn_structure(data, ["a", "b", "c", "d"], [3, 3, 3, 3])
+        assert bn.parents("b") == ("a",)
+        assert "b" in bn.parents("c")
+        assert bn.parents("d") == ()
+
+    def test_recovers_non_adjacent_dependency(self):
+        rng = np.random.default_rng(1)
+        a = rng.integers(0, 3, size=800)
+        b = rng.integers(0, 3, size=800)
+        c = a.copy()  # c depends on a, skipping b
+        data = np.column_stack([a, b, c])
+        bn = learn_structure(data, ["a", "b", "c"], [3, 3, 3])
+        assert bn.parents("c") == ("a",)
+
+    def test_respects_ordering(self):
+        data = chain_data()
+        bn = learn_structure(data, ["a", "b", "c", "d"], [3, 3, 3, 3])
+        order = {v: i for i, v in enumerate(bn.variables)}
+        for parent, child in bn.edges():
+            assert order[parent] < order[child]
+
+    def test_max_parents_bound(self):
+        rng = np.random.default_rng(2)
+        a = rng.integers(0, 2, size=600)
+        b = rng.integers(0, 2, size=600)
+        c = rng.integers(0, 2, size=600)
+        d = (a ^ b ^ c)  # depends on all three
+        data = np.column_stack([a, b, c, d])
+        config = StructureConfig(max_parents=2)
+        bn = learn_structure(data, ["a", "b", "c", "d"], [2, 2, 2, 2], config)
+        assert len(bn.parents("d")) <= 2
+
+    def test_bic_variant(self):
+        data = chain_data()
+        config = StructureConfig(score="bic")
+        bn = learn_structure(data, ["a", "b", "c", "d"], [3, 3, 3, 3], config)
+        assert bn.parents("b") == ("a",)
+
+    def test_greedy_fallback_matches_on_chain(self):
+        data = chain_data()
+        config = StructureConfig(exhaustive_limit=1)  # force greedy
+        bn = learn_structure(data, ["a", "b", "c", "d"], [3, 3, 3, 3], config)
+        assert bn.parents("b") == ("a",)
+        assert bn.parents("d") == ()
+
+    def test_rejects_empty_data(self):
+        with pytest.raises(ValueError):
+            learn_structure(np.empty((0, 2), dtype=int), ["a", "b"], [2, 2])
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            learn_structure(np.zeros((5, 2), dtype=int), ["a"], [2])
+
+    def test_parent_map(self):
+        data = chain_data()
+        bn = learn_structure(data, ["a", "b", "c", "d"], [3, 3, 3, 3])
+        mapping = learned_parent_map(bn)
+        assert mapping["b"] == ("a",)
+
+    def test_fitted_cpds_reflect_dependency(self):
+        data = chain_data()
+        bn = learn_structure(data, ["a", "b", "c", "d"], [3, 3, 3, 3])
+        cpd = bn.cpd("b")
+        # P(b=0 | a=0) should be near 0.95.
+        assert cpd.probability(0, {"a": 0}) > 0.85
+
+
+class TestSubsetCount:
+    def test_counts(self):
+        assert _subset_count(4, 0) == 1
+        assert _subset_count(4, 1) == 5
+        assert _subset_count(4, 2) == 11
+        assert _subset_count(3, 3) == 8

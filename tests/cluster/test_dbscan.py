@@ -1,0 +1,164 @@
+"""Tests for the from-scratch DBSCAN implementation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster.dbscan import DBSCAN, NOISE, dbscan_labels
+
+
+def brute_force_dbscan(points, weights, eps, min_samples):
+    """Reference implementation with O(n^2) region queries."""
+    points = np.asarray(points, dtype=np.float64)
+    if points.ndim == 1:
+        points = points.reshape(-1, 1)
+    n = len(points)
+    weights = np.ones(n) if weights is None else np.asarray(weights, float)
+    distance = np.sqrt(
+        ((points[:, None, :] - points[None, :, :]) ** 2).sum(axis=2)
+    )
+    neighbor_sets = [np.nonzero(distance[i] <= eps)[0] for i in range(n)]
+    core = np.array([weights[ns].sum() >= min_samples for ns in neighbor_sets])
+    labels = np.full(n, NOISE)
+    cluster = 0
+    for start in range(n):
+        if labels[start] != NOISE or not core[start]:
+            continue
+        stack = [start]
+        while stack:
+            i = stack.pop()
+            if labels[i] != NOISE:
+                continue
+            labels[i] = cluster
+            if core[i]:
+                stack.extend(j for j in neighbor_sets[i] if labels[j] == NOISE)
+        cluster += 1
+    return labels
+
+
+def same_partition(a, b):
+    """Cluster labels equal up to renaming (noise must match exactly)."""
+    a, b = np.asarray(a), np.asarray(b)
+    if a.shape != b.shape:
+        return False
+    if not np.array_equal(a == NOISE, b == NOISE):
+        return False
+    mapping = {}
+    for x, y in zip(a, b):
+        if x == NOISE:
+            continue
+        if mapping.setdefault(x, y) != y:
+            return False
+    return len(set(mapping.values())) == len(mapping)
+
+
+class TestBasics:
+    def test_one_cluster_and_noise(self):
+        labels = dbscan_labels([[0.0], [0.1], [0.2], [9.0]], eps=0.5, min_samples=2)
+        assert labels[0] == labels[1] == labels[2] != NOISE
+        assert labels[3] == NOISE
+
+    def test_two_clusters(self):
+        points = [[0], [1], [2], [100], [101], [102]]
+        labels = dbscan_labels(points, eps=1.5, min_samples=2)
+        assert labels[0] == labels[2]
+        assert labels[3] == labels[5]
+        assert labels[0] != labels[3]
+
+    def test_all_noise(self):
+        labels = dbscan_labels([[0], [10], [20]], eps=1, min_samples=2)
+        assert all(l == NOISE for l in labels)
+
+    def test_border_point_joins_cluster(self):
+        # 0,0.5,1 core chain; 1.4 is a border point (1 neighbor weight 2).
+        labels = dbscan_labels(
+            [[0.0], [0.5], [1.0], [1.4]], eps=0.5, min_samples=3
+        )
+        assert labels[3] == labels[2] != NOISE
+
+    def test_2d_clusters(self):
+        cloud_a = [[x / 10, y / 10] for x in range(3) for y in range(3)]
+        cloud_b = [[5 + x / 10, 5 + y / 10] for x in range(3) for y in range(3)]
+        labels = dbscan_labels(cloud_a + cloud_b, eps=0.3, min_samples=4)
+        assert len(set(labels[:9])) == 1
+        assert len(set(labels[9:])) == 1
+        assert labels[0] != labels[9]
+
+    def test_empty_input(self):
+        assert dbscan_labels(np.empty((0, 1)), eps=1, min_samples=2).size == 0
+
+    def test_clusters_accessor(self):
+        model = DBSCAN(eps=0.5, min_samples=2).fit([[0.0], [0.1], [9.0]])
+        clusters = model.clusters()
+        assert clusters == {0: [0, 1]}
+
+    def test_clusters_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            DBSCAN(eps=1, min_samples=1).clusters()
+
+
+class TestWeights:
+    def test_weight_makes_core(self):
+        # A single point with weight 5 is its own dense cluster.
+        labels = dbscan_labels([[0.0], [9.0]], eps=0.5, min_samples=5,
+                               weights=[5, 1])
+        assert labels[0] != NOISE and labels[1] == NOISE
+
+    def test_weight_sum_in_neighborhood(self):
+        # Two points, each weight 3, within eps: both core at min 5.
+        labels = dbscan_labels([[0.0], [0.3]], eps=0.5, min_samples=5,
+                               weights=[3, 3])
+        assert labels[0] == labels[1] != NOISE
+
+    def test_rejects_negative_weights(self):
+        with pytest.raises(ValueError):
+            dbscan_labels([[0.0]], eps=1, min_samples=1, weights=[-1])
+
+    def test_rejects_weight_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            dbscan_labels([[0.0]], eps=1, min_samples=1, weights=[1, 2])
+
+
+class TestValidation:
+    def test_rejects_bad_eps(self):
+        with pytest.raises(ValueError):
+            DBSCAN(eps=0, min_samples=1)
+
+    def test_rejects_bad_min_samples(self):
+        with pytest.raises(ValueError):
+            DBSCAN(eps=1, min_samples=0)
+
+
+class TestAgainstBruteForce:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.lists(st.floats(0, 100, allow_nan=False), min_size=1, max_size=40),
+        st.floats(0.1, 10),
+        st.integers(1, 5),
+    )
+    def test_1d_matches_reference(self, xs, eps, min_samples):
+        points = [[x] for x in xs]
+        ours = dbscan_labels(points, eps=eps, min_samples=min_samples)
+        reference = brute_force_dbscan(points, None, eps, min_samples)
+        # Core-point partition must match; border-point assignment is
+        # order-dependent in DBSCAN, so compare noise sets and count.
+        assert np.array_equal(ours == NOISE, reference == NOISE)
+        assert len(set(ours[ours != NOISE])) == len(
+            set(reference[reference != NOISE])
+        )
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(st.floats(0, 20, allow_nan=False),
+                      st.floats(0, 20, allow_nan=False)),
+            min_size=1,
+            max_size=25,
+        ),
+        st.floats(0.5, 5),
+    )
+    def test_2d_noise_matches_reference(self, pts, eps):
+        points = [list(p) for p in pts]
+        ours = dbscan_labels(points, eps=eps, min_samples=3)
+        reference = brute_force_dbscan(points, None, eps, 3)
+        assert np.array_equal(ours == NOISE, reference == NOISE)

@@ -1,0 +1,120 @@
+"""Tests for the interval algebra behind mined ranges."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.cluster.intervals import (
+    Interval,
+    clusters_to_intervals,
+    covered_count,
+    merge_intervals,
+    subtract_intervals,
+)
+
+INTERVALS = st.builds(
+    lambda a, b: Interval(min(a, b), max(a, b)),
+    st.integers(0, 1000),
+    st.integers(0, 1000),
+)
+
+
+class TestInterval:
+    def test_contains(self):
+        assert 5 in Interval(1, 10)
+        assert 0 not in Interval(1, 10)
+
+    def test_len(self):
+        assert len(Interval(3, 7)) == 5
+        assert len(Interval(3, 3)) == 1
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            Interval(5, 4)
+
+    def test_overlaps_and_touches(self):
+        assert Interval(1, 5).overlaps(Interval(5, 9))
+        assert not Interval(1, 5).overlaps(Interval(6, 9))
+        assert Interval(1, 5).touches(Interval(6, 9))  # adjacent
+        assert not Interval(1, 5).touches(Interval(7, 9))
+
+    def test_union(self):
+        assert Interval(1, 5).union(Interval(6, 9)) == Interval(1, 9)
+        with pytest.raises(ValueError):
+            Interval(1, 2).union(Interval(9, 10))
+
+    def test_intersect(self):
+        assert Interval(1, 5).intersect(Interval(3, 9)) == Interval(3, 5)
+        with pytest.raises(ValueError):
+            Interval(1, 2).intersect(Interval(5, 6))
+
+    def test_ordering(self):
+        assert Interval(1, 2) < Interval(2, 3)
+
+
+class TestMerge:
+    def test_merges_overlaps_and_adjacency(self):
+        merged = merge_intervals([Interval(5, 9), Interval(1, 3), Interval(4, 4)])
+        assert merged == [Interval(1, 9)]
+
+    def test_keeps_disjoint(self):
+        merged = merge_intervals([Interval(1, 2), Interval(10, 12)])
+        assert merged == [Interval(1, 2), Interval(10, 12)]
+
+    def test_empty(self):
+        assert merge_intervals([]) == []
+
+    @given(st.lists(INTERVALS, max_size=20))
+    def test_merged_are_disjoint_and_sorted(self, intervals):
+        merged = merge_intervals(intervals)
+        for a, b in zip(merged, merged[1:]):
+            assert a.high + 1 < b.low
+
+    @given(st.lists(INTERVALS, max_size=20))
+    def test_merge_preserves_coverage(self, intervals):
+        covered = set()
+        for interval in intervals:
+            covered.update(range(interval.low, interval.high + 1))
+        merged_covered = set()
+        for interval in merge_intervals(intervals):
+            merged_covered.update(range(interval.low, interval.high + 1))
+        assert covered == merged_covered
+
+
+class TestSubtract:
+    def test_hole_in_middle(self):
+        remaining = subtract_intervals(Interval(0, 10), [Interval(3, 5)])
+        assert remaining == [Interval(0, 2), Interval(6, 10)]
+
+    def test_hole_covers_all(self):
+        assert subtract_intervals(Interval(3, 5), [Interval(0, 10)]) == []
+
+    def test_no_holes(self):
+        assert subtract_intervals(Interval(0, 5), []) == [Interval(0, 5)]
+
+    @given(INTERVALS, st.lists(INTERVALS, max_size=10))
+    def test_subtraction_disjoint_from_holes(self, universe, holes):
+        remaining = subtract_intervals(universe, holes)
+        for part in remaining:
+            for hole in holes:
+                assert not part.overlaps(hole)
+
+    @given(INTERVALS, st.lists(INTERVALS, max_size=10))
+    def test_subtraction_partition(self, universe, holes):
+        remaining = subtract_intervals(universe, holes)
+        kept = covered_count(remaining) if remaining else 0
+        hole_inside = 0
+        for hole in merge_intervals(holes):
+            if hole.overlaps(universe):
+                hole_inside += len(hole.intersect(universe))
+        assert kept + hole_inside == len(universe)
+
+
+class TestClustersToIntervals:
+    def test_basic(self):
+        values = [1, 2, 3, 10, 11, 50]
+        labels = [0, 0, 0, 1, 1, -1]
+        pairs = clusters_to_intervals(values, labels)
+        assert pairs == [(0, Interval(1, 3)), (1, Interval(10, 11))]
+
+    def test_noise_skipped(self):
+        assert clusters_to_intervals([5], [-1]) == []

@@ -1,0 +1,70 @@
+"""Tests for the 4-bit Aggregate Count Ratio."""
+
+import numpy as np
+import pytest
+
+from repro.core.acr import acr_from_counts, aggregate_count_ratio
+from repro.ipv6.sets import AddressSet
+
+
+class TestACR:
+    def test_constant_set_is_zero(self):
+        s = AddressSet.from_strings(["2001:db8::1"] * 5)
+        assert np.all(aggregate_count_ratio(s) == 0)
+
+    def test_split_at_last_nybble(self):
+        s = AddressSet.from_strings(["2001:db8::1", "2001:db8::2"])
+        acr = aggregate_count_ratio(s)
+        assert np.all(acr[:31] == 0)
+        # Two branches at the last nybble: log16(2).
+        assert acr[31] == pytest.approx(np.log(2) / np.log(16))
+
+    def test_full_branching_is_one(self):
+        # All 16 values at one nybble → ACR = 1 there.
+        s = AddressSet.from_ints(
+            [i << 124 for i in range(16)]
+        )
+        acr = aggregate_count_ratio(s)
+        assert acr[0] == pytest.approx(1.0)
+        assert np.all(acr[1:] == 0)
+
+    def test_saturation_no_further_splitting(self):
+        # Random IIDs: once every row is a distinct aggregate, further
+        # nybbles cannot split (ACR → 0) even though entropy stays 1.
+        rng = np.random.default_rng(0)
+        values = [
+            (0x20010DB8 << 96) | int(rng.integers(0, 1 << 16)) << 80
+            for _ in range(64)
+        ]
+        s = AddressSet.from_ints(sorted(set(values)))
+        acr = aggregate_count_ratio(s)
+        assert np.all(acr[12:] == 0)
+
+    def test_empty_set(self):
+        assert np.all(aggregate_count_ratio(AddressSet.empty()) == 0)
+
+    def test_values_bounded(self, structured_set):
+        acr = aggregate_count_ratio(structured_set)
+        assert np.all(acr >= 0) and np.all(acr <= 1)
+
+    def test_product_equals_total_aggregates(self, structured_set):
+        # sum of log16 ratios telescopes: 16^(sum ACR) = #distinct rows.
+        acr = aggregate_count_ratio(structured_set)
+        distinct = len(structured_set.unique())
+        assert 16 ** acr.sum() == pytest.approx(distinct, rel=1e-6)
+
+
+class TestAcrFromCounts:
+    def test_telescoping(self):
+        acr = acr_from_counts([2, 2, 4])
+        assert acr[0] == pytest.approx(0.25)  # log16(2)
+        assert acr[1] == 0
+        assert acr[2] == pytest.approx(0.25)
+
+    def test_rejects_decreasing(self):
+        with pytest.raises(ValueError):
+            acr_from_counts([4, 2])
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            acr_from_counts([0, 1])

@@ -1,0 +1,81 @@
+"""Tests for the conditional probability browser (Fig. 1 b/c semantics)."""
+
+import numpy as np
+import pytest
+
+from repro.core.browser import ConditionalBrowser, _split_code
+from repro.core.pipeline import EntropyIP
+
+
+@pytest.fixture(scope="module")
+def analysis(structured_set):
+    return EntropyIP.fit(structured_set)
+
+
+class TestSplitCode:
+    def test_splits(self):
+        assert _split_code("J12") == ("J", 12)
+        assert _split_code("AA3") == ("AA", 3)
+
+    def test_rejects_malformed(self):
+        with pytest.raises(ValueError):
+            _split_code("J")
+        with pytest.raises(ValueError):
+            _split_code("12")
+
+
+class TestBrowser:
+    def test_unconditioned_rows_match_mined_frequencies(self, analysis):
+        browser = analysis.browse()
+        rows = browser.rows()
+        for mined in analysis.encoder.mined_segments:
+            label = mined.segment.label
+            for row, value in zip(rows[label], mined.values):
+                assert row.code == value.code
+                assert row.probability == pytest.approx(
+                    value.frequency, abs=0.08
+                )
+
+    def test_click_sets_evidence(self, analysis):
+        label = analysis.segments[0].label
+        browser = analysis.browse().click(f"{label}1")
+        assert browser.evidence_codes() == {label: f"{label}1"}
+        clicked_rows = browser.rows()[label]
+        assert clicked_rows[0].probability == pytest.approx(1.0)
+        assert clicked_rows[0].is_evidence
+
+    def test_click_returns_new_browser(self, analysis):
+        base = analysis.browse()
+        label = analysis.segments[0].label
+        clicked = base.click(f"{label}1")
+        assert base.evidence == {}
+        assert clicked is not base
+
+    def test_unclick(self, analysis):
+        label = analysis.segments[0].label
+        browser = analysis.browse().click(f"{label}1").unclick(label)
+        assert browser.evidence == {}
+
+    def test_reset(self, analysis):
+        label = analysis.segments[0].label
+        browser = analysis.browse().click(f"{label}1").reset()
+        assert browser.evidence == {}
+
+    def test_probability_of_evidence(self, analysis):
+        label = analysis.segments[0].label
+        browser = analysis.browse().click(f"{label}1")
+        p = browser.probability_of_evidence()
+        assert 0 < p <= 1
+        assert analysis.browse().probability_of_evidence() == 1.0
+
+    def test_top_values_sorted(self, analysis):
+        label = analysis.segments[-1].label
+        top = analysis.browse().top_values(label, limit=3)
+        probabilities = [r.probability for r in top]
+        assert probabilities == sorted(probabilities, reverse=True)
+        assert len(top) <= 3
+
+    def test_repr(self, analysis):
+        label = analysis.segments[0].label
+        browser = analysis.browse().click(f"{label}1")
+        assert f"{label}1" in repr(browser)

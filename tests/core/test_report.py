@@ -1,0 +1,64 @@
+"""Tests for the composed analysis report."""
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import EntropyIP
+from repro.core.report import full_report
+
+
+@pytest.fixture(scope="module")
+def analysis(structured_set):
+    return EntropyIP.fit(structured_set)
+
+
+class TestFullReport:
+    def test_contains_all_sections(self, analysis):
+        report = full_report(analysis, rng=np.random.default_rng(0))
+        for heading in (
+            "# Entropy/IP analysis",
+            "## Entropy and 4-bit ACR",
+            "## Segment values (mining results)",
+            "## Bayesian network",
+            "## Conditional probability browser",
+            "## Windowed entropy",
+            "## Discovered candidate subnets",
+            "## Generated candidate targets",
+        ):
+            assert heading in report, heading
+
+    def test_custom_title(self, analysis):
+        report = full_report(analysis, title="Network X",
+                             rng=np.random.default_rng(0))
+        assert report.startswith("# Network X")
+
+    def test_candidate_count(self, analysis):
+        report = full_report(analysis, n_candidates=3,
+                             rng=np.random.default_rng(0))
+        generated = report.split("## Generated candidate targets")[1]
+        addresses = [l for l in generated.splitlines() if l.startswith("- ")]
+        assert len(addresses) == 3
+
+    def test_sections_can_be_disabled(self, analysis):
+        report = full_report(
+            analysis,
+            n_candidates=0,
+            include_windowing=False,
+            include_subnets=False,
+            rng=np.random.default_rng(0),
+        )
+        assert "## Windowed entropy" not in report
+        assert "## Discovered candidate subnets" not in report
+        assert "## Generated candidate targets" not in report
+
+    def test_prefix_mode_skips_subnet_section(self, structured_set):
+        analysis16 = EntropyIP.fit(structured_set, width=16)
+        report = full_report(analysis16, n_candidates=0,
+                             include_windowing=False,
+                             rng=np.random.default_rng(0))
+        assert "## Discovered candidate subnets" not in report
+
+    def test_deterministic_given_rng(self, analysis):
+        a = full_report(analysis, rng=np.random.default_rng(5))
+        b = full_report(analysis, rng=np.random.default_rng(5))
+        assert a == b

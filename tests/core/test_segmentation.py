@@ -1,0 +1,151 @@
+"""Tests for §4.2 segmentation (thresholds + hysteresis + hard cuts)."""
+
+import numpy as np
+import pytest
+
+from repro.core.segmentation import (
+    DEFAULT_HYSTERESIS,
+    DEFAULT_THRESHOLDS,
+    Segment,
+    SegmentationConfig,
+    boundaries_from_entropy,
+    crosses_threshold,
+    segment_addresses,
+    segment_by_label,
+    segment_label,
+    segments_from_boundaries,
+)
+from repro.ipv6.sets import AddressSet
+
+
+class TestCrossingRule:
+    def test_paper_worked_example(self):
+        # H(X_{i-1}) = 0.49: new segment iff H(X_i) < 0.3 or > 0.54.
+        t, th = DEFAULT_THRESHOLDS, DEFAULT_HYSTERESIS
+        assert crosses_threshold(0.49, 0.29, t, th)
+        assert not crosses_threshold(0.49, 0.31, t, th)
+        assert crosses_threshold(0.49, 0.55, t, th)
+        assert not crosses_threshold(0.49, 0.53, t, th)  # crossed 0.5 but < Th
+        assert not crosses_threshold(0.49, 0.49, t, th)
+
+    def test_small_move_never_splits(self):
+        assert not crosses_threshold(0.1, 0.14, DEFAULT_THRESHOLDS, 0.05)
+
+    def test_big_move_without_threshold_does_not_split(self):
+        # 0.55 → 0.85 crosses nothing in T.
+        assert not crosses_threshold(0.55, 0.85, DEFAULT_THRESHOLDS, 0.05)
+
+    def test_crossing_downward(self):
+        assert crosses_threshold(0.95, 0.05, DEFAULT_THRESHOLDS, 0.05)
+
+
+class TestConfig:
+    def test_defaults(self):
+        config = SegmentationConfig()
+        assert config.thresholds == (0.025, 0.1, 0.3, 0.5, 0.9)
+        assert config.hysteresis == 0.05
+
+    def test_rejects_empty_thresholds(self):
+        with pytest.raises(ValueError):
+            SegmentationConfig(thresholds=())
+
+    def test_rejects_out_of_range_thresholds(self):
+        with pytest.raises(ValueError):
+            SegmentationConfig(thresholds=(0.0, 0.5))
+
+    def test_rejects_negative_hysteresis(self):
+        with pytest.raises(ValueError):
+            SegmentationConfig(hysteresis=-0.1)
+
+
+class TestBoundaries:
+    def test_constant_profile_only_hard_cuts(self):
+        entropies = [0.0] * 32
+        assert boundaries_from_entropy(entropies) == [1, 9, 17]
+
+    def test_hard_cuts_disabled(self):
+        entropies = [0.0] * 32
+        config = SegmentationConfig(hard_cut_32=False, hard_cut_64=False)
+        assert boundaries_from_entropy(entropies, config) == [1]
+
+    def test_hard_cuts_skipped_for_narrow_profiles(self):
+        assert boundaries_from_entropy([0.0] * 8) == [1]
+        assert boundaries_from_entropy([0.0] * 16) == [1, 9]
+
+    def test_entropy_jump_starts_segment(self):
+        entropies = [0.0] * 20 + [0.8] * 12
+        assert 21 in boundaries_from_entropy(entropies)
+
+    def test_empty_profile_rejected(self):
+        with pytest.raises(ValueError):
+            boundaries_from_entropy([])
+
+
+class TestSegments:
+    def test_fig3_segmentation(self, tiny_set):
+        # Fig. 3 + §4.2: constant runs 1-11 and 17-28 stay unsplit
+        # (plus the hard cuts at 9/17); the variable region 12-16
+        # oscillates between two entropy levels across the 0.3
+        # threshold on this tiny 5-address sample, so each nybble
+        # becomes its own segment; 29-32 is one uniform-entropy block.
+        segments = segment_addresses(tiny_set)
+        starts = [s.first_nybble for s in segments]
+        assert starts == [1, 9, 12, 13, 14, 15, 16, 17, 29]
+        assert segments[0].label == "A"
+        assert segments[-1].bits == (112, 128)
+
+    def test_fig3_without_hard_cuts(self, tiny_set):
+        config = SegmentationConfig(hard_cut_32=False, hard_cut_64=False)
+        segments = segment_addresses(tiny_set, config)
+        bounds = [(s.first_nybble, s.last_nybble) for s in segments]
+        # Constant regions merge into single segments once the hard
+        # cuts are gone.
+        assert bounds[0] == (1, 11)
+        assert (17, 28) in bounds
+        assert bounds[-1] == (29, 32)
+
+    def test_segment_properties(self):
+        segment = Segment("B", 9, 16)
+        assert segment.nybble_count == 8
+        assert segment.bit_count == 32
+        assert segment.bits == (32, 64)
+        assert segment.cardinality == 16 ** 8
+        assert str(segment) == "B(32-64)"
+
+    def test_segment_validation(self):
+        with pytest.raises(ValueError):
+            Segment("A", 5, 4)
+        with pytest.raises(ValueError):
+            Segment("A", 0, 4)
+
+    def test_segments_from_boundaries_requires_one(self):
+        with pytest.raises(ValueError):
+            segments_from_boundaries([2, 5], 32)
+
+    def test_segment_by_label(self, tiny_set):
+        segments = segment_addresses(tiny_set)
+        assert segment_by_label(segments, "B").first_nybble == 9
+        with pytest.raises(KeyError):
+            segment_by_label(segments, "Z")
+
+    def test_labels_beyond_z(self):
+        assert segment_label(0) == "A"
+        assert segment_label(25) == "Z"
+        assert segment_label(26) == "AA"
+        assert segment_label(27) == "AB"
+        with pytest.raises(ValueError):
+            segment_label(-1)
+
+    def test_segments_cover_width_exactly(self, structured_set):
+        segments = segment_addresses(structured_set)
+        assert segments[0].first_nybble == 1
+        assert segments[-1].last_nybble == structured_set.width
+        for left, right in zip(segments, segments[1:]):
+            assert right.first_nybble == left.last_nybble + 1
+
+    def test_prefix_mode_width_16(self):
+        s = AddressSet.from_ints(
+            [0x20010DB8 << 96 | i << 64 for i in range(16)], width=16
+        )
+        segments = segment_addresses(s)
+        assert segments[-1].last_nybble == 16

@@ -1,0 +1,124 @@
+"""Tests for temporal structural analysis (§6 future work)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import EntropyIP
+from repro.core.temporal import (
+    SnapshotDelta,
+    compare_snapshots,
+    detect_changes,
+    jensen_shannon,
+)
+from repro.ipv6.sets import AddressSet
+
+
+def make_snapshot(seed, subnet_pool=8, renumbered=False, n=1500):
+    """Structured set; ``renumbered`` moves everything to new subnets."""
+    rng = np.random.default_rng(seed)
+    base = 0x20010DB8 << 96
+    offset = 0x100 if renumbered else 0
+    values = []
+    for _ in range(n):
+        subnet = int(rng.integers(0, subnet_pool)) + offset
+        iid = int(rng.integers(1, 1 << 16))
+        values.append(base | (subnet << 64) | iid)
+    return AddressSet.from_ints(values)
+
+
+class TestJensenShannon:
+    def test_identical_is_zero(self):
+        p = np.array([0.5, 0.5])
+        assert jensen_shannon(p, p) == pytest.approx(0.0, abs=1e-12)
+
+    def test_disjoint_is_log2(self):
+        assert jensen_shannon(
+            np.array([1.0, 0.0]), np.array([0.0, 1.0])
+        ) == pytest.approx(math.log(2))
+
+    def test_symmetry(self):
+        p, q = np.array([0.9, 0.1]), np.array([0.4, 0.6])
+        assert jensen_shannon(p, q) == pytest.approx(jensen_shannon(q, p))
+
+    def test_accepts_counts(self):
+        assert jensen_shannon(
+            np.array([9, 1]), np.array([90, 10])
+        ) == pytest.approx(0.0, abs=1e-12)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            jensen_shannon(np.array([1.0]), np.array([0.5, 0.5]))
+        with pytest.raises(ValueError):
+            jensen_shannon(np.array([0.0]), np.array([1.0]))
+
+
+class TestCompareSnapshots:
+    def test_stable_network_no_changes(self):
+        before = EntropyIP.fit(make_snapshot(1))
+        after = EntropyIP.fit(make_snapshot(2))
+        delta = compare_snapshots(before, after)
+        assert delta.max_entropy_shift() < 0.1
+        assert not any(d.changed for d in delta.segment_drift)
+        assert not delta.renumbering_suspected()
+
+    def test_renumbering_detected(self):
+        before = EntropyIP.fit(make_snapshot(1))
+        after = EntropyIP.fit(make_snapshot(2, renumbered=True))
+        delta = compare_snapshots(before, after)
+        assert delta.renumbering_suspected()
+        assert delta.vanished_prefixes64 > 0
+        assert delta.new_prefixes64 > 0
+        assert any(d.changed for d in delta.segment_drift)
+
+    def test_growth_changes_distribution(self):
+        before = EntropyIP.fit(make_snapshot(1, subnet_pool=4))
+        after = EntropyIP.fit(make_snapshot(2, subnet_pool=16))
+        delta = compare_snapshots(before, after)
+        assert delta.max_entropy_shift() > 0.05
+        assert delta.new_prefixes64 > 0
+
+    def test_summary_text(self):
+        before = EntropyIP.fit(make_snapshot(1))
+        after = EntropyIP.fit(make_snapshot(2, renumbered=True))
+        summary = compare_snapshots(before, after).summary()
+        assert "RENUMBERING" in summary
+        assert "/64s" in summary
+
+    def test_width_mismatch_rejected(self):
+        full = EntropyIP.fit(make_snapshot(1))
+        prefix = EntropyIP.fit(make_snapshot(1), width=16)
+        with pytest.raises(ValueError):
+            compare_snapshots(full, prefix)
+
+    def test_prefix_counts_consistent(self):
+        before = EntropyIP.fit(make_snapshot(1))
+        after = EntropyIP.fit(make_snapshot(2))
+        delta = compare_snapshots(before, after)
+        before_total = delta.shared_prefixes64 + delta.vanished_prefixes64
+        from repro.scan.generator import prefixes64
+
+        assert before_total == len(
+            prefixes64(before.address_set.to_ints(), 32)
+        )
+
+
+class TestDetectChanges:
+    def test_flags_the_renumbering_step(self):
+        series = [
+            make_snapshot(1),
+            make_snapshot(2),
+            make_snapshot(3, renumbered=True),
+            make_snapshot(4, renumbered=True),
+        ]
+        changes = detect_changes(series)
+        assert [c.index for c in changes] == [2]
+        assert changes[0].score > 0.15
+
+    def test_short_series(self):
+        assert detect_changes([make_snapshot(1)]) == []
+
+    def test_stable_series_quiet(self):
+        series = [make_snapshot(s) for s in range(3)]
+        assert detect_changes(series) == []

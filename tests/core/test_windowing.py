@@ -1,0 +1,81 @@
+"""Tests for the Fig. 5 windowing analysis."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.windowing import (
+    MEASURES,
+    WindowCell,
+    windowing_analysis,
+)
+from repro.ipv6.sets import AddressSet
+from repro.stats.entropy import entropy_of_counts
+
+
+class TestWindowing:
+    def test_cells_cover_all_aligned_windows(self, tiny_set):
+        result = windowing_analysis(tiny_set)
+        keys = {(c.position_bits, c.length_bits) for c in result.cells}
+        assert (0, 4) in keys
+        assert (124, 4) in keys
+        assert (0, 64) in keys
+        assert (0, 68) not in keys  # capped at 64 bits
+
+    def test_single_nybble_matches_entropy(self, tiny_set):
+        result = windowing_analysis(tiny_set)
+        by_key = {(c.position_bits, c.length_bits): c.score for c in result.cells}
+        expected = entropy_of_counts([2, 3]) / math.log(2)
+        assert by_key[(124, 4)] == pytest.approx(expected)
+
+    def test_distinct_measure(self, tiny_set):
+        result = windowing_analysis(tiny_set, measure="distinct")
+        by_key = {(c.position_bits, c.length_bits): c.score for c in result.cells}
+        assert by_key[(124, 4)] == 2  # values c and f
+
+    def test_top_frequency_measure(self, tiny_set):
+        result = windowing_analysis(tiny_set, measure="top-frequency")
+        by_key = {(c.position_bits, c.length_bits): c.score for c in result.cells}
+        assert by_key[(124, 4)] == pytest.approx(0.6)
+
+    def test_unknown_measure(self, tiny_set):
+        with pytest.raises(KeyError):
+            windowing_analysis(tiny_set, measure="nope")
+
+    def test_bad_bit_step(self, tiny_set):
+        with pytest.raises(ValueError):
+            windowing_analysis(tiny_set, bit_step=6)
+
+    def test_wider_step(self, tiny_set):
+        result = windowing_analysis(tiny_set, bit_step=16)
+        assert all(
+            c.position_bits % 16 == 0 and c.length_bits % 16 == 0
+            for c in result.cells
+        )
+
+    def test_as_matrix(self, tiny_set):
+        result = windowing_analysis(tiny_set)
+        matrix = result.as_matrix()
+        cell = next(
+            c for c in result.cells
+            if (c.position_bits, c.length_bits) == (0, 8)
+        )
+        assert matrix[0, 2] == pytest.approx(cell.score)
+        # Out-of-triangle cells are NaN.
+        assert np.isnan(matrix[31, 16])
+
+    def test_max_score(self, structured_set):
+        result = windowing_analysis(structured_set)
+        assert result.max_score() == max(c.score for c in result.cells)
+
+    def test_entropy_monotone_in_window_length(self, structured_set):
+        by_key = {
+            (c.position_bits, c.length_bits): c.score
+            for c in windowing_analysis(structured_set).cells
+        }
+        for position in (64, 96):
+            assert by_key[(position, 32)] >= by_key[(position, 16)] - 1e-9
+
+    def test_all_measures_registered(self):
+        assert set(MEASURES) == {"entropy", "distinct", "top-frequency"}

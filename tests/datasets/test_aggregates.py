@@ -1,0 +1,77 @@
+"""Tests asserting the Fig. 6 shapes of the aggregate datasets."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.aggregates import (
+    aggregate_by_name,
+    build_aggregate_clients,
+    build_aggregate_routers,
+    build_aggregate_servers,
+    build_bittorrent_clients,
+)
+from repro.stats.entropy import nybble_entropies
+
+
+@pytest.fixture(scope="module")
+def profiles():
+    n = 12000
+    return {
+        "AS": nybble_entropies(build_aggregate_servers(n)),
+        "AR": nybble_entropies(build_aggregate_routers(n)),
+        "AC": nybble_entropies(build_aggregate_clients(n)),
+        "AT": nybble_entropies(build_bittorrent_clients(n)),
+    }
+
+
+class TestFig6Shapes:
+    def test_servers_least_random(self, profiles):
+        # "the addresses in dataset AS are the least random".
+        totals = {k: float(v.sum()) for k, v in profiles.items()}
+        assert totals["AS"] == min(totals.values())
+
+    def test_clients_most_random_iids(self, profiles):
+        # Client IID entropy near 1 in the bottom 64 bits.
+        iid = profiles["AC"][16:]
+        assert float(np.median(iid)) > 0.9
+
+    def test_servers_low_order_rise(self, profiles):
+        # "steady increase in entropy from bit 80 to 128" for servers.
+        tail = profiles["AS"][20:]
+        assert tail[-1] > tail[0]
+        assert tail[-1] > 0.5
+
+    def test_router_dip_at_88_104(self, profiles):
+        # EUI-64 fffe filler drops router entropy toward ~0.5 there.
+        dip = profiles["AR"][22:26]
+        neighborhood = profiles["AR"][17:22]
+        assert float(dip.mean()) < float(neighborhood.mean())
+        assert 0.3 < float(dip.mean()) < 0.7
+
+    def test_client_u_bit_dip_at_68_72(self, profiles):
+        # Mixture of privacy (u=0) and other IIDs → entropy ~0.8.
+        assert 0.7 < float(profiles["AC"][17]) < 0.95
+        assert profiles["AC"][17] < profiles["AC"][18]
+
+    def test_bittorrent_differs_at_88_104_only(self, profiles):
+        # "no significant differences ... except for bits 88-104".
+        ac, at = profiles["AC"], profiles["AT"]
+        eui_region = abs(ac[22:26] - at[22:26]).mean()
+        elsewhere = abs(ac[28:] - at[28:]).mean()
+        assert eui_region > 0.1
+        assert elsewhere < 0.1
+
+
+class TestBuilders:
+    def test_by_name(self):
+        assert len(aggregate_by_name("AS", n=500)) == 500
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            aggregate_by_name("AX")
+
+    def test_many_operators(self):
+        from repro.ipv6.prefix import count_prefixes
+
+        sample = build_aggregate_servers(4000)
+        assert count_prefixes(sample.addresses(), 32) > 20

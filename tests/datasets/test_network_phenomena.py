@@ -1,0 +1,109 @@
+"""Per-dataset phenomena tests for the remaining network models.
+
+Complements tests/datasets/test_networks.py: each §5.2-§5.3 observation
+not already covered gets an assertion against its synthetic model.
+"""
+
+import numpy as np
+import pytest
+
+from repro.datasets.networks import (
+    build_c2,
+    build_c4,
+    build_network,
+    build_r2,
+    build_r3,
+    build_r5,
+    build_s2,
+    build_s4,
+    build_s5,
+)
+from repro.ipv6.eui64 import U_BIT
+from repro.ipv6.prefix import count_prefixes
+from repro.stats.entropy import nybble_entropies
+
+
+class TestServerPhenomena:
+    def test_s2_many_distributed_prefixes(self):
+        population = build_s2(population_size=10000).population(0)
+        # "S2 has many globally distributed prefixes" — dozens of /48s.
+        assert count_prefixes(population.addresses(), 48) > 50
+
+    def test_s2_hosts_in_dense_blocks(self):
+        population = build_s2(population_size=10000).population(0)
+        hosts = population.segment_values(25, 32)
+        assert all(
+            0x0001 <= int(h) <= 0x03FF or 0x1000 <= int(h) <= 0x2FFF
+            for h in hosts
+        )
+
+    def test_s4_only_last_32_bits_discriminate(self):
+        population = build_s4(population_size=8000).population(0)
+        entropy = nybble_entropies(population)
+        assert np.all(entropy[12:24] == 0)
+        assert entropy[28:].mean() > 0.3
+
+    def test_s4_low_order_concentration(self):
+        population = build_s4(population_size=8000).population(0)
+        hosts = population.segment_values(25, 32)
+        small = sum(1 for h in hosts if int(h) < 256)
+        # sequential_low: low host ids are heavily over-represented
+        # (deduplication caps each small value at one occurrence, so
+        # "most" becomes "a large minority" in the unique population).
+        assert small > 0.3 * len(population)
+        assert small > 100 * (256 / (1 << 22)) * len(population)
+
+    def test_s5_services_shared_across_64s(self):
+        population = build_s5(population_size=10000).population(0)
+        services = {int(v) for v in population.segment_values(29, 32)}
+        nets = count_prefixes(population.addresses(), 64)
+        # Few service codes, many /64s — the §5.2 S5 signature.
+        assert len(services) <= 24
+        assert nets > 1000
+
+
+class TestRouterPhenomena:
+    def test_r2_iids_are_one_or_two(self):
+        population = build_r2(population_size=5000).population(0)
+        iids = {int(v) for v in population.segment_values(17, 32)}
+        assert iids == {1, 2}
+
+    def test_r3_zero_middle_random_tail(self):
+        population = build_r3(population_size=5000).population(0)
+        entropy = nybble_entropies(population)
+        assert np.all(entropy[16:28] == 0)
+        assert np.all(entropy[29:] > 0.9)
+
+    def test_r5_discriminates_in_bits_52_64(self):
+        population = build_r5(population_size=2000).population(0)
+        entropy = nybble_entropies(population)
+        assert entropy[13:16].mean() > 0.5      # bits 52-64 active
+        assert np.all(entropy[8:13] == 0)       # bits 32-52 constant
+
+    def test_router_populations_unique(self):
+        population = build_r2(population_size=5000).population(0)
+        assert len(population.unique()) == len(population)
+
+
+class TestClientPhenomena:
+    def test_c2_full_random_iids_no_u_bit_dip(self):
+        population = build_c2(population_size=10000).population(0)
+        entropy = nybble_entropies(population)
+        # C2's gateways assign full-random IIDs: no dip at bits 68-72.
+        assert entropy[17] > 0.95
+
+    def test_c4_dense_blocks(self):
+        population = build_c4(population_size=10000).population(0)
+        nets = population.segment_values(9, 16)
+        in_blocks = sum(
+            1 for n in nets
+            if 0x00100000 <= int(n) <= 0x0017FFFF
+            or 0x01000000 <= int(n) <= 0x0103FFFF
+        )
+        assert in_blocks == len(population)
+
+    @pytest.mark.parametrize("name", ["C3", "C4", "C5"])
+    def test_privacy_iids_have_u_bit_zero(self, name):
+        population = build_network(name).population(0)
+        sample_iids = population.segment_values(17, 32)[:500]
+        assert all(not (int(v) & U_BIT) for v in sample_iids)

@@ -1,0 +1,156 @@
+"""Tests for the 16 synthetic network models.
+
+Each test asserts the structural phenomenon the paper reports for that
+dataset — these are the properties the substitution argument of
+DESIGN.md §2 rests on.
+"""
+
+import numpy as np
+import pytest
+
+from repro.datasets.networks import (
+    all_networks,
+    build_c1,
+    build_c5,
+    build_network,
+    build_r1,
+    build_r4,
+    build_s3,
+    client_networks,
+    router_networks,
+    server_networks,
+)
+from repro.ipv6.eui64 import decode_ipv4_decimal_words
+from repro.ipv6.prefix import count_prefixes
+from repro.stats.entropy import nybble_entropies
+
+
+class TestRegistry:
+    def test_all_networks_build(self):
+        networks = all_networks()
+        assert len(networks) == 16
+        assert {n.name for n in networks} >= {"S1", "R1", "C1", "JP"}
+
+    def test_categories(self):
+        assert all(n.category == "server" for n in server_networks())
+        assert all(n.category == "router" for n in router_networks())
+        assert all(n.category == "client" for n in client_networks())
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            build_network("S9")
+
+    def test_population_deterministic(self, jp_small):
+        assert jp_small.population(seed=0) == jp_small.population(seed=0)
+
+    def test_population_varies_with_seed(self, jp_small):
+        assert jp_small.population(seed=0) != jp_small.population(seed=1)
+
+    def test_sample_is_subset(self, jp_small):
+        population = set(jp_small.population(0).to_ints())
+        sample = jp_small.sample(100, seed=0)
+        assert set(sample.to_ints()) <= population
+
+
+class TestServerPhenomena:
+    def test_s1_two_prefixes(self, s1_small):
+        population = s1_small.population(0)
+        assert count_prefixes(population.addresses(), 32) == 2
+
+    def test_s1_variant_shares(self, s1_small):
+        # B = 0x10 for ~78% of addresses (variant v1).
+        population = s1_small.population(0)
+        b_values = population.segment_values(9, 10)
+        share = float(np.mean(b_values == 0x10))
+        assert share == pytest.approx(0.778, abs=0.03)
+
+    def test_s1_v1_iids_high_entropy(self, s1_small):
+        # The dominant variant's G region is pseudo-random → entropy ~1
+        # in the middle of the IID.
+        population = s1_small.population(0)
+        entropy = nybble_entropies(population)
+        assert np.all(entropy[18:26] > 0.9)
+
+    def test_s3_single_96_prefix(self, s3_small):
+        population = s3_small.population(0)
+        assert count_prefixes(population.addresses(), 96) == 1
+
+    def test_s3_dense_host_space(self, s3_small):
+        population = s3_small.population(0)
+        hosts = population.segment_values(25, 32)
+        assert int(hosts.max()) <= 0x7FFFF
+
+
+class TestRouterPhenomena:
+    def test_r1_point_to_point_iids(self, r1_small):
+        population = r1_small.population(0)
+        iids = population.segment_values(17, 32)
+        assert set(int(v) for v in iids) == {1, 2}
+
+    def test_r1_low_total_entropy(self, r1_small):
+        # Paper: H_S = 4.6 for R1 — ours must be of the same order,
+        # far below a client set's ~21.
+        entropy = float(nybble_entropies(r1_small.population(0)).sum())
+        assert entropy < 8
+
+    def test_r4_iids_decode_to_ipv4(self):
+        population = build_r4(population_size=3000).population(0)
+        iids = population.segment_values(17, 32)
+        for iid in iids[:100]:
+            text = decode_ipv4_decimal_words(int(iid))
+            assert text is not None and text.startswith("10.")
+
+
+class TestClientPhenomena:
+    def test_c1_android_pattern_share(self):
+        # 47% of IIDs end in 01 with D = 00000 (§5.4).
+        population = build_c1(population_size=30000).population(0)
+        last_byte = population.segment_values(31, 32)
+        d_segment = population.segment_values(17, 21)
+        pattern = (last_byte == 0x01) & (d_segment == 0)
+        assert float(np.mean(pattern)) == pytest.approx(0.47, abs=0.02)
+
+    def test_c1_pattern_dependency(self):
+        # D=00000 and F=01 co-occur: P(F=01 | D=0) must be near 1.
+        population = build_c1(population_size=30000).population(0)
+        last_byte = population.segment_values(31, 32)
+        d_segment = population.segment_values(17, 21)
+        d_zero = d_segment == 0
+        conditional = float(np.mean(last_byte[d_zero] == 0x01))
+        assert conditional > 0.95
+
+    def test_c1_high_total_entropy(self):
+        # Paper: H_S = 21.2 for C1.
+        population = build_c1(population_size=30000).population(0)
+        entropy = float(nybble_entropies(population).sum())
+        assert 15 < entropy < 26
+
+    def test_c5_dense_64s(self):
+        population = build_c5(population_size=30000).population(0)
+        nets = population.segment_values(9, 16)
+        assert int(nets.min()) >= 0x00040000
+        assert int(nets.max()) <= 0x0008FFFF
+
+    def test_clients_never_answer_pings(self):
+        for network in client_networks():
+            assert network.ping_rate == 0.0
+
+
+class TestJapaneseTelco:
+    def test_j_zeros_share(self, jp_small):
+        # Fig. 1: segment J (bits 64-108) equals zeros for ~60%.
+        population = jp_small.population(0)
+        j_values = population.segment_values(17, 27)
+        assert float(np.mean(j_values == 0)) == pytest.approx(0.60, abs=0.03)
+
+    def test_j_dependency_on_c(self, jp_small):
+        # When J = 0...0, C must equal 0x10 (the "static" plan).
+        population = jp_small.population(0)
+        j_values = population.segment_values(17, 27)
+        c_values = population.segment_values(11, 12)
+        zero_rows = j_values == 0
+        assert np.all(c_values[zero_rows] == 0x10)
+
+    def test_single_40_prefix(self, jp_small):
+        population = jp_small.population(0)
+        assert count_prefixes(population.addresses(), 40) == 1

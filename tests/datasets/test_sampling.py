@@ -1,0 +1,50 @@
+"""Tests for stratified per-/32 sampling (§3)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.sampling import strata_sizes, stratified_sample
+from repro.ipv6.sets import AddressSet
+
+
+@pytest.fixture
+def two_strata():
+    """100 addresses in one /32, 5 in another."""
+    values = [(0x20010DB8 << 96) | i for i in range(100)]
+    values += [(0x2A001450 << 96) | i for i in range(5)]
+    return AddressSet.from_ints(values)
+
+
+class TestStratifiedSample:
+    def test_caps_large_strata(self, two_strata):
+        sampled = stratified_sample(two_strata, per_stratum=10)
+        sizes = strata_sizes(sampled)
+        assert sizes[0x20010DB8] == 10
+        assert sizes[0x2A001450] == 5  # small stratum kept whole
+
+    def test_respects_custom_stratum_width(self, two_strata):
+        sampled = stratified_sample(
+            two_strata, per_stratum=3, stratum_nybbles=4
+        )
+        assert all(c <= 3 for c in strata_sizes(sampled, 4).values())
+
+    def test_deterministic_with_rng(self, two_strata):
+        a = stratified_sample(two_strata, 10, rng=np.random.default_rng(5))
+        b = stratified_sample(two_strata, 10, rng=np.random.default_rng(5))
+        assert a == b
+
+    def test_sample_is_subset(self, two_strata):
+        sampled = stratified_sample(two_strata, per_stratum=10)
+        assert set(sampled.to_ints()) <= set(two_strata.to_ints())
+
+    def test_validation(self, two_strata):
+        with pytest.raises(ValueError):
+            stratified_sample(two_strata, per_stratum=0)
+        with pytest.raises(ValueError):
+            stratified_sample(two_strata, stratum_nybbles=40)
+
+
+class TestStrataSizes:
+    def test_counts(self, two_strata):
+        sizes = strata_sizes(two_strata)
+        assert sizes == {0x20010DB8: 100, 0x2A001450: 5}

@@ -1,0 +1,95 @@
+"""Tests for the address-scheme DSL."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import parts
+from repro.datasets.schema import AddressScheme, Field
+
+
+def constant_scheme():
+    return AddressScheme(
+        [
+            Field("prefix", 8, parts.constant(0x20010DB8)),
+            Field("rest", 24, parts.constant(0)),
+        ]
+    )
+
+
+class TestField:
+    def test_cardinality(self):
+        assert Field("x", 2, parts.constant(0)).cardinality == 256
+
+    def test_rejects_zero_width(self):
+        with pytest.raises(ValueError):
+            Field("x", 0, parts.constant(0))
+
+
+class TestScheme:
+    def test_width_must_match(self):
+        with pytest.raises(ValueError):
+            AddressScheme([Field("x", 8, parts.constant(0))], width=32)
+
+    def test_rejects_duplicate_names(self):
+        with pytest.raises(ValueError):
+            AddressScheme(
+                [Field("x", 16, parts.constant(0)),
+                 Field("x", 16, parts.constant(0))]
+            )
+
+    def test_generate_one(self, rng):
+        value = constant_scheme().generate_one(rng)
+        assert value == 0x20010DB8 << 96
+
+    def test_field_order_msb_first(self, rng):
+        scheme = AddressScheme(
+            [
+                Field("hi", 16, parts.constant(1)),
+                Field("lo", 16, parts.constant(2)),
+            ]
+        )
+        assert scheme.generate_one(rng) == (1 << 64) | 2
+
+    def test_oversized_sample_rejected(self, rng):
+        scheme = AddressScheme(
+            [Field("x", 1, parts.constant(99)),
+             Field("rest", 31, parts.constant(0))]
+        )
+        with pytest.raises(ValueError):
+            scheme.generate_one(rng)
+
+    def test_context_dependency(self, rng):
+        scheme = AddressScheme(
+            [
+                Field("a", 16, parts.uniform(4)),
+                Field("b", 16, parts.copy_field("a")),
+            ]
+        )
+        value = scheme.generate_one(rng)
+        assert (value >> 64) == (value & ((1 << 64) - 1))
+
+    def test_generate_unique(self, rng):
+        scheme = AddressScheme(
+            [
+                Field("x", 4, parts.uniform(4)),
+                Field("rest", 28, parts.constant(0)),
+            ]
+        )
+        values = scheme.generate_unique(1000, rng)
+        assert len(values) == len(set(values)) == 1000
+
+    def test_generate_unique_impossible(self, rng):
+        values_possible = 16
+        scheme = AddressScheme(
+            [
+                Field("x", 1, parts.uniform(1)),
+                Field("rest", 31, parts.constant(0)),
+            ]
+        )
+        with pytest.raises(RuntimeError):
+            scheme.generate_unique(values_possible + 1, rng)
+
+    def test_generate_set(self, rng):
+        address_set = constant_scheme().generate_set(5, rng, unique=False)
+        assert len(address_set) == 5
+        assert address_set.width == 32

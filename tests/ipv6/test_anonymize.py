@@ -1,0 +1,67 @@
+"""Tests for the Section 3 anonymization scheme."""
+
+import pytest
+
+from repro.ipv6.address import IPv6Address
+from repro.ipv6.anonymize import (
+    AnonymizationError,
+    Anonymizer,
+    anonymize_address,
+    anonymize_embedded_ipv4,
+    anonymize_set,
+)
+
+
+class TestAnonymizer:
+    def test_first_prefix_maps_to_documentation(self):
+        result = anonymize_address(IPv6Address("2a00:1450:4001::1"))
+        assert result.hex32().startswith("20010db8")
+
+    def test_low_bits_preserved(self):
+        original = IPv6Address("2a00:1450:4001:0815::dead:beef")
+        result = anonymize_address(original)
+        assert (int(result) & ((1 << 96) - 1)) == (int(original) & ((1 << 96) - 1))
+
+    def test_second_prefix_increments_first_nybble(self):
+        anonymizer = Anonymizer()
+        first = anonymizer.anonymize(IPv6Address("2a00:1450::1"))
+        second = anonymizer.anonymize(IPv6Address("2a03:2880::1"))
+        assert first.hex32().startswith("20010db8")
+        assert second.hex32().startswith("30010db8")
+
+    def test_same_prefix_same_mapping(self):
+        anonymizer = Anonymizer()
+        a = anonymizer.anonymize(IPv6Address("2a00:1450::1"))
+        b = anonymizer.anonymize(IPv6Address("2a00:1450::2"))
+        assert a.hex32()[:8] == b.hex32()[:8]
+
+    def test_mapping_property(self):
+        anonymizer = Anonymizer()
+        anonymizer.anonymize(IPv6Address("2a00:1450::1"))
+        assert 0x2A001450 in anonymizer.mapping
+
+    def test_overflow_after_14_prefixes(self):
+        anonymizer = Anonymizer()
+        for i in range(14):
+            anonymizer.anonymize(IPv6Address((0x20000000 + i) << 96))
+        with pytest.raises(AnonymizationError):
+            anonymizer.anonymize(IPv6Address(0x2F000000 << 96))
+
+    def test_anonymize_set_shares_mapping(self):
+        addresses = [
+            IPv6Address("2a00:1450::1"),
+            IPv6Address("2a03:2880::1"),
+            IPv6Address("2a00:1450::2"),
+        ]
+        result = anonymize_set(addresses)
+        assert result[0].hex32()[:8] == result[2].hex32()[:8]
+        assert result[0].hex32()[:8] != result[1].hex32()[:8]
+
+
+class TestEmbeddedIPv4Anonymization:
+    def test_first_octet_becomes_127(self):
+        assert anonymize_embedded_ipv4("203.0.113.9") == "127.0.113.9"
+
+    def test_rejects_malformed(self):
+        with pytest.raises(ValueError):
+            anonymize_embedded_ipv4("1.2.3")

@@ -1,0 +1,110 @@
+"""Tests for Modified EUI-64 and embedded-IPv4 conversions."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.ipv6.address import IPv6Address
+from repro.ipv6.eui64 import (
+    EUI64_FILLER,
+    U_BIT,
+    decode_ipv4_decimal_words,
+    embedded_ipv4_dotted_quad,
+    iid_from_ipv4_decimal_words,
+    iid_from_ipv4_hex,
+    iid_from_mac,
+    is_eui64_iid,
+    mac_from_iid,
+    split_mac,
+)
+
+MACS = st.integers(min_value=0, max_value=(1 << 48) - 1)
+IPV4S = st.integers(min_value=0, max_value=(1 << 32) - 1)
+
+
+class TestEui64:
+    def test_known_example(self):
+        # RFC 4291 Appendix A example: MAC 34-56-78-9A-BC-DE
+        iid = iid_from_mac("34:56:78:9a:bc:de")
+        assert iid == 0x36567_8FFFE_9ABCDE or iid == int("365678fffe9abcde", 16)
+
+    def test_filler_present(self):
+        iid = iid_from_mac("00:11:22:33:44:55")
+        assert (iid >> 24) & 0xFFFF == EUI64_FILLER
+        assert is_eui64_iid(iid)
+
+    def test_u_bit_flipped(self):
+        # A MAC with u/l bit 0 must yield an IID with the bit set.
+        iid = iid_from_mac(0)
+        assert iid & U_BIT
+
+    def test_not_eui64(self):
+        assert not is_eui64_iid(0)
+        assert not is_eui64_iid(0xFFFFFFFFFFFFFFFF & ~(0xFFFF << 24))
+
+    def test_is_eui64_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            is_eui64_iid(1 << 64)
+
+    def test_mac_from_non_eui64_is_none(self):
+        assert mac_from_iid(0) is None
+
+    def test_rejects_bad_mac(self):
+        with pytest.raises(ValueError):
+            iid_from_mac("00:11:22:33:44")
+        with pytest.raises(ValueError):
+            iid_from_mac(1 << 48)
+
+    def test_split_mac(self):
+        assert split_mac("00:11:22:33:44:55") == (0x001122, 0x334455)
+
+    @given(MACS)
+    def test_round_trip(self, mac):
+        iid = iid_from_mac(mac)
+        recovered = mac_from_iid(iid)
+        assert recovered is not None
+        assert int(recovered.replace(":", ""), 16) == mac
+
+
+class TestEmbeddedIPv4:
+    def test_hex_embedding(self):
+        assert iid_from_ipv4_hex("192.0.2.1") == 0xC0000201
+
+    def test_decimal_words_example(self):
+        # 203.0.113.5 → words 0203:0000:0113:0005
+        iid = iid_from_ipv4_decimal_words("203.0.113.5")
+        assert iid == 0x0203_0000_0113_0005
+
+    def test_decimal_words_round_trip_string(self):
+        assert decode_ipv4_decimal_words(0x0203_0000_0113_0005) == "203.0.113.5"
+
+    def test_decode_rejects_hex_digits(self):
+        assert decode_ipv4_decimal_words(0x0A0B_0000_0000_0000) is None
+
+    def test_decode_rejects_over_255(self):
+        # 0x0999 reads as decimal 999 > 255.
+        assert decode_ipv4_decimal_words(0x0999_0000_0000_0000) is None
+
+    def test_decode_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            decode_ipv4_decimal_words(1 << 64)
+
+    def test_dotted_quad_of_low_bits(self):
+        addr = IPv6Address("2001:db8::c000:0201")
+        assert embedded_ipv4_dotted_quad(addr) == "192.0.2.1"
+
+    def test_rejects_bad_ipv4(self):
+        with pytest.raises(ValueError):
+            iid_from_ipv4_hex("300.1.2.3")
+        with pytest.raises(ValueError):
+            iid_from_ipv4_hex("1.2.3")
+
+    @given(IPV4S)
+    def test_decimal_words_round_trip(self, value):
+        iid = iid_from_ipv4_decimal_words(value)
+        text = decode_ipv4_decimal_words(iid)
+        assert text is not None
+        octets = [int(o) for o in text.split(".")]
+        recomposed = (
+            (octets[0] << 24) | (octets[1] << 16) | (octets[2] << 8) | octets[3]
+        )
+        assert recomposed == value

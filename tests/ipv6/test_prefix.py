@@ -1,0 +1,126 @@
+"""Tests for CIDR prefixes and aggregate counting."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.ipv6.address import IPv6Address
+from repro.ipv6.prefix import (
+    Prefix,
+    aggregate_counts,
+    count_prefixes,
+    distinct_prefixes,
+    group_by_prefix,
+    iter_addresses,
+)
+
+
+class TestPrefix:
+    def test_parse_slash_form(self):
+        p = Prefix("2001:db8::/32")
+        assert p.length == 32
+        assert p.network == IPv6Address("2001:db8::")
+
+    def test_network_is_masked(self):
+        p = Prefix("2001:db8::1/32")
+        assert p.network == IPv6Address("2001:db8::")
+
+    def test_two_argument_form(self):
+        assert Prefix("2001:db8::", 32) == Prefix("2001:db8::/32")
+
+    def test_copy_constructor(self):
+        p = Prefix("2001:db8::/32")
+        assert Prefix(p) == p
+
+    def test_rejects_missing_slash(self):
+        with pytest.raises(ValueError):
+            Prefix("2001:db8::")
+
+    def test_rejects_bad_length(self):
+        with pytest.raises(ValueError):
+            Prefix("2001:db8::/129")
+
+    def test_contains(self):
+        p = Prefix("2001:db8::/32")
+        assert IPv6Address("2001:db8::1") in p
+        assert IPv6Address("2001:db9::1") not in p
+        assert p.contains("2001:db8:ffff::")
+
+    def test_subsumes(self):
+        outer = Prefix("2001:db8::/32")
+        inner = Prefix("2001:db8:1::/48")
+        assert outer.subsumes(inner)
+        assert not inner.subsumes(outer)
+        assert outer.subsumes(outer)
+
+    def test_first_last_and_size(self):
+        p = Prefix("2001:db8::/126")
+        assert p.num_addresses() == 4
+        assert p.first_address() == IPv6Address("2001:db8::")
+        assert p.last_address() == IPv6Address("2001:db8::3")
+
+    def test_child(self):
+        p = Prefix("2001:db8::/32")
+        child = p.child(1, 48)
+        assert child == Prefix("2001:db8:1::/48")
+        with pytest.raises(ValueError):
+            p.child(0, 16)
+        with pytest.raises(ValueError):
+            p.child(1 << 16, 48)
+
+    def test_ordering_and_str(self):
+        a = Prefix("2001:db8::/32")
+        b = Prefix("2001:db9::/32")
+        assert a < b
+        assert str(a) == "2001:db8::/32"
+
+    def test_iter_addresses(self):
+        p = Prefix("2001:db8::/126")
+        addresses = list(iter_addresses(p))
+        assert len(addresses) == 4
+        assert addresses[-1] == IPv6Address("2001:db8::3")
+
+
+class TestAggregateCounting:
+    def setup_method(self):
+        self.addresses = [
+            IPv6Address("2001:db8::1"),
+            IPv6Address("2001:db8::2"),
+            IPv6Address("2001:db9::1"),
+            IPv6Address("3001:db8::1"),
+        ]
+
+    def test_count_prefixes(self):
+        assert count_prefixes(self.addresses, 0) == 1
+        assert count_prefixes(self.addresses, 16) == 2  # 2001, 3001
+        assert count_prefixes(self.addresses, 32) == 3
+        assert count_prefixes(self.addresses, 128) == 4
+
+    def test_count_rejects_bad_length(self):
+        with pytest.raises(ValueError):
+            count_prefixes(self.addresses, 129)
+
+    def test_distinct_prefixes(self):
+        found = distinct_prefixes(self.addresses, 32)
+        assert Prefix("2001:db8::/32") in found
+        assert len(found) == 3
+
+    def test_aggregate_counts_default_lengths(self):
+        counts = aggregate_counts(self.addresses)
+        assert set(counts) == set(range(0, 129, 4))
+        assert counts[0] == 1
+        assert counts[128] == 4
+
+    def test_aggregate_counts_monotone(self):
+        counts = aggregate_counts(self.addresses)
+        ordered = [counts[i] for i in sorted(counts)]
+        assert ordered == sorted(ordered)
+
+    def test_group_by_prefix(self):
+        groups = group_by_prefix(self.addresses, 32)
+        assert len(groups[Prefix("2001:db8::/32")]) == 2
+
+    @given(st.lists(st.integers(0, (1 << 128) - 1), min_size=1, max_size=50))
+    def test_counts_bounded_by_set_size(self, values):
+        for length in (0, 32, 64, 128):
+            count = count_prefixes(values, length)
+            assert 1 <= count <= len(set(values))

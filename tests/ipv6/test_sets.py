@@ -1,0 +1,174 @@
+"""Tests for the vectorized AddressSet container."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ipv6.address import IPv6Address
+from repro.ipv6.sets import AddressSet, split_train_test
+
+ADDRESS_INTS = st.integers(min_value=0, max_value=(1 << 128) - 1)
+
+
+class TestConstruction:
+    def test_from_strings(self):
+        s = AddressSet.from_strings(["2001:db8::1", "2001:db8::2"])
+        assert len(s) == 2 and s.width == 32
+
+    def test_from_ints_full_width(self):
+        s = AddressSet.from_ints([1, 2])
+        assert s.column(32).tolist() == [1, 2]
+
+    def test_from_ints_truncating_keeps_top(self):
+        value = IPv6Address("2001:db8::1").value
+        s = AddressSet.from_ints([value], width=16)
+        assert list(s.hex_rows()) == ["20010db800000000"]
+
+    def test_from_ints_already_truncated(self):
+        s = AddressSet.from_ints([0x20010DB8], width=8, already_truncated=True)
+        assert list(s.hex_rows()) == ["20010db8"]
+
+    def test_overflow_rejected(self):
+        with pytest.raises(ValueError):
+            AddressSet.from_ints([1 << 32], width=8, already_truncated=True)
+
+    def test_bad_width_rejected(self):
+        with pytest.raises(ValueError):
+            AddressSet.from_ints([1], width=0)
+        with pytest.raises(ValueError):
+            AddressSet.from_ints([1], width=33)
+
+    def test_matrix_validation(self):
+        with pytest.raises(ValueError):
+            AddressSet(np.full((2, 4), 16, dtype=np.uint8))
+        with pytest.raises(ValueError):
+            AddressSet(np.zeros(4, dtype=np.uint8))
+
+    def test_empty(self):
+        s = AddressSet.empty(width=16)
+        assert len(s) == 0 and s.width == 16
+
+    def test_matrix_is_read_only(self):
+        s = AddressSet.from_ints([1, 2])
+        with pytest.raises(ValueError):
+            s.matrix[0, 0] = 5
+
+
+class TestAccessors:
+    def test_column_indexing(self, tiny_set):
+        # Fig. 3: last character takes 'c' twice and 'f' thrice.
+        last = tiny_set.column(32).tolist()
+        assert last.count(0xC) == 2 and last.count(0xF) == 3
+
+    def test_column_out_of_range(self, tiny_set):
+        with pytest.raises(IndexError):
+            tiny_set.column(0)
+        with pytest.raises(IndexError):
+            tiny_set.column(33)
+
+    def test_segment_values_narrow(self, tiny_set):
+        values = tiny_set.segment_values(12, 16)
+        assert int(values[0]) == 0x11111
+        assert int(values[2]) == 0x31C13
+
+    def test_segment_values_full_width_uint64(self):
+        s = AddressSet.from_ints([0xFFFFFFFFFFFFFFFF], width=16,
+                                 already_truncated=True)
+        values = s.segment_values(1, 16)
+        assert values.dtype == np.uint64
+        assert int(values[0]) == 0xFFFFFFFFFFFFFFFF
+
+    def test_segment_values_wider_than_64_bits(self):
+        s = AddressSet.from_strings(["2001:db8::1"])
+        values = s.segment_values(1, 32)
+        assert values.dtype == object
+        assert values[0] == IPv6Address("2001:db8::1").value
+
+    def test_segment_values_bad_range(self, tiny_set):
+        with pytest.raises(IndexError):
+            tiny_set.segment_values(5, 4)
+        with pytest.raises(IndexError):
+            tiny_set.segment_values(0, 4)
+
+    def test_row_int_and_addresses(self):
+        s = AddressSet.from_strings(["2001:db8::1"])
+        assert s.row_int(0) == IPv6Address("2001:db8::1").value
+        assert s.addresses() == [IPv6Address("2001:db8::1")]
+
+    def test_addresses_pad_narrow_width(self):
+        s = AddressSet.from_ints([0x20010DB8], width=8, already_truncated=True)
+        assert s.addresses() == [IPv6Address("2001:db8::")]
+
+    def test_hex_rows(self, tiny_set):
+        rows = list(tiny_set.hex_rows())
+        assert rows[0] == "20010db840011111000000000000111c"
+
+
+class TestOperations:
+    def test_unique(self, tiny_set):
+        assert len(tiny_set.unique()) == 4  # one duplicate in Fig. 3
+
+    def test_sample_without_replacement(self, tiny_set, rng):
+        sample = tiny_set.sample(3, rng)
+        assert len(sample) == 3
+
+    def test_sample_too_large(self, tiny_set, rng):
+        with pytest.raises(ValueError):
+            tiny_set.sample(10, rng)
+
+    def test_truncate(self, tiny_set):
+        t = tiny_set.truncate(8)
+        assert t.width == 8
+        assert set(t.hex_rows()) == {"20010db8"}
+
+    def test_truncate_bad_width(self, tiny_set):
+        with pytest.raises(ValueError):
+            tiny_set.truncate(33)
+
+    def test_concat(self):
+        a = AddressSet.from_ints([1])
+        b = AddressSet.from_ints([2])
+        assert len(a.concat(b)) == 2
+
+    def test_concat_width_mismatch(self):
+        a = AddressSet.from_ints([1], width=8)
+        b = AddressSet.from_ints([2], width=16)
+        with pytest.raises(ValueError):
+            a.concat(b)
+
+    def test_take(self, tiny_set):
+        taken = tiny_set.take([0, 2])
+        assert len(taken) == 2
+        assert list(taken.hex_rows())[1].endswith("200c")
+
+    def test_equality(self):
+        assert AddressSet.from_ints([1, 2]) == AddressSet.from_ints([1, 2])
+        assert AddressSet.from_ints([1]) != AddressSet.from_ints([2])
+
+    def test_split_train_test(self, rng):
+        s = AddressSet.from_ints(list(range(100)))
+        train, test = split_train_test(s, 30, rng)
+        assert len(train) == 30 and len(test) == 70
+        assert set(train.to_ints()) | set(test.to_ints()) == set(range(100))
+
+    def test_split_train_test_too_big(self, rng):
+        s = AddressSet.from_ints([1, 2])
+        with pytest.raises(ValueError):
+            split_train_test(s, 2, rng)
+
+
+class TestRoundTrips:
+    @settings(max_examples=50)
+    @given(st.lists(ADDRESS_INTS, min_size=1, max_size=20))
+    def test_ints_round_trip(self, values):
+        s = AddressSet.from_ints(values)
+        assert s.to_ints() == values
+
+    @settings(max_examples=50)
+    @given(st.lists(ADDRESS_INTS, min_size=1, max_size=20))
+    def test_segment_values_recompose(self, values):
+        s = AddressSet.from_ints(values)
+        top = s.segment_values(1, 16)
+        bottom = s.segment_values(17, 32)
+        for original, high, low in zip(values, top, bottom):
+            assert (int(high) << 64) | int(low) == original

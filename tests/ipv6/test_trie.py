@@ -1,0 +1,133 @@
+"""Tests for the prefix trie and MRA analysis."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ipv6.address import IPv6Address
+from repro.ipv6.prefix import Prefix, aggregate_counts
+from repro.ipv6.trie import (
+    PrefixTrie,
+    discover_subnets,
+    mra_count_ratios,
+)
+
+ADDRESS_INTS = st.integers(min_value=0, max_value=(1 << 128) - 1)
+
+
+class TestPrefixTrie:
+    def test_insert_and_total(self):
+        trie = PrefixTrie()
+        trie.insert(IPv6Address("2001:db8::1"))
+        trie.insert(IPv6Address("2001:db8::2"), multiplicity=3)
+        assert trie.total == 4
+
+    def test_count_prefix(self):
+        trie = PrefixTrie.from_addresses(
+            [IPv6Address("2001:db8::1"), IPv6Address("2001:db9::1")]
+        )
+        assert trie.count(Prefix("2001:db8::/32")) == 1
+        assert trie.count(Prefix("2001::/16")) == 2
+        assert trie.count(Prefix("3000::/8")) == 0
+
+    def test_rejects_bad_input(self):
+        trie = PrefixTrie()
+        with pytest.raises(ValueError):
+            trie.insert(1, multiplicity=0)
+        with pytest.raises(ValueError):
+            trie.insert(1 << 128)
+
+    def test_aggregates(self):
+        trie = PrefixTrie.from_addresses(
+            [
+                IPv6Address("2001:db8::1"),
+                IPv6Address("2001:db8::2"),
+                IPv6Address("2001:db9::1"),
+            ]
+        )
+        aggregates = trie.aggregates(32)
+        assert aggregates[Prefix("2001:db8::/32")] == 2
+        assert aggregates[Prefix("2001:db9::/32")] == 1
+
+    def test_aggregate_count_bad_length(self):
+        with pytest.raises(ValueError):
+            PrefixTrie().aggregates(129)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(ADDRESS_INTS, min_size=1, max_size=40))
+    def test_counts_match_set_based_computation(self, values):
+        trie = PrefixTrie.from_addresses(values)
+        reference = aggregate_counts(values)
+        for length in (0, 4, 32, 64, 128):
+            assert trie.aggregate_count(length) == reference[length]
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(ADDRESS_INTS, min_size=1, max_size=30))
+    def test_root_count_is_total(self, values):
+        trie = PrefixTrie.from_addresses(values)
+        assert trie.count(Prefix("::/0")) == len(values)
+
+
+class TestMraRatios:
+    def test_single_address_all_ones(self):
+        ratios = mra_count_ratios([IPv6Address("2001:db8::1")])
+        assert ratios == [1.0] * 32
+
+    def test_split_location(self):
+        ratios = mra_count_ratios(
+            [IPv6Address("2001:db8::1"), IPv6Address("2001:db8::2")]
+        )
+        assert ratios[31] == 2.0
+        assert all(r == 1.0 for r in ratios[:31])
+
+    def test_stride_16(self):
+        ratios = mra_count_ratios(
+            [IPv6Address("2001:db8::1"), IPv6Address("2001:db8::2")],
+            bit_stride=16,
+        )
+        assert len(ratios) == 8
+        assert ratios[-1] == 2.0
+
+    def test_rejects_bad_stride(self):
+        with pytest.raises(ValueError):
+            mra_count_ratios([1], bit_stride=3)
+
+
+class TestDiscoverSubnets:
+    def test_finds_dense_64(self):
+        # 64 addresses spread across one /64's low bits.
+        rng = np.random.default_rng(0)
+        base = IPv6Address("2001:db8:1:2::").value
+        values = [base | int(v) for v in rng.choice(1 << 16, 64, replace=False)]
+        subnets = discover_subnets(values, min_members=16)
+        assert any(
+            s.prefix.subsumes(Prefix("2001:db8:1:2::/64")) or
+            Prefix("2001:db8:1:2::/64").subsumes(s.prefix)
+            for s in subnets
+        )
+
+    def test_separates_two_subnets(self):
+        rng = np.random.default_rng(1)
+        values = []
+        for net in ("2001:db8:1:1::", "2001:db8:2:2::"):
+            base = IPv6Address(net).value
+            values += [base | int(v) for v in rng.choice(256, 32, replace=False)]
+        subnets = discover_subnets(values, min_members=16)
+        covers = {str(s.prefix) for s in subnets}
+        assert len(covers) >= 2
+
+    def test_min_members_threshold(self):
+        values = [IPv6Address("2001:db8::1").value]
+        assert discover_subnets(values, min_members=2) == []
+
+    def test_members_accounting(self):
+        rng = np.random.default_rng(2)
+        base = IPv6Address("2001:db8::").value
+        values = [base | int(v) for v in rng.choice(4096, 100, replace=False)]
+        subnets = discover_subnets(values, min_members=10)
+        assert sum(s.members for s in subnets) <= 100
+        assert all(s.members >= 10 for s in subnets)
+
+    def test_rejects_bad_ratio(self):
+        with pytest.raises(ValueError):
+            discover_subnets([1], split_ratio=1.5)

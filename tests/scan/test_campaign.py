@@ -1,0 +1,111 @@
+"""Tests for budgeted scanning campaigns."""
+
+import numpy as np
+import pytest
+
+from repro.scan.campaign import CampaignResult, ScanCampaign, run_campaign
+from repro.scan.responder import SimulatedResponder
+
+
+@pytest.fixture(scope="module")
+def setup(r1_small):
+    population = r1_small.population(0)
+    responder = SimulatedResponder(population, ping_rate=0.9, seed=0)
+    training = population.sample(600, np.random.default_rng(1))
+    return population, responder, training
+
+
+class TestCampaign:
+    def test_budget_respected(self, setup):
+        _, responder, training = setup
+        result = run_campaign(training, responder, probe_budget=5000,
+                              round_size=2000)
+        assert result.total_probes <= 5000
+        assert len(result.rounds) >= 2
+
+    def test_partial_final_round(self, setup):
+        _, responder, training = setup
+        result = run_campaign(training, responder, probe_budget=5000,
+                              round_size=2000)
+        assert result.rounds[-1].probes_sent == 1000  # 5000 - 2*2000
+
+    def test_cumulative_bookkeeping(self, setup):
+        _, responder, training = setup
+        result = run_campaign(training, responder, probe_budget=6000,
+                              round_size=3000)
+        running_probes = 0
+        running_hits = 0
+        for round_ in result.rounds:
+            running_probes += round_.probes_sent
+            running_hits += round_.hits
+            assert round_.cumulative_probes == running_probes
+            assert round_.cumulative_hits == running_hits
+        assert result.total_hits == running_hits
+
+    def test_discovery_curve_monotone(self, setup):
+        _, responder, training = setup
+        result = run_campaign(training, responder, probe_budget=8000,
+                              round_size=2000)
+        curve = result.discovery_curve()
+        assert curve == sorted(curve)
+        assert curve[-1] > 0  # R1 is scannable
+
+    def test_hits_are_real(self, setup):
+        population, responder, training = setup
+        result = run_campaign(training, responder, probe_budget=4000,
+                              round_size=2000)
+        members = set(population.to_ints())
+        assert all(v in members for v in result.discovered)
+
+    def test_no_probe_repeats_training(self, setup):
+        _, responder, training = setup
+        result = run_campaign(training, responder, probe_budget=4000,
+                              round_size=2000)
+        training_values = set(training.to_ints())
+        assert not (set(result.discovered) & training_values)
+
+    def test_new_prefixes_tracked(self, setup):
+        _, responder, training = setup
+        result = run_campaign(training, responder, probe_budget=8000,
+                              round_size=4000)
+        assert result.rounds[-1].new_prefixes64 == len(
+            result.discovered_prefixes64
+        )
+        assert result.discovered_prefixes64  # R1 yields unseen /64s
+
+    def test_adaptive_refits(self, setup):
+        _, responder, training = setup
+        adaptive = run_campaign(training, responder, probe_budget=8000,
+                                round_size=2000, adaptive=True, seed=3)
+        static = run_campaign(training, responder, probe_budget=8000,
+                              round_size=2000, adaptive=False, seed=3)
+        # Both complete within budget and find targets; the adaptive
+        # variant must never probe duplicates despite refitting.
+        assert adaptive.total_probes <= 8000
+        assert len(set(adaptive.discovered)) == len(adaptive.discovered)
+        assert adaptive.total_hits > 0 and static.total_hits > 0
+
+    def test_exhausted_support_stops_early(self):
+        # A constant network: the model can generate only one candidate.
+        from repro.ipv6.sets import AddressSet
+
+        population = AddressSet.from_ints([42, 43])
+        responder = SimulatedResponder(population, ping_rate=1.0)
+        training = AddressSet.from_ints([42] * 20)
+        result = run_campaign(training, responder, probe_budget=1000,
+                              round_size=100)
+        assert result.total_probes < 1000
+
+    def test_validation(self, setup):
+        _, responder, training = setup
+        with pytest.raises(ValueError):
+            ScanCampaign(training, responder, probe_budget=0)
+        with pytest.raises(ValueError):
+            ScanCampaign(training, responder, round_size=0)
+
+    def test_result_type(self, setup):
+        _, responder, training = setup
+        result = run_campaign(training, responder, probe_budget=2000,
+                              round_size=1000)
+        assert isinstance(result, CampaignResult)
+        assert all(0 <= r.hit_rate <= 1 for r in result.rounds)

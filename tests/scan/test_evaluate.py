@@ -1,0 +1,110 @@
+"""Tests for the Table 4/5/6 experiment harness (scaled down)."""
+
+import pytest
+
+from repro.datasets.networks import build_c5, build_r1, build_s3
+from repro.scan.evaluate import (
+    PrefixPredictionResult,
+    ScanResult,
+    prefix_prediction_experiment,
+    scan_experiment,
+    training_size_sweep,
+)
+
+
+@pytest.fixture(scope="module")
+def r1_result():
+    network = build_r1(population_size=6000)
+    return scan_experiment(
+        network, train_size=300, n_candidates=3000, seed=0
+    )
+
+
+class TestScanExperiment:
+    def test_result_consistency(self, r1_result):
+        r = r1_result
+        assert r.n_candidates <= 3000
+        assert r.found_overall <= r.n_candidates
+        assert r.found_test_set <= r.found_overall
+        assert max(r.found_ping, r.found_rdns) <= r.found_overall
+        assert 0 <= r.success_rate <= 1
+
+    def test_routers_scannable(self, r1_result):
+        # R1's ::1/::2 pattern is learnable → nonzero success.
+        assert r1_result.found_overall > 0
+
+    def test_new_prefixes_found(self, r1_result):
+        # The paper's headline: /64s never seen in training are found.
+        assert r1_result.new_prefixes64 > 0
+
+    def test_row_rendering(self, r1_result):
+        row = r1_result.row()
+        assert "R1" in row and "success" in row
+
+    def test_deterministic(self):
+        network = build_s3(population_size=5000)
+        a = scan_experiment(network, train_size=200, n_candidates=500, seed=3)
+        b = scan_experiment(network, train_size=200, n_candidates=500, seed=3)
+        assert a == b
+
+    def test_dense_network_high_success(self):
+        network = build_s3(population_size=20000)
+        result = scan_experiment(
+            network, train_size=500, n_candidates=2000, seed=1
+        )
+        # At this scaled-down population the host-space density is
+        # ~3.8%, and generated candidates hit at roughly that rate.
+        assert result.success_rate > 0.02
+
+
+class TestPrefixPrediction:
+    def test_result_consistency(self):
+        network = build_c5(population_size=20000)
+        result = prefix_prediction_experiment(
+            network, train_size=300, n_candidates=3000, seed=0
+        )
+        assert result.predicted_day <= result.predicted_week
+        assert result.predicted_week <= result.n_candidates
+        assert 0 <= result.success_rate_week <= 1
+        assert "C5" in result.row()
+
+    def test_dense_client_predictable(self):
+        network = build_c5(population_size=20000)
+        result = prefix_prediction_experiment(
+            network, train_size=300, n_candidates=3000, seed=0
+        )
+        assert result.success_rate_week > 0.02
+
+
+class TestTrainingSizeSweep:
+    def test_sweep_returns_requested_sizes(self):
+        network = build_s3(population_size=8000)
+        results = training_size_sweep(
+            network,
+            train_sizes=(100, 500),
+            n_candidates=1000,
+            seed=0,
+        )
+        assert set(results) == {100, 500}
+        assert all(0 <= v <= 1 for v in results.values())
+
+    def test_oversized_training_skipped(self):
+        network = build_s3(population_size=3000)
+        results = training_size_sweep(
+            network,
+            train_sizes=(100, 10_000),
+            n_candidates=500,
+            seed=0,
+        )
+        assert 10_000 not in results
+
+    def test_prefix_mode(self):
+        network = build_c5(population_size=10000)
+        results = training_size_sweep(
+            network,
+            train_sizes=(200,),
+            n_candidates=1000,
+            prefix_mode=True,
+            seed=0,
+        )
+        assert set(results) == {200}

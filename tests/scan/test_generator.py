@@ -1,0 +1,40 @@
+"""Tests for candidate-generation helpers."""
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import EntropyIP
+from repro.ipv6.sets import AddressSet
+from repro.scan.generator import generate_candidates, new_prefixes64, prefixes64
+
+
+class TestPrefixes64:
+    def test_full_addresses(self):
+        values = [(0xAAAA << 112) | 1, (0xAAAA << 112) | 2, (0xBBBB << 112) | 1]
+        assert len(prefixes64(values, 32)) == 2
+
+    def test_prefix_mode_values(self):
+        values = [0x20010DB800000001, 0x20010DB800000002]
+        assert prefixes64(values, 16) == set(values)
+
+    def test_rejects_narrow(self):
+        with pytest.raises(ValueError):
+            prefixes64([1], 8)
+
+
+class TestNewPrefixes64:
+    def test_subtracts_training(self):
+        train = AddressSet.from_ints([(5 << 64) | 1])
+        candidates = [(5 << 64) | 2, (6 << 64) | 1]
+        new = new_prefixes64(candidates, train)
+        assert new == {6}
+
+
+class TestGenerateCandidates:
+    def test_excludes_training(self, structured_set):
+        analysis = EntropyIP.fit(structured_set)
+        candidates = generate_candidates(
+            analysis, 100, np.random.default_rng(0)
+        )
+        assert len(candidates) == 100
+        assert not set(candidates) & set(structured_set.to_ints())

@@ -1,0 +1,113 @@
+"""Tests for the simulated rDNS zone and RFC 7707 tree walker."""
+
+import pytest
+
+from repro.ipv6.address import IPv6Address
+from repro.ipv6.prefix import Prefix
+from repro.ipv6.sets import AddressSet
+from repro.scan.rdns import (
+    RdnsWalkResult,
+    SimulatedRdnsZone,
+    rdns_harvest,
+    walk_rdns_tree,
+)
+
+
+@pytest.fixture
+def population():
+    base = IPv6Address("2001:db8:7::").value
+    return AddressSet.from_ints([base | i for i in range(1, 65)])
+
+
+class TestZone:
+    def test_full_coverage(self, population):
+        zone = SimulatedRdnsZone(population, coverage=1.0)
+        assert zone.record_count == 64
+
+    def test_zero_coverage(self, population):
+        zone = SimulatedRdnsZone(population, coverage=0.0)
+        assert zone.record_count == 0
+
+    def test_partial_coverage_deterministic(self, population):
+        a = SimulatedRdnsZone(population, coverage=0.5, seed=1)
+        b = SimulatedRdnsZone(population, coverage=0.5, seed=1)
+        assert a.record_count == b.record_count
+        assert 10 < a.record_count < 55
+
+    def test_branch_existence(self, population):
+        zone = SimulatedRdnsZone(population, coverage=1.0)
+        prefix_value = IPv6Address("2001:db8:7::").value >> 96
+        assert zone.branch_exists(8, prefix_value)
+        assert not zone.branch_exists(8, 0xDEADBEEF)
+
+    def test_queries_counted(self, population):
+        zone = SimulatedRdnsZone(population, coverage=1.0)
+        zone.branch_exists(0, 0)
+        zone.has_record(1)
+        assert zone.queries == 2
+
+    def test_validation(self, population):
+        with pytest.raises(ValueError):
+            SimulatedRdnsZone(population, coverage=1.5)
+        with pytest.raises(ValueError):
+            SimulatedRdnsZone(population.truncate(16))
+
+
+class TestWalker:
+    def test_enumerates_all_records(self, population):
+        zone = SimulatedRdnsZone(population, coverage=1.0)
+        result = walk_rdns_tree(zone, Prefix("2001:db8:7::/48"))
+        assert len(result.addresses) == 64
+        assert not result.truncated
+        assert result.addresses == tuple(sorted(population.to_ints()))
+
+    def test_partial_coverage_finds_exactly_records(self, population):
+        zone = SimulatedRdnsZone(population, coverage=0.5, seed=3)
+        result = walk_rdns_tree(zone, Prefix("2001:db8:7::/48"))
+        assert len(result.addresses) == zone.record_count
+
+    def test_empty_prefix_is_cheap(self, population):
+        zone = SimulatedRdnsZone(population, coverage=1.0)
+        result = walk_rdns_tree(zone, Prefix("3001::/16"))
+        assert result.addresses == ()
+        assert result.queries == 1  # a single NXDOMAIN prunes everything
+
+    def test_query_budget_truncates(self, population):
+        zone = SimulatedRdnsZone(population, coverage=1.0)
+        result = walk_rdns_tree(zone, Prefix("2001:db8:7::/48"), max_queries=10)
+        assert result.truncated
+        assert len(result.addresses) < 64
+
+    def test_queries_scale_with_population_not_space(self, population):
+        # The point of RFC 7707: cost ~ populated branches, not 2^80.
+        zone = SimulatedRdnsZone(population, coverage=1.0)
+        result = walk_rdns_tree(zone, Prefix("2001:db8:7::/48"))
+        # 64 leaf addresses under one /120ish branch: each populated
+        # branch costs ≤ 16 child queries.
+        assert result.queries < 64 * 16 + 20 * 16
+
+    def test_rejects_unaligned_root(self, population):
+        zone = SimulatedRdnsZone(population, coverage=1.0)
+        with pytest.raises(ValueError):
+            walk_rdns_tree(zone, Prefix("2001:db8::/33"))
+
+    def test_harvest_convenience(self, population):
+        result = rdns_harvest(
+            population, Prefix("2001:db8:7::/48"), coverage=1.0
+        )
+        assert isinstance(result, RdnsWalkResult)
+        assert len(result.address_objects()) == 64
+
+
+class TestAgainstNetworkModels:
+    def test_walks_a_router_network(self, r1_small):
+        population = r1_small.population(0)
+        root = Prefix("2a01:c80::/28")
+        # R1 sits inside 2a01:0c80::/32; use the covering /28.
+        result = rdns_harvest(
+            population, Prefix(IPv6Address(0x2A010C80 << 96), 32),
+            coverage=0.3, seed=2, max_queries=2_000_000,
+        )
+        assert 0 < len(result.addresses) < len(population)
+        population_set = set(population.to_ints())
+        assert all(v in population_set for v in result.addresses)

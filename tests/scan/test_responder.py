@@ -1,0 +1,82 @@
+"""Tests for the simulated ping/rDNS oracle."""
+
+import pytest
+
+from repro.ipv6.prefix import Prefix
+from repro.ipv6.sets import AddressSet
+from repro.scan.responder import SimulatedResponder, _keyed_uniform, _splitmix64
+
+
+@pytest.fixture
+def population():
+    return AddressSet.from_ints([(0x20010DB8 << 96) | i for i in range(1000)])
+
+
+class TestHash:
+    def test_splitmix_deterministic(self):
+        assert _splitmix64(42) == _splitmix64(42)
+        assert _splitmix64(42) != _splitmix64(43)
+
+    def test_keyed_uniform_range(self):
+        for value in (0, 1, 1 << 127):
+            u = _keyed_uniform(value, 7)
+            assert 0 <= u < 1
+
+
+class TestResponder:
+    def test_membership(self, population):
+        responder = SimulatedResponder(population)
+        assert responder.is_member((0x20010DB8 << 96) | 5)
+        assert not responder.is_member(12345)
+
+    def test_non_members_never_ping(self, population):
+        responder = SimulatedResponder(population, ping_rate=1.0)
+        assert not responder.ping(999)
+
+    def test_rates_zero_and_one(self, population):
+        silent = SimulatedResponder(population, ping_rate=0.0, rdns_rate=0.0)
+        loud = SimulatedResponder(population, ping_rate=1.0, rdns_rate=1.0)
+        member = (0x20010DB8 << 96) | 1
+        assert not silent.ping(member) and not silent.rdns(member)
+        assert loud.ping(member) and loud.rdns(member)
+
+    def test_rate_approximation(self, population):
+        responder = SimulatedResponder(population, ping_rate=0.5, seed=3)
+        responding = responder.ping_many(population.to_ints())
+        assert 0.4 < len(responding) / 1000 < 0.6
+
+    def test_deterministic_per_address(self, population):
+        responder = SimulatedResponder(population, ping_rate=0.5, seed=1)
+        member = (0x20010DB8 << 96) | 7
+        assert responder.ping(member) == responder.ping(member)
+
+    def test_seed_changes_responders(self, population):
+        a = SimulatedResponder(population, ping_rate=0.5, seed=1)
+        b = SimulatedResponder(population, ping_rate=0.5, seed=2)
+        assert a.responding_population() != b.responding_population()
+
+    def test_ping_and_rdns_independent(self, population):
+        responder = SimulatedResponder(
+            population, ping_rate=0.5, rdns_rate=0.5, seed=4
+        )
+        members = population.to_ints()
+        pings = set(responder.ping_many(members))
+        rdns = set(responder.rdns_many(members))
+        assert pings != rdns  # keyed differently
+
+    def test_wildcard_prefix_false_positives(self, population):
+        responder = SimulatedResponder(
+            population,
+            ping_rate=1.0,
+            wildcard_ping_prefixes=[Prefix("2001:db8::/32")],
+        )
+        ghost = (0x20010DB8 << 96) | 0xDEAD_0000_0000
+        assert not responder.is_member(ghost)
+        assert responder.ping(ghost)
+
+    def test_rate_validation(self, population):
+        with pytest.raises(ValueError):
+            SimulatedResponder(population, ping_rate=1.5)
+
+    def test_population_size(self, population):
+        assert SimulatedResponder(population).population_size == 1000

@@ -1,0 +1,119 @@
+"""Tests for the Section 4.1 entropy machinery."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.ipv6.sets import AddressSet
+from repro.stats.entropy import (
+    empirical_entropy,
+    entropy_of_counts,
+    entropy_profile,
+    nybble_entropies,
+    total_entropy,
+    windowed_entropy,
+)
+
+
+class TestEntropyOfCounts:
+    def test_paper_equation_2(self):
+        # Fig. 3: X_32 takes 'c' twice and 'f' thrice → H ≈ 0.24.
+        value = entropy_of_counts([2, 3], base_cardinality=16)
+        assert value == pytest.approx(0.2428, abs=1e-3)
+
+    def test_constant_is_zero(self):
+        assert entropy_of_counts([10], base_cardinality=16) == 0.0
+
+    def test_uniform_is_one(self):
+        assert entropy_of_counts([5] * 16, base_cardinality=16) == pytest.approx(1.0)
+
+    def test_empty_is_zero(self):
+        assert entropy_of_counts([]) == 0.0
+
+    def test_zero_counts_ignored(self):
+        assert entropy_of_counts([2, 0, 3]) == entropy_of_counts([2, 3])
+
+    def test_unnormalized_nats(self):
+        assert entropy_of_counts([1, 1]) == pytest.approx(math.log(2))
+
+    def test_rejects_bad_cardinality(self):
+        with pytest.raises(ValueError):
+            entropy_of_counts([1, 1], base_cardinality=1)
+
+    @given(st.lists(st.integers(1, 1000), min_size=1, max_size=30))
+    def test_normalized_bounds(self, counts):
+        value = entropy_of_counts(counts, base_cardinality=len(counts) + 1)
+        assert 0.0 <= value <= 1.0
+
+
+class TestEmpiricalEntropy:
+    def test_counts_values(self):
+        assert empirical_entropy(["c", "c", "f", "f", "f"], 16) == pytest.approx(
+            0.2428, abs=1e-3
+        )
+
+    def test_single_value(self):
+        assert empirical_entropy([7, 7, 7]) == 0.0
+
+
+class TestNybbleEntropies:
+    def test_fig3_profile(self, tiny_set):
+        entropies = nybble_entropies(tiny_set)
+        assert entropies.shape == (32,)
+        # Characters 1-11 and 17-28 constant; 12-16 and 29-32 variable.
+        assert np.all(entropies[:11] == 0)
+        assert np.all(entropies[16:28] == 0)
+        assert np.all(entropies[11:16] > 0)
+        assert np.all(entropies[28:] > 0)
+
+    def test_last_nybble_value(self, tiny_set):
+        assert nybble_entropies(tiny_set)[31] == pytest.approx(0.2428, abs=1e-3)
+
+    def test_empty_set(self):
+        assert np.all(nybble_entropies(AddressSet.empty()) == 0)
+
+    def test_respects_width(self):
+        s = AddressSet.from_ints([0x12, 0x13], width=2, already_truncated=True)
+        assert nybble_entropies(s).shape == (2,)
+
+
+class TestTotalEntropy:
+    def test_sums_per_nybble(self, tiny_set):
+        assert total_entropy(tiny_set) == pytest.approx(
+            float(nybble_entropies(tiny_set).sum())
+        )
+
+    def test_bounds(self, structured_set):
+        value = total_entropy(structured_set)
+        assert 0 <= value <= structured_set.width
+
+
+class TestWindowedEntropy:
+    def test_single_window_matches_direct(self, tiny_set):
+        cells = windowed_entropy(tiny_set)
+        by_key = {(p, l): e for p, l, e in cells}
+        # Window (124, 4) = last nybble: entropy of {c:2, f:3} in bits.
+        expected = entropy_of_counts([2, 3]) / math.log(2)
+        assert by_key[(124, 4)] == pytest.approx(expected)
+
+    def test_windows_capped_at_64_bits(self, tiny_set):
+        assert all(l <= 64 for _, l, _ in windowed_entropy(tiny_set))
+
+    def test_rejects_unaligned_step(self, tiny_set):
+        with pytest.raises(ValueError):
+            windowed_entropy(tiny_set, bit_step=3)
+
+    def test_wider_window_at_least_narrower(self, structured_set):
+        cells = {(p, l): e for p, l, e in windowed_entropy(structured_set)}
+        # Entropy is monotone under refinement: H(window) >= H(sub-window).
+        assert cells[(96, 32)] >= cells[(96, 16)] - 1e-9
+
+
+class TestEntropyProfile:
+    def test_bundle_contents(self, tiny_set):
+        profile = entropy_profile(tiny_set)
+        assert profile["n"] == 5
+        assert profile["width"] == 32
+        assert profile["total"] == pytest.approx(total_entropy(tiny_set))

@@ -1,0 +1,84 @@
+"""Tests for the sparse histogram used by segment mining."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.stats.histogram import Histogram, value_counts
+
+
+class TestValueCounts:
+    def test_basic(self):
+        assert value_counts([1, 1, 2]) == {1: 2, 2: 1}
+
+    def test_empty(self):
+        assert value_counts([]) == {}
+
+
+class TestHistogram:
+    def test_from_values_sorted(self):
+        h = Histogram.from_values([9, 1, 1, 2])
+        assert h.values.tolist() == [1, 2, 9]
+        assert h.counts.tolist() == [2, 1, 1]
+
+    def test_total_and_distinct(self):
+        h = Histogram.from_values([1, 1, 2, 9])
+        assert h.total == 4 and h.distinct == 3
+
+    def test_min_max(self):
+        h = Histogram.from_values([5, 3, 8])
+        assert h.min_value() == 3 and h.max_value() == 8
+
+    def test_min_max_empty_raises(self):
+        h = Histogram([], [])
+        with pytest.raises(ValueError):
+            h.min_value()
+
+    def test_frequency(self):
+        h = Histogram.from_values([1, 1, 2, 9])
+        assert h.frequency(1) == pytest.approx(0.5)
+        assert h.frequency(7) == 0.0
+
+    def test_count_in_range(self):
+        h = Histogram.from_values([1, 1, 2, 9])
+        assert h.count_in_range(1, 2) == 3
+        assert h.count_in_range(3, 8) == 0
+
+    def test_remove_values(self):
+        h = Histogram.from_values([1, 1, 2, 9]).remove_values([1])
+        assert h.values.tolist() == [2, 9]
+        assert h.total == 2
+
+    def test_remove_range(self):
+        h = Histogram.from_values([1, 2, 3, 9]).remove_range(1, 3)
+        assert h.values.tolist() == [9]
+
+    def test_items_and_expand(self):
+        h = Histogram.from_values([2, 1, 1])
+        assert h.items() == [(1, 2), (2, 1)]
+        assert h.expand() == [1, 1, 2]
+
+    def test_validation_rejects_unsorted(self):
+        with pytest.raises(ValueError):
+            Histogram([2, 1], [1, 1])
+
+    def test_validation_rejects_nonpositive_counts(self):
+        with pytest.raises(ValueError):
+            Histogram([1], [0])
+
+    def test_validation_rejects_length_mismatch(self):
+        with pytest.raises(ValueError):
+            Histogram([1, 2], [1])
+
+    def test_large_values_use_object_dtype(self):
+        big = 1 << 100
+        h = Histogram.from_values([big, big, 3])
+        assert h.max_value() == big
+        assert h.count_in_range(big, big) == 2
+
+    @given(st.lists(st.integers(0, 50), min_size=1, max_size=100))
+    def test_total_preserved(self, values):
+        assert Histogram.from_values(values).total == len(values)
+
+    @given(st.lists(st.integers(0, 50), min_size=1, max_size=100))
+    def test_expand_is_sorted_multiset(self, values):
+        assert Histogram.from_values(values).expand() == sorted(values)

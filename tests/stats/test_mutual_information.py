@@ -1,0 +1,124 @@
+"""Tests for mutual-information analysis (§6 future work)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ipv6.sets import AddressSet
+from repro.stats.mutual_information import (
+    intra_segment_mi,
+    mi_matrix,
+    mutual_information,
+    normalized_mutual_information,
+    segment_string_entropy,
+    top_dependent_pairs,
+)
+
+
+class TestMutualInformation:
+    def test_identical_columns(self):
+        x = np.array([0, 1, 2, 3] * 25)
+        assert mutual_information(x, x) == pytest.approx(math.log(4))
+
+    def test_independent_columns(self):
+        rng = np.random.default_rng(0)
+        x = rng.integers(0, 16, size=20000)
+        y = rng.integers(0, 16, size=20000)
+        # Finite-sample MI of independent columns is small but positive.
+        assert mutual_information(x, y) < 0.02
+
+    def test_constant_column_zero(self):
+        x = np.zeros(100, dtype=int)
+        y = np.arange(100) % 16
+        assert mutual_information(x, y) == pytest.approx(0.0, abs=1e-12)
+
+    def test_symmetry(self):
+        rng = np.random.default_rng(1)
+        x = rng.integers(0, 16, size=500)
+        y = (x + rng.integers(0, 2, size=500)) % 16
+        assert mutual_information(x, y) == pytest.approx(
+            mutual_information(y, x)
+        )
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            mutual_information(np.zeros(3, int), np.zeros(4, int))
+
+    def test_empty(self):
+        assert mutual_information(np.array([], int), np.array([], int)) == 0.0
+
+    @settings(max_examples=30)
+    @given(st.lists(st.integers(0, 15), min_size=2, max_size=100))
+    def test_bounded_by_entropy(self, values):
+        x = np.array(values)
+        h_x = -sum(
+            (c := np.bincount(x, minlength=16)[v] / len(x)) * math.log(c)
+            for v in set(values)
+        )
+        assert mutual_information(x, x) <= h_x + 1e-9
+
+
+class TestNormalizedMI:
+    def test_determined_is_one(self):
+        x = np.array([0, 1, 2, 3] * 50)
+        y = (x * 3) % 16  # bijection of x
+        assert normalized_mutual_information(x, y) == pytest.approx(1.0)
+
+    def test_constant_is_zero(self):
+        x = np.zeros(100, dtype=int)
+        y = np.arange(100) % 16
+        assert normalized_mutual_information(x, y) == 0.0
+
+    def test_range(self):
+        rng = np.random.default_rng(2)
+        x = rng.integers(0, 16, size=300)
+        y = np.where(rng.random(300) < 0.5, x, rng.integers(0, 16, size=300))
+        nmi = normalized_mutual_information(x, y)
+        assert 0.05 < nmi < 1.0
+
+
+class TestMatrix:
+    def test_shape_and_symmetry(self, structured_set):
+        matrix = mi_matrix(structured_set)
+        assert matrix.shape == (32, 32)
+        assert np.allclose(matrix, matrix.T)
+
+    def test_detects_planted_dependency(self, structured_set):
+        # structured_set: nybble 32 copies nybble 16 (60% of rows).
+        matrix = mi_matrix(structured_set)
+        assert matrix[15, 31] > 0.2
+        # Unrelated constant regions show nothing.
+        assert matrix[3, 31] == 0.0
+
+    def test_top_pairs(self, structured_set):
+        pairs = top_dependent_pairs(structured_set, limit=5)
+        assert pairs
+        assert pairs[0][2] == max(p[2] for p in pairs)
+        assert (16, 32) in {(i, j) for i, j, _ in pairs}
+
+    def test_top_pairs_skip_adjacent(self, structured_set):
+        for i, j, _ in top_dependent_pairs(structured_set):
+            assert j - i >= 2
+
+    def test_intra_segment(self, structured_set):
+        sub = intra_segment_mi(structured_set, 29, 32)
+        assert sub.shape == (4, 4)
+        with pytest.raises(IndexError):
+            intra_segment_mi(structured_set, 0, 4)
+
+
+class TestSegmentStringEntropy:
+    def test_constant_segment(self, structured_set):
+        assert segment_string_entropy(structured_set, 1, 8) == 0.0
+
+    def test_normalization_bounds(self, structured_set):
+        value = segment_string_entropy(structured_set, 17, 32)
+        assert 0 <= value <= 1
+
+    def test_uniform_single_nybble(self):
+        s = AddressSet.from_ints(
+            list(range(16)) * 10, width=1, already_truncated=True
+        )
+        assert segment_string_entropy(s, 1, 1) == pytest.approx(1.0)

@@ -1,0 +1,55 @@
+"""Tests for Tukey-fence outlier detection (mining step (a))."""
+
+import pytest
+
+from repro.stats.histogram import Histogram
+from repro.stats.outliers import tukey_fence, tukey_outlier_values
+
+
+class TestTukeyFence:
+    def test_known_quartiles(self):
+        # numpy linear quartiles for 1..10: Q1=3.25, Q3=7.75, IQR=4.5
+        # → fence = 7.75 + 1.5*4.5 = 14.5.
+        assert tukey_fence(range(1, 11)) == pytest.approx(14.5)
+
+    def test_custom_k(self):
+        assert tukey_fence(range(1, 11), k=0) == pytest.approx(7.75)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            tukey_fence([])
+
+
+class TestOutlierValues:
+    def test_prevalent_value_found(self):
+        # One value is 100x more common than the 20 background values.
+        values = [42] * 1000 + list(range(20)) * 10
+        outliers = tukey_outlier_values(Histogram.from_values(values))
+        assert outliers[0] == (42, 1000)
+
+    def test_no_outliers_in_uniform(self):
+        values = list(range(16)) * 10
+        assert tukey_outlier_values(Histogram.from_values(values)) == []
+
+    def test_single_value_is_outlier(self):
+        # Degenerate histogram: the sole value dominates by definition.
+        outliers = tukey_outlier_values(Histogram.from_values([7, 7, 7]))
+        assert outliers == [(7, 3)]
+
+    def test_empty_histogram(self):
+        assert tukey_outlier_values(Histogram([], [])) == []
+
+    def test_max_results_cap(self):
+        values = []
+        for v in range(20):
+            values.extend([v] * (1000 if v < 15 else 1))
+        outliers = tukey_outlier_values(
+            Histogram.from_values(values), max_results=10
+        )
+        assert len(outliers) <= 10
+
+    def test_sorted_most_frequent_first(self):
+        values = [1] * 500 + [2] * 800 + list(range(10, 40))
+        outliers = tukey_outlier_values(Histogram.from_values(values))
+        counts = [c for _, c in outliers]
+        assert counts == sorted(counts, reverse=True)

@@ -1,0 +1,135 @@
+"""Tests for the baseline methods (addr6 classifier, IID patterns)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.addr6 import (
+    IIDClass,
+    classify_address,
+    classify_iid,
+    looks_predictable,
+)
+from repro.baselines.iid_patterns import IIDPatternModel
+from repro.ipv6.address import IPv6Address
+from repro.ipv6.eui64 import iid_from_ipv4_decimal_words, iid_from_mac
+from repro.ipv6.sets import AddressSet
+
+
+class TestAddr6Classifier:
+    def test_eui64(self):
+        iid = iid_from_mac("00:11:22:33:44:55")
+        assert classify_iid(iid) is IIDClass.EUI64
+
+    def test_embedded_ipv4_decimal_words(self):
+        iid = iid_from_ipv4_decimal_words("192.168.1.10")
+        assert classify_iid(iid) is IIDClass.EMBEDDED_IPV4
+
+    def test_embedded_ipv4_hex(self):
+        assert classify_iid(0xC0A8_0A01) is IIDClass.EMBEDDED_IPV4
+
+    def test_service_port(self):
+        assert classify_iid(443) is IIDClass.EMBEDDED_PORT
+        assert classify_iid(80) is IIDClass.EMBEDDED_PORT
+
+    def test_low_byte(self):
+        assert classify_iid(1) is IIDClass.LOW_BYTE
+        assert classify_iid(0x2F0) is IIDClass.LOW_BYTE
+
+    def test_pattern_bytes(self):
+        assert classify_iid(0xFFFF_FFFF_FFFF_0000) is IIDClass.PATTERN_BYTES
+
+    def test_randomized(self):
+        rng = np.random.default_rng(0)
+        iid = int(rng.integers(1 << 60, 1 << 63))
+        assert classify_iid(iid) is IIDClass.RANDOMIZED
+
+    def test_classify_full_address(self):
+        assert classify_address("2001:db8::443") is IIDClass.EMBEDDED_PORT
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            classify_iid(1 << 64)
+
+    def test_predictability_verdicts(self):
+        assert looks_predictable(IIDClass.LOW_BYTE)
+        assert not looks_predictable(IIDClass.RANDOMIZED)
+
+    def test_paper_section1_misclassification(self):
+        """The §1 example: addr6 calls this IID randomized even though
+        a thousand siblings share its /104 prefix — statelessness is
+        the baseline's structural weakness."""
+        address = IPv6Address("2001:db8:221:ffff:ffff:ffff:ffc0:122a")
+        assert classify_address(address) is IIDClass.RANDOMIZED
+
+
+class TestEntropyIPGetsSection1Right:
+    def test_set_level_analysis_sees_structure(self):
+        # The same §1 case, with the sibling context addr6 ignores:
+        # 1000 addresses in 2001:db8:221:ffff:ffff:ffff:ff::/104.
+        from repro.core.pipeline import EntropyIP
+        from repro.stats.entropy import nybble_entropies
+
+        rng = np.random.default_rng(1)
+        base = IPv6Address("2001:db8:221:ffff:ffff:ffff:ff00:0").value
+        values = [base | int(v) for v in rng.choice(1 << 24, 1000, replace=False)]
+        address_set = AddressSet.from_ints(values)
+        entropy = nybble_entropies(address_set)
+        # Entropy exposes the truth: nybbles 1-26 constant (structured),
+        # only the last 6 vary.
+        assert np.all(entropy[:26] == 0)
+        analysis = EntropyIP.fit(address_set)
+        constant = [
+            m for m in analysis.encoder.mined_segments if m.cardinality == 1
+        ]
+        assert len(constant) >= 2  # the /104 structure is captured
+
+
+class TestIIDPatternBaseline:
+    @pytest.fixture(scope="class")
+    def r1_training(self, r1_small):
+        return r1_small.sample(800, seed=0)
+
+    def test_fit_learns_recurring_values(self, r1_training):
+        model = IIDPatternModel.fit(r1_training)
+        # R1 IIDs are ::1/::2 → the pattern space is tiny.
+        assert model.pattern_space_size() <= 4
+
+    def test_generated_iids_match_pattern(self, r1_training, rng):
+        model = IIDPatternModel.fit(r1_training)
+        iids = model.generate_iids(100, rng)
+        assert set(iids) <= {1, 2}
+
+    def test_targets_require_known_prefixes(self, r1_training, rng):
+        model = IIDPatternModel.fit(r1_training)
+        with pytest.raises(ValueError):
+            model.generate_targets([], 10, rng)
+
+    def test_targets_are_prefix_times_pattern(self, r1_training, rng):
+        model = IIDPatternModel.fit(r1_training)
+        prefixes = [0x20010DB8 << 32 | i for i in range(5)]
+        targets = model.generate_targets(prefixes, 9, rng)
+        assert len(targets) == 9
+        assert len(set(targets)) == 9
+        for target in targets:
+            assert target >> 64 in set(prefixes)
+            assert target & ((1 << 64) - 1) in {1, 2}
+
+    def test_small_space_returns_partial(self, r1_training, rng):
+        model = IIDPatternModel.fit(r1_training)
+        targets = model.generate_targets([0x1], 100, rng)
+        assert len(targets) <= 2  # only ::1/::2 exist under one prefix
+
+    def test_random_iids_keep_full_pools(self, rng):
+        # A privacy-address set has no recurring values → uniform pools.
+        values = [
+            (0x20010DB8 << 96) | int(rng.integers(0, 1 << 63))
+            for _ in range(500)
+        ]
+        model = IIDPatternModel.fit(AddressSet.from_ints(values))
+        assert model.pattern_space_size() >= 16 ** 14
+
+    def test_fit_validation(self):
+        with pytest.raises(ValueError):
+            IIDPatternModel.fit(AddressSet.from_ints([1], width=16))
+        with pytest.raises(ValueError):
+            IIDPatternModel.fit(AddressSet.empty())

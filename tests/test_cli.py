@@ -1,0 +1,91 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture
+def address_file(tmp_path, structured_set):
+    path = tmp_path / "addresses.txt"
+    lines = [a.compressed() for a in structured_set.sample(
+        400, __import__("numpy").random.default_rng(0)
+    ).addresses()]
+    path.write_text("# sample\n" + "\n".join(lines) + "\n")
+    return str(path)
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_analyze_args(self):
+        args = build_parser().parse_args(["analyze", "f.txt", "--width", "16"])
+        assert args.file == "f.txt" and args.width == 16
+
+
+class TestCommands:
+    def test_analyze(self, address_file, capsys):
+        assert main(["analyze", address_file]) == 0
+        out = capsys.readouterr().out
+        assert "H_S=" in out
+        assert "Seg." in out
+        assert "Bayesian network" in out
+
+    def test_generate(self, address_file, capsys):
+        assert main(["generate", address_file, "--count", "20"]) == 0
+        out = capsys.readouterr().out.strip().splitlines()
+        assert len(out) == 20
+        assert all(":" in line for line in out)
+
+    def test_generate_deterministic(self, address_file, capsys):
+        main(["generate", address_file, "--count", "5", "--seed", "9"])
+        first = capsys.readouterr().out
+        main(["generate", address_file, "--count", "5", "--seed", "9"])
+        second = capsys.readouterr().out
+        assert first == second
+
+    def test_dataset(self, capsys):
+        assert main(["dataset", "R5", "--count", "50"]) == 0
+        out = capsys.readouterr().out.strip().splitlines()
+        assert len(out) == 50
+
+    def test_dataset_unknown(self):
+        with pytest.raises(KeyError):
+            main(["dataset", "S9"])
+
+    def test_scan_small(self, capsys):
+        assert main([
+            "scan", "R5", "--train", "200", "--count", "500",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "success" in out
+
+    def test_analyze_stdin(self, capsys, monkeypatch):
+        import io
+
+        monkeypatch.setattr(
+            "sys.stdin", io.StringIO("2001:db8::1\n2001:db8::2\n" * 30)
+        )
+        assert main(["analyze", "-"]) == 0
+        assert "H_S=" in capsys.readouterr().out
+
+
+class TestExtensionCommands:
+    def test_mi(self, address_file, capsys):
+        assert main(["mi", address_file]) == 0
+        out = capsys.readouterr().out
+        assert "mutual information" in out
+
+    def test_compare_stable(self, address_file, capsys):
+        assert main(["compare", address_file, address_file]) == 0
+        out = capsys.readouterr().out
+        assert "temporal snapshot comparison" in out
+        assert "RENUMBERING" not in out
+
+    def test_report(self, address_file, capsys):
+        assert main(["report", address_file, "--count", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "## Bayesian network" in out
+        assert "## Generated candidate targets" in out

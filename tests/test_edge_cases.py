@@ -1,0 +1,113 @@
+"""Degenerate-input and failure-injection tests for the full pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import EntropyIP
+from repro.core.mining import MiningConfig
+from repro.datasets.networks import build_r1
+from repro.ipv6.prefix import Prefix
+from repro.ipv6.sets import AddressSet
+from repro.scan.responder import SimulatedResponder
+
+
+class TestDegenerateSets:
+    def test_single_address(self):
+        analysis = EntropyIP.fit(["2001:db8::1"])
+        assert analysis.total_entropy() == 0.0
+        # Every segment is a single constant code.
+        assert all(m.cardinality == 1 for m in analysis.encoder.mined_segments)
+
+    def test_all_identical_addresses(self):
+        analysis = EntropyIP.fit(["2001:db8::1"] * 500)
+        assert analysis.total_entropy() == 0.0
+        # The only generatable address is the training one; excluding
+        # training leaves nothing.
+        assert analysis.generate(10, np.random.default_rng(0)).matrix.shape[0] == 0
+
+    def test_identical_addresses_without_exclusion(self):
+        analysis = EntropyIP.fit(["2001:db8::1"] * 500)
+        generated = analysis.generate(
+            5, np.random.default_rng(0), exclude_training=False
+        )
+        assert len(generated) == 1  # dedup leaves the single support point
+
+    def test_two_addresses(self):
+        analysis = EntropyIP.fit(["2001:db8::1", "2001:db8::2"])
+        assert analysis.segments[0].label == "A"
+        assert analysis.browse().rows()
+
+    def test_fully_random_set(self, rng):
+        values = [int(rng.integers(0, 1 << 62)) << 66 for _ in range(500)]
+        analysis = EntropyIP.fit(values)
+        # High entropy, few mineable points, generation still works.
+        assert analysis.total_entropy() > 10
+        assert len(analysis.generate(50, np.random.default_rng(1))) == 50
+
+    def test_max_value_addresses(self):
+        top = (1 << 128) - 1
+        analysis = EntropyIP.fit([top, top - 1, top - 2, top - 3] * 10)
+        generated = analysis.generate(
+            3, np.random.default_rng(0), exclude_training=False
+        )
+        assert all(v <= top for v in generated.to_ints())
+
+    def test_prefix_mode_on_tiny_set(self):
+        analysis = EntropyIP.fit(["2001:db8::1", "2001:db9::1"], width=16)
+        assert analysis.address_set.width == 16
+        assert analysis.segments[-1].last_nybble == 16
+
+    def test_aggressive_mining_config(self, structured_set):
+        config = MiningConfig(max_nominations=1, tail_values=1)
+        analysis = EntropyIP.fit(structured_set, mining=config)
+        # Even with one nomination per step the pipeline stays coherent.
+        assert all(m.cardinality >= 1 for m in analysis.encoder.mined_segments)
+        assert len(analysis.generate(20, np.random.default_rng(2))) == 20
+
+
+class TestResponderFalsePositives:
+    """The §5.5 caveat: prefixes that answer pings for any address."""
+
+    def test_wildcard_inflates_scanning_results(self):
+        network = build_r1(population_size=4000)
+        population = network.population(0)
+        rng = np.random.default_rng(0)
+        train = population.sample(500, rng)
+        analysis = EntropyIP.fit(train)
+        candidates = analysis.model.generate(
+            2000, rng, exclude=set(train.to_ints())
+        )
+
+        honest = SimulatedResponder(population, ping_rate=0.9, seed=1)
+        wildcarded = SimulatedResponder(
+            population,
+            ping_rate=0.9,
+            seed=1,
+            wildcard_ping_prefixes=[Prefix("2a01:c80::/28")],
+        )
+        honest_hits = len(honest.ping_many(candidates))
+        inflated_hits = len(wildcarded.ping_many(candidates))
+        # Every generated candidate lands inside the carrier's prefix,
+        # so the wildcard responder confirms essentially all of them
+        # (true members that decline pings stay silent either way).
+        assert inflated_hits > 0.99 * len(candidates)
+        assert honest_hits < inflated_hits
+
+
+class TestNumericalRobustness:
+    def test_entropy_of_huge_multiplicities(self):
+        s = AddressSet.from_ints([1] * 100_000 + [2])
+        analysis = EntropyIP.fit(s)
+        assert 0 < analysis.entropy()[31] < 0.01
+
+    def test_skewed_distribution_probabilities_sum(self, rng):
+        values = [(0x20010DB8 << 96) | 1] * 9999 + [(0x20010DB8 << 96) | 2]
+        analysis = EntropyIP.fit(values)
+        for distribution in analysis.model.marginals().values():
+            assert distribution.sum() == pytest.approx(1.0)
+
+    def test_generation_determinism_across_runs(self, structured_set):
+        analysis = EntropyIP.fit(structured_set)
+        a = analysis.generate(100, np.random.default_rng(9)).to_ints()
+        b = analysis.generate(100, np.random.default_rng(9)).to_ints()
+        assert a == b

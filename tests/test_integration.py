@@ -1,0 +1,128 @@
+"""End-to-end integration tests mirroring the paper's running examples."""
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import EntropyIP
+from repro.datasets.networks import build_c1
+from repro.scan.generator import prefixes64
+
+
+@pytest.fixture(scope="module")
+def jp_analysis(jp_small):
+    sample = jp_small.sample(3000, seed=0)
+    return EntropyIP.fit(sample)
+
+
+class TestFig1JapaneseTelco:
+    def test_first_segment_constant_40_prefix(self, jp_analysis):
+        # Fig. 1(a): the trained eye sees one /40 → segments A and B
+        # carry a single value each.
+        table = jp_analysis.segment_table()
+        assert len(table["A"]) == 1
+        assert table["A"][0][2] == pytest.approx(1.0)
+
+    def test_zero_block_popular_in_iid(self, jp_analysis):
+        # Fig. 1(b): the zeros value of the wide IID segment sits near
+        # 60%.
+        wide = max(
+            jp_analysis.encoder.mined_segments,
+            key=lambda m: (m.segment.first_nybble >= 17)
+            * m.segment.nybble_count,
+        )
+        zero_elements = [v for v in wide.values if v.low == 0 and not v.is_range]
+        assert zero_elements
+        assert zero_elements[0].frequency == pytest.approx(0.6, abs=0.05)
+
+    def test_conditioning_on_zeros_sharpens_c(self, jp_analysis):
+        # Fig. 1(b) → (c): clicking J = 00000... forces C to 10 at ~100%.
+        wide = max(
+            jp_analysis.encoder.mined_segments,
+            key=lambda m: (m.segment.first_nybble >= 17)
+            * m.segment.nybble_count,
+        )
+        zero_code = next(
+            v.code for v in wide.values if v.low == 0 and not v.is_range
+        )
+        browser = jp_analysis.browse().click(zero_code)
+        c_label = "C"
+        rows = browser.rows()[c_label]
+        top = max(rows, key=lambda r: r.probability)
+        assert top.value_text == "10"
+        assert top.probability > 0.95
+
+    def test_bn_finds_dependency_on_zero_segment(self, jp_analysis):
+        # Fig. 2: the wide IID segment depends on earlier segments.
+        wide_label = max(
+            jp_analysis.encoder.mined_segments,
+            key=lambda m: (m.segment.first_nybble >= 17)
+            * m.segment.nybble_count,
+        ).segment.label
+        parents = jp_analysis.model.network.parents(wide_label)
+        assert parents, "expected the J-analog segment to have BN parents"
+
+    def test_table2_style_conditional(self, jp_analysis):
+        # P(J=zeros | parents) varies across parent values.
+        wide = max(
+            jp_analysis.encoder.mined_segments,
+            key=lambda m: (m.segment.first_nybble >= 17)
+            * m.segment.nybble_count,
+        )
+        label = wide.segment.label
+        parents = jp_analysis.model.network.parents(label)
+        zero_index = next(
+            i for i, v in enumerate(wide.values)
+            if v.low == 0 and not v.is_range
+        )
+        table = jp_analysis.model.conditional_probability_table(
+            label, zero_index, list(parents)
+        )
+        probabilities = list(table.values())
+        assert max(probabilities) - min(probabilities) > 0.3
+
+
+class TestFig10AndroidPattern:
+    @pytest.fixture(scope="class")
+    def c1_analysis(self):
+        network = build_c1(population_size=30000)
+        return EntropyIP.fit(network.sample(4000, seed=1))
+
+    def test_last_segment_01_share(self, c1_analysis):
+        last = c1_analysis.encoder.mined_segments[-1]
+        ones = [v for v in last.values if v.low == 1 and not v.is_range]
+        assert ones
+        assert ones[0].frequency == pytest.approx(0.47, abs=0.05)
+
+    def test_conditioning_on_01_zeroes_d(self, c1_analysis):
+        # Fig. 10(b): conditioning on F = 01 makes D a string of zeros.
+        last = c1_analysis.encoder.mined_segments[-1]
+        one_code = next(
+            v.code for v in last.values if v.low == 1 and not v.is_range
+        )
+        browser = c1_analysis.browse().click(one_code)
+        d_mined = next(
+            m for m in c1_analysis.encoder.mined_segments
+            if m.segment.first_nybble == 17
+        )
+        rows = browser.rows()[d_mined.segment.label]
+        top = max(rows, key=lambda r: r.probability)
+        assert top.value_text.strip("0") == ""  # all zeros
+        assert top.probability > 0.9
+
+
+class TestScanningWorkflow:
+    def test_generation_finds_unseen_64s(self, r1_small):
+        # The §5.5 headline result at miniature scale.
+        population = r1_small.population(0)
+        sample = r1_small.sample(800, seed=0)
+        analysis = EntropyIP.fit(sample)
+        candidates = analysis.model.generate(
+            3000, np.random.default_rng(2),
+            exclude=set(sample.to_ints()),
+        )
+        population_set = set(population.to_ints())
+        hits = [c for c in candidates if c in population_set]
+        assert hits
+        train_64s = prefixes64(sample.to_ints(), 32)
+        new_64s = prefixes64(hits, 32) - train_64s
+        assert new_64s

@@ -1,0 +1,104 @@
+"""Cross-cutting property-based tests on the full pipeline."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.pipeline import EntropyIP
+from repro.ipv6.sets import AddressSet
+from repro.stats.entropy import nybble_entropies
+
+SLOW = settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def random_structured_values(seed, n):
+    """Random but structured sets: prefix pool + mixed IID styles."""
+    generator = np.random.default_rng(seed)
+    prefixes = [0x20010DB8, 0x2A001450, 0x2A03C0F0][: 1 + seed % 3]
+    values = []
+    for _ in range(n):
+        prefix = prefixes[generator.integers(0, len(prefixes))]
+        subnet = int(generator.integers(0, 1 << 16))
+        style = generator.integers(0, 3)
+        if style == 0:
+            iid = int(generator.integers(1, 4))
+        elif style == 1:
+            iid = int(generator.integers(0, 1 << 32))
+        else:
+            iid = 0
+        values.append((prefix << 96) | (subnet << 64) | iid)
+    return values
+
+
+class TestPipelineProperties:
+    @SLOW
+    @given(st.integers(0, 10_000))
+    def test_fit_never_crashes_on_structured_sets(self, seed):
+        values = random_structured_values(seed, 300)
+        analysis = EntropyIP.fit(values)
+        assert analysis.segments
+        assert analysis.encoder.cardinalities
+
+    @SLOW
+    @given(st.integers(0, 10_000))
+    def test_segments_partition_width(self, seed):
+        values = random_structured_values(seed, 200)
+        analysis = EntropyIP.fit(values)
+        covered = sum(s.nybble_count for s in analysis.segments)
+        assert covered == 32
+
+    @SLOW
+    @given(st.integers(0, 10_000))
+    def test_mined_frequencies_sum_to_one(self, seed):
+        values = random_structured_values(seed, 200)
+        analysis = EntropyIP.fit(values)
+        for mined in analysis.encoder.mined_segments:
+            total = sum(v.frequency for v in mined.values)
+            assert total == pytest.approx(1.0, abs=1e-6)
+
+    @SLOW
+    @given(st.integers(0, 10_000))
+    def test_marginals_are_distributions(self, seed):
+        values = random_structured_values(seed, 200)
+        analysis = EntropyIP.fit(values)
+        for distribution in analysis.model.marginals().values():
+            assert distribution.sum() == pytest.approx(1.0)
+            assert np.all(distribution >= -1e-12)
+
+    @SLOW
+    @given(st.integers(0, 10_000))
+    def test_generated_addresses_match_learned_support(self, seed):
+        values = random_structured_values(seed, 300)
+        analysis = EntropyIP.fit(values)
+        generated = analysis.generate(
+            50, np.random.default_rng(0), exclude_training=False
+        )
+        # Every generated value must decode from some mined element:
+        # re-encoding it yields valid code indices.
+        codes = analysis.encoder.encode_set(generated)
+        for column, mined in enumerate(analysis.encoder.mined_segments):
+            assert codes[:, column].max() < mined.cardinality
+
+    @SLOW
+    @given(st.integers(0, 10_000))
+    def test_entropy_invariant_under_permutation(self, seed):
+        values = random_structured_values(seed, 100)
+        base = nybble_entropies(AddressSet.from_ints(values))
+        generator = np.random.default_rng(seed)
+        shuffled = list(values)
+        generator.shuffle(shuffled)
+        permuted = nybble_entropies(AddressSet.from_ints(shuffled))
+        assert np.allclose(base, permuted)
+
+    @SLOW
+    @given(st.integers(0, 10_000))
+    def test_total_entropy_vs_duplication(self, seed):
+        # Duplicating every row changes nothing information-theoretically.
+        values = random_structured_values(seed, 100)
+        once = nybble_entropies(AddressSet.from_ints(values))
+        twice = nybble_entropies(AddressSet.from_ints(values * 2))
+        assert np.allclose(once, twice)

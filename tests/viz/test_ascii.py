@@ -1,0 +1,61 @@
+"""Tests for the ASCII plotting primitives."""
+
+import pytest
+
+from repro.viz.ascii import HEAT_RAMP, bar, heat_char, line_plot, sparkline
+
+
+class TestHeatChar:
+    def test_extremes(self):
+        assert heat_char(0.0) == HEAT_RAMP[0]
+        assert heat_char(1.0) == HEAT_RAMP[-1]
+
+    def test_clamps(self):
+        assert heat_char(-5) == HEAT_RAMP[0]
+        assert heat_char(99) == HEAT_RAMP[-1]
+
+    def test_degenerate_range(self):
+        assert heat_char(0.5, low=1, high=1) == HEAT_RAMP[0]
+
+    def test_monotone(self):
+        indices = [HEAT_RAMP.index(heat_char(v / 10)) for v in range(11)]
+        assert indices == sorted(indices)
+
+
+class TestSparkline:
+    def test_length(self):
+        assert len(sparkline([0, 0.5, 1])) == 3
+
+    def test_extremes(self):
+        line = sparkline([0, 1])
+        assert line[0] == "▁" and line[1] == "█"
+
+
+class TestBar:
+    def test_proportional(self):
+        assert bar(0.5, width=10) == "#####     "
+        assert bar(1.0, width=4) == "####"
+        assert bar(0.0, width=4) == "    "
+
+    def test_clamps(self):
+        assert bar(5.0, width=4) == "####"
+
+    def test_rejects_bad_high(self):
+        with pytest.raises(ValueError):
+            bar(0.5, high=0)
+
+
+class TestLinePlot:
+    def test_dimensions(self):
+        rows = line_plot([[0, 0.5, 1]], height=5)
+        assert len(rows) == 5
+        assert all(len(r) == 3 for r in rows)
+
+    def test_markers(self):
+        rows = line_plot([[1, 1], [0, 0]], height=4, markers="*o")
+        assert "*" in rows[0]
+        assert "o" in rows[-1]
+
+    def test_empty(self):
+        assert line_plot([]) == []
+        assert line_plot([[]]) == []

@@ -1,0 +1,104 @@
+"""Tests for the figure-level text renderings."""
+
+import pytest
+
+from repro.core.pipeline import EntropyIP
+from repro.viz.figures import (
+    render_acr_entropy_plot,
+    render_mi_heatmap,
+    render_snapshot_delta,
+    render_bn_graph,
+    render_browser,
+    render_mining_table,
+    render_segment_histogram,
+    render_windowing_map,
+)
+
+
+@pytest.fixture(scope="module")
+def analysis(structured_set):
+    return EntropyIP.fit(structured_set)
+
+
+class TestEntropyPlot:
+    def test_contains_stats(self, analysis):
+        text = render_acr_entropy_plot(analysis, title="demo")
+        assert "demo" in text
+        assert "H_S=" in text
+        assert "n=2000" in text
+
+    def test_marks_segments(self, analysis):
+        text = render_acr_entropy_plot(analysis)
+        assert "|" in text
+        assert "A" in text
+
+
+class TestBrowserRendering:
+    def test_unconditioned(self, analysis):
+        text = render_browser(analysis.browse())
+        assert "unconditioned" in text
+        assert "segment A" in text
+
+    def test_conditioned_shows_click(self, analysis):
+        label = analysis.segments[0].label
+        browser = analysis.browse().click(f"{label}1")
+        text = render_browser(browser)
+        assert f"{label}={label}1" in text
+        assert "▶" in text
+
+
+class TestBnGraph:
+    def test_lists_edges_or_says_none(self, analysis):
+        text = render_bn_graph(analysis)
+        assert "Bayesian network" in text
+        edges = analysis.model.network.edges()
+        if edges:
+            parent, child = edges[0]
+            assert f"{parent} -> {child}" in text
+        else:
+            assert "no edges" in text
+
+    def test_highlight(self, analysis):
+        target = analysis.segments[-1].label
+        text = render_bn_graph(analysis, highlight=target)
+        assert f"segment {target} depends directly on" in text
+
+
+class TestMiningTable:
+    def test_contains_codes_and_frequencies(self, analysis):
+        text = render_mining_table(analysis)
+        assert "A1" in text
+        assert "%" in text
+
+
+class TestHistogram:
+    def test_renders_annotations(self, analysis):
+        mined = analysis.encoder.mined_segments[-1]
+        text = render_segment_histogram(mined, analysis)
+        assert f"segment {mined.segment.label}" in text
+        assert mined.values[0].code in text
+
+
+class TestWindowingMap:
+    def test_renders_rows(self, analysis):
+        text = render_windowing_map(analysis.windowing())
+        assert "windowed entropy" in text
+        assert "   0 " in text
+
+
+class TestMiHeatmap:
+    def test_renders(self, structured_set):
+        text = render_mi_heatmap(structured_set)
+        assert "mutual information" in text
+        assert len(text.splitlines()) == 33  # header + 32 rows
+
+
+class TestSnapshotDelta:
+    def test_renders(self, structured_set):
+        from repro.core.temporal import compare_snapshots
+
+        analysis = EntropyIP.fit(structured_set)
+        delta = compare_snapshots(analysis, analysis)
+        text = render_snapshot_delta(delta)
+        assert "temporal snapshot comparison" in text
+        assert "stable" in text
