@@ -1,0 +1,179 @@
+"""Throughput harness for the candidate-generation hot path (§5.5).
+
+The paper's headline workload is "train on 1K addresses, generate 1M
+candidates per network".  This harness times every stage of that path —
+BN sampling, code→address decoding, dedup against the training set, and
+the end-to-end ``AddressModel.generate_set`` loop — for representative
+networks (S1: pseudo-random IIDs, pure throughput; R1: low-entropy
+routers, heavy duplicate suppression) and writes a JSON record so the
+perf trajectory is trackable across PRs.
+
+It is deliberately implementation-agnostic: it uses the vectorized
+primitives (``decode_to_set``, ``contains_rows``) when present and falls
+back to the seed-era paths (``decode_matrix`` + ``from_ints``, Python
+int/set membership) otherwise.  Running it on the seed tree produced the
+checked-in baseline ``benchmarks/BENCH_baseline_seed.json``; subsequent
+runs report per-stage speedups against that baseline.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf_generation.py \
+        [--n 1000000] [--networks S1 R1] [--out BENCH_generation.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import time
+from typing import Dict, List, Optional
+
+import numpy as np
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+BASELINE_PATH = pathlib.Path(__file__).resolve().parent / "BENCH_baseline_seed.json"
+DEFAULT_OUT = REPO_ROOT / "BENCH_generation.json"
+
+TRAIN_SIZE = 1000
+NETWORKS = ["S1", "R1"]
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start
+
+
+def measure_network(
+    network_name: str,
+    n_candidates: int,
+    train_size: int = TRAIN_SIZE,
+    seed: int = 0,
+) -> Dict:
+    """Time each generation stage for one network."""
+    from repro.core.pipeline import EntropyIP
+    from repro.datasets.networks import build_network
+    from repro.ipv6.sets import AddressSet
+
+    network = build_network(network_name)
+    train = network.sample(train_size, seed=seed)
+    analysis = EntropyIP.fit(train)
+    model = analysis.model
+    encoder = model.encoder
+
+    stages: Dict[str, Dict[str, float]] = {}
+
+    def record(name: str, seconds: float, rows: int):
+        stages[name] = {
+            "seconds": round(seconds, 6),
+            "addresses_per_second": round(rows / seconds, 1) if seconds else 0.0,
+        }
+
+    # --- stage 1: BN forward sampling -------------------------------
+    rng = np.random.default_rng(seed)
+    codes, elapsed = _timed(lambda: model.sample_codes(n_candidates, rng))
+    record("sample", elapsed, n_candidates)
+
+    # --- stage 2: code matrix → addresses ---------------------------
+    rng = np.random.default_rng(seed + 1)
+    if hasattr(encoder, "decode_to_set"):
+        decoded, elapsed = _timed(lambda: encoder.decode_to_set(codes, rng))
+    else:  # seed path: Python-int assembly + hex re-parse
+        def _seed_decode():
+            values = encoder.decode_matrix(codes, rng)
+            return AddressSet.from_ints(
+                values, width=encoder.width, already_truncated=True
+            )
+
+        decoded, elapsed = _timed(_seed_decode)
+    record("decode", elapsed, n_candidates)
+
+    # --- stage 3: dedup against the training set --------------------
+    if hasattr(decoded, "contains_rows"):
+        _, elapsed = _timed(lambda: train.contains_rows(decoded))
+    else:  # seed path: per-address Python set membership
+        def _seed_dedup():
+            training = set(train.to_ints())
+            return [v in training for v in decoded.to_ints()]
+
+        _, elapsed = _timed(_seed_dedup)
+    record("dedup", elapsed, n_candidates)
+
+    # --- stage 4: end-to-end generate_set ---------------------------
+    rng = np.random.default_rng(seed + 2)
+    exclude = set(train.to_ints())
+    generated, elapsed = _timed(
+        lambda: model.generate_set(n_candidates, rng, exclude=exclude)
+    )
+    record("end_to_end", elapsed, len(generated))
+
+    return {"generated": len(generated), "stages": stages}
+
+
+def measure(
+    n_candidates: int,
+    networks: Optional[List[str]] = None,
+    train_size: int = TRAIN_SIZE,
+    seed: int = 0,
+) -> Dict:
+    """Measure every requested network; return the combined record."""
+    return {
+        "n_candidates": n_candidates,
+        "train_size": train_size,
+        "networks": {
+            name: measure_network(
+                name, n_candidates, train_size=train_size, seed=seed
+            )
+            for name in (networks or NETWORKS)
+        },
+    }
+
+
+def attach_speedups(result: Dict, baseline_path: pathlib.Path = BASELINE_PATH) -> Dict:
+    """Add per-stage throughput speedups vs the checked-in seed baseline."""
+    if not baseline_path.exists():
+        return result
+    baseline = json.loads(baseline_path.read_text())
+    for name, record in result["networks"].items():
+        base_stages = baseline.get("networks", {}).get(name, {}).get("stages", {})
+        speedups = {}
+        for stage_name, stage in record["stages"].items():
+            base = base_stages.get(stage_name)
+            if base and base.get("addresses_per_second"):
+                speedups[stage_name] = round(
+                    stage["addresses_per_second"]
+                    / base["addresses_per_second"],
+                    2,
+                )
+        record["speedup_vs_seed"] = speedups
+    result["baseline"] = {
+        "n_candidates": baseline.get("n_candidates"),
+        "path": str(baseline_path.relative_to(REPO_ROOT)),
+    }
+    return result
+
+
+def main(argv: Optional[list] = None) -> Dict:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--n", type=int, default=1_000_000)
+    parser.add_argument("--networks", nargs="+", default=NETWORKS)
+    parser.add_argument("--train-size", type=int, default=TRAIN_SIZE)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--out", type=pathlib.Path, default=DEFAULT_OUT)
+    args = parser.parse_args(argv)
+
+    result = measure(
+        args.n,
+        networks=args.networks,
+        train_size=args.train_size,
+        seed=args.seed,
+    )
+    result = attach_speedups(result)
+    args.out.write_text(json.dumps(result, indent=2) + "\n")
+    print(json.dumps(result, indent=2))
+    return result
+
+
+if __name__ == "__main__":
+    main()

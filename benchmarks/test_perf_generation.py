@@ -1,0 +1,64 @@
+"""Generation-throughput benchmark (§5.5 at paper scale).
+
+Runs the perf harness at the paper's 1M-candidate scale, writes the
+result to ``BENCH_generation.json`` at the repo root (so the perf
+trajectory is tracked across PRs), and asserts the headline properties:
+a 1M-candidate end-to-end run finishes far inside the CI budget and the
+vectorized stages hold a ≥10× speedup over the checked-in seed
+baseline.
+"""
+
+import json
+
+from conftest import N_CANDIDATES, TRAIN_SIZE
+
+from perf_generation import DEFAULT_OUT, attach_speedups, measure
+
+#: The acceptance budget for one end-to-end 1M-candidate run.
+END_TO_END_BUDGET_SECONDS = 60.0
+
+#: Stages the vectorized rewrite targets.  Every stage must clear the
+#: floor even on a noisy CI machine; the headline ≥10× must hold for at
+#: least one stage per network (dedup sits at ~25-30×, decode ~10-15×).
+VECTORIZED_STAGES = ("decode", "dedup")
+MIN_STAGE_SPEEDUP = 8.0
+MIN_HEADLINE_SPEEDUP = 10.0
+
+
+def test_perf_generation(benchmark, artifact):
+    def run():
+        return attach_speedups(
+            measure(N_CANDIDATES, train_size=TRAIN_SIZE, seed=0)
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    DEFAULT_OUT.write_text(json.dumps(result, indent=2) + "\n")
+    lines = [f"Generation throughput (train={TRAIN_SIZE}, n={N_CANDIDATES})"]
+    for name, record in result["networks"].items():
+        for stage, data in record["stages"].items():
+            speedup = record.get("speedup_vs_seed", {}).get(stage)
+            suffix = f"  ({speedup}x vs seed)" if speedup else ""
+            lines.append(
+                f"{name:>4} {stage:>10}: "
+                f"{data['addresses_per_second']:>12,.0f} addr/s"
+                f"{suffix}"
+            )
+    artifact("perf_generation", "\n".join(lines))
+
+    for name, record in result["networks"].items():
+        assert record["generated"] == N_CANDIDATES, name
+        assert (
+            record["stages"]["end_to_end"]["seconds"]
+            * (1_000_000 / N_CANDIDATES)
+            < END_TO_END_BUDGET_SECONDS
+        ), name
+        speedups = record.get("speedup_vs_seed")
+        # The baseline file travels with the repo, so speedups exist.
+        assert speedups, "missing benchmarks/BENCH_baseline_seed.json"
+        for stage in VECTORIZED_STAGES:
+            assert speedups[stage] >= MIN_STAGE_SPEEDUP, (name, stage, speedups)
+        assert (
+            max(speedups[stage] for stage in VECTORIZED_STAGES)
+            >= MIN_HEADLINE_SPEEDUP
+        ), (name, speedups)

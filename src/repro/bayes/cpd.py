@@ -22,12 +22,13 @@ class CPD:
     the child axis for a fixed parent assignment sums to 1.
     """
 
-    __slots__ = ("child", "parents", "table")
+    __slots__ = ("child", "parents", "table", "_sampling_cdf")
 
     def __init__(self, child: str, parents: Sequence[str], table: np.ndarray):
         self.child = child
         self.parents: Tuple[str, ...] = tuple(parents)
         self.table = np.asarray(table, dtype=np.float64)
+        self._sampling_cdf = None
         if self.child in self.parents:
             raise ValueError(f"{child!r} cannot be its own parent")
         if self.table.ndim != 1 + len(self.parents):
@@ -59,6 +60,26 @@ class CPD:
     def to_factor(self) -> Factor:
         """The CPD viewed as a factor over (child, *parents)."""
         return Factor((self.child,) + self.parents, self.table)
+
+    def sampling_cdf(self) -> np.ndarray:
+        """Flattened per-configuration cumulative table for inverse-CDF draws.
+
+        Entry ``[config * child_cardinality + state]`` holds
+        ``config + P(child <= state | config)``, so the whole array is
+        sorted ascending and one ``searchsorted(cdf, config + u)`` maps a
+        uniform ``u`` to a child state for every row at once (the
+        vectorized sampling hot path).  Built lazily, cached for the
+        lifetime of the CPD; the table is assumed immutable afterwards.
+        """
+        if self._sampling_cdf is None:
+            flat = self.table.reshape(self.child_cardinality, -1)
+            cdf = np.cumsum(flat, axis=0)
+            # Pin the top of each configuration's CDF at exactly 1 so a
+            # draw of u -> 1 can never index past the last state.
+            cdf[-1, :] = 1.0
+            offsets = np.arange(cdf.shape[1], dtype=np.float64)
+            self._sampling_cdf = np.ascontiguousarray((cdf + offsets).T).ravel()
+        return self._sampling_cdf
 
     def __repr__(self) -> str:
         return (

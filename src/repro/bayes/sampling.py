@@ -5,6 +5,13 @@ learned BN.  Unconstrained generation uses plain forward (ancestral)
 sampling, which the ordering constraint makes trivial; generation
 constrained to certain segment values ("optionally constrained", §4.4)
 uses likelihood weighting with resampling.
+
+Both samplers are fully vectorized: each variable is drawn for *all*
+rows with a single inverse-CDF lookup (one ``rng.random(n)`` plus one
+``searchsorted`` into the CPD's precomputed cumulative table, see
+:meth:`repro.bayes.cpd.CPD.sampling_cdf`), regardless of how many
+distinct parent configurations appear.  This is what makes the paper's
+1M-candidate generation runs cheap.
 """
 
 from __future__ import annotations
@@ -13,7 +20,40 @@ from typing import Dict, List, Mapping, Optional
 
 import numpy as np
 
+from repro.bayes.cpd import CPD
 from repro.bayes.network import BayesianNetwork
+
+
+def _flat_parent_configs(
+    samples: np.ndarray,
+    parent_columns: List[int],
+    parent_cards: List[int],
+) -> np.ndarray:
+    """Mixed-radix flattening of each row's parent assignment."""
+    flat_config = np.zeros(samples.shape[0], dtype=np.int64)
+    for parent_column, parent_card in zip(parent_columns, parent_cards):
+        flat_config = flat_config * parent_card + samples[:, parent_column]
+    return flat_config
+
+
+def _draw_states(
+    cpd: CPD, flat_config: np.ndarray, u: np.ndarray
+) -> np.ndarray:
+    """Inverse-CDF draw of one child state per row, all rows at once.
+
+    ``cpd.sampling_cdf()`` lays the per-configuration CDFs end to end on
+    the number line (configuration ``c`` occupies ``[c, c + 1]``), so
+    ``searchsorted(cdf, c + u, side="right")`` lands on the first state
+    whose cumulative probability exceeds ``u`` — the classic inverse-CDF
+    method, with zero-probability states correctly skipped.
+    """
+    cdf = cpd.sampling_cdf()
+    if not cpd.parents:
+        # Root variable: every row shares configuration 0.
+        return np.searchsorted(cdf, u, side="right")
+    keys = flat_config + u
+    states = np.searchsorted(cdf, keys, side="right") - flat_config * cpd.child_cardinality
+    return states
 
 
 def forward_sample(
@@ -24,8 +64,8 @@ def forward_sample(
     """Draw ``n_samples`` code vectors by ancestral sampling.
 
     Returns an (n_samples, num_vars) integer matrix with columns in
-    ``network.variables`` order.  Vectorized per-variable: rows are
-    partitioned by parent configuration and sampled in bulk.
+    ``network.variables`` order.  One uniform vector and one
+    ``searchsorted`` per variable — no per-configuration Python loops.
     """
     if n_samples < 0:
         raise ValueError("n_samples must be non-negative")
@@ -35,26 +75,10 @@ def forward_sample(
     for variable in network.variables:
         cpd = network.cpd(variable)
         column = index[variable]
-        if not cpd.parents:
-            distribution = cpd.table
-            samples[:, column] = rng.choice(
-                len(distribution), size=n_samples, p=distribution
-            )
-            continue
-        # Group rows by joint parent configuration and draw each group
-        # from its conditional distribution in one call.
         parent_columns = [index[p] for p in cpd.parents]
         parent_cards = [network.cardinality(p) for p in cpd.parents]
-        flat_config = np.zeros(n_samples, dtype=np.int64)
-        for parent_column, parent_card in zip(parent_columns, parent_cards):
-            flat_config = flat_config * parent_card + samples[:, parent_column]
-        flat_table = cpd.table.reshape(cpd.child_cardinality, -1)
-        for config in np.unique(flat_config):
-            rows = np.nonzero(flat_config == config)[0]
-            distribution = flat_table[:, config]
-            samples[rows, column] = rng.choice(
-                len(distribution), size=len(rows), p=distribution
-            )
+        flat_config = _flat_parent_configs(samples, parent_columns, parent_cards)
+        samples[:, column] = _draw_states(cpd, flat_config, rng.random(n_samples))
     return samples
 
 
@@ -90,23 +114,16 @@ def likelihood_weighted_sample(
         column = index[variable]
         parent_columns = [index[p] for p in cpd.parents]
         parent_cards = [network.cardinality(p) for p in cpd.parents]
-        flat_config = np.zeros(pool_size, dtype=np.int64)
-        for parent_column, parent_card in zip(parent_columns, parent_cards):
-            flat_config = flat_config * parent_card + samples[:, parent_column]
-        flat_table = cpd.table.reshape(cpd.child_cardinality, -1)
+        flat_config = _flat_parent_configs(samples, parent_columns, parent_cards)
         if variable in evidence:
             state = evidence[variable]
             samples[:, column] = state
+            flat_table = cpd.table.reshape(cpd.child_cardinality, -1)
             probabilities = flat_table[state, flat_config]
             with np.errstate(divide="ignore"):
                 log_weights += np.log(probabilities)
             continue
-        for config in np.unique(flat_config):
-            rows = np.nonzero(flat_config == config)[0]
-            distribution = flat_table[:, config]
-            samples[rows, column] = rng.choice(
-                len(distribution), size=len(rows), p=distribution
-            )
+        samples[:, column] = _draw_states(cpd, flat_config, rng.random(pool_size))
 
     peak = log_weights.max()
     if not np.isfinite(peak):

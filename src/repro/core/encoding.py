@@ -10,11 +10,18 @@ Encoding a range code loses the exact value ("this is acceptable for our
 purposes"); decoding a range code draws a uniform value from the range,
 which is what lets the generator materialize addresses never seen in
 training.
+
+Both directions are batched array programs: :meth:`AddressEncoder.encode_set`
+classifies all rows of a segment with cached lookup tables built once per
+encoder, and :meth:`AddressEncoder.decode_to_set` materializes code
+matrices straight into an ``(n, width)`` nybble matrix without ever
+round-tripping through per-row Python integers — the §5.5 1M-candidate
+hot path.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -43,6 +50,93 @@ def _rand_below(rng: np.random.Generator, bound: int) -> int:
             return value
 
 
+class _SegmentTables:
+    """Per-segment lookup tables, built once per encoder.
+
+    Only segments of at most 16 nybbles (the norm, given the hard /32
+    and /64 segmentation cuts) get tables; wider segments fall back to
+    exact Python-int paths.
+    """
+
+    __slots__ = (
+        "lows",
+        "highs",
+        "point_values",
+        "point_codes",
+        "ranges",
+        "has_ranges",
+    )
+
+    def __init__(self, mined: MinedSegment):
+        self.lows = np.asarray([v.low for v in mined.values], dtype=np.uint64)
+        self.highs = np.asarray([v.high for v in mined.values], dtype=np.uint64)
+        self.has_ranges = bool(np.any(self.highs > self.lows))
+        # Exact-value (point) elements, sorted for searchsorted; the
+        # earliest-mined code wins for duplicated point values.
+        points = [
+            (v.low, index)
+            for index, v in enumerate(mined.values)
+            if not v.is_range
+        ]
+        points.sort()
+        seen_values = set()
+        unique_points = []
+        for value, index in points:
+            if value not in seen_values:
+                seen_values.add(value)
+                unique_points.append((value, index))
+        self.point_values = np.asarray(
+            [value for value, _ in unique_points], dtype=np.uint64
+        )
+        self.point_codes = np.asarray(
+            [index for _, index in unique_points], dtype=np.int64
+        )
+        # Range elements in mining order (earliest containing range wins).
+        self.ranges = [
+            (np.uint64(v.low), np.uint64(v.high), index)
+            for index, v in enumerate(mined.values)
+            if v.is_range
+        ]
+
+    def encode(self, values: np.ndarray) -> np.ndarray:
+        """Classify raw uint64 segment values into code indices.
+
+        Mirrors :meth:`MinedSegment.code_index` exactly — point matches
+        win, then the earliest-mined containing range, then the nearest
+        element — but over whole arrays.
+        """
+        distinct, inverse = np.unique(values, return_inverse=True)
+        codes = np.full(len(distinct), -1, dtype=np.int64)
+        if len(self.point_values):
+            positions = np.searchsorted(self.point_values, distinct)
+            positions = np.minimum(positions, len(self.point_values) - 1)
+            hit = self.point_values[positions] == distinct
+            codes[hit] = self.point_codes[positions[hit]]
+        for low, high, index in self.ranges:
+            unclaimed = codes == -1
+            if not unclaimed.any():
+                break
+            codes[unclaimed & (distinct >= low) & (distinct <= high)] = index
+        missing = codes == -1
+        if missing.any():
+            codes[missing] = self._nearest(distinct[missing])
+        return codes[inverse]
+
+    def _nearest(self, values: np.ndarray) -> np.ndarray:
+        """First element index minimizing distance to each value."""
+        v = values[:, None]
+        below = v < self.lows[None, :]
+        above = v > self.highs[None, :]
+        # uint64 subtraction wraps where the branch is not taken; those
+        # lanes are discarded by the np.where selection.
+        distance = np.where(
+            below,
+            self.lows[None, :] - v,
+            np.where(above, v - self.highs[None, :], np.uint64(0)),
+        )
+        return np.argmin(distance, axis=1).astype(np.int64)
+
+
 class AddressEncoder:
     """Bidirectional mapping between nybble rows and code vectors."""
 
@@ -59,6 +153,10 @@ class AddressEncoder:
                 )
             expected = mined.segment.last_nybble + 1
         self._width = self._mined[-1].segment.last_nybble
+        self._tables: List[Optional[_SegmentTables]] = [
+            _SegmentTables(m) if m.segment.nybble_count <= 16 else None
+            for m in self._mined
+        ]
 
     @property
     def mined_segments(self) -> Tuple[MinedSegment, ...]:
@@ -86,8 +184,9 @@ class AddressEncoder:
     def encode_set(self, address_set: AddressSet) -> np.ndarray:
         """Encode a whole set into an (n, num_segments) code matrix.
 
-        Uses an exact-value lookup table per segment, built once, so
-        encoding is O(n log d) rather than O(n * |V_k|).
+        Uses the per-segment lookup tables built at construction, so
+        encoding is a handful of numpy calls per segment rather than a
+        Python classification per distinct value.
         """
         if address_set.width != self._width:
             raise ValueError(
@@ -99,7 +198,11 @@ class AddressEncoder:
         for column, mined in enumerate(self._mined):
             seg = mined.segment
             values = address_set.segment_values(seg.first_nybble, seg.last_nybble)
-            matrix[:, column] = self._encode_column(mined, values)
+            tables = self._tables[column]
+            if tables is not None:
+                matrix[:, column] = tables.encode(values)
+            else:
+                matrix[:, column] = self._encode_column(mined, values)
         return matrix
 
     def encode_address(self, address: IPv6Address) -> List[str]:
@@ -113,6 +216,7 @@ class AddressEncoder:
 
     @staticmethod
     def _encode_column(mined: MinedSegment, values: np.ndarray) -> np.ndarray:
+        """Reference (per-value) classification, for >64-bit segments."""
         distinct, inverse = np.unique(values, return_inverse=True)
         code_of = np.asarray(
             [mined.code_index(int(v)) for v in distinct], dtype=np.int64
@@ -123,61 +227,97 @@ class AddressEncoder:
     # decoding
     # ------------------------------------------------------------------
 
-    def decode_matrix(
-        self, codes: np.ndarray, rng: np.random.Generator
-    ) -> List[int]:
-        """Materialize code vectors into ``width``-nybble integers.
+    def decode_to_set(
+        self,
+        codes: np.ndarray,
+        rng: np.random.Generator,
+        validate: bool = True,
+    ) -> AddressSet:
+        """Materialize code vectors directly into an :class:`AddressSet`.
 
-        Point codes decode exactly; range codes draw uniformly from their
-        interval (vectorized per segment).
+        Point codes decode exactly; range codes draw uniformly from
+        their interval.  Each segment's values are written straight into
+        the ``(n, width)`` nybble matrix with vectorized shift/mask —
+        no per-row Python int assembly anywhere on the path.
+
+        ``validate=False`` skips the per-segment code-range check for
+        callers (like the generation loop) whose codes come straight
+        from the model and cannot be out of range.
         """
         codes = np.asarray(codes)
         if codes.ndim != 2 or codes.shape[1] != len(self._mined):
             raise ValueError("code matrix shape mismatch")
         n = codes.shape[0]
-        pieces: List[object] = []
+        matrix = np.zeros((n, self._width), dtype=np.uint8)
         for column, mined in enumerate(self._mined):
             column_codes = codes[:, column]
-            if np.any(column_codes < 0) or np.any(
-                column_codes >= mined.cardinality
+            if validate and n and (
+                column_codes.min() < 0 or column_codes.max() >= mined.cardinality
             ):
                 raise IndexError(
                     f"code out of range for segment {mined.segment.label}"
                 )
-            if mined.segment.nybble_count <= 16:
+            nybble_count = mined.segment.nybble_count
+            first = mined.segment.first_nybble - 1
+            tables = self._tables[column]
+            if tables is not None:
                 # Exact uint64 arithmetic: float64 would corrupt values
                 # wider than 53 bits.
-                lows = np.asarray([v.low for v in mined.values], dtype=np.uint64)
-                highs = np.asarray(
-                    [v.high for v in mined.values], dtype=np.uint64
-                )
-                row_lows = lows[column_codes]
-                # endpoint=True keeps the bound at span-1, which always
-                # fits in uint64 even for a full 64-bit segment range.
-                offsets = rng.integers(
-                    0,
-                    highs[column_codes] - row_lows,
-                    dtype=np.uint64,
-                    endpoint=True,
-                )
-                pieces.append(row_lows + offsets)
+                row_lows = tables.lows[column_codes]
+                if tables.has_ranges:
+                    # endpoint=True keeps the bound at span-1, which
+                    # always fits in uint64 even for a full 64-bit
+                    # segment range.
+                    offsets = rng.integers(
+                        0,
+                        tables.highs[column_codes] - row_lows,
+                        dtype=np.uint64,
+                        endpoint=True,
+                    )
+                    values = row_lows + offsets
+                else:
+                    # Point-only segment: nothing to draw.
+                    values = row_lows
+                if nybble_count >= 6:
+                    # Wide segment: split via the big-endian byte image,
+                    # three vector ops instead of one shift/mask pass per
+                    # nybble column.
+                    byte_image = (
+                        values.astype(">u8").view(np.uint8).reshape(n, 8)
+                    )
+                    nybbles = np.empty((n, 16), dtype=np.uint8)
+                    nybbles[:, 0::2] = byte_image >> 4
+                    nybbles[:, 1::2] = byte_image & 0x0F
+                    matrix[:, first : first + nybble_count] = nybbles[
+                        :, 16 - nybble_count :
+                    ]
+                else:
+                    for j in range(nybble_count):
+                        shift = np.uint64(4 * (nybble_count - 1 - j))
+                        matrix[:, first + j] = (
+                            values >> shift
+                        ) & np.uint64(0xF)
             else:
                 # Segments wider than 64 bits (only possible when the
                 # hard /32 and /64 cuts are disabled): Python-int path.
-                values = []
-                for code in column_codes:
-                    element = mined.values[int(code)]
-                    values.append(element.low + _rand_below(rng, element.span()))
-                pieces.append(values)
-        results: List[int] = []
-        for row in range(n):
-            value = 0
-            for column, mined in enumerate(self._mined):
-                value = (value << (4 * mined.segment.nybble_count)) | int(
-                    pieces[column][row]
-                )
-            results.append(value)
-        return results
+                for row in range(n):
+                    element = mined.values[int(column_codes[row])]
+                    value = element.low + _rand_below(rng, element.span())
+                    for j in range(nybble_count - 1, -1, -1):
+                        matrix[row, first + j] = value & 0xF
+                        value >>= 4
+        return AddressSet(matrix)
+
+    def decode_matrix(
+        self, codes: np.ndarray, rng: np.random.Generator
+    ) -> List[int]:
+        """Materialize code vectors into ``width``-nybble integers.
+
+        Thin compatibility wrapper over :meth:`decode_to_set`; for bulk
+        generation prefer the set form, which never materializes Python
+        integers.
+        """
+        return self.decode_to_set(codes, rng).to_ints()
 
     def decode_codes(
         self, code_strings: Sequence[str], rng: np.random.Generator

@@ -8,7 +8,7 @@ and generates candidate addresses (Section 5.5).
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple, Union
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -17,7 +17,7 @@ from repro.bayes.network import BayesianNetwork
 from repro.bayes.sampling import forward_sample, likelihood_weighted_sample
 from repro.bayes.structure import StructureConfig, learn_structure
 from repro.core.encoding import AddressEncoder
-from repro.ipv6.sets import AddressSet
+from repro.ipv6.sets import AddressSet, first_occurrence_positions
 
 #: Evidence may name states by code string ("J1") or by index (0).
 EvidenceLike = Mapping[str, Union[str, int]]
@@ -155,6 +155,88 @@ class AddressModel:
             return likelihood_weighted_sample(self.network, n, rng, resolved)
         return forward_sample(self.network, n, rng)
 
+    def generate_set(
+        self,
+        n: int,
+        rng: np.random.Generator,
+        evidence: Optional[EvidenceLike] = None,
+        exclude: Optional[Iterable[int]] = None,
+        max_batches: int = 64,
+    ) -> AddressSet:
+        """Generate ``n`` distinct candidate rows as an :class:`AddressSet`.
+
+        The batched streaming hot path of §5.5: each round draws a code
+        batch from the BN (:meth:`sample_codes`), materializes it with
+        :meth:`AddressEncoder.decode_to_set`, and suppresses duplicates
+        and ``exclude`` members (typically the training set — the paper
+        scans for addresses "not yet seen") with vectorized whole-row
+        set operations.  No stage round-trips through per-row Python.
+
+        Deterministic for a fixed ``rng``; first-occurrence order within
+        the stream is preserved.  Gives up after ``max_batches`` rounds
+        if the model's support is too small to produce ``n`` distinct
+        rows, returning what it has.
+        """
+        if n < 0:
+            raise ValueError("n must be non-negative")
+        width = self.encoder.width
+        # exclude values out of [0, 16^width) can never be generated.
+        bound = 1 << (4 * width)
+        excluded = AddressSet.from_ints(
+            [v for v in (exclude or ()) if 0 <= v < bound],
+            width=width,
+            already_truncated=True,
+        )
+        exclude_words = excluded.packed_rows()
+        kept_matrix: Optional[np.ndarray] = None
+        kept_words: Optional[np.ndarray] = None
+        # Marginal yield of distinct non-excluded rows per drawn sample,
+        # re-estimated each round and used to oversample the next batch,
+        # so the loop converges in a couple of rounds instead of
+        # geometrically many.
+        marginal_yield = 1.0
+        # Likelihood weighting materializes an oversample=4 pool per
+        # batch, so constrained generation gets a tighter cap to keep
+        # peak memory at the pre-rewrite level (~4n transient rows).
+        batch_cap = max(n if evidence else 4 * n, 8192)
+        for round_index in range(max_batches):
+            kept = 0 if kept_matrix is None else len(kept_matrix)
+            need = n - kept
+            if need <= 0:
+                break
+            batch_size = min(
+                max(int(need / marginal_yield) + need // 8 + 64, 4096),
+                batch_cap,
+            )
+            codes = self.sample_codes(batch_size, rng, evidence)
+            batch = self.encoder.decode_to_set(codes, rng, validate=False)
+            # Stack already-accepted uniques ahead of the new batch:
+            # stable dedup keeps them (and their order), so each round
+            # only pays for kept + batch rows, never the full raw stream.
+            if kept_matrix is None:
+                matrix = batch.matrix
+                words = batch.packed_rows()
+            else:
+                matrix = np.vstack([kept_matrix, batch.matrix])
+                words = np.vstack([kept_words, batch.packed_rows()])
+            positions = first_occurrence_positions(words, exclude_words)
+            kept_matrix = matrix[positions]
+            kept_words = words[positions]
+            new_found = len(kept_matrix) - kept
+            marginal_yield = max(new_found / batch_size, 1.0 / batch_size)
+            # Saturation guard: when the model's effective support is
+            # (nearly) exhausted, rounds trickle in a handful of new rows
+            # each.  Stop once the remaining rounds cannot plausibly
+            # close the gap at the observed marginal yield, returning the
+            # partial result instead of burning max-size batches.
+            rounds_left = max_batches - round_index - 1
+            reachable = marginal_yield * batch_cap * rounds_left
+            if new_found == 0 or reachable < n - len(kept_matrix):
+                break
+        if kept_matrix is None:
+            return AddressSet.empty(width)
+        return AddressSet(kept_matrix[:n])
+
     def generate(
         self,
         n: int,
@@ -165,42 +247,13 @@ class AddressModel:
     ) -> List[int]:
         """Generate ``n`` distinct candidate values (``width``-nybble ints).
 
-        Candidates in ``exclude`` (typically the training set — the paper
-        scans for addresses "not yet seen") are suppressed.  Gives up
-        after ``max_batches`` rounds if the model's support is too small
-        to produce ``n`` distinct values, returning what it has.
+        Compatibility wrapper over :meth:`generate_set`; bulk callers
+        should prefer the set form, which never materializes Python
+        integers.
         """
-        if n < 0:
-            raise ValueError("n must be non-negative")
-        excluded: Set[int] = set(exclude or ())
-        found: List[int] = []
-        seen: Set[int] = set()
-        batch_size = max(n, 4096)
-        for _ in range(max_batches):
-            if len(found) >= n:
-                break
-            codes = self.sample_codes(batch_size, rng, evidence)
-            for value in self.encoder.decode_matrix(codes, rng):
-                if value in seen or value in excluded:
-                    continue
-                seen.add(value)
-                found.append(value)
-                if len(found) >= n:
-                    break
-        return found
-
-    def generate_set(
-        self,
-        n: int,
-        rng: np.random.Generator,
-        evidence: Optional[EvidenceLike] = None,
-        exclude: Optional[Iterable[int]] = None,
-    ) -> AddressSet:
-        """Like :meth:`generate`, packaged as an :class:`AddressSet`."""
-        values = self.generate(n, rng, evidence=evidence, exclude=exclude)
-        return AddressSet.from_ints(
-            values, width=self.encoder.width, already_truncated=True
-        )
+        return self.generate_set(
+            n, rng, evidence=evidence, exclude=exclude, max_batches=max_batches
+        ).to_ints()
 
     # ------------------------------------------------------------------
 

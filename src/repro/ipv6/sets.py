@@ -13,7 +13,7 @@ pipeline on 16-nybble (/64) rows.
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, List, Sequence, Union
+from typing import Iterable, Iterator, List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -26,6 +26,90 @@ _ASCII_TO_NYBBLE = np.full(256, 255, dtype=np.uint8)
 for _i, _c in enumerate(_HEX):
     _ASCII_TO_NYBBLE[ord(_c)] = _i
     _ASCII_TO_NYBBLE[ord(_c.upper())] = _i
+
+# Nybble value → ASCII hex code (the inverse table).
+_NYBBLE_TO_ASCII = np.frombuffer(_HEX.encode("ascii"), dtype=np.uint8).copy()
+
+
+def pack_rows(matrix: np.ndarray) -> np.ndarray:
+    """Pack an ``(n, width)`` nybble matrix into ``(n, ceil(width/16))``
+    big-endian ``uint64`` words.
+
+    Two rows are equal iff their packed words are equal (narrow widths
+    are zero-padded on the right), so whole-row set algebra can run on
+    a couple of integer columns instead of ``width`` bytes.
+    """
+    m = np.ascontiguousarray(matrix, dtype=np.uint8)
+    n, width = m.shape
+    word_count = max((width + 15) // 16, 1)
+    padded_width = word_count * 16
+    if padded_width != width:
+        padded = np.zeros((n, padded_width), dtype=np.uint8)
+        padded[:, :width] = m
+    else:
+        padded = m
+    byte_image = (padded[:, 0::2] << 4) | padded[:, 1::2]
+    return (
+        np.ascontiguousarray(byte_image).view(">u8").astype(np.uint64)
+    )
+
+
+def first_occurrence_positions(
+    words: np.ndarray, exclude_words: Optional[np.ndarray] = None
+) -> np.ndarray:
+    """Positions of the first occurrence of each distinct row, ascending.
+
+    ``words`` is an ``(n, k)`` packed-row matrix (see :func:`pack_rows`);
+    rows whose value also appears in ``exclude_words`` are suppressed
+    entirely.  One ``lexsort`` + adjacent comparison — the vectorized
+    heart of generation dedup.
+    """
+    n = len(words)
+    if n == 0:
+        return np.empty(0, dtype=np.intp)
+    offset = 0
+    if exclude_words is not None and len(exclude_words):
+        offset = len(exclude_words)
+        words = np.vstack([exclude_words, words])
+    # Sort by row value only: lexsort is stable, so rows within an
+    # equal-value run keep input order — excluded rows (stacked first)
+    # and then earlier stream rows win their runs without needing a
+    # tie-breaking key.
+    if words.shape[1] == 1:
+        order = np.argsort(words[:, 0], kind="stable")
+    else:
+        order = np.lexsort(
+            tuple(words[:, j] for j in range(words.shape[1] - 1, -1, -1))
+        )
+    sorted_words = words[order]
+    run_start = np.empty(len(order), dtype=bool)
+    run_start[0] = True
+    np.any(sorted_words[1:] != sorted_words[:-1], axis=1, out=run_start[1:])
+    winners = order[run_start]
+    winners = winners[winners >= offset] - offset
+    mask = np.zeros(n, dtype=bool)
+    mask[winners] = True
+    return np.flatnonzero(mask)
+
+
+def row_view(matrix: np.ndarray) -> np.ndarray:
+    """Rows of a contiguous uint8 matrix as one opaque value each.
+
+    The ``(n, width)`` matrix is reinterpreted as ``n`` void-dtype
+    scalars of ``width`` bytes, which numpy compares bytewise — giving
+    O(n log n) whole-row sort/search/unique without per-row Python.
+
+    This is the second of two whole-row encodings on purpose:
+    :func:`pack_rows` words win for sort-heavy dedup (integer lexsort
+    beats memcmp), while a void view wins for asymmetric membership
+    (:meth:`AddressSet.contains_rows` sorts only the small side and
+    binary-searches the large one, which packed word *pairs* cannot do
+    with a single ``searchsorted``).
+    """
+    m = np.ascontiguousarray(matrix)
+    if m.shape[0] == 0:
+        return np.empty(0, dtype=np.dtype((np.void, max(m.shape[1], 1))))
+    return m.reshape(m.shape[0], -1).view(np.dtype((np.void, m.shape[1]))).ravel()
 
 
 class AddressSet:
@@ -79,16 +163,29 @@ class AddressSet:
         """
         if not 1 <= width <= NYBBLES_PER_ADDRESS:
             raise ValueError(f"width out of range: {width}")
+        values = list(values)
         shift = 0 if already_truncated else 4 * (NYBBLES_PER_ADDRESS - width)
-        # Go through a single hex string + frombuffer: orders of magnitude
-        # faster than per-nybble Python loops for large sets.
-        fmt = f"0{width}x"
-        text = "".join(format(v >> shift, fmt) for v in values)
-        if len(text) != width * len(values):
-            raise ValueError("a value does not fit in the requested width")
-        flat = np.frombuffer(text.encode("ascii"), dtype=np.uint8)
-        matrix = _ASCII_TO_NYBBLE[flat].reshape(len(values), width)
-        return cls(matrix)
+        # Left-align every value to 128 bits and go through one flat byte
+        # buffer: the nybble split is then a vectorized shift/mask rather
+        # than a per-value hex format() + string join.
+        top_shift = 4 * (NYBBLES_PER_ADDRESS - width)
+        buffer = bytearray(16 * len(values))
+        for i, v in enumerate(values):
+            if v < 0:
+                raise ValueError(f"negative address value at index {i}: {v}")
+            try:
+                buffer[16 * i : 16 * (i + 1)] = ((v >> shift) << top_shift).to_bytes(
+                    16, "big"
+                )
+            except OverflowError:
+                raise ValueError(
+                    f"value at index {i} does not fit in the requested width"
+                ) from None
+        flat = np.frombuffer(bytes(buffer), dtype=np.uint8).reshape(len(values), 16)
+        nybbles = np.empty((len(values), NYBBLES_PER_ADDRESS), dtype=np.uint8)
+        nybbles[:, 0::2] = flat >> 4
+        nybbles[:, 1::2] = flat & 0x0F
+        return cls(nybbles[:, :width])
 
     @classmethod
     def from_strings(
@@ -150,16 +247,28 @@ class AddressSet:
             result[row] = value
         return result
 
+    def _hex_text(self) -> str:
+        """All rows as one concatenated hex string (vectorized)."""
+        return _NYBBLE_TO_ASCII[self._matrix].tobytes().decode("ascii")
+
     def row_int(self, row: int) -> int:
         """The ``width``-nybble integer value of one row."""
-        value = 0
-        for nybble in self._matrix[row]:
-            value = (value << 4) | int(nybble)
-        return value
+        ascii_row = _NYBBLE_TO_ASCII[self._matrix[row]]
+        return int(ascii_row.tobytes().decode("ascii"), 16)
 
     def to_ints(self) -> List[int]:
-        """All rows as ``width``-nybble integers."""
-        return [self.row_int(row) for row in range(len(self))]
+        """All rows as ``width``-nybble integers.
+
+        Goes nybble matrix → one hex string → per-row ``int(_, 16)``,
+        which keeps all character work vectorized in numpy and the
+        integer parse in C.
+        """
+        text = self._hex_text()
+        width = self.width
+        return [
+            int(text[start : start + width], 16)
+            for start in range(0, width * len(self), width)
+        ]
 
     def addresses(self) -> List[IPv6Address]:
         """Rows as full addresses (zero-padded on the right if width<32)."""
@@ -168,8 +277,10 @@ class AddressSet:
 
     def hex_rows(self) -> Iterator[str]:
         """Rows as fixed-width hex strings (the Fig. 3 representation)."""
-        for row in range(len(self)):
-            yield "".join(_HEX[n] for n in self._matrix[row])
+        text = self._hex_text()
+        width = self.width
+        for start in range(0, width * len(self), width):
+            yield text[start : start + width]
 
     # ------------------------------------------------------------------
     # set operations
@@ -178,6 +289,28 @@ class AddressSet:
     def unique(self) -> "AddressSet":
         """Distinct rows (order not preserved; sorted lexicographically)."""
         return AddressSet(np.unique(self._matrix, axis=0))
+
+    def packed_rows(self) -> np.ndarray:
+        """Rows packed into ``(n, ceil(width/16))`` uint64 words."""
+        return pack_rows(self._matrix)
+
+    def contains_rows(self, other: "AddressSet") -> np.ndarray:
+        """Vectorized membership: which rows of ``other`` appear in self.
+
+        Returns a boolean array of ``len(other)``.  Both sets are viewed
+        as void-dtype row scalars and matched with one sort + one
+        ``searchsorted``, so screening candidates against a training set
+        is O((n + m) log n) numpy instead of per-address Python.
+        """
+        if other.width != self.width:
+            raise ValueError("cannot test membership across different widths")
+        if len(self) == 0 or len(other) == 0:
+            return np.zeros(len(other), dtype=bool)
+        mine = np.sort(row_view(self._matrix))
+        theirs = row_view(other._matrix)
+        positions = np.searchsorted(mine, theirs)
+        positions = np.minimum(positions, len(mine) - 1)
+        return mine[positions] == theirs
 
     def sample(self, k: int, rng: np.random.Generator) -> "AddressSet":
         """Uniform sample of ``k`` rows without replacement."""

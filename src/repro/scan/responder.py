@@ -20,6 +20,8 @@ from __future__ import annotations
 
 from typing import Iterable, List, Sequence, Set
 
+import numpy as np
+
 from repro.ipv6.prefix import Prefix
 from repro.ipv6.sets import AddressSet
 
@@ -36,6 +38,24 @@ def _keyed_uniform(value: int, key: int) -> float:
     """Deterministic pseudo-uniform in [0, 1) keyed by (value, key)."""
     mixed = _splitmix64((value & 0xFFFFFFFFFFFFFFFF) ^ _splitmix64(value >> 64) ^ key)
     return mixed / 2.0**64
+
+
+def _splitmix64_array(values: np.ndarray) -> np.ndarray:
+    """Vectorized SplitMix64 over a uint64 array (wrapping arithmetic)."""
+    values = values + np.uint64(0x9E3779B97F4A7C15)
+    values = (values ^ (values >> np.uint64(30))) * np.uint64(0xBF58476D1CE4E5B9)
+    values = (values ^ (values >> np.uint64(27))) * np.uint64(0x94D049BB133111EB)
+    return values ^ (values >> np.uint64(31))
+
+
+def _keyed_uniform_array(
+    low_words: np.ndarray, high_words: np.ndarray, key: int
+) -> np.ndarray:
+    """Vectorized :func:`_keyed_uniform`, bit-identical to the scalar."""
+    mixed = _splitmix64_array(
+        low_words ^ _splitmix64_array(high_words) ^ np.uint64(key)
+    )
+    return mixed.astype(np.float64) / 2.0**64
 
 
 class SimulatedResponder:
@@ -89,12 +109,48 @@ class SimulatedResponder:
     # ------------------------------------------------------------------
 
     def ping_many(self, values: Iterable[int]) -> List[int]:
-        """The subset of ``values`` answering pings."""
-        return [v for v in values if self.ping(v)]
+        """The subset of ``values`` answering pings.
+
+        Vectorized: membership is one C-level set scan and the keyed
+        hash runs as numpy uint64 array ops, bit-identical to
+        :meth:`ping` — a 1M-candidate probe takes fractions of a second
+        instead of minutes.
+        """
+        values = list(values)
+        if self._wildcards:
+            # Wildcard prefixes need per-value prefix checks; stay on
+            # the scalar path (rare, robustness-testing only).
+            return [v for v in values if self.ping(v)]
+        return self._oracle_many(values, self._ping_key, self._ping_rate)
 
     def rdns_many(self, values: Iterable[int]) -> List[int]:
         """The subset of ``values`` with rDNS records."""
-        return [v for v in values if self.rdns(v)]
+        return self._oracle_many(list(values), self._rdns_key, self._rdns_rate)
+
+    def _oracle_many(
+        self, values: List[int], key: int, rate: float
+    ) -> List[int]:
+        """Population members whose keyed uniform falls under ``rate``."""
+        if not values:
+            return []
+        member_mask = np.fromiter(
+            (v in self._members for v in values),
+            dtype=bool,
+            count=len(values),
+        )
+        members = [values[i] for i in np.flatnonzero(member_mask)]
+        if not members:
+            return []
+        low_words = np.fromiter(
+            (v & 0xFFFFFFFFFFFFFFFF for v in members),
+            dtype=np.uint64,
+            count=len(members),
+        )
+        high_words = np.fromiter(
+            (v >> 64 for v in members), dtype=np.uint64, count=len(members)
+        )
+        responding = _keyed_uniform_array(low_words, high_words, key) < rate
+        return [v for v, hit in zip(members, responding) if hit]
 
     def responding_population(self) -> List[int]:
         """All population members that would answer a ping."""

@@ -83,6 +83,53 @@ class TestLikelihoodWeighting:
             likelihood_weighted_sample(network, 10, rng, {"y": 1})
 
 
+class TestInverseCdfEquivalence:
+    """The vectorized inverse-CDF draw must reproduce the CPD tables."""
+
+    def test_matches_reference_distribution(self):
+        # Three-state child over two parents: empirical conditional
+        # frequencies must match the table, exactly as the seed-era
+        # per-configuration rng.choice implementation did.
+        rng = np.random.default_rng(0)
+        x = CPD("x", (), np.array([0.2, 0.5, 0.3]))
+        table = np.array(
+            [[0.1, 0.6, 0.3], [0.2, 0.3, 0.5], [0.7, 0.1, 0.2]]
+        )
+        y = CPD("y", ("x",), table)
+        network = BayesianNetwork(["x", "y"], [x, y])
+        samples = forward_sample(network, 60000, rng)
+        for parent_state in range(3):
+            rows = samples[samples[:, 0] == parent_state]
+            for child_state in range(3):
+                empirical = (rows[:, 1] == child_state).mean()
+                assert empirical == pytest.approx(
+                    table[child_state, parent_state], abs=0.02
+                )
+
+    def test_zero_probability_states_never_drawn(self):
+        rng = np.random.default_rng(1)
+        x = CPD("x", (), np.array([0.0, 1.0, 0.0]))
+        y = CPD("y", ("x",), np.array([[1.0, 0.0, 1.0], [0.0, 1.0, 0.0]]))
+        network = BayesianNetwork(["x", "y"], [x, y])
+        samples = forward_sample(network, 5000, rng)
+        assert np.all(samples[:, 0] == 1)
+        assert np.all(samples[:, 1] == 1)
+
+    def test_sampling_cdf_layout(self):
+        table = np.array([[0.25, 0.5], [0.75, 0.5]])
+        cpd = CPD("y", ("x",), table)
+        cdf = cpd.sampling_cdf()
+        # Config c occupies [c, c+1] and tops out at exactly c + 1.
+        assert cdf.tolist() == [0.25, 1.0, 1.5, 2.0]
+        assert cdf is cpd.sampling_cdf()  # cached
+
+    def test_large_sample_deterministic_and_in_range(self, coupled):
+        a = forward_sample(coupled, 200_000, np.random.default_rng(9))
+        b = forward_sample(coupled, 200_000, np.random.default_rng(9))
+        assert np.array_equal(a, b)
+        assert a.min() >= 0 and a.max() <= 1
+
+
 class TestAssignments:
     def test_dict_form(self, coupled, rng):
         assignments = sample_assignments(coupled, 5, rng)

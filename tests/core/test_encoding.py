@@ -116,6 +116,99 @@ class TestDecoding:
         encoder = AddressEncoder([mined])
         assert encoder.decode_matrix(np.array([[0]]), rng)[0] == value
 
+    def test_full_64_bit_span_stays_exact(self, rng):
+        # A single range covering the entire 64-bit segment: offsets up
+        # to 2**64 - 1 must neither overflow nor bias.
+        mined = MinedSegment(
+            Segment("A", 1, 16),
+            (SegmentValue("A1", 0, 2**64 - 1, 1.0, "tail"),),
+        )
+        encoder = AddressEncoder([mined])
+        decoded = encoder.decode_to_set(np.zeros((500, 1), dtype=int), rng)
+        values = decoded.to_ints()
+        assert all(0 <= v <= 2**64 - 1 for v in values)
+        # The draw must reach both halves of the span (p ≈ 1 - 2**-499).
+        assert min(values) < 2**63 <= max(values)
+
+    def test_wider_than_64_bit_fallback(self, rng):
+        # 20-nybble segment (only possible with the hard cuts disabled)
+        # exercises the _rand_below Python-int path.
+        span_top = 16**20 - 1
+        mined = MinedSegment(
+            Segment("A", 1, 20),
+            (
+                SegmentValue("A1", 0x123456789ABCDEF01234, 0x123456789ABCDEF01234, 0.5, "outlier"),
+                SegmentValue("A2", 0, span_top, 0.5, "tail"),
+            ),
+        )
+        encoder = AddressEncoder([mined])
+        codes = np.array([[0]] * 3 + [[1]] * 50)
+        decoded = encoder.decode_to_set(codes, rng)
+        values = decoded.to_ints()
+        assert values[:3] == [0x123456789ABCDEF01234] * 3
+        assert all(0 <= v <= span_top for v in values[3:])
+        # And encoding those values lands back on a containing element.
+        recoded = encoder.encode_set(decoded)
+        assert set(recoded[:3, 0].tolist()) == {0}
+
+
+class TestVectorizedEquivalence:
+    """decode_to_set / cached encode must match the seed-era reference."""
+
+    def _random_encoder(self, seed):
+        generator = np.random.default_rng(seed)
+        values = [
+            (0x20010DB8 << 96)
+            | (int(generator.integers(0, 5)) << 64)
+            | int(generator.integers(0, 1 << 20))
+            for _ in range(60)
+        ]
+        s = AddressSet.from_ints(values)
+        segments = segment_addresses(s)
+        return AddressEncoder(mine_segments(s, segments)), s
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(0, 10**6))
+    def test_decode_to_set_matches_decode_matrix(self, seed):
+        # Same rng state → identical draws: the set form and the int
+        # form are bit-for-bit the same addresses.
+        encoder, s = self._random_encoder(seed)
+        codes = encoder.encode_set(s)
+        a = encoder.decode_to_set(codes, np.random.default_rng(seed))
+        b = encoder.decode_matrix(codes, np.random.default_rng(seed))
+        assert a.to_ints() == b
+        assert len(a) == len(s) and a.width == encoder.width
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(0, 10**6))
+    def test_encode_set_matches_code_index_reference(self, seed):
+        # The cached vectorized classifier must agree with the
+        # per-value MinedSegment.code_index reference on every row —
+        # including rows never seen in training (nearest-element rule).
+        encoder, s = self._random_encoder(seed)
+        probe_values = [
+            int(np.random.default_rng(seed + row).integers(0, 1 << 30))
+            | (0x20010DB8 << 96)
+            for row in range(30)
+        ]
+        probe = AddressSet.from_ints(probe_values)
+        codes = encoder.encode_set(probe)
+        for column, mined in enumerate(encoder.mined_segments):
+            seg = mined.segment
+            raw = probe.segment_values(seg.first_nybble, seg.last_nybble)
+            expected = [mined.code_index(int(v)) for v in raw]
+            assert codes[:, column].tolist() == expected
+
+    def test_decode_validate_flag_skips_range_check(self, rng):
+        encoder = make_encoder()
+        bad = np.array([[0, 9]])
+        with pytest.raises(IndexError):
+            encoder.decode_to_set(bad, rng)
+        # validate=False is a contract with trusted callers: garbage in,
+        # garbage out, but no crash for in-range codes.
+        ok = encoder.decode_to_set(np.array([[0, 0]]), rng, validate=False)
+        assert len(ok) == 1
+
 
 class TestRoundTrip:
     @settings(max_examples=20, deadline=None)

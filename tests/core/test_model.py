@@ -137,6 +137,32 @@ class TestGeneration:
         values = model.generate(1000, rng, max_batches=3)
         assert len(values) < 1000
 
+    def test_generate_matches_generate_set(self, fitted):
+        # The int form is a thin wrapper: same rng → same candidates.
+        values = fitted.generate(300, np.random.default_rng(11))
+        rows = fitted.generate_set(300, np.random.default_rng(11))
+        assert rows.to_ints() == values
+
+    def test_generate_set_deterministic(self, fitted):
+        a = fitted.generate_set(500, np.random.default_rng(3))
+        b = fitted.generate_set(500, np.random.default_rng(3))
+        assert a == b
+
+    def test_generate_set_excludes_and_dedups(self, fitted, structured_set, rng):
+        training = structured_set.to_ints()
+        generated = fitted.generate_set(400, rng, exclude=training)
+        values = generated.to_ints()
+        assert len(values) == len(set(values)) == 400
+        assert not (set(values) & set(training))
+        # Vectorized cross-check: no generated row is a training row.
+        assert not structured_set.contains_rows(generated).any()
+
+    def test_generate_exclude_ignores_out_of_range_values(self, fitted, rng):
+        # Negative or too-wide exclude entries can never be generated;
+        # they must be ignored, not crash the vectorized path.
+        values = fitted.generate(50, rng, exclude=[-1, 1 << 200])
+        assert len(values) == 50
+
     def test_samples_follow_training_distribution(self, fitted, structured_set):
         # The /32 prefix is constant in training → all candidates share it.
         rng = np.random.default_rng(5)

@@ -5,7 +5,12 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.ipv6.address import IPv6Address
-from repro.ipv6.sets import AddressSet, split_train_test
+from repro.ipv6.sets import (
+    AddressSet,
+    first_occurrence_positions,
+    pack_rows,
+    split_train_test,
+)
 
 ADDRESS_INTS = st.integers(min_value=0, max_value=(1 << 128) - 1)
 
@@ -31,6 +36,12 @@ class TestConstruction:
     def test_overflow_rejected(self):
         with pytest.raises(ValueError):
             AddressSet.from_ints([1 << 32], width=8, already_truncated=True)
+
+    def test_negative_rejected_with_clear_error(self):
+        with pytest.raises(ValueError, match="negative address value"):
+            AddressSet.from_ints([-1])
+        with pytest.raises(ValueError, match="negative address value"):
+            AddressSet.from_ints([0, -7], width=8, already_truncated=True)
 
     def test_bad_width_rejected(self):
         with pytest.raises(ValueError):
@@ -155,6 +166,83 @@ class TestOperations:
         s = AddressSet.from_ints([1, 2])
         with pytest.raises(ValueError):
             split_train_test(s, 2, rng)
+
+
+class TestVectorizedEquivalence:
+    """The numpy fast paths must match the obvious per-row reference."""
+
+    @settings(max_examples=50)
+    @given(st.lists(ADDRESS_INTS, min_size=1, max_size=30))
+    def test_to_ints_matches_per_row_reference(self, values):
+        s = AddressSet.from_ints(values)
+        reference = []
+        for row in range(len(s)):
+            value = 0
+            for nybble in s.matrix[row]:
+                value = (value << 4) | int(nybble)
+            reference.append(value)
+        assert s.to_ints() == reference
+        assert [s.row_int(r) for r in range(len(s))] == reference
+
+    @settings(max_examples=50)
+    @given(st.lists(ADDRESS_INTS, min_size=1, max_size=30))
+    def test_hex_rows_matches_format_reference(self, values):
+        s = AddressSet.from_ints(values)
+        assert list(s.hex_rows()) == [format(v, "032x") for v in values]
+
+    @settings(max_examples=50)
+    @given(
+        st.lists(st.integers(0, 2**40), min_size=0, max_size=30),
+        st.lists(st.integers(0, 2**40), min_size=0, max_size=30),
+        st.integers(1, 32),
+    )
+    def test_contains_rows_matches_set_reference(self, mine, theirs, width):
+        a = AddressSet.from_ints([v % (1 << (4 * width)) for v in mine],
+                                 width=width, already_truncated=True)
+        b = AddressSet.from_ints([v % (1 << (4 * width)) for v in theirs],
+                                 width=width, already_truncated=True)
+        members = set(a.to_ints())
+        expected = [v in members for v in b.to_ints()]
+        assert a.contains_rows(b).tolist() == expected
+
+    def test_contains_rows_width_mismatch(self):
+        a = AddressSet.from_ints([1], width=8, already_truncated=True)
+        b = AddressSet.from_ints([1], width=16, already_truncated=True)
+        with pytest.raises(ValueError):
+            a.contains_rows(b)
+
+    @settings(max_examples=50)
+    @given(st.lists(ADDRESS_INTS, min_size=1, max_size=30), st.integers(1, 32))
+    def test_pack_rows_preserves_row_identity(self, values, width):
+        s = AddressSet.from_ints(values, width=width)
+        words = pack_rows(s.matrix)
+        assert words.shape == (len(s), (width + 15) // 16)
+        # Packed equality must coincide with row equality.
+        ints = s.to_ints()
+        for i in range(len(s)):
+            for j in range(len(s)):
+                assert (ints[i] == ints[j]) == bool(
+                    np.all(words[i] == words[j])
+                )
+
+    @settings(max_examples=50)
+    @given(
+        st.lists(st.integers(0, 30), min_size=0, max_size=60),
+        st.lists(st.integers(0, 30), min_size=0, max_size=10),
+    )
+    def test_first_occurrence_matches_python_reference(self, stream, exclude):
+        s = AddressSet.from_ints(stream, width=4, already_truncated=True)
+        e = AddressSet.from_ints(exclude, width=4, already_truncated=True)
+        positions = first_occurrence_positions(
+            s.packed_rows(), e.packed_rows()
+        )
+        seen = set(exclude)
+        expected = []
+        for position, value in enumerate(stream):
+            if value not in seen:
+                seen.add(value)
+                expected.append(position)
+        assert positions.tolist() == expected
 
 
 class TestRoundTrips:

@@ -22,6 +22,26 @@ class TestHash:
             u = _keyed_uniform(value, 7)
             assert 0 <= u < 1
 
+    def test_vectorized_hash_bit_identical_to_scalar(self):
+        import numpy as np
+
+        from repro.scan.responder import _keyed_uniform_array
+
+        values = [0, 1, 2**64 - 1, 2**64, 2**127, 2**128 - 1] + [
+            int(x) for x in np.random.default_rng(3).integers(
+                0, 2**63, size=500
+            )
+        ]
+        low = np.fromiter(
+            (v & (2**64 - 1) for v in values), np.uint64, count=len(values)
+        )
+        high = np.fromiter(
+            (v >> 64 for v in values), np.uint64, count=len(values)
+        )
+        vectorized = _keyed_uniform_array(low, high, 12345)
+        scalar = [_keyed_uniform(v, 12345) for v in values]
+        assert vectorized.tolist() == scalar
+
 
 class TestResponder:
     def test_membership(self, population):
@@ -77,6 +97,18 @@ class TestResponder:
     def test_rate_validation(self, population):
         with pytest.raises(ValueError):
             SimulatedResponder(population, ping_rate=1.5)
+
+    def test_batch_oracles_match_scalar(self, population):
+        responder = SimulatedResponder(population, seed=5)
+        query = [(0x20010DB8 << 96) | i for i in range(0, 2000, 3)]
+        assert responder.ping_many(query) == [
+            v for v in query if responder.ping(v)
+        ]
+        assert responder.rdns_many(query) == [
+            v for v in query if responder.rdns(v)
+        ]
+        assert responder.ping_many([]) == []
+        assert responder.rdns_many([]) == []
 
     def test_population_size(self, population):
         assert SimulatedResponder(population).population_size == 1000
