@@ -1,11 +1,12 @@
-"""Generation-throughput benchmark (§5.5 at paper scale).
+"""Generation + scan throughput benchmark (§5.5 at paper scale).
 
 Runs the perf harness at the paper's 1M-candidate scale, writes the
 result to ``BENCH_generation.json`` at the repo root (so the perf
 trajectory is tracked across PRs), and asserts the headline properties:
-a 1M-candidate end-to-end run finishes far inside the CI budget and the
-vectorized stages hold a ≥10× speedup over the checked-in seed
-baseline.
+a 1M-candidate end-to-end run finishes far inside the CI budget, the
+vectorized generation stages hold a ≥10× speedup over the checked-in
+seed baseline, and the scan-side oracle sweep holds a ≥10× speedup over
+its in-harness scalar (per-int ``ping()``) reference.
 """
 
 import json
@@ -23,6 +24,10 @@ END_TO_END_BUDGET_SECONDS = 60.0
 VECTORIZED_STAGES = ("decode", "dedup")
 MIN_STAGE_SPEEDUP = 8.0
 MIN_HEADLINE_SPEEDUP = 10.0
+
+#: The array-native oracle must beat the per-int scalar loop by at
+#: least this factor (measured in-harness, not against the seed file).
+MIN_ORACLE_SPEEDUP = 10.0
 
 
 def test_perf_generation(benchmark, artifact):
@@ -44,6 +49,19 @@ def test_perf_generation(benchmark, artifact):
                 f"{data['addresses_per_second']:>12,.0f} addr/s"
                 f"{suffix}"
             )
+        for stage, data in record.get("scan", {}).items():
+            rate = (
+                data.get("addresses_per_second")
+                or data.get("candidates_per_second")
+                or data.get("probes_per_second")
+                or 0.0
+            )
+            speedup = data.get("speedup_vs_scalar")
+            suffix = f"  ({speedup}x vs scalar)" if speedup else ""
+            lines.append(
+                f"{name:>4} {'scan/' + stage:>26}: "
+                f"{rate:>12,.0f} addr/s in {data['seconds']:.3f}s{suffix}"
+            )
     artifact("perf_generation", "\n".join(lines))
 
     for name, record in result["networks"].items():
@@ -62,3 +80,16 @@ def test_perf_generation(benchmark, artifact):
             max(speedups[stage] for stage in VECTORIZED_STAGES)
             >= MIN_HEADLINE_SPEEDUP
         ), (name, speedups)
+
+        # Scan-side stages: the oracle sweep must clear 10x over the
+        # per-int scalar reference, and the complete 1M-candidate
+        # experiment plus a multi-round adaptive campaign must have run.
+        scan = record["scan"]
+        assert (
+            scan["oracle"]["speedup_vs_scalar"] >= MIN_ORACLE_SPEEDUP
+        ), (name, scan["oracle"])
+        assert scan["scan_experiment"]["n_candidates"] > 0, name
+        assert scan["adaptive_campaign"]["rounds"] >= 2, (
+            name,
+            scan["adaptive_campaign"],
+        )

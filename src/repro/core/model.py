@@ -160,7 +160,7 @@ class AddressModel:
         n: int,
         rng: np.random.Generator,
         evidence: Optional[EvidenceLike] = None,
-        exclude: Optional[Iterable[int]] = None,
+        exclude: Optional[Union[AddressSet, np.ndarray, Iterable[int]]] = None,
         max_batches: int = 64,
     ) -> AddressSet:
         """Generate ``n`` distinct candidate rows as an :class:`AddressSet`.
@@ -172,6 +172,13 @@ class AddressModel:
         scans for addresses "not yet seen") with vectorized whole-row
         set operations.  No stage round-trips through per-row Python.
 
+        ``exclude`` is ideally an :class:`AddressSet` of matching width,
+        which feeds the dedup directly with zero conversion, or a
+        pre-packed ``(n, ceil(width/16))`` uint64 word matrix
+        (:meth:`AddressSet.packed_rows` form — what the campaign
+        maintains incrementally across rounds); an iterable of
+        ``width``-nybble integers is also accepted for compatibility.
+
         Deterministic for a fixed ``rng``; first-occurrence order within
         the stream is preserved.  Gives up after ``max_batches`` rounds
         if the model's support is too small to produce ``n`` distinct
@@ -180,14 +187,31 @@ class AddressModel:
         if n < 0:
             raise ValueError("n must be non-negative")
         width = self.encoder.width
-        # exclude values out of [0, 16^width) can never be generated.
-        bound = 1 << (4 * width)
-        excluded = AddressSet.from_ints(
-            [v for v in (exclude or ()) if 0 <= v < bound],
-            width=width,
-            already_truncated=True,
-        )
-        exclude_words = excluded.packed_rows()
+        words_per_row = (width + 15) // 16
+        if isinstance(exclude, AddressSet):
+            if exclude.width != width:
+                raise ValueError(
+                    f"exclude width {exclude.width} != model width {width}"
+                )
+            exclude_words = exclude.packed_rows()
+        elif isinstance(exclude, np.ndarray) and exclude.ndim == 2:
+            # Pre-packed rows (packed_rows form), trusted as-is.
+            if exclude.shape[1] != words_per_row or exclude.dtype != np.uint64:
+                raise ValueError(
+                    f"packed exclude must be (n, {words_per_row}) uint64, "
+                    f"got {exclude.dtype} shape {exclude.shape}"
+                )
+            exclude_words = exclude
+        else:
+            # Iterable of ints (1-D ndarrays included); values out of
+            # [0, 16^width) can never be generated, so drop them.
+            bound = 1 << (4 * width)
+            exclude_words = AddressSet.from_ints(
+                [int(v) for v in (exclude if exclude is not None else ())
+                 if 0 <= v < bound],
+                width=width,
+                already_truncated=True,
+            ).packed_rows()
         kept_matrix: Optional[np.ndarray] = None
         kept_words: Optional[np.ndarray] = None
         # Marginal yield of distinct non-excluded rows per drawn sample,
@@ -235,14 +259,16 @@ class AddressModel:
                 break
         if kept_matrix is None:
             return AddressSet.empty(width)
-        return AddressSet(kept_matrix[:n])
+        # Hand the packed words over with the rows: campaign-style
+        # callers fold them straight into their running exclude matrix.
+        return AddressSet._with_packed(kept_matrix[:n], kept_words[:n])
 
     def generate(
         self,
         n: int,
         rng: np.random.Generator,
         evidence: Optional[EvidenceLike] = None,
-        exclude: Optional[Iterable[int]] = None,
+        exclude: Optional[Union[AddressSet, np.ndarray, Iterable[int]]] = None,
         max_batches: int = 64,
     ) -> List[int]:
         """Generate ``n`` distinct candidate values (``width``-nybble ints).

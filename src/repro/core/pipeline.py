@@ -151,7 +151,7 @@ class EntropyIP:
         candidate equals a training address.
         """
         rng = default_rng(rng)
-        exclude = set(self.address_set.to_ints()) if exclude_training else None
+        exclude = self.address_set if exclude_training else None
         return self.model.generate_set(n, rng, evidence=evidence, exclude=exclude)
 
     def generate_addresses(

@@ -9,6 +9,14 @@ exactly the fixed-width representation of Fig. 3.
 ``width`` is 32 nybbles for full addresses, but any smaller width is
 supported — the prefix-prediction mode of Section 5.6 runs the identical
 pipeline on 16-nybble (/64) rows.
+
+Whole-row set algebra runs on packed ``uint64`` words (:func:`pack_rows`):
+:func:`first_occurrence_positions` is the generation dedup,
+:meth:`AddressSet.match_rows`/:meth:`~AddressSet.contains_rows` answer
+batch membership through a cached mixed-hash index, and
+:meth:`AddressSet.prefixes64`/:meth:`~AddressSet.value_words` feed the
+scan layer's /64 accounting and keyed-hash oracles — the whole §5.5
+scoring path never materializes a per-row Python integer.
 """
 
 from __future__ import annotations
@@ -29,6 +37,23 @@ for _i, _c in enumerate(_HEX):
 
 # Nybble value → ASCII hex code (the inverse table).
 _NYBBLE_TO_ASCII = np.frombuffer(_HEX.encode("ascii"), dtype=np.uint8).copy()
+
+
+def _mix64(values: np.ndarray) -> np.ndarray:
+    """Vectorized SplitMix64 finalizer (wrapping uint64 arithmetic)."""
+    values = values + np.uint64(0x9E3779B97F4A7C15)
+    values = (values ^ (values >> np.uint64(30))) * np.uint64(0xBF58476D1CE4E5B9)
+    values = (values ^ (values >> np.uint64(27))) * np.uint64(0x94D049BB133111EB)
+    return values ^ (values >> np.uint64(31))
+
+
+def _mix_words(words: np.ndarray) -> np.ndarray:
+    """Fold an ``(n, k)`` packed-row matrix into one well-mixed uint64
+    per row (SplitMix64 chained across the word columns)."""
+    mixed = np.zeros(len(words), dtype=np.uint64)
+    for j in range(words.shape[1]):
+        mixed = _mix64(words[:, j] ^ mixed)
+    return mixed
 
 
 def pack_rows(matrix: np.ndarray) -> np.ndarray:
@@ -92,26 +117,6 @@ def first_occurrence_positions(
     return np.flatnonzero(mask)
 
 
-def row_view(matrix: np.ndarray) -> np.ndarray:
-    """Rows of a contiguous uint8 matrix as one opaque value each.
-
-    The ``(n, width)`` matrix is reinterpreted as ``n`` void-dtype
-    scalars of ``width`` bytes, which numpy compares bytewise — giving
-    O(n log n) whole-row sort/search/unique without per-row Python.
-
-    This is the second of two whole-row encodings on purpose:
-    :func:`pack_rows` words win for sort-heavy dedup (integer lexsort
-    beats memcmp), while a void view wins for asymmetric membership
-    (:meth:`AddressSet.contains_rows` sorts only the small side and
-    binary-searches the large one, which packed word *pairs* cannot do
-    with a single ``searchsorted``).
-    """
-    m = np.ascontiguousarray(matrix)
-    if m.shape[0] == 0:
-        return np.empty(0, dtype=np.dtype((np.void, max(m.shape[1], 1))))
-    return m.reshape(m.shape[0], -1).view(np.dtype((np.void, m.shape[1]))).ravel()
-
-
 class AddressSet:
     """An immutable set (with multiplicity) of fixed-width nybble rows.
 
@@ -122,7 +127,7 @@ class AddressSet:
     [1, 2]
     """
 
-    __slots__ = ("_matrix",)
+    __slots__ = ("_matrix", "_member_index", "_packed", "__weakref__")
 
     def __init__(self, matrix: np.ndarray):
         matrix = np.ascontiguousarray(matrix, dtype=np.uint8)
@@ -132,6 +137,8 @@ class AddressSet:
             raise ValueError("nybble matrix contains values > 0xf")
         self._matrix = matrix
         self._matrix.setflags(write=False)
+        self._member_index = None
+        self._packed: Optional[np.ndarray] = None
 
     # ------------------------------------------------------------------
     # constructors
@@ -188,6 +195,34 @@ class AddressSet:
         return cls(nybbles[:, :width])
 
     @classmethod
+    def from_words(cls, words: np.ndarray, width: int) -> "AddressSet":
+        """Build from an array of ``width``-nybble integer values.
+
+        The vectorized inverse of :meth:`segment_values` over whole rows:
+        each ``uint64`` word becomes one row of ``width`` nybbles via
+        shift/mask, with no per-value Python.  ``width`` must be at most
+        16 nybbles (values must fit in one 64-bit word) — wider rows
+        come from :meth:`from_ints` or a nybble matrix directly.
+        """
+        if not 1 <= width <= 16:
+            raise ValueError(f"from_words needs 1 <= width <= 16, got {width}")
+        words = np.asarray(words)
+        if words.dtype.kind not in "ui":
+            raise ValueError(f"expected integer words, got dtype {words.dtype}")
+        if words.dtype.kind == "i" and words.size and words.min() < 0:
+            raise ValueError("negative address values are not representable")
+        words = np.ascontiguousarray(words, dtype=np.uint64)
+        if words.ndim != 1:
+            raise ValueError(f"expected 1-D word array, got {words.ndim}-D")
+        if width < 16 and words.size and words.max() >> np.uint64(4 * width):
+            raise ValueError("word does not fit in the requested width")
+        nybbles = np.empty((len(words), width), dtype=np.uint8)
+        for i in range(width):
+            shift = np.uint64(4 * (width - 1 - i))
+            nybbles[:, i] = (words >> shift) & np.uint64(0xF)
+        return cls(nybbles)
+
+    @classmethod
     def from_strings(
         cls, texts: Iterable[str], width: int = NYBBLES_PER_ADDRESS
     ) -> "AddressSet":
@@ -198,6 +233,21 @@ class AddressSet:
     def empty(cls, width: int = NYBBLES_PER_ADDRESS) -> "AddressSet":
         """An empty set of the given width."""
         return cls(np.empty((0, width), dtype=np.uint8))
+
+    @classmethod
+    def _with_packed(cls, matrix: np.ndarray, packed: np.ndarray) -> "AddressSet":
+        """Internal: build a set whose packed words are already known.
+
+        Lets producers that computed :func:`pack_rows` anyway (the
+        generation dedup) hand the words over, so downstream membership
+        and exclusion never re-pack.  ``packed`` must be the exact
+        :func:`pack_rows` image of ``matrix`` — not validated.
+        """
+        built = cls(matrix)
+        packed = np.ascontiguousarray(packed, dtype=np.uint64)
+        packed.setflags(write=False)
+        built._packed = packed
+        return built
 
     # ------------------------------------------------------------------
     # basic accessors
@@ -247,6 +297,42 @@ class AddressSet:
             result[row] = value
         return result
 
+    def value_words(self) -> "tuple[np.ndarray, np.ndarray]":
+        """Each row's integer value as ``(low, high)`` uint64 word arrays.
+
+        ``value == (high << 64) | low`` for the ``width``-nybble row
+        integer (the :meth:`row_int` value, not the left-aligned packed
+        word) — the split the keyed-hash oracles consume.  For widths of
+        at most 16 nybbles ``high`` is all zeros.  The common widths (32
+        full / ≤16 prefix mode) read straight off the packed words.
+        """
+        if self.width == 32:
+            packed = self.packed_rows()
+            return packed[:, 1].copy(), packed[:, 0].copy()
+        if self.width <= 16:
+            # The single packed word is the value left-aligned to 16
+            # nybbles; shift it back down.
+            shift = np.uint64(4 * (16 - self.width))
+            low = self.packed_rows()[:, 0] >> shift
+            return low, np.zeros(len(self), dtype=np.uint64)
+        high = self.segment_values(1, self.width - 16)
+        low = self.segment_values(self.width - 15, self.width)
+        return low, high
+
+    def prefixes64(self) -> np.ndarray:
+        """Sorted distinct /64 identifiers covering the rows, as uint64.
+
+        The /64 network identifier of a ``width``-nybble row is its top
+        16 nybbles (``value >> 4*(width-16)``); computing it is one
+        column slice + pack, never per-row Python.  Width-16 sets are
+        already /64 identifiers and return their own distinct values —
+        which is what keeps "new /64s" accounting width-consistent
+        between full-address (§5.5) and prefix-mode (§5.6) runs.
+        """
+        if self.width < 16:
+            raise ValueError("rows narrower than 64 bits have no /64 prefix")
+        return np.unique(pack_rows(self._matrix[:, :16]).ravel())
+
     def _hex_text(self) -> str:
         """All rows as one concatenated hex string (vectorized)."""
         return _NYBBLE_TO_ASCII[self._matrix].tobytes().decode("ascii")
@@ -291,26 +377,127 @@ class AddressSet:
         return AddressSet(np.unique(self._matrix, axis=0))
 
     def packed_rows(self) -> np.ndarray:
-        """Rows packed into ``(n, ceil(width/16))`` uint64 words."""
-        return pack_rows(self._matrix)
+        """Rows packed into ``(n, ceil(width/16))`` uint64 words.
+
+        Cached (the matrix is immutable), so a candidate batch screened
+        by several oracles pays the packing exactly once.
+        """
+        if self._packed is None:
+            self._packed = pack_rows(self._matrix)
+            self._packed.setflags(write=False)
+        return self._packed
+
+    def _membership_index(self):
+        """Cached lookup structure behind :meth:`match_rows`.
+
+        Distinct rows are folded into one well-mixed uint64 each
+        (:func:`_mix_words` over the packed words) and sorted, so a
+        batch lookup is a single uint64 ``searchsorted`` followed by a
+        packed-word equality check — exact, because every candidate
+        match is verified against the actual row words.  If the fold
+        ever collides on two *distinct* rows (probability ~n²/2⁶⁵, and
+        a collision would make ``searchsorted`` miss one of them), the
+        index falls back to *rank composition*: each word column ranked
+        against its sorted uniques, the (rank0, rank1) pair packed into
+        one uint64 and sorted — three ``searchsorted`` passes, still no
+        per-row Python.  The matrix is immutable, so the index is built
+        exactly once however many batches are screened against it.
+        """
+        if self._member_index is None:
+            words = self.packed_rows()
+            distinct = first_occurrence_positions(words)
+            uwords = words[distinct]
+            mixed = _mix_words(uwords)
+            order = np.argsort(mixed, kind="stable")
+            mixed_sorted = mixed[order]
+            if np.any(mixed_sorted[1:] == mixed_sorted[:-1]):
+                self._member_index = self._build_rank_index(uwords, distinct)
+            else:
+                self._member_index = (
+                    "mixed",
+                    mixed_sorted,
+                    uwords[order],
+                    distinct[order],
+                )
+        return self._member_index
+
+    @staticmethod
+    def _build_rank_index(uwords: np.ndarray, distinct: np.ndarray):
+        """Collision-proof fallback index (see :meth:`_membership_index`)."""
+        if uwords.shape[1] == 1:
+            order = np.argsort(uwords[:, 0], kind="stable")
+            return ("ranks", uwords[order, 0], None, None, distinct[order])
+        unique0, rank0 = np.unique(uwords[:, 0], return_inverse=True)
+        unique1, rank1 = np.unique(uwords[:, 1], return_inverse=True)
+        pairs = (rank0.astype(np.uint64) << np.uint64(32)) | rank1.astype(
+            np.uint64
+        )
+        order = np.argsort(pairs, kind="stable")
+        return ("ranks", pairs[order], unique0, unique1, distinct[order])
+
+    def match_rows(self, other: "AddressSet") -> np.ndarray:
+        """For each row of ``other``, the position of an equal row in
+        self, or -1 when absent.
+
+        The workhorse of oracle scoring: the returned positions let a
+        caller gather per-member precomputed values (e.g. responder
+        verdicts) in one indexed load.  Runs as one or three uint64
+        ``searchsorted`` passes over the cached
+        :meth:`_membership_index` — no per-address Python.  When self
+        has duplicate rows, the first occurrence's position is reported.
+        """
+        if other.width != self.width:
+            raise ValueError("cannot test membership across different widths")
+        out = np.full(len(other), -1, dtype=np.intp)
+        if len(self) == 0 or len(other) == 0:
+            return out
+        index = self._membership_index()
+        query = other.packed_rows()
+        if index[0] == "mixed":
+            _, mixed_sorted, words_sorted, rows_sorted = index
+            qmix = _mix_words(query)
+            at = np.minimum(
+                np.searchsorted(mixed_sorted, qmix), len(mixed_sorted) - 1
+            )
+            hit = mixed_sorted[at] == qmix
+            # Verify words: a non-member may collide with a member's fold.
+            hit &= (words_sorted[at] == query).all(axis=1)
+        else:
+            _, keys_sorted, unique0, unique1, rows_sorted = index
+            if query.shape[1] == 1:
+                qkeys = query[:, 0]
+                hit = np.ones(len(query), dtype=bool)
+            else:
+                word0, word1 = query[:, 0], query[:, 1]
+                at0 = np.minimum(
+                    np.searchsorted(unique0, word0), len(unique0) - 1
+                )
+                at1 = np.minimum(
+                    np.searchsorted(unique1, word1), len(unique1) - 1
+                )
+                hit = (unique0[at0] == word0) & (unique1[at1] == word1)
+                qkeys = (at0.astype(np.uint64) << np.uint64(32)) | at1.astype(
+                    np.uint64
+                )
+            at = np.minimum(np.searchsorted(keys_sorted, qkeys), len(keys_sorted) - 1)
+            hit &= keys_sorted[at] == qkeys
+        out[hit] = rows_sorted[at[hit]]
+        return out
 
     def contains_rows(self, other: "AddressSet") -> np.ndarray:
         """Vectorized membership: which rows of ``other`` appear in self.
 
-        Returns a boolean array of ``len(other)``.  Both sets are viewed
-        as void-dtype row scalars and matched with one sort + one
-        ``searchsorted``, so screening candidates against a training set
-        is O((n + m) log n) numpy instead of per-address Python.
+        Returns a boolean array of ``len(other)``; thin wrapper over
+        :meth:`match_rows`, so screening a candidate batch against a
+        fixed set (training, population) is O((n + m) log n) uint64
+        ``searchsorted`` work — no per-address Python, no bytewise
+        comparisons.
         """
         if other.width != self.width:
             raise ValueError("cannot test membership across different widths")
         if len(self) == 0 or len(other) == 0:
             return np.zeros(len(other), dtype=bool)
-        mine = np.sort(row_view(self._matrix))
-        theirs = row_view(other._matrix)
-        positions = np.searchsorted(mine, theirs)
-        positions = np.minimum(positions, len(mine) - 1)
-        return mine[positions] == theirs
+        return self.match_rows(other) >= 0
 
     def sample(self, k: int, rng: np.random.Generator) -> "AddressSet":
         """Uniform sample of ``k`` rows without replacement."""

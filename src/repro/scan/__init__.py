@@ -3,7 +3,15 @@
 Implements the evaluation methodology of Sections 5.5-5.6: train a model
 on 1K known addresses, generate candidate targets, and score them with a
 held-out test set, a (simulated) ICMPv6 ping oracle, and a (simulated)
-reverse-DNS oracle; count the active /64 prefixes never seen in training.
+reverse-DNS oracle; count the active /64 prefixes never seen in training
+(always against prefix sets of the training set's own nybble width, so
+§5.6 prefix-mode runs account correctly).
+
+The whole subsystem is array-native at 1M-candidate scale: candidates
+flow as :class:`~repro.ipv6.sets.AddressSet` row batches from the BN
+sampler through oracle scoring (boolean masks over vectorized
+membership + keyed hashes) to uint64 /64-prefix set algebra.  The
+int-list/int-set entry points remain as thin compatibility wrappers.
 """
 
 from repro.scan.evaluate import (
@@ -14,7 +22,13 @@ from repro.scan.evaluate import (
     training_size_sweep,
 )
 from repro.scan.campaign import CampaignResult, ScanCampaign, run_campaign
-from repro.scan.generator import generate_candidates
+from repro.scan.generator import (
+    generate_candidate_set,
+    generate_candidates,
+    new_prefixes64,
+    prefixes64,
+    prefixes64_array,
+)
 from repro.scan.rdns import SimulatedRdnsZone, rdns_harvest, walk_rdns_tree
 from repro.scan.responder import SimulatedResponder
 
@@ -26,7 +40,11 @@ __all__ = [
     "ScanResult",
     "SimulatedResponder",
     "SimulatedRdnsZone",
+    "generate_candidate_set",
     "generate_candidates",
+    "new_prefixes64",
+    "prefixes64",
+    "prefixes64_array",
     "rdns_harvest",
     "walk_rdns_tree",
     "prefix_prediction_experiment",

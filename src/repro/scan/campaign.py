@@ -8,18 +8,26 @@ curve, and optionally *adapts*: addresses confirmed in earlier rounds
 are folded back into the training set and the model is refitted — the
 bootstrap loop the paper sketches ("use them to bootstrap active
 address discovery").
+
+The loop is array-native: probed addresses accumulate as a packed
+uint64 word matrix fed straight into the model's vectorized exclusion
+(no million-entry Python set rebuilt — and nothing re-packed — per
+round), hits come from the responder's boolean
+:meth:`~repro.scan.responder.SimulatedResponder.ping_mask`, and the
+"new /64s" accounting subtracts uint64 prefix arrays of the width the
+training set actually has — so prefix-mode (width-16, §5.6) campaigns
+report correct counts.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Set
+from typing import List, Sequence, Set
 
 import numpy as np
 
 from repro.core.pipeline import EntropyIP
 from repro.ipv6.sets import AddressSet
-from repro.scan.generator import prefixes64
 from repro.scan.responder import SimulatedResponder
 
 
@@ -85,28 +93,34 @@ class ScanCampaign:
     def run(self) -> CampaignResult:
         """Probe until the budget is exhausted; return the full record."""
         train = self._training
-        analysis = EntropyIP.fit(train)
-        known: Set[int] = set(train.to_ints())
-        probed: Set[int] = set(known)
-        train_64s = prefixes64(train.to_ints(), train.width)
+        analysis = EntropyIP.fit(train, width=train.width)
+        # Everything ever probed (training counts as probed), kept as a
+        # running packed-word matrix fed straight into generate_set's
+        # whole-row exclusion: no Python set is ever materialized and
+        # nothing is re-packed, however many rounds run.
+        probed_words = train.packed_rows()
+        train_64s = train.prefixes64()
+        discovered = AddressSet.empty(train.width)
+        new_64s = np.empty(0, dtype=np.uint64)
 
         rounds: List[CampaignRound] = []
-        discovered: List[int] = []
-        discovered_64s: Set[int] = set()
         spent = 0
         index = 0
         while spent < self._budget:
             want = min(self._round_size, self._budget - spent)
-            candidates = analysis.model.generate(
-                want, self._rng, exclude=probed
+            candidates = analysis.model.generate_set(
+                want, self._rng, exclude=probed_words
             )
-            if not candidates:
+            if len(candidates) == 0:
                 break  # model support exhausted
-            probed.update(candidates)
-            hits = self._responder.ping_many(candidates)
+            probed_words = np.vstack([probed_words, candidates.packed_rows()])
+            hit_mask = self._responder.ping_mask(candidates)
+            hits = candidates.take(np.flatnonzero(hit_mask))
             spent += len(candidates)
-            discovered.extend(hits)
-            discovered_64s = prefixes64(discovered, 32) - train_64s
+            discovered = discovered.concat(hits)
+            new_64s = np.setdiff1d(
+                discovered.prefixes64(), train_64s, assume_unique=True
+            )
             index += 1
             rounds.append(
                 CampaignRound(
@@ -115,22 +129,31 @@ class ScanCampaign:
                     hits=len(hits),
                     cumulative_probes=spent,
                     cumulative_hits=len(discovered),
-                    new_prefixes64=len(discovered_64s),
+                    new_prefixes64=len(new_64s),
                 )
             )
-            if self._adaptive and hits:
+            short_round = len(candidates) < want
+            if short_round and not (self._adaptive and len(hits)):
+                # The model could not fill the round even after its own
+                # oversampling retries: its support is exhausted.  The
+                # partial round is already charged to ``spent`` and
+                # recorded above; asking again would re-run the same
+                # saturated generation loop for zero (or a trickle of)
+                # new candidates per round, so terminate.  An *adaptive*
+                # round with hits continues instead — folding the hits
+                # back in refits the model and can expand its support.
+                break
+            if self._adaptive and len(hits):
                 # Fold confirmed addresses back in and refit — the
                 # bootstrap loop.  Known-but-probed addresses stay
-                # excluded from future candidate batches via `probed`.
-                train = train.concat(
-                    AddressSet.from_ints(hits, width=train.width,
-                                         already_truncated=True)
-                )
-                analysis = EntropyIP.fit(train)
+                # excluded from future candidate batches via
+                # ``probed_words``.
+                train = train.concat(hits)
+                analysis = EntropyIP.fit(train, width=train.width)
         return CampaignResult(
             rounds=tuple(rounds),
-            discovered=tuple(discovered),
-            discovered_prefixes64=discovered_64s,
+            discovered=tuple(discovered.to_ints()),
+            discovered_prefixes64=set(map(int, new_64s)),
         )
 
 

@@ -14,19 +14,25 @@ The methodology follows Section 5.5 exactly:
 Section 5.6's prefix prediction runs the same pipeline constrained to
 the top 64 bits (``width=16``), scoring candidates against the /64s
 active on the training day and across the whole week.
+
+The scoring pipeline is array-native end to end: candidates stay an
+:class:`~repro.ipv6.sets.AddressSet` from generation through oracle
+masks (:meth:`~repro.scan.responder.SimulatedResponder.ping_mask` et
+al.) to the /64 accounting, which derives the prefix width from the
+training set itself — so §5.6 prefix-mode (width 16) runs compare
+matching-width prefix sets rather than shifting one side by 64 bits.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Sequence, Set
+from typing import Dict, Optional, Sequence
 
 import numpy as np
 
 from repro.core.pipeline import EntropyIP
 from repro.datasets.networks import SyntheticNetwork
 from repro.ipv6.sets import AddressSet, split_train_test
-from repro.scan.generator import prefixes64
 from repro.scan.responder import SimulatedResponder
 
 
@@ -109,27 +115,29 @@ def scan_experiment(
     dataset = population.sample(min(dataset_size, len(population)), rng)
     train, test = split_train_test(dataset, train_size, rng)
 
-    analysis = EntropyIP.fit(train)
-    candidates = analysis.model.generate(
-        n_candidates, rng, exclude=set(train.to_ints())
+    analysis = EntropyIP.fit(train, width=train.width)
+    candidates = analysis.model.generate_set(n_candidates, rng, exclude=train)
+
+    test_mask = test.contains_rows(candidates)
+    ping_mask = responder.ping_mask(candidates)
+    rdns_mask = responder.rdns_mask(candidates)
+    overall_mask = test_mask | ping_mask | rdns_mask
+    overall = candidates.take(np.flatnonzero(overall_mask))
+
+    # "New /64s": overall hits in prefixes unseen in training.  Both
+    # prefix sets derive from the same nybble width (train.width), so
+    # prefix-mode (width 16) runs subtract like against like.
+    new_64s = np.setdiff1d(
+        overall.prefixes64(), train.prefixes64(), assume_unique=True
     )
-
-    test_members: Set[int] = set(test.to_ints())
-    found_test = [c for c in candidates if c in test_members]
-    found_ping = responder.ping_many(candidates)
-    found_rdns = responder.rdns_many(candidates)
-    overall = set(found_test) | set(found_ping) | set(found_rdns)
-
-    train_prefixes = prefixes64(train.to_ints(), train.width)
-    new_64s = {p for p in prefixes64(list(overall), 32)} - train_prefixes
 
     return ScanResult(
         dataset=network.name,
         train_size=train_size,
         n_candidates=len(candidates),
-        found_test_set=len(found_test),
-        found_ping=len(found_ping),
-        found_rdns=len(found_rdns),
+        found_test_set=int(test_mask.sum()),
+        found_ping=int(ping_mask.sum()),
+        found_rdns=int(rdns_mask.sum()),
         found_overall=len(overall),
         new_prefixes64=len(new_64s),
     )
@@ -147,29 +155,27 @@ def prefix_prediction_experiment(
     The population's /64 set plays the role of the prefixes active at
     least once in the week; a random ``day_fraction`` of them is "seen
     on March 17th".  Training samples 1K day-1 prefixes; candidates are
-    scored against the day-1 set and the full week set.
+    scored against the day-1 set and the full week set.  Scoring is
+    pure uint64 array membership (the /64 identifier of a width-16 row
+    is the row itself).
     """
     population = network.population(seed)
-    week_prefixes = sorted(prefixes64(population.to_ints(), population.width))
+    week_prefixes = population.prefixes64()  # sorted distinct uint64
     rng = np.random.default_rng(seed + 29)
     day_count = max(train_size + 1, int(len(week_prefixes) * day_fraction))
     day_count = min(day_count, len(week_prefixes))
     day_rows = rng.choice(len(week_prefixes), size=day_count, replace=False)
-    day_prefixes = [week_prefixes[i] for i in day_rows]
+    day_prefixes = week_prefixes[day_rows]
 
     train_rows = rng.choice(len(day_prefixes), size=train_size, replace=False)
-    train_values = [day_prefixes[i] for i in train_rows]
-    train = AddressSet.from_ints(train_values, width=16, already_truncated=True)
+    train = AddressSet.from_words(day_prefixes[train_rows], width=16)
 
     analysis = EntropyIP.fit(train, width=16)
-    candidates = analysis.model.generate(
-        n_candidates, rng, exclude=set(train_values)
-    )
+    candidates = analysis.model.generate_set(n_candidates, rng, exclude=train)
 
-    day_set = set(day_prefixes)
-    week_set = set(week_prefixes)
-    predicted_day = sum(1 for c in candidates if c in day_set)
-    predicted_week = sum(1 for c in candidates if c in week_set)
+    candidate_words = candidates.prefixes64()  # distinct width-16 rows
+    predicted_day = int(np.isin(candidate_words, day_prefixes).sum())
+    predicted_week = int(np.isin(candidate_words, week_prefixes).sum())
 
     return PrefixPredictionResult(
         dataset=network.name,
@@ -196,7 +202,7 @@ def training_size_sweep(
     for train_size in train_sizes:
         if prefix_mode:
             population = network.population(seed)
-            available = len(prefixes64(population.to_ints(), population.width))
+            available = len(population.prefixes64())
         else:
             available = len(network.population(seed))
         if train_size * 2 >= available:

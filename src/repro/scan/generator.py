@@ -1,21 +1,47 @@
 """Candidate-target generation helpers (Section 5.5).
 
-Thin conveniences over :meth:`repro.core.model.AddressModel.generate`:
+Thin conveniences over :meth:`repro.core.model.AddressModel.generate_set`:
 the heavy lifting (BN sampling, range materialization, dedup, training
 exclusion) lives in the model; this module packages the workflow the
 evaluation uses — "train on 1K, generate 1M" — and utilities to turn
 candidates into /64 prefixes.
+
+The array-native forms (:func:`generate_candidate_set`,
+:func:`prefixes64_array`) are the hot paths; the int-list/int-set
+functions remain as thin wrappers for interactive use and for external
+callers that want Python sets.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Set
+from typing import List, Optional, Sequence, Set, Union
 
 import numpy as np
 
 from repro.core.pipeline import EntropyIP
 from repro.ipv6.sets import AddressSet
 from repro.stats.rng import default_rng
+
+
+def generate_candidate_set(
+    analysis: EntropyIP,
+    n: int,
+    rng: Optional[np.random.Generator] = None,
+    evidence=None,
+) -> AddressSet:
+    """Generate ``n`` distinct candidates (training excluded) as rows.
+
+    The array-native form: candidates stay an :class:`AddressSet` from
+    BN sampling through dedup, with the training set excluded by
+    whole-row set algebra — no Python integers anywhere.
+    """
+    rng = default_rng(rng)
+    return analysis.model.generate_set(
+        n,
+        rng,
+        evidence=evidence,
+        exclude=analysis.address_set,
+    )
 
 
 def generate_candidates(
@@ -27,23 +53,61 @@ def generate_candidates(
     """Generate ``n`` distinct candidates not seen in training.
 
     Returns width-nybble integers (128-bit values for full addresses,
-    64-bit for prefix mode).
+    64-bit for prefix mode).  Thin wrapper over
+    :func:`generate_candidate_set`.
     """
-    rng = default_rng(rng)
-    return analysis.model.generate(
-        n,
-        rng,
-        evidence=evidence,
-        exclude=set(analysis.address_set.to_ints()),
-    )
+    return generate_candidate_set(analysis, n, rng, evidence).to_ints()
 
 
-def prefixes64(values: List[int], width_nybbles: int = 32) -> Set[int]:
+def prefixes64_array(
+    values: Union[AddressSet, np.ndarray, Sequence[int]],
+    width_nybbles: Optional[int] = None,
+) -> np.ndarray:
+    """Sorted distinct /64 identifiers covering ``values``, as uint64.
+
+    The vectorized core of the "New /64s" accounting: an
+    :class:`AddressSet` is one column-slice + pack
+    (:meth:`AddressSet.prefixes64`); a uint64 array of
+    ``width_nybbles``-wide integers is one shift + unique.  Plain
+    Python ints are packed through :meth:`AddressSet.from_ints` first.
+    """
+    if isinstance(values, AddressSet):
+        if width_nybbles is not None and width_nybbles != values.width:
+            raise ValueError(
+                f"width {width_nybbles} != address-set width {values.width}"
+            )
+        return values.prefixes64()
+    width = 32 if width_nybbles is None else width_nybbles
+    if width < 16:
+        raise ValueError("values narrower than 64 bits have no /64 prefix")
+    if (
+        isinstance(values, np.ndarray)
+        and values.dtype.kind in "ui"
+        and width <= 16
+    ):
+        # width <= 16 fits a uint64 word; shift down to the /64 id.
+        if values.dtype.kind == "i" and values.size and values.min() < 0:
+            raise ValueError("negative address values have no /64 prefix")
+        words = values.astype(np.uint64, copy=False)
+        return np.unique(words >> np.uint64(4 * (width - 16)))
+    return AddressSet.from_ints(
+        [int(v) for v in values], width=width, already_truncated=True
+    ).prefixes64()
+
+
+def prefixes64(
+    values: Union[AddressSet, Sequence[int]], width_nybbles: int = 32
+) -> Set[int]:
     """The set of /64 network identifiers covering ``values``.
 
     ``width_nybbles`` tells how wide the integers are (32 for full
-    addresses, 16 when already /64 identifiers).
+    addresses, 16 when already /64 identifiers).  Compatibility wrapper
+    returning a Python set; bulk callers should prefer
+    :func:`prefixes64_array`.
     """
+    if isinstance(values, AddressSet):
+        # The set knows its own width; ``width_nybbles`` is ignored.
+        return set(map(int, values.prefixes64()))
     if width_nybbles < 16:
         raise ValueError("values narrower than 64 bits have no /64 prefix")
     shift = 4 * (width_nybbles - 16)
@@ -51,9 +115,9 @@ def prefixes64(values: List[int], width_nybbles: int = 32) -> Set[int]:
 
 
 def new_prefixes64(
-    candidates: List[int],
+    candidates: Union[AddressSet, List[int]],
     training: AddressSet,
 ) -> Set[int]:
     """/64 prefixes among ``candidates`` that never appear in training."""
-    seen = prefixes64(training.to_ints(), training.width)
+    seen = prefixes64(training)
     return prefixes64(candidates, training.width) - seen

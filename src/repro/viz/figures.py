@@ -133,7 +133,6 @@ def render_segment_histogram(
         segment.first_nybble, segment.last_nybble
     )
     distinct, counts = np.unique(values, return_counts=True)
-    max_count = counts.max() if len(counts) else 1
     lines = [
         f"histogram of segment {segment.label} "
         f"({len(distinct)} distinct values, annotations = mined codes)"

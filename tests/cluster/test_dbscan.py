@@ -67,7 +67,7 @@ class TestBasics:
 
     def test_all_noise(self):
         labels = dbscan_labels([[0], [10], [20]], eps=1, min_samples=2)
-        assert all(l == NOISE for l in labels)
+        assert all(label == NOISE for label in labels)
 
     def test_border_point_joins_cluster(self):
         # 0,0.5,1 core chain; 1.4 is a border point (1 neighbor weight 2).

@@ -1,9 +1,8 @@
 """Tests for the conditional probability browser (Fig. 1 b/c semantics)."""
 
-import numpy as np
 import pytest
 
-from repro.core.browser import ConditionalBrowser, _split_code
+from repro.core.browser import _split_code
 from repro.core.pipeline import EntropyIP
 
 

@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.bayes.structure import StructureConfig
 from repro.core.encoding import AddressEncoder
 from repro.core.mining import mine_segments
 from repro.core.model import AddressModel
@@ -168,3 +167,50 @@ class TestGeneration:
         rng = np.random.default_rng(5)
         generated = fitted.generate_set(100, rng)
         assert set(generated.segment_values(1, 8)) == {0x20010DB8}
+
+
+class TestAddressSetExclude:
+    """`exclude` accepts an AddressSet and matches the int-iterable path."""
+
+    def test_address_set_exclude_equals_int_exclude(self, fitted, structured_set):
+        by_set = fitted.generate_set(
+            200, np.random.default_rng(4), exclude=structured_set
+        )
+        by_ints = fitted.generate_set(
+            200,
+            np.random.default_rng(4),
+            exclude=set(structured_set.to_ints()),
+        )
+        assert by_set == by_ints
+        assert not structured_set.contains_rows(by_set).any()
+
+    def test_width_mismatch_rejected(self, fitted):
+        narrow = AddressSet.from_ints([1], width=16, already_truncated=True)
+        with pytest.raises(ValueError):
+            fitted.generate_set(10, np.random.default_rng(0), exclude=narrow)
+
+    def test_plain_integer_ndarray_exclude(self, fitted, structured_set):
+        # 1-D integer ndarrays take the iterable path, like any ints.
+        values = structured_set.to_ints()
+        flat = np.array([v & 0xFFFF for v in values[:200]], dtype=np.int64)
+        result = fitted.generate_set(50, np.random.default_rng(9), exclude=flat)
+        reference = fitted.generate_set(
+            50, np.random.default_rng(9), exclude=[int(v) for v in flat]
+        )
+        assert result == reference
+
+    def test_packed_exclude_matches_address_set_exclude(self, fitted, structured_set):
+        packed = structured_set.packed_rows()
+        by_packed = fitted.generate_set(
+            100, np.random.default_rng(5), exclude=packed
+        )
+        by_set = fitted.generate_set(
+            100, np.random.default_rng(5), exclude=structured_set
+        )
+        assert by_packed == by_set
+        with pytest.raises(ValueError):
+            fitted.generate_set(
+                10,
+                np.random.default_rng(0),
+                exclude=np.zeros((3, 5), dtype=np.uint64),
+            )

@@ -36,7 +36,7 @@ class TestFullReport:
         report = full_report(analysis, n_candidates=3,
                              rng=np.random.default_rng(0))
         generated = report.split("## Generated candidate targets")[1]
-        addresses = [l for l in generated.splitlines() if l.startswith("- ")]
+        addresses = [line for line in generated.splitlines() if line.startswith("- ")]
         assert len(addresses) == 3
 
     def test_sections_can_be_disabled(self, analysis):

@@ -1,6 +1,5 @@
 """Tests for §4.2 segmentation (thresholds + hysteresis + hard cuts)."""
 
-import numpy as np
 import pytest
 
 from repro.core.segmentation import (

@@ -7,7 +7,6 @@ import pytest
 
 from repro.core.pipeline import EntropyIP
 from repro.core.temporal import (
-    SnapshotDelta,
     compare_snapshots,
     detect_changes,
     jensen_shannon,

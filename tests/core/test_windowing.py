@@ -7,10 +7,8 @@ import pytest
 
 from repro.core.windowing import (
     MEASURES,
-    WindowCell,
     windowing_analysis,
 )
-from repro.ipv6.sets import AddressSet
 from repro.stats.entropy import entropy_of_counts
 
 

@@ -13,9 +13,7 @@ from repro.datasets.networks import (
     build_c1,
     build_c5,
     build_network,
-    build_r1,
     build_r4,
-    build_s3,
     client_networks,
     router_networks,
     server_networks,

@@ -1,6 +1,5 @@
 """Tests for the address-scheme DSL."""
 
-import numpy as np
 import pytest
 
 from repro.datasets import parts

@@ -260,3 +260,137 @@ class TestRoundTrips:
         bottom = s.segment_values(17, 32)
         for original, high, low in zip(values, top, bottom):
             assert (int(high) << 64) | int(low) == original
+
+
+class TestArrayPrimitives:
+    """The packed-word primitives the array-native scan layer rides on."""
+
+    def test_from_words_round_trip(self):
+        values = [0x20010DB8_0001_0000 | i for i in range(100)]
+        words = np.array(values, dtype=np.uint64)
+        built = AddressSet.from_words(words, width=16)
+        assert built.to_ints() == values
+        assert built == AddressSet.from_ints(
+            values, width=16, already_truncated=True
+        )
+
+    def test_from_words_narrow_widths(self):
+        built = AddressSet.from_words(np.array([0x1234, 0xF], dtype=np.uint64), 4)
+        assert built.to_ints() == [0x1234, 0xF]
+        assert built.width == 4
+
+    def test_from_words_validation(self):
+        with pytest.raises(ValueError):
+            AddressSet.from_words(np.array([0x12345], dtype=np.uint64), 4)
+        with pytest.raises(ValueError):
+            AddressSet.from_words(np.array([1], dtype=np.uint64), 17)
+        with pytest.raises(ValueError):
+            AddressSet.from_words(np.array([[1]], dtype=np.uint64), 4)
+
+    def test_from_words_empty(self):
+        built = AddressSet.from_words(np.array([], dtype=np.uint64), 16)
+        assert len(built) == 0 and built.width == 16
+
+    @pytest.mark.parametrize("width", [32, 20, 16, 8])
+    def test_value_words_match_row_ints(self, width):
+        generator = np.random.default_rng(7)
+        values = [
+            int(v) >> (4 * (32 - width))
+            for v in generator.integers(0, 1 << 63, size=50)
+        ] + [0, (1 << (4 * width)) - 1]
+        rows = AddressSet.from_ints(values, width=width, already_truncated=True)
+        low, high = rows.value_words()
+        rebuilt = [(int(hi) << 64) | int(lo) for lo, hi in zip(low, high)]
+        assert rebuilt == [rows.row_int(i) for i in range(len(rows))]
+
+    @pytest.mark.parametrize("width", [32, 24, 16])
+    def test_prefixes64_matches_scalar_reference(self, width):
+        generator = np.random.default_rng(13)
+        values = [
+            int(v) >> (4 * (32 - width))
+            for v in generator.integers(0, 1 << 62, size=200)
+        ]
+        rows = AddressSet.from_ints(values, width=width, already_truncated=True)
+        shift = 4 * (width - 16)
+        reference = sorted({v >> shift for v in values})
+        assert [int(p) for p in rows.prefixes64()] == reference
+
+    def test_prefixes64_rejects_narrow(self):
+        with pytest.raises(ValueError):
+            AddressSet.from_ints([1], width=8, already_truncated=True).prefixes64()
+
+    def test_prefixes64_empty(self):
+        assert AddressSet.empty(32).prefixes64().tolist() == []
+
+    def test_contains_rows_repeated_queries_use_cache(self):
+        base = AddressSet.from_ints([10, 20, 30])
+        hits = base.contains_rows(AddressSet.from_ints([20, 99]))
+        assert hits.tolist() == [True, False]
+        # Second query hits the cached sorted view; results unchanged.
+        again = base.contains_rows(AddressSet.from_ints([10, 30, 40]))
+        assert again.tolist() == [True, True, False]
+
+
+class TestMatchRows:
+    def test_positions_point_at_equal_rows(self):
+        base = AddressSet.from_ints([(7 << 64) | i for i in (5, 9, 2, 5)])
+        query = AddressSet.from_ints(
+            [(7 << 64) | 2, (7 << 64) | 5, 123, (7 << 64) | 9]
+        )
+        positions = base.match_rows(query)
+        assert positions[2] == -1
+        for q, p in zip(range(len(query)), positions):
+            if p >= 0:
+                assert base.matrix[p].tolist() == query.matrix[q].tolist()
+        # Duplicate rows in base: the first occurrence wins.
+        assert positions[1] == 0
+
+    def test_empty_sides(self):
+        base = AddressSet.from_ints([1, 2])
+        assert base.match_rows(AddressSet.empty(32)).tolist() == []
+        assert AddressSet.empty(32).match_rows(base).tolist() == [-1, -1]
+
+    def test_rank_fallback_index_equivalent(self):
+        generator = np.random.default_rng(21)
+        values = [int(v) for v in generator.integers(0, 1 << 60, size=300)]
+        base = AddressSet.from_ints(values + values[:50])
+        query = AddressSet.from_ints(
+            values[::3] + [int(v) for v in generator.integers(0, 1 << 60, size=100)]
+        )
+        fast = base.match_rows(query)
+        # Force the collision-proof rank-composition index and re-match.
+        from repro.ipv6.sets import first_occurrence_positions, pack_rows
+
+        words = pack_rows(base.matrix)
+        distinct = first_occurrence_positions(words)
+        forced = AddressSet(base.matrix)
+        forced._member_index = AddressSet._build_rank_index(
+            words[distinct], distinct
+        )
+        assert forced.match_rows(query).tolist() == fast.tolist()
+        assert forced.contains_rows(query).tolist() == (fast >= 0).tolist()
+
+    def test_rank_fallback_single_word(self):
+        values = [3, 9, 27, 81, 9]
+        base = AddressSet.from_ints(values, width=16, already_truncated=True)
+        query = AddressSet.from_ints(
+            [9, 4, 81], width=16, already_truncated=True
+        )
+        from repro.ipv6.sets import first_occurrence_positions, pack_rows
+
+        words = pack_rows(base.matrix)
+        distinct = first_occurrence_positions(words)
+        forced = AddressSet(base.matrix)
+        forced._member_index = AddressSet._build_rank_index(
+            words[distinct], distinct
+        )
+        assert forced.match_rows(query).tolist() == [1, -1, 3]
+
+    def test_from_words_rejects_negative_and_float(self):
+        with pytest.raises(ValueError):
+            AddressSet.from_words(np.array([-1], dtype=np.int64), 16)
+        with pytest.raises(ValueError):
+            AddressSet.from_words(np.array([1.5]), 16)
+        # Signed but non-negative is fine.
+        built = AddressSet.from_words(np.array([7, 9], dtype=np.int64), 4)
+        assert built.to_ints() == [7, 9]

@@ -109,3 +109,107 @@ class TestCampaign:
                               round_size=1000)
         assert isinstance(result, CampaignResult)
         assert all(0 <= r.hit_rate <= 1 for r in result.rounds)
+
+
+def _prefix_population(n=3000):
+    """A width-16 (/64-identifier) population with learnable structure."""
+    rng = np.random.default_rng(5)
+    subnets = rng.integers(0, 8, size=n)
+    hosts = rng.integers(0, 1 << 12, size=n)
+    values = [
+        0x20010DB8_0000_0000 | (int(s) << 16) | int(h)
+        for s, h in zip(subnets, hosts)
+    ]
+    from repro.ipv6.sets import AddressSet
+
+    return AddressSet.from_ints(values, width=16, already_truncated=True)
+
+
+class TestWidth16Campaign:
+    """Regression: "New /64s" must use the training set's width.
+
+    The seed code hardcoded ``prefixes64(discovered, 32)`` against a
+    ``train.width`` prefix set, so width-16 (§5.6 prefix mode) campaigns
+    shifted one side by 64 bits and reported garbage.
+    """
+
+    def test_new_prefixes_are_the_discovered_values(self):
+        population = _prefix_population()
+        responder = SimulatedResponder(population, ping_rate=1.0, seed=0)
+        training = population.sample(400, np.random.default_rng(2))
+        result = run_campaign(training, responder, probe_budget=3000,
+                              round_size=1000, seed=1)
+        assert result.total_hits > 0
+        # Width 16: a row *is* its /64 identifier, and candidates never
+        # repeat training, so every discovered prefix is new.
+        assert result.discovered_prefixes64 == set(result.discovered)
+        assert result.rounds[-1].new_prefixes64 == len(set(result.discovered))
+
+    def test_per_round_counts_monotone(self):
+        population = _prefix_population()
+        responder = SimulatedResponder(population, ping_rate=1.0, seed=0)
+        training = population.sample(400, np.random.default_rng(2))
+        result = run_campaign(training, responder, probe_budget=4000,
+                              round_size=1000, seed=3)
+        counts = [r.new_prefixes64 for r in result.rounds]
+        assert counts == sorted(counts)
+
+
+class TestExhaustedSupportAccounting:
+    """A partial round must charge ``spent`` once and terminate."""
+
+    def _tiny_support(self):
+        from repro.ipv6.sets import AddressSet
+
+        # Only the subnet nybble varies: model support is 32 rows.
+        values = [(0x20010DB8 << 96) | (s << 64) | 1 for s in range(32)]
+        population = AddressSet.from_ints(values)
+        training = population.sample(16, np.random.default_rng(0))
+        return population, training
+
+    def test_partial_round_charged_and_terminates(self):
+        population, training = self._tiny_support()
+        responder = SimulatedResponder(population, ping_rate=1.0)
+        result = run_campaign(training, responder, probe_budget=10_000,
+                              round_size=5_000)
+        # Support (≤ 32 rows) cannot fill one 5K round: the campaign
+        # must stop after that partial round, not loop on a dry model.
+        assert len(result.rounds) == 1
+        only = result.rounds[0]
+        assert 0 < only.probes_sent < 5_000
+        assert result.total_probes == only.probes_sent == only.cumulative_probes
+        assert result.total_probes < 10_000
+        # Every probe was a distinct, never-before-probed candidate.
+        assert len(set(result.discovered)) == len(result.discovered)
+        assert only.hits == len(result.discovered) <= only.probes_sent
+
+    def test_adaptive_partial_round_terminates(self):
+        population, training = self._tiny_support()
+        responder = SimulatedResponder(population, ping_rate=1.0)
+        result = run_campaign(training, responder, probe_budget=10_000,
+                              round_size=5_000, adaptive=True)
+        assert len(result.rounds) == 1
+        assert result.total_probes < 10_000
+
+
+class TestDeterminism:
+    def test_same_seed_same_curve(self, setup):
+        _, responder, training = setup
+        runs = [
+            run_campaign(training, responder, probe_budget=6000,
+                         round_size=2000, seed=7)
+            for _ in range(2)
+        ]
+        assert runs[0].discovery_curve() == runs[1].discovery_curve()
+        assert runs[0].discovered == runs[1].discovered
+        assert runs[0].discovered_prefixes64 == runs[1].discovered_prefixes64
+
+    def test_same_seed_same_curve_adaptive(self, setup):
+        _, responder, training = setup
+        runs = [
+            run_campaign(training, responder, probe_budget=6000,
+                         round_size=2000, adaptive=True, seed=8)
+            for _ in range(2)
+        ]
+        assert runs[0].discovery_curve() == runs[1].discovery_curve()
+        assert runs[0].discovered == runs[1].discovered

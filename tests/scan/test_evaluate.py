@@ -4,8 +4,6 @@ import pytest
 
 from repro.datasets.networks import build_c5, build_r1, build_s3
 from repro.scan.evaluate import (
-    PrefixPredictionResult,
-    ScanResult,
     prefix_prediction_experiment,
     scan_experiment,
     training_size_sweep,
@@ -108,3 +106,51 @@ class TestTrainingSizeSweep:
             seed=0,
         )
         assert set(results) == {200}
+
+
+class _PrefixNetwork:
+    """A width-16 (/64-identifier) 'network' for prefix-mode scans."""
+
+    name = "P16"
+    ping_rate = 1.0
+    rdns_rate = 0.5
+
+    def population(self, seed=0):
+        import numpy as np
+
+        from repro.ipv6.sets import AddressSet
+
+        rng = np.random.default_rng(seed + 40)
+        subnets = rng.integers(0, 8, size=4000)
+        hosts = rng.integers(0, 1 << 12, size=4000)
+        values = [
+            0x20010DB8_0000_0000 | (int(s) << 16) | int(h)
+            for s, h in zip(subnets, hosts)
+        ]
+        return AddressSet.from_ints(values, width=16, already_truncated=True)
+
+
+class TestWidth16ScanExperiment:
+    """Regression for the hardcoded ``prefixes64(..., 32)`` width bug.
+
+    In prefix mode a candidate row *is* its /64 identifier and training
+    is excluded from candidates, so every overall hit sits in a new /64:
+    ``new_prefixes64`` must equal ``found_overall``.  The seed code
+    shifted the overall side by 64 bits before subtracting, collapsing
+    the count to garbage (and in fact could not run width-16 at all —
+    it fitted the model at the default width 32).
+    """
+
+    def test_new_prefixes_equal_overall(self):
+        result = scan_experiment(
+            _PrefixNetwork(), train_size=300, n_candidates=2000, seed=0
+        )
+        assert result.found_overall > 0
+        assert result.new_prefixes64 == result.found_overall
+
+    def test_deterministic(self):
+        a = scan_experiment(_PrefixNetwork(), train_size=200,
+                            n_candidates=500, seed=3)
+        b = scan_experiment(_PrefixNetwork(), train_size=200,
+                            n_candidates=500, seed=3)
+        assert a == b

@@ -38,3 +38,66 @@ class TestGenerateCandidates:
         )
         assert len(candidates) == 100
         assert not set(candidates) & set(structured_set.to_ints())
+
+
+class TestPrefixes64Array:
+    def test_matches_set_reference_for_address_set(self):
+        values = [(0xAAAA << 112) | i for i in range(40)] + [(0xBBBB << 112) | 3]
+        rows = AddressSet.from_ints(values)
+        from repro.scan.generator import prefixes64_array
+
+        array = prefixes64_array(rows)
+        assert set(map(int, array)) == prefixes64(values, 32)
+        assert array.tolist() == sorted(array.tolist())  # sorted unique
+
+    def test_matches_set_reference_for_uint64_array(self):
+        from repro.scan.generator import prefixes64_array
+
+        words = np.array([0x20010DB8_0000_0001, 0x20010DB8_0001_0002],
+                         dtype=np.uint64)
+        assert set(map(int, prefixes64_array(words, 16))) == prefixes64(
+            [int(w) for w in words], 16
+        )
+
+    def test_plain_int_lists(self):
+        from repro.scan.generator import prefixes64_array
+
+        values = [(5 << 64) | 1, (5 << 64) | 2, (6 << 64) | 9]
+        assert [int(p) for p in prefixes64_array(values, 32)] == [5, 6]
+
+    def test_width_mismatch_rejected(self):
+        from repro.scan.generator import prefixes64_array
+
+        with pytest.raises(ValueError):
+            prefixes64_array(AddressSet.from_ints([1]), 16)
+        with pytest.raises(ValueError):
+            prefixes64_array([1], 8)
+
+    def test_empty(self):
+        from repro.scan.generator import prefixes64_array
+
+        assert prefixes64_array(AddressSet.empty(32)).tolist() == []
+        assert prefixes64([], 32) == set()
+
+    def test_numpy_integer_inputs(self):
+        from repro.scan.generator import prefixes64_array
+
+        words = np.array([0x20010DB8_0000_0001, 0x20010DB8_0001_0002])
+        assert words.dtype == np.int64
+        assert [int(p) for p in prefixes64_array(words, 16)] == sorted(
+            int(w) for w in words
+        )
+        with pytest.raises(ValueError):
+            prefixes64_array(np.array([-1]), 16)
+
+
+class TestGenerateCandidateSet:
+    def test_matches_int_wrapper(self, structured_set):
+        from repro.scan.generator import generate_candidate_set
+
+        analysis = EntropyIP.fit(structured_set)
+        rows = generate_candidate_set(analysis, 100, np.random.default_rng(0))
+        ints = generate_candidates(analysis, 100, np.random.default_rng(0))
+        assert rows.to_ints() == ints
+        assert len(rows) == 100
+        assert not structured_set.contains_rows(rows).any()

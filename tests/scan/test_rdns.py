@@ -102,8 +102,7 @@ class TestWalker:
 class TestAgainstNetworkModels:
     def test_walks_a_router_network(self, r1_small):
         population = r1_small.population(0)
-        root = Prefix("2a01:c80::/28")
-        # R1 sits inside 2a01:0c80::/32; use the covering /28.
+        # R1 sits inside 2a01:0c80::/32; walk that covering prefix.
         result = rdns_harvest(
             population, Prefix(IPv6Address(0x2A010C80 << 96), 32),
             coverage=0.3, seed=2, max_queries=2_000_000,

@@ -112,3 +112,132 @@ class TestResponder:
 
     def test_population_size(self, population):
         assert SimulatedResponder(population).population_size == 1000
+
+
+class TestVectorizedOracle:
+    """The mask interfaces must be bit-identical to the scalar oracle."""
+
+    def _mixed_query(self, population):
+        # Interleave members, near-misses, and far non-members.
+        return AddressSet.from_ints(
+            [(0x20010DB8 << 96) | i for i in range(0, 2000, 3)]
+            + [12345, (0xFFFF << 112) | 7]
+        )
+
+    def test_masks_match_scalar(self, population):
+        responder = SimulatedResponder(population, ping_rate=0.6,
+                                       rdns_rate=0.4, seed=9)
+        query = self._mixed_query(population)
+        values = query.to_ints()
+        assert responder.member_mask(query).tolist() == [
+            responder.is_member(v) for v in values
+        ]
+        assert responder.ping_mask(query).tolist() == [
+            responder.ping(v) for v in values
+        ]
+        assert responder.rdns_mask(query).tolist() == [
+            responder.rdns(v) for v in values
+        ]
+
+    def test_wildcard_masks_match_scalar(self, population):
+        responder = SimulatedResponder(
+            population,
+            ping_rate=0.5,
+            seed=2,
+            wildcard_ping_prefixes=[Prefix("2001:db8::/32")],
+        )
+        # Members (hash hit and miss), non-members inside the wildcard
+        # prefix, and non-members outside any prefix.
+        values = (
+            [(0x20010DB8 << 96) | i for i in range(0, 600, 7)]
+            + [(0x20010DB8 << 96) | (0xDEAD << 32) | i for i in range(5)]
+            + [(0x3FFF << 112) | 9, 1]
+        )
+        scalar = [v for v in values if responder.ping(v)]
+        assert responder.ping_many(values) == scalar
+        # The wildcard prefix must actually fire for some non-member.
+        ghost = (0x20010DB8 << 96) | (0xDEAD << 32)
+        assert not responder.is_member(ghost) and ghost in scalar
+
+    def test_width16_population_matches_scalar(self):
+        prefixes = AddressSet.from_ints(
+            [0x20010DB8_0000_0000 | i for i in range(500)],
+            width=16,
+            already_truncated=True,
+        )
+        responder = SimulatedResponder(prefixes, ping_rate=0.5,
+                                       rdns_rate=0.5, seed=11)
+        values = [0x20010DB8_0000_0000 | i for i in range(0, 1000, 3)]
+        assert responder.ping_many(values) == [
+            v for v in values if responder.ping(v)
+        ]
+        assert responder.rdns_many(values) == [
+            v for v in values if responder.rdns(v)
+        ]
+
+    def test_empty_candidates(self, population):
+        responder = SimulatedResponder(population)
+        empty = AddressSet.empty(32)
+        assert responder.member_mask(empty).tolist() == []
+        assert responder.ping_mask(empty).tolist() == []
+        assert responder.rdns_mask(empty).tolist() == []
+
+    def test_width_mismatch_rejected(self, population):
+        responder = SimulatedResponder(population)
+        with pytest.raises(ValueError):
+            responder.member_mask(
+                AddressSet.from_ints([1], width=16, already_truncated=True)
+            )
+
+    def test_responding_population_matches_scalar(self, population):
+        responder = SimulatedResponder(population, ping_rate=0.5, seed=6)
+        members = sorted(set(population.to_ints()))
+        assert responder.responding_population() == [
+            v for v in members if responder.ping(v)
+        ]
+
+    def test_population_with_duplicates_deduped(self):
+        rows = AddressSet.from_ints([5, 5, 6])
+        responder = SimulatedResponder(rows, ping_rate=1.0)
+        assert responder.population_size == 2
+        assert responder.responding_population() == [5, 6]
+
+    def test_match_cache_shared_across_oracles(self, population):
+        responder = SimulatedResponder(population, ping_rate=0.5,
+                                       rdns_rate=0.5, seed=3)
+        query = self._mixed_query(population)
+        ping = responder.ping_mask(query)
+        rdns = responder.rdns_mask(query)  # second mask reuses the match
+        member = responder.member_mask(query)
+        values = query.to_ints()
+        assert ping.tolist() == [responder.ping(v) for v in values]
+        assert rdns.tolist() == [responder.rdns(v) for v in values]
+        assert member.tolist() == [responder.is_member(v) for v in values]
+        # A different batch object invalidates the cache.
+        other = AddressSet.from_ints(values[:5])
+        assert responder.member_mask(other).tolist() == member.tolist()[:5]
+
+    def test_out_of_width_values_score_as_non_members(self):
+        prefixes = AddressSet.from_ints(
+            [0x20010DB8_0000_0000 | i for i in range(50)],
+            width=16,
+            already_truncated=True,
+        )
+        responder = SimulatedResponder(prefixes, ping_rate=1.0, rdns_rate=1.0)
+        member = 0x20010DB8_0000_0007
+        query = [member, 1 << 64, 1 << 100]  # too wide for width 16
+        assert responder.ping_many(query) == [member]
+        assert responder.rdns_many(query) == [member]
+        assert not responder.ping(1 << 64)
+
+    def test_match_cache_does_not_pin_batches(self, population):
+        import gc
+        import weakref
+
+        responder = SimulatedResponder(population)
+        batch = AddressSet.from_ints([(0x20010DB8 << 96) | 3])
+        responder.ping_mask(batch)
+        ref = weakref.ref(batch)
+        del batch
+        gc.collect()
+        assert ref() is None  # the responder must not keep it alive
