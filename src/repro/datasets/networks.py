@@ -39,6 +39,7 @@ paper-vs-measured numbers.
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
@@ -64,8 +65,16 @@ class SyntheticNetwork:
     rdns_rate: float = 0.3
 
     def population(self, seed: int = 0) -> AddressSet:
-        """The network's deployed addresses (deterministic per seed)."""
-        rng = np.random.default_rng((hash(self.name) & 0xFFFF) ^ seed)
+        """The network's deployed addresses (deterministic per seed).
+
+        The per-network key must come from a *stable* string hash:
+        built-in ``hash()`` on strings is randomized per process
+        (PYTHONHASHSEED), which silently made every population — and
+        thus every downstream scan count — differ between runs of the
+        "same" seed.
+        """
+        name_key = zlib.crc32(self.name.encode("utf-8")) & 0xFFFF
+        rng = np.random.default_rng(name_key ^ seed)
         return self.scheme.generate_set(self.population_size, rng, unique=True)
 
     def sample(self, n: int, seed: int = 0) -> AddressSet:

@@ -5,6 +5,12 @@ dataset — these are the properties the substitution argument of
 DESIGN.md §2 rests on.
 """
 
+import hashlib
+import os
+import pathlib
+import subprocess
+import sys
+
 import numpy as np
 import pytest
 
@@ -21,6 +27,10 @@ from repro.datasets.networks import (
 from repro.ipv6.eui64 import decode_ipv4_decimal_words
 from repro.ipv6.prefix import count_prefixes
 from repro.stats.entropy import nybble_entropies
+
+#: src/ directory to expose on subprocess PYTHONPATH (the repro package
+#: is importable here via PYTHONPATH=src, not an installed distribution).
+_SRC_DIR = pathlib.Path(__file__).resolve().parents[2] / "src"
 
 
 class TestRegistry:
@@ -43,6 +53,41 @@ class TestRegistry:
 
     def test_population_varies_with_seed(self, jp_small):
         assert jp_small.population(seed=0) != jp_small.population(seed=1)
+
+    def test_population_stable_across_processes(self, jp_small):
+        """Same seed ⇒ bit-identical population in a fresh interpreter.
+
+        Regression: the per-network RNG key once came from built-in
+        ``hash(name)``, which PYTHONHASHSEED randomizes per process, so
+        every "seed=0" run drew a different population (and therefore
+        different Table 4 counts).  Spawn subprocesses with two
+        different hash seeds and compare digests.
+        """
+        expected = hashlib.sha256(
+            jp_small.population(0).matrix.tobytes()
+        ).hexdigest()
+        script = (
+            "import hashlib, sys;"
+            "from repro.datasets.networks import build_japanese_telco;"
+            f"net = build_japanese_telco(population_size={jp_small.population_size});"
+            "sys.stdout.write("
+            "hashlib.sha256(net.population(0).matrix.tobytes()).hexdigest())"
+        )
+        for hash_seed in ("17", "42"):
+            env = dict(os.environ, PYTHONHASHSEED=hash_seed)
+            env["PYTHONPATH"] = os.pathsep.join(
+                [str(_SRC_DIR)] + env.get("PYTHONPATH", "").split(os.pathsep)
+            ).rstrip(os.pathsep)
+            result = subprocess.run(
+                [sys.executable, "-c", script],
+                env=env,
+                capture_output=True,
+                text=True,
+            )
+            assert result.returncode == 0, result.stderr
+            assert result.stdout.strip() == expected, (
+                f"PYTHONHASHSEED={hash_seed}"
+            )
 
     def test_sample_is_subset(self, jp_small):
         population = set(jp_small.population(0).to_ints())
