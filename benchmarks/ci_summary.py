@@ -1,0 +1,183 @@
+"""Render BENCH_generation.json as a CI step-summary markdown table.
+
+Usage::
+
+    python benchmarks/ci_summary.py            # markdown to stdout
+    python benchmarks/ci_summary.py --check    # exit 2 on gate regression
+
+The perf CI job appends the markdown output to ``$GITHUB_STEP_SUMMARY``
+(stage, addr/s, speedup vs the frozen seed baseline) and then runs
+``--check``, which re-applies the same speedup gates the benchmark
+suite asserts (see ``test_perf_generation``) so a regression turns the
+(non-blocking) job red without anyone reading logs.  Gates only apply
+to full-scale records; a reduced smoke record renders the table and
+passes the check trivially.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+from typing import Dict, List
+
+from perf_generation import BASELINE_PATH, DEFAULT_OUT, SMOKE_THRESHOLD
+
+#: Mirrors of the asserted gates in test_perf_generation (kept in one
+#: import chain so they cannot drift).
+from test_perf_generation import (
+    MIN_BUCKET_SPEEDUP,
+    MIN_END_TO_END_HEADLINE,
+    MIN_END_TO_END_SPEEDUP,
+    MIN_HEADLINE_SPEEDUP,
+    MIN_ORACLE_SPEEDUP,
+    MIN_STAGE_SPEEDUP,
+    VECTORIZED_STAGES,
+)
+
+FULL_SCALE_THRESHOLD = SMOKE_THRESHOLD
+
+
+def _rate(stage: Dict) -> float:
+    return (
+        stage.get("addresses_per_second")
+        or stage.get("candidates_per_second")
+        or stage.get("probes_per_second")
+        or 0.0
+    )
+
+
+def render_markdown(record: Dict) -> str:
+    """The step-summary table for one benchmark record."""
+    n = record.get("n_candidates", 0)
+    lines = [
+        "## Generation perf benchmark",
+        "",
+        f"`n_candidates={n:,}`, train={record.get('train_size', '?')}, "
+        f"baseline `{record.get('baseline', {}).get('path', 'none')}`",
+        "",
+        "| network | stage | addr/s | speedup vs seed |",
+        "|---|---|---:|---:|",
+    ]
+    for name, network in record.get("networks", {}).items():
+        speedups = network.get("speedup_vs_seed", {})
+        for stage_name, stage in network.get("stages", {}).items():
+            speedup = speedups.get(stage_name)
+            lines.append(
+                f"| {name} | {stage_name} | {_rate(stage):,.0f} | "
+                f"{f'{speedup}x' if speedup else '—'} |"
+            )
+        for stage_name, stage in network.get("scan", {}).items():
+            speedup = stage.get("speedup_vs_searchsorted") or stage.get(
+                "speedup_vs_scalar"
+            )
+            reference = (
+                "vs searchsorted"
+                if "speedup_vs_searchsorted" in stage
+                else "vs scalar"
+            )
+            lines.append(
+                f"| {name} | scan/{stage_name} | {_rate(stage):,.0f} | "
+                f"{f'{speedup}x {reference}' if speedup else '—'} |"
+            )
+        workers = network.get("workers")
+        if workers:
+            verdict = "✅" if workers.get("bit_identical") else "❌"
+            lines.append(
+                f"| {name} | workers=4 engine | "
+                f"{workers.get('addresses_per_second', 0):,.0f} | "
+                f"bit-identical {verdict} |"
+            )
+    return "\n".join(lines)
+
+
+def check_gates(record: Dict) -> List[str]:
+    """Re-apply the asserted speedup gates; return failure messages."""
+    failures: List[str] = []
+    networks = record.get("networks", {})
+    if not networks:
+        return ["record has no networks"]
+    for name, network in networks.items():
+        workers = network.get("workers")
+        if workers is not None and not workers.get("bit_identical"):
+            failures.append(f"{name}: workers=4 output not bit-identical")
+    if record.get("n_candidates", 0) < FULL_SCALE_THRESHOLD:
+        return failures  # smoke record: no throughput gates
+    headline_end_to_end = 0.0
+    for name, network in networks.items():
+        speedups = network.get("speedup_vs_seed", {})
+        for stage in VECTORIZED_STAGES:
+            if speedups.get(stage, 0.0) < MIN_STAGE_SPEEDUP:
+                failures.append(
+                    f"{name}: {stage} {speedups.get(stage)}x < "
+                    f"{MIN_STAGE_SPEEDUP}x floor"
+                )
+        if (
+            max((speedups.get(stage, 0.0) for stage in VECTORIZED_STAGES))
+            < MIN_HEADLINE_SPEEDUP
+        ):
+            failures.append(
+                f"{name}: no vectorized stage at {MIN_HEADLINE_SPEEDUP}x"
+            )
+        end_to_end = speedups.get("end_to_end", 0.0)
+        headline_end_to_end = max(headline_end_to_end, end_to_end)
+        if end_to_end < MIN_END_TO_END_SPEEDUP:
+            failures.append(
+                f"{name}: end_to_end {end_to_end}x < "
+                f"{MIN_END_TO_END_SPEEDUP}x floor"
+            )
+        scan = network.get("scan", {})
+        oracle = scan.get("oracle", {}).get("speedup_vs_scalar", 0.0)
+        if oracle < MIN_ORACLE_SPEEDUP:
+            failures.append(
+                f"{name}: oracle sweep {oracle}x < {MIN_ORACLE_SPEEDUP}x"
+            )
+        bucket = scan.get("candidate_oracle", {}).get(
+            "speedup_vs_searchsorted", 0.0
+        )
+        if bucket < MIN_BUCKET_SPEEDUP:
+            failures.append(
+                f"{name}: candidate oracle {bucket}x < "
+                f"{MIN_BUCKET_SPEEDUP}x vs searchsorted"
+            )
+    if headline_end_to_end < MIN_END_TO_END_HEADLINE:
+        failures.append(
+            f"no network reached the {MIN_END_TO_END_HEADLINE}x "
+            f"end-to-end headline (best {headline_end_to_end}x)"
+        )
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--record", type=pathlib.Path, default=DEFAULT_OUT,
+        help="benchmark record to summarize (default: BENCH_generation.json)",
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="exit 2 when any asserted speedup gate regressed",
+    )
+    args = parser.parse_args(argv)
+    if not args.record.exists():
+        print(f"benchmark record not found: {args.record}", file=sys.stderr)
+        return 1
+    record = json.loads(args.record.read_text())
+    if args.check:
+        failures = check_gates(record)
+        if failures:
+            print("perf gates regressed:", file=sys.stderr)
+            for failure in failures:
+                print(f"  - {failure}", file=sys.stderr)
+            return 2
+        print("perf gates OK")
+        return 0
+    print(render_markdown(record))
+    if not BASELINE_PATH.exists():
+        print("\n> ⚠️ seed baseline missing; speedups unavailable")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -17,10 +17,19 @@ present and falls back to the seed-era paths (``decode_matrix`` +
 ``from_ints``, Python int/set membership, ``ping_many``) otherwise.
 Running it on the seed tree produced the checked-in baseline
 ``benchmarks/BENCH_baseline_seed.json``; subsequent runs report
-per-stage speedups against that baseline.  The scan-side oracle stage
-has no seed baseline entry, so it carries its own in-harness scalar
-reference (the per-int ``ping()`` loop, timed on a subsample) and
-reports ``speedup_vs_scalar``.
+per-stage speedups against that baseline.  Stages without a seed
+baseline entry carry in-harness references measured on the same data:
+the per-int ``ping()`` loop for the population sweep
+(``speedup_vs_scalar``) and the PR-2 sorted searchsorted index for the
+candidate-batch membership oracle (``speedup_vs_searchsorted``).  A
+``workers`` stage runs the sharded engine at ``workers=1`` and
+``workers=4`` on the same seed and records whether the outputs were
+bit-identical.
+
+``REPRO_BENCH_CANDIDATES`` scales *every* stage — generation and the
+scan side (oracle sweep subsample, scalar reference, candidate batch,
+scan experiment, campaign budget) — so CI smoke passes run the whole
+pipeline small.
 
 Usage::
 
@@ -32,6 +41,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import pathlib
 import time
 from typing import Dict, List, Optional
@@ -41,6 +51,9 @@ import numpy as np
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 BASELINE_PATH = pathlib.Path(__file__).resolve().parent / "BENCH_baseline_seed.json"
 DEFAULT_OUT = REPO_ROOT / "BENCH_generation.json"
+
+#: Paper scale, overridable for reduced-size CI smoke passes.
+DEFAULT_N_CANDIDATES = int(os.environ.get("REPRO_BENCH_CANDIDATES", 1_000_000))
 
 TRAIN_SIZE = 1000
 NETWORKS = ["S1", "R1"]
@@ -115,11 +128,51 @@ def measure_network(
     )
     record("end_to_end", elapsed, len(generated))
 
-    return {
+    result = {
         "generated": len(generated),
         "stages": stages,
         "scan": measure_scan_stages(
             network, generated, n_candidates, train_size=train_size, seed=seed
+        ),
+    }
+
+    # --- stage 5: sharded engine (workers=1 vs workers=4) -----------
+    # Only present when the model supports the workers parameter; the
+    # two runs share a seed, so bit-identical output is the engine's
+    # determinism contract made measurable.
+    workers_stage = measure_workers_stage(model, train, n_candidates, seed)
+    if workers_stage is not None:
+        result["workers"] = workers_stage
+    return result
+
+
+def measure_workers_stage(
+    model, train, n_candidates: int, seed: int
+) -> Optional[Dict]:
+    """Time sharded generation and verify worker-count invariance."""
+    import inspect
+
+    if "workers" not in inspect.signature(model.generate_set).parameters:
+        return None
+    runs = {}
+    for workers in (1, 4):
+        rng = np.random.default_rng(seed + 3)
+        out, elapsed = _timed(
+            lambda: model.generate_set(
+                n_candidates, rng, exclude=train, workers=workers
+            )
+        )
+        runs[workers] = (out, elapsed)
+    serial, parallel = runs[1][0], runs[4][0]
+    return {
+        "workers_1_seconds": round(runs[1][1], 6),
+        "workers_4_seconds": round(runs[4][1], 6),
+        "addresses_per_second": (
+            round(len(parallel) / runs[4][1], 1) if runs[4][1] else 0.0
+        ),
+        "bit_identical": bool(
+            serial.matrix.shape == parallel.matrix.shape
+            and np.array_equal(serial.matrix, parallel.matrix)
         ),
     }
 
@@ -129,9 +182,61 @@ def measure_network(
 #: timed on a slice and reported as extrapolated addr/s).
 SCALAR_ORACLE_SAMPLE = 50_000
 
+#: Below this candidate count the run is a smoke pass: fixed costs
+#: (training-set size, observed dataset) shrink along with the batch.
+SMOKE_THRESHOLD = 200_000
+
 #: Probe budget / round size of the adaptive-campaign stage.
 CAMPAIGN_BUDGET = 150_000
 CAMPAIGN_ROUND = 50_000
+
+
+def measure_membership_oracle(
+    responder, candidates, bucket_record: Dict
+) -> Optional[Dict]:
+    """Time the PR-2 searchsorted membership path on the same batch.
+
+    Both indexes are pre-built outside the timed region, so the two
+    numbers compare pure random-probe cost: the bucket table's ~1-2
+    gathers per row against the sorted index's log2(n) binary-search
+    steps.  Attaches ``speedup_vs_searchsorted`` to the bucket stage.
+    Returns None on trees without the sorted reference path.
+    """
+    population = getattr(responder, "_population", None)
+    if population is None or not hasattr(population, "_match_rows_sorted"):
+        return None
+    population.match_rows(candidates)  # warm the bucket index
+    population._match_rows_sorted(candidates)  # warm the sorted index
+    # Best of three per path: a single warm probe is ~100 ms at paper
+    # scale, small enough that one scheduler hiccup would otherwise
+    # decide the reported ratio.
+    bucket_positions, bucket_elapsed = _timed(
+        lambda: population.match_rows(candidates)
+    )
+    sorted_positions, sorted_elapsed = _timed(
+        lambda: population._match_rows_sorted(candidates)
+    )
+    for _ in range(2):
+        _, again = _timed(lambda: population.match_rows(candidates))
+        bucket_elapsed = min(bucket_elapsed, again)
+        _, again = _timed(lambda: population._match_rows_sorted(candidates))
+        sorted_elapsed = min(sorted_elapsed, again)
+    assert np.array_equal(bucket_positions, sorted_positions)
+    # Re-time the bucket probe warm (the candidate_oracle stage above
+    # included building the index and gathering verdicts).
+    bucket_record["warm_probe_seconds"] = round(bucket_elapsed, 6)
+    if bucket_elapsed:
+        bucket_record["speedup_vs_searchsorted"] = round(
+            sorted_elapsed / bucket_elapsed, 2
+        )
+    return {
+        "seconds": round(sorted_elapsed, 6),
+        "addresses_per_second": (
+            round(len(candidates) / sorted_elapsed, 1)
+            if sorted_elapsed
+            else 0.0
+        ),
+    }
 
 
 def measure_scan_stages(
@@ -152,7 +257,16 @@ def measure_scan_stages(
     from repro.scan.evaluate import scan_experiment
     from repro.scan.responder import SimulatedResponder
 
-    population = network.population(seed)
+    full_population = network.population(seed)
+    # Honor the requested scale uniformly: a reduced-size smoke pass
+    # sweeps a (deterministic) population subsample instead of paying
+    # for the full deployment.
+    if n_candidates < len(full_population):
+        population = full_population.sample(
+            n_candidates, np.random.default_rng(seed + 99)
+        )
+    else:
+        population = full_population
     responder = SimulatedResponder(
         population,
         ping_rate=network.ping_rate,
@@ -183,7 +297,8 @@ def measure_scan_stages(
     }
 
     # --- scalar reference: the seed's per-int population sweep ------
-    members = sorted(set(population.to_ints()))[:SCALAR_ORACLE_SAMPLE]
+    scalar_sample = min(SCALAR_ORACLE_SAMPLE, n_candidates)
+    members = sorted(set(population.to_ints()))[:scalar_sample]
     responder.ping(0)  # materialize the lazy member set outside timing
     _, elapsed = _timed(lambda: [v for v in members if responder.ping(v)])
     scalar_rate = round(len(members) / elapsed, 1) if elapsed else 0.0
@@ -199,9 +314,12 @@ def measure_scan_stages(
 
     # --- oracle over the generated 1M-candidate batch ---------------
     # Mostly non-members for sparse networks: membership-bound, the
-    # batch cost ``scan_experiment`` pays three times.  Its scalar
-    # reference (cheap Python set misses) is timed on a subsample of
-    # the same batch.
+    # batch cost ``scan_experiment`` pays three times.  Two references
+    # ride along, timed on the same batch: cheap Python set misses on
+    # a subsample (``speedup_vs_scalar``) and, when the bucket table is
+    # live, the PR-2 sorted searchsorted index at full batch size
+    # (``speedup_vs_searchsorted``) with both indexes pre-built so the
+    # comparison is pure query cost.
     if hasattr(responder, "ping_mask"):
         _, elapsed = _timed(lambda: responder.ping_mask(candidates))
     else:
@@ -214,7 +332,7 @@ def measure_scan_stages(
         ),
     }
     sample = candidates.take(
-        np.arange(min(len(candidates), SCALAR_ORACLE_SAMPLE))
+        np.arange(min(len(candidates), scalar_sample))
     ).to_ints()
     _, elapsed = _timed(lambda: [v for v in sample if responder.ping(v)])
     if elapsed:
@@ -223,13 +341,35 @@ def measure_scan_stages(
             / (len(sample) / elapsed),
             2,
         )
+    bucket_stage = measure_membership_oracle(
+        responder, candidates, stages["candidate_oracle"]
+    )
+    if bucket_stage is not None:
+        stages["candidate_oracle_searchsorted_reference"] = bucket_stage
 
-    # --- the complete Table 4 experiment at full scale --------------
+    # --- the complete Table 4 experiment at the requested scale -----
+    # A smoke pass shrinks the training set and observed dataset along
+    # with the candidate count, so the fixed model-fit cost cannot
+    # dominate a reduced-size CI run; the full-scale defaults are
+    # untouched.
+    smoke = n_candidates < SMOKE_THRESHOLD
+    experiment_train = (
+        train_size if not smoke else max(100, n_candidates // 100)
+    )
+    experiment_dataset = (
+        None
+        if not smoke
+        else max(
+            experiment_train * 2 + 1,
+            min(2 * n_candidates, len(full_population) // 2),
+        )
+    )
     result, elapsed = _timed(
         lambda: scan_experiment(
             network,
-            train_size=train_size,
+            train_size=experiment_train,
             n_candidates=n_candidates,
+            dataset_size=experiment_dataset,
             seed=seed,
         )
     )
@@ -244,7 +384,7 @@ def measure_scan_stages(
     }
 
     # --- multi-round adaptive campaign (bootstrap loop) -------------
-    train = network.sample(train_size, seed=seed)
+    train = network.sample(experiment_train, seed=seed)
     budget = min(CAMPAIGN_BUDGET, n_candidates)
     campaign, elapsed = _timed(
         lambda: run_campaign(
@@ -314,7 +454,7 @@ def attach_speedups(result: Dict, baseline_path: pathlib.Path = BASELINE_PATH) -
 
 def main(argv: Optional[list] = None) -> Dict:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--n", type=int, default=1_000_000)
+    parser.add_argument("--n", type=int, default=DEFAULT_N_CANDIDATES)
     parser.add_argument("--networks", nargs="+", default=NETWORKS)
     parser.add_argument("--train-size", type=int, default=TRAIN_SIZE)
     parser.add_argument("--seed", type=int, default=0)

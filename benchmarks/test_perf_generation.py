@@ -4,16 +4,30 @@ Runs the perf harness at the paper's 1M-candidate scale, writes the
 result to ``BENCH_generation.json`` at the repo root (so the perf
 trajectory is tracked across PRs), and asserts the headline properties:
 a 1M-candidate end-to-end run finishes far inside the CI budget, the
-vectorized generation stages hold a ≥10× speedup over the checked-in
-seed baseline, and the scan-side oracle sweep holds a ≥10× speedup over
-its in-harness scalar (per-int ``ping()``) reference.
+vectorized generation stages hold their speedups over the checked-in
+seed baseline (end-to-end ≥5x after the PR-3 sampling/dedup rewrite),
+the scan-side oracle sweep holds ≥10x over its per-int scalar
+reference, the bucket-table candidate-batch oracle holds ≥2x over the
+PR-2 searchsorted path, and the sharded engine's ``workers=4`` output
+is bit-identical to ``workers=1``.
+
+With ``REPRO_BENCH_CANDIDATES`` set below the full scale the run is a
+smoke pass: the whole pipeline still executes and the structural and
+determinism assertions still apply, but throughput gates are skipped —
+small batches cannot amortize fixed vectorization overheads, so
+asserting ratios there would only measure noise.
 """
 
 import json
 
 from conftest import N_CANDIDATES, TRAIN_SIZE
 
-from perf_generation import DEFAULT_OUT, attach_speedups, measure
+from perf_generation import (
+    DEFAULT_OUT,
+    SMOKE_THRESHOLD,
+    attach_speedups,
+    measure,
+)
 
 #: The acceptance budget for one end-to-end 1M-candidate run.
 END_TO_END_BUDGET_SECONDS = 60.0
@@ -25,9 +39,23 @@ VECTORIZED_STAGES = ("decode", "dedup")
 MIN_STAGE_SPEEDUP = 8.0
 MIN_HEADLINE_SPEEDUP = 10.0
 
+#: The PR-3 acceptance gate: end-to-end 1M-candidate generation ≥5×
+#: the seed implementation, with a lower per-network floor so a noisy
+#: CI neighbour cannot flake the suite.
+MIN_END_TO_END_SPEEDUP = 4.0
+MIN_END_TO_END_HEADLINE = 5.0
+
 #: The array-native oracle must beat the per-int scalar loop by at
 #: least this factor (measured in-harness, not against the seed file).
 MIN_ORACLE_SPEEDUP = 10.0
+
+#: The bucket-table membership probe must beat the PR-2 searchsorted
+#: index by at least this factor on the same candidate batch.
+MIN_BUCKET_SPEEDUP = 2.0
+
+#: Throughput gates only run at (near) paper scale; below the shared
+#: smoke threshold the run is a smoke pass.
+FULL_SCALE = N_CANDIDATES >= SMOKE_THRESHOLD
 
 
 def test_perf_generation(benchmark, artifact):
@@ -56,16 +84,42 @@ def test_perf_generation(benchmark, artifact):
                 or data.get("probes_per_second")
                 or 0.0
             )
-            speedup = data.get("speedup_vs_scalar")
-            suffix = f"  ({speedup}x vs scalar)" if speedup else ""
+            speedup = data.get("speedup_vs_searchsorted") or data.get(
+                "speedup_vs_scalar"
+            )
+            reference = (
+                "searchsorted"
+                if "speedup_vs_searchsorted" in data
+                else "scalar"
+            )
+            suffix = f"  ({speedup}x vs {reference})" if speedup else ""
             lines.append(
-                f"{name:>4} {'scan/' + stage:>26}: "
+                f"{name:>4} {'scan/' + stage:>42}: "
                 f"{rate:>12,.0f} addr/s in {data['seconds']:.3f}s{suffix}"
+            )
+        workers = record.get("workers")
+        if workers:
+            lines.append(
+                f"{name:>4} {'workers=4':>10}: "
+                f"{workers['addresses_per_second']:>12,.0f} addr/s "
+                f"(bit_identical={workers['bit_identical']})"
             )
     artifact("perf_generation", "\n".join(lines))
 
     for name, record in result["networks"].items():
         assert record["generated"] == N_CANDIDATES, name
+        scan = record["scan"]
+        # Structural assertions hold at any scale.
+        assert scan["scan_experiment"]["n_candidates"] > 0, name
+        assert scan["adaptive_campaign"]["rounds"] >= 2, (
+            name,
+            scan["adaptive_campaign"],
+        )
+        # The sharded engine must be bit-identical at any scale.
+        assert record["workers"]["bit_identical"], name
+
+        if not FULL_SCALE:
+            continue
         assert (
             record["stages"]["end_to_end"]["seconds"]
             * (1_000_000 / N_CANDIDATES)
@@ -80,16 +134,30 @@ def test_perf_generation(benchmark, artifact):
             max(speedups[stage] for stage in VECTORIZED_STAGES)
             >= MIN_HEADLINE_SPEEDUP
         ), (name, speedups)
+        assert speedups["end_to_end"] >= MIN_END_TO_END_SPEEDUP, (
+            name,
+            speedups,
+        )
 
-        # Scan-side stages: the oracle sweep must clear 10x over the
-        # per-int scalar reference, and the complete 1M-candidate
-        # experiment plus a multi-round adaptive campaign must have run.
-        scan = record["scan"]
+        # Scan-side gates: the population sweep must clear 10x over the
+        # per-int scalar reference, and the bucket-table candidate
+        # oracle must clear 2x over the searchsorted reference.
         assert (
             scan["oracle"]["speedup_vs_scalar"] >= MIN_ORACLE_SPEEDUP
         ), (name, scan["oracle"])
-        assert scan["scan_experiment"]["n_candidates"] > 0, name
-        assert scan["adaptive_campaign"]["rounds"] >= 2, (
-            name,
-            scan["adaptive_campaign"],
-        )
+        assert (
+            scan["candidate_oracle"]["speedup_vs_searchsorted"]
+            >= MIN_BUCKET_SPEEDUP
+        ), (name, scan["candidate_oracle"])
+
+    if FULL_SCALE:
+        # The ≥5x end-to-end headline must hold somewhere (it holds on
+        # every measured network on a quiet machine; the per-network
+        # floor above guards regressions on noisy ones).
+        assert any(
+            record["speedup_vs_seed"]["end_to_end"] >= MIN_END_TO_END_HEADLINE
+            for record in result["networks"].values()
+        ), {
+            name: record["speedup_vs_seed"]["end_to_end"]
+            for name, record in result["networks"].items()
+        }

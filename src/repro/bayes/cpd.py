@@ -22,13 +22,14 @@ class CPD:
     the child axis for a fixed parent assignment sums to 1.
     """
 
-    __slots__ = ("child", "parents", "table", "_sampling_cdf")
+    __slots__ = ("child", "parents", "table", "_sampling_cdf", "_sampling_cdf2d")
 
     def __init__(self, child: str, parents: Sequence[str], table: np.ndarray):
         self.child = child
         self.parents: Tuple[str, ...] = tuple(parents)
         self.table = np.asarray(table, dtype=np.float64)
         self._sampling_cdf = None
+        self._sampling_cdf2d = None
         if self.child in self.parents:
             raise ValueError(f"{child!r} cannot be its own parent")
         if self.table.ndim != 1 + len(self.parents):
@@ -80,6 +81,26 @@ class CPD:
             offsets = np.arange(cdf.shape[1], dtype=np.float64)
             self._sampling_cdf = np.ascontiguousarray((cdf + offsets).T).ravel()
         return self._sampling_cdf
+
+    def sampling_cdf_matrix(self) -> np.ndarray:
+        """Per-configuration CDF rows for grouped inverse-CDF draws.
+
+        Row ``c`` holds ``P(child <= state | config c)`` with the last
+        entry pinned at exactly 1 — the same numbers
+        :meth:`sampling_cdf` lays end to end, minus the ``config``
+        offsets.  Grouped sampling (see
+        :func:`repro.bayes.sampling._draw_states`) gathers one row per
+        realized parent configuration and runs ``searchsorted`` inside
+        that tiny slice, instead of binary-searching the full
+        concatenated table for every sample.  Built lazily, cached for
+        the lifetime of the CPD.
+        """
+        if self._sampling_cdf2d is None:
+            flat = self.table.reshape(self.child_cardinality, -1)
+            cdf = np.cumsum(flat, axis=0)
+            cdf[-1, :] = 1.0
+            self._sampling_cdf2d = np.ascontiguousarray(cdf.T)
+        return self._sampling_cdf2d
 
     def __repr__(self) -> str:
         return (

@@ -6,12 +6,24 @@ sampling, which the ordering constraint makes trivial; generation
 constrained to certain segment values ("optionally constrained", §4.4)
 uses likelihood weighting with resampling.
 
-Both samplers are fully vectorized: each variable is drawn for *all*
-rows with a single inverse-CDF lookup (one ``rng.random(n)`` plus one
-``searchsorted`` into the CPD's precomputed cumulative table, see
-:meth:`repro.bayes.cpd.CPD.sampling_cdf`), regardless of how many
-distinct parent configurations appear.  This is what makes the paper's
-1M-candidate generation runs cheap.
+Both samplers are fully vectorized and tuned for the paper's
+1M-candidate runs:
+
+- each variable is drawn for *all* rows at once by inverse CDF — one
+  ``rng.random(n)`` plus ``searchsorted`` into the CPD's precomputed
+  cumulative table (:meth:`repro.bayes.cpd.CPD.sampling_cdf`);
+- samples accumulate in a ``(num_vars, n)`` matrix so every per-variable
+  read and write is contiguous (the transposed view handed back is what
+  the encoder consumes column-wise, which that layout also makes
+  contiguous);
+- degenerate variables (cardinality 1 — common in low-entropy router
+  networks) skip both the uniform draw and the search entirely;
+- variables whose concatenated CDF outgrows the cache
+  (:data:`GROUPED_CDF_THRESHOLD`) switch to *grouped* draws: rows are
+  grouped by their parent-state code and each group runs one
+  ``searchsorted`` inside its own tiny CDF row
+  (:meth:`~repro.bayes.cpd.CPD.sampling_cdf_matrix`) instead of
+  binary-searching the full flat table per sample.
 """
 
 from __future__ import annotations
@@ -23,21 +35,33 @@ import numpy as np
 from repro.bayes.cpd import CPD
 from repro.bayes.network import BayesianNetwork
 
+#: Flat-CDF length beyond which grouped per-configuration draws beat
+#: one ``searchsorted`` over the whole concatenated table.  Small
+#: tables live in L1 where the flat binary search is already memory
+#: bound on reading the uniforms; past a few thousand entries the
+#: search's random accesses start missing cache while each realized
+#: configuration's slice still fits, so grouping wins.
+GROUPED_CDF_THRESHOLD = 2048
+
 
 def _flat_parent_configs(
-    samples: np.ndarray,
-    parent_columns: List[int],
+    columns: np.ndarray,
+    parent_rows: List[int],
     parent_cards: List[int],
 ) -> np.ndarray:
-    """Mixed-radix flattening of each row's parent assignment."""
-    flat_config = np.zeros(samples.shape[0], dtype=np.int64)
-    for parent_column, parent_card in zip(parent_columns, parent_cards):
-        flat_config = flat_config * parent_card + samples[:, parent_column]
+    """Mixed-radix flattening of each sample's parent assignment.
+
+    ``columns`` is the ``(num_vars, n)`` sample matrix — one contiguous
+    row read per parent.
+    """
+    flat_config = np.zeros(columns.shape[1], dtype=np.int64)
+    for parent_row, parent_card in zip(parent_rows, parent_cards):
+        flat_config = flat_config * parent_card + columns[parent_row]
     return flat_config
 
 
 def _draw_states(
-    cpd: CPD, flat_config: np.ndarray, u: np.ndarray
+    cpd: CPD, flat_config: Optional[np.ndarray], u: np.ndarray
 ) -> np.ndarray:
     """Inverse-CDF draw of one child state per row, all rows at once.
 
@@ -46,13 +70,47 @@ def _draw_states(
     ``searchsorted(cdf, c + u, side="right")`` lands on the first state
     whose cumulative probability exceeds ``u`` — the classic inverse-CDF
     method, with zero-probability states correctly skipped.
+
+    When the flat table is large (:data:`GROUPED_CDF_THRESHOLD`), rows
+    are grouped by parent-state code instead and each group draws with
+    one ``searchsorted`` into its configuration's own CDF row, keeping
+    the searched array cache-resident regardless of how many
+    configurations the CPD has.
     """
     cdf = cpd.sampling_cdf()
     if not cpd.parents:
-        # Root variable: every row shares configuration 0.
+        # Root variable: every row shares configuration 0 (callers may
+        # pass flat_config=None rather than build a zero vector).
         return np.searchsorted(cdf, u, side="right")
-    keys = flat_config + u
-    states = np.searchsorted(cdf, keys, side="right") - flat_config * cpd.child_cardinality
+    if len(cdf) <= GROUPED_CDF_THRESHOLD:
+        keys = flat_config + u
+        return (
+            np.searchsorted(cdf, keys, side="right")
+            - flat_config * cpd.child_cardinality
+        )
+    return _draw_states_grouped(cpd, flat_config, u)
+
+
+def _draw_states_grouped(
+    cpd: CPD, flat_config: np.ndarray, u: np.ndarray
+) -> np.ndarray:
+    """Grouped inverse-CDF draw: one small ``searchsorted`` per realized
+    parent configuration (see :meth:`CPD.sampling_cdf_matrix`)."""
+    cdf2d = cpd.sampling_cdf_matrix()
+    states = np.empty(len(u), dtype=np.int64)
+    if not len(u):
+        return states
+    order = np.argsort(flat_config, kind="stable")
+    sorted_config = flat_config[order]
+    boundaries = np.flatnonzero(sorted_config[1:] != sorted_config[:-1]) + 1
+    starts = np.concatenate([[0], boundaries])
+    ends = np.concatenate([boundaries, [len(order)]])
+    for start, end in zip(starts, ends):
+        rows = order[start:end]
+        config = sorted_config[start]
+        states[rows] = np.searchsorted(
+            cdf2d[config], u[rows], side="right"
+        )
     return states
 
 
@@ -65,21 +123,36 @@ def forward_sample(
 
     Returns an (n_samples, num_vars) integer matrix with columns in
     ``network.variables`` order.  One uniform vector and one
-    ``searchsorted`` per variable — no per-configuration Python loops.
+    ``searchsorted`` per non-degenerate variable — no per-configuration
+    Python loops, no uniforms burned on cardinality-1 variables.
+
+    The result is a transposed view of the internal ``(num_vars, n)``
+    buffer; reading it column-by-column (as the encoder does) is
+    contiguous.
     """
     if n_samples < 0:
         raise ValueError("n_samples must be non-negative")
     num_vars = len(network.variables)
-    samples = np.zeros((n_samples, num_vars), dtype=np.int64)
+    columns = np.zeros((num_vars, n_samples), dtype=np.int64)
     index = {v: i for i, v in enumerate(network.variables)}
     for variable in network.variables:
         cpd = network.cpd(variable)
-        column = index[variable]
-        parent_columns = [index[p] for p in cpd.parents]
-        parent_cards = [network.cardinality(p) for p in cpd.parents]
-        flat_config = _flat_parent_configs(samples, parent_columns, parent_cards)
-        samples[:, column] = _draw_states(cpd, flat_config, rng.random(n_samples))
-    return samples
+        if cpd.child_cardinality == 1:
+            # Degenerate variable: the only state is 0 (already
+            # zero-filled); drawing a uniform for it would be pure
+            # waste — R-style low-entropy networks are full of these.
+            continue
+        row = index[variable]
+        if cpd.parents:
+            parent_rows = [index[p] for p in cpd.parents]
+            parent_cards = [network.cardinality(p) for p in cpd.parents]
+            flat_config = _flat_parent_configs(
+                columns, parent_rows, parent_cards
+            )
+        else:
+            flat_config = None
+        columns[row] = _draw_states(cpd, flat_config, rng.random(n_samples))
+    return columns.T
 
 
 def likelihood_weighted_sample(
@@ -105,25 +178,36 @@ def likelihood_weighted_sample(
             raise KeyError(f"unknown evidence variable: {variable!r}")
     pool_size = max(n_samples * oversample, 1)
     num_vars = len(network.variables)
-    samples = np.zeros((pool_size, num_vars), dtype=np.int64)
+    columns = np.zeros((num_vars, pool_size), dtype=np.int64)
     log_weights = np.zeros(pool_size, dtype=np.float64)
     index = {v: i for i, v in enumerate(network.variables)}
 
     for variable in network.variables:
         cpd = network.cpd(variable)
-        column = index[variable]
-        parent_columns = [index[p] for p in cpd.parents]
+        row = index[variable]
+        parent_rows = [index[p] for p in cpd.parents]
         parent_cards = [network.cardinality(p) for p in cpd.parents]
-        flat_config = _flat_parent_configs(samples, parent_columns, parent_cards)
         if variable in evidence:
+            # Evidence weighting needs the flat configuration even for
+            # root variables (configuration 0 everywhere).
+            flat_config = _flat_parent_configs(
+                columns, parent_rows, parent_cards
+            )
             state = evidence[variable]
-            samples[:, column] = state
+            columns[row] = state
             flat_table = cpd.table.reshape(cpd.child_cardinality, -1)
             probabilities = flat_table[state, flat_config]
             with np.errstate(divide="ignore"):
                 log_weights += np.log(probabilities)
             continue
-        samples[:, column] = _draw_states(cpd, flat_config, rng.random(pool_size))
+        if cpd.child_cardinality == 1:
+            continue
+        flat_config = (
+            _flat_parent_configs(columns, parent_rows, parent_cards)
+            if cpd.parents
+            else None
+        )
+        columns[row] = _draw_states(cpd, flat_config, rng.random(pool_size))
 
     peak = log_weights.max()
     if not np.isfinite(peak):
@@ -133,7 +217,7 @@ def likelihood_weighted_sample(
     if not np.isfinite(total) or total <= 0:
         raise ValueError("evidence has zero probability under the model")
     chosen = rng.choice(pool_size, size=n_samples, replace=True, p=weights / total)
-    return samples[chosen]
+    return np.ascontiguousarray(columns[:, chosen].T)
 
 
 def sample_assignments(

@@ -55,7 +55,9 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     addresses = _read_addresses(args.file)
     analysis = EntropyIP.fit(addresses, width=args.width)
     rng = np.random.default_rng(args.seed)
-    for address in analysis.generate_addresses(args.count, rng):
+    for address in analysis.generate_addresses(
+        args.count, rng, workers=args.workers or None
+    ):
         print(address.compressed())
     return 0
 
@@ -75,6 +77,7 @@ def _cmd_scan(args: argparse.Namespace) -> int:
         train_size=args.train,
         n_candidates=args.count,
         seed=args.seed,
+        workers=args.workers or None,
     )
     print(result.row())
     return 0
@@ -137,6 +140,9 @@ def build_parser() -> argparse.ArgumentParser:
     generate.add_argument("--count", type=int, default=1000)
     generate.add_argument("--width", type=int, default=32)
     generate.add_argument("--seed", type=int, default=0)
+    generate.add_argument("--workers", type=int, default=0,
+                          help="shard generation across N worker threads "
+                          "(0 = serial; output depends only on the seed)")
     generate.set_defaults(func=_cmd_generate)
 
     dataset = sub.add_parser("dataset", help="emit a built-in synthetic set")
@@ -150,6 +156,9 @@ def build_parser() -> argparse.ArgumentParser:
     scan.add_argument("--train", type=int, default=1000)
     scan.add_argument("--count", type=int, default=10_000)
     scan.add_argument("--seed", type=int, default=0)
+    scan.add_argument("--workers", type=int, default=0,
+                      help="shard generation and oracle scoring across N "
+                      "worker threads (0 = serial)")
     scan.set_defaults(func=_cmd_scan)
 
     mi = sub.add_parser("mi", help="mutual-information heat map")

@@ -61,6 +61,7 @@ class _SegmentTables:
     __slots__ = (
         "lows",
         "highs",
+        "spans",
         "point_values",
         "point_codes",
         "ranges",
@@ -70,7 +71,8 @@ class _SegmentTables:
     def __init__(self, mined: MinedSegment):
         self.lows = np.asarray([v.low for v in mined.values], dtype=np.uint64)
         self.highs = np.asarray([v.high for v in mined.values], dtype=np.uint64)
-        self.has_ranges = bool(np.any(self.highs > self.lows))
+        self.spans = self.highs - self.lows
+        self.has_ranges = bool(np.any(self.spans > 0))
         # Exact-value (point) elements, sorted for searchsorted; the
         # earliest-mined code wins for duplicated point values.
         points = [
@@ -157,6 +159,22 @@ class AddressEncoder:
             _SegmentTables(m) if m.segment.nybble_count <= 16 else None
             for m in self._mined
         ]
+        # Packed-word assembly plan: when every segment has a lookup
+        # table and sits inside one 16-nybble word (guaranteed by the
+        # hard /32 and /64 segmentation cuts), the decoder can build
+        # the :func:`repro.ipv6.sets.pack_rows` image directly from
+        # the segment values — the generation loop then never re-packs
+        # the nybble matrix it just wrote.
+        self._word_plan: Optional[List[Tuple[int, np.uint64]]] = []
+        for mined, tables in zip(self._mined, self._tables):
+            seg = mined.segment
+            word = (seg.first_nybble - 1) // 16
+            if tables is None or (seg.last_nybble - 1) // 16 != word:
+                self._word_plan = None
+                break
+            self._word_plan.append(
+                (word, np.uint64(4 * (16 * (word + 1) - seg.last_nybble)))
+            )
 
     @property
     def mined_segments(self) -> Tuple[MinedSegment, ...]:
@@ -236,9 +254,13 @@ class AddressEncoder:
         """Materialize code vectors directly into an :class:`AddressSet`.
 
         Point codes decode exactly; range codes draw uniformly from
-        their interval.  Each segment's values are written straight into
+        their interval (rows whose code is a point value never consume
+        randomness).  Each segment's values are written straight into
         the ``(n, width)`` nybble matrix with vectorized shift/mask —
-        no per-row Python int assembly anywhere on the path.
+        no per-row Python int assembly anywhere on the path — and, when
+        no segment straddles a 16-nybble word boundary, the packed
+        uint64 words are assembled in the same pass so the returned
+        set's :meth:`AddressSet.packed_rows` is free.
 
         ``validate=False`` skips the per-segment code-range check for
         callers (like the generation loop) whose codes come straight
@@ -249,6 +271,9 @@ class AddressEncoder:
             raise ValueError("code matrix shape mismatch")
         n = codes.shape[0]
         matrix = np.zeros((n, self._width), dtype=np.uint8)
+        packed: Optional[np.ndarray] = None
+        if self._word_plan is not None:
+            packed = np.zeros((n, (self._width + 15) // 16), dtype=np.uint64)
         for column, mined in enumerate(self._mined):
             column_codes = codes[:, column]
             if validate and n and (
@@ -260,6 +285,24 @@ class AddressEncoder:
             nybble_count = mined.segment.nybble_count
             first = mined.segment.first_nybble - 1
             tables = self._tables[column]
+            if tables is not None and mined.cardinality == 1 and not tables.has_ranges:
+                # Constant segment (one point code — low-entropy router
+                # sets are full of long all-zero runs): broadcast the
+                # precomputed nybble pattern instead of splitting a
+                # million identical values.
+                value = int(tables.lows[0])
+                pattern = np.array(
+                    [
+                        (value >> (4 * (nybble_count - 1 - j))) & 0xF
+                        for j in range(nybble_count)
+                    ],
+                    dtype=np.uint8,
+                )
+                matrix[:, first : first + nybble_count] = pattern
+                if packed is not None:
+                    word, shift = self._word_plan[column]
+                    packed[:, word] |= np.uint64(value) << shift
+                continue
             if tables is not None:
                 # Exact uint64 arithmetic: float64 would corrupt values
                 # wider than 53 bits.
@@ -267,17 +310,31 @@ class AddressEncoder:
                 if tables.has_ranges:
                     # endpoint=True keeps the bound at span-1, which
                     # always fits in uint64 even for a full 64-bit
-                    # segment range.
-                    offsets = rng.integers(
-                        0,
-                        tables.highs[column_codes] - row_lows,
-                        dtype=np.uint64,
-                        endpoint=True,
-                    )
-                    values = row_lows + offsets
+                    # segment range.  Only rows whose code is an actual
+                    # range draw an offset.
+                    row_spans = tables.spans[column_codes]
+                    ranged = row_spans > 0
+                    if ranged.all():
+                        values = row_lows + rng.integers(
+                            0, row_spans, dtype=np.uint64, endpoint=True
+                        )
+                    elif ranged.any():
+                        values = row_lows.copy()
+                        rows = np.flatnonzero(ranged)
+                        values[rows] += rng.integers(
+                            0,
+                            row_spans[rows],
+                            dtype=np.uint64,
+                            endpoint=True,
+                        )
+                    else:
+                        values = row_lows
                 else:
                     # Point-only segment: nothing to draw.
                     values = row_lows
+                if packed is not None:
+                    word, shift = self._word_plan[column]
+                    packed[:, word] |= values << shift
                 if nybble_count >= 6:
                     # Wide segment: split via the big-endian byte image,
                     # three vector ops instead of one shift/mask pass per
@@ -306,6 +363,8 @@ class AddressEncoder:
                     for j in range(nybble_count - 1, -1, -1):
                         matrix[row, first + j] = value & 0xF
                         value >>= 4
+        if packed is not None:
+            return AddressSet._with_packed(matrix, packed)
         return AddressSet(matrix)
 
     def decode_matrix(

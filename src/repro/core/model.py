@@ -17,10 +17,151 @@ from repro.bayes.network import BayesianNetwork
 from repro.bayes.sampling import forward_sample, likelihood_weighted_sample
 from repro.bayes.structure import StructureConfig, learn_structure
 from repro.core.encoding import AddressEncoder
-from repro.ipv6.sets import AddressSet, first_occurrence_positions
+from repro.ipv6.sets import AddressSet, BucketTable
 
 #: Evidence may name states by code string ("J1") or by index (0).
 EvidenceLike = Mapping[str, Union[str, int]]
+
+#: Any accepted form of the generation exclusion set.
+ExcludeLike = Union[AddressSet, np.ndarray, Iterable[int]]
+
+
+def exclude_packed_words(
+    exclude: Optional[ExcludeLike], width: int
+) -> np.ndarray:
+    """Normalize any accepted ``exclude`` form into packed uint64 rows.
+
+    Accepts an :class:`AddressSet` of matching width (zero conversion),
+    a pre-packed ``(n, ceil(width/16))`` uint64 word matrix
+    (:meth:`AddressSet.packed_rows` form — what the campaign maintains
+    incrementally across rounds), or an iterable of ``width``-nybble
+    integers; integer values outside ``[0, 16**width)`` can never be
+    generated, so they are dropped.
+    """
+    words_per_row = (width + 15) // 16
+    if isinstance(exclude, AddressSet):
+        if exclude.width != width:
+            raise ValueError(
+                f"exclude width {exclude.width} != model width {width}"
+            )
+        return exclude.packed_rows()
+    if isinstance(exclude, np.ndarray) and exclude.ndim == 2:
+        # Pre-packed rows (packed_rows form), trusted as-is.
+        if exclude.shape[1] != words_per_row or exclude.dtype != np.uint64:
+            raise ValueError(
+                f"packed exclude must be (n, {words_per_row}) uint64, "
+                f"got {exclude.dtype} shape {exclude.shape}"
+            )
+        return exclude
+    bound = 1 << (4 * width)
+    return AddressSet.from_ints(
+        [
+            int(v)
+            for v in (exclude if exclude is not None else ())
+            if 0 <= v < bound
+        ],
+        width=width,
+        already_truncated=True,
+    ).packed_rows()
+
+
+def generation_batch_size(
+    need: int, marginal_yield: float, batch_cap: int
+) -> int:
+    """Oversampled batch size for one generation round.
+
+    Shared by the serial loop and the sharded engine so both converge
+    identically: draw enough that the observed marginal yield should
+    cover ``need``, plus a 12.5% cushion, floored at 4096 and capped by
+    ``batch_cap``.
+    """
+    return min(
+        max(int(need / marginal_yield) + need // 8 + 64, 4096), batch_cap
+    )
+
+
+def run_generation_rounds(
+    width: int,
+    n: int,
+    draw,
+    exclude: Optional[ExcludeLike] = None,
+    max_batches: int = 64,
+    constrained: bool = False,
+) -> AddressSet:
+    """The §5.5 streaming generation loop, draw strategy abstracted.
+
+    One implementation drives both the serial path
+    (:meth:`AddressModel.generate_set`) and the sharded engine
+    (:func:`repro.exec.sharded_generate_set`): per round, ask ``draw``
+    for ``batch_size`` candidate rows — returned as a ``(matrix,
+    packed_words)`` pair — feed them into a growing
+    :class:`~repro.ipv6.sets.BucketTable` that suppresses duplicates
+    and ``exclude`` members (already-kept rows are never re-sorted),
+    re-estimate the marginal yield to oversample the next round, and
+    stop early when the model's effective support is exhausted.  Only
+    the drawing differs between callers, so the oversampling policy and
+    saturation behavior cannot drift between them.
+
+    ``constrained`` marks evidence-constrained draws, which materialize
+    an oversample=4 likelihood-weighting pool per batch and therefore
+    get a tighter batch cap to keep peak memory at ~4n transient rows.
+
+    Deterministic for a deterministic ``draw``; first-occurrence order
+    within the stream is preserved.
+    """
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    words_per_row = (width + 15) // 16
+    excluded = exclude_packed_words(exclude, width)
+    # Pre-size for the expected final population (kept rows plus
+    # exclusions) so the table almost never grows — and therefore
+    # never rehashes — mid-campaign.
+    seen = BucketTable(words_per_row, capacity=n + len(excluded))
+    seen.insert(excluded)
+    chunks_matrix: List[np.ndarray] = []
+    chunks_words: List[np.ndarray] = []
+    kept = 0
+    # Marginal yield of distinct non-excluded rows per drawn sample,
+    # re-estimated each round and used to oversample the next batch,
+    # so the loop converges in a couple of rounds instead of
+    # geometrically many.
+    marginal_yield = 1.0
+    batch_cap = max(n if constrained else 4 * n, 8192)
+    for round_index in range(max_batches):
+        need = n - kept
+        if need <= 0:
+            break
+        batch_size = generation_batch_size(need, marginal_yield, batch_cap)
+        matrix, words = draw(batch_size)
+        fresh = seen.insert(words)
+        new_found = int(np.count_nonzero(fresh))
+        if new_found:
+            chunks_matrix.append(matrix[fresh])
+            chunks_words.append(words[fresh])
+            kept += new_found
+        marginal_yield = max(new_found / batch_size, 1.0 / batch_size)
+        # Saturation guard: when the model's effective support is
+        # (nearly) exhausted, rounds trickle in a handful of new rows
+        # each.  Stop once the remaining rounds cannot plausibly close
+        # the gap at the observed marginal yield, returning the partial
+        # result instead of burning max-size batches.
+        rounds_left = max_batches - round_index - 1
+        reachable = marginal_yield * batch_cap * rounds_left
+        if new_found == 0 or reachable < n - kept:
+            break
+    if not chunks_matrix:
+        return AddressSet.empty(width)
+    kept_matrix = (
+        chunks_matrix[0]
+        if len(chunks_matrix) == 1
+        else np.vstack(chunks_matrix)
+    )
+    kept_words = (
+        chunks_words[0] if len(chunks_words) == 1 else np.vstack(chunks_words)
+    )
+    # Hand the packed words over with the rows: campaign-style callers
+    # fold them straight into their running exclude matrix.
+    return AddressSet._with_packed(kept_matrix[:n], kept_words[:n])
 
 
 class AddressModel:
@@ -160,8 +301,10 @@ class AddressModel:
         n: int,
         rng: np.random.Generator,
         evidence: Optional[EvidenceLike] = None,
-        exclude: Optional[Union[AddressSet, np.ndarray, Iterable[int]]] = None,
+        exclude: Optional[ExcludeLike] = None,
         max_batches: int = 64,
+        workers: Optional[int] = None,
+        shards: Optional[int] = None,
     ) -> AddressSet:
         """Generate ``n`` distinct candidate rows as an :class:`AddressSet`.
 
@@ -169,8 +312,11 @@ class AddressModel:
         batch from the BN (:meth:`sample_codes`), materializes it with
         :meth:`AddressEncoder.decode_to_set`, and suppresses duplicates
         and ``exclude`` members (typically the training set — the paper
-        scans for addresses "not yet seen") with vectorized whole-row
-        set operations.  No stage round-trips through per-row Python.
+        scans for addresses "not yet seen") by feeding each batch into a
+        growing :class:`~repro.ipv6.sets.BucketTable`: already-kept rows
+        are never re-sorted, so a saturated multi-round run pays for
+        each drawn row once.  No stage round-trips through per-row
+        Python.
 
         ``exclude`` is ideally an :class:`AddressSet` of matching width,
         which feeds the dedup directly with zero conversion, or a
@@ -179,6 +325,14 @@ class AddressModel:
         maintains incrementally across rounds); an iterable of
         ``width``-nybble integers is also accepted for compatibility.
 
+        ``workers``/``shards`` switch to the sharded parallel engine
+        (:func:`repro.exec.sharded_generate_set`): each batch is split
+        into ``shards`` fixed sub-draws with independent
+        ``SeedSequence``-spawned RNG streams executed across ``workers``
+        threads.  The output depends only on ``(rng, shards)`` — any
+        worker count produces bit-identical rows.  Left as ``None``,
+        the serial single-stream path below runs.
+
         Deterministic for a fixed ``rng``; first-occurrence order within
         the stream is preserved.  Gives up after ``max_batches`` rounds
         if the model's support is too small to produce ``n`` distinct
@@ -186,90 +340,43 @@ class AddressModel:
         """
         if n < 0:
             raise ValueError("n must be non-negative")
-        width = self.encoder.width
-        words_per_row = (width + 15) // 16
-        if isinstance(exclude, AddressSet):
-            if exclude.width != width:
-                raise ValueError(
-                    f"exclude width {exclude.width} != model width {width}"
-                )
-            exclude_words = exclude.packed_rows()
-        elif isinstance(exclude, np.ndarray) and exclude.ndim == 2:
-            # Pre-packed rows (packed_rows form), trusted as-is.
-            if exclude.shape[1] != words_per_row or exclude.dtype != np.uint64:
-                raise ValueError(
-                    f"packed exclude must be (n, {words_per_row}) uint64, "
-                    f"got {exclude.dtype} shape {exclude.shape}"
-                )
-            exclude_words = exclude
-        else:
-            # Iterable of ints (1-D ndarrays included); values out of
-            # [0, 16^width) can never be generated, so drop them.
-            bound = 1 << (4 * width)
-            exclude_words = AddressSet.from_ints(
-                [int(v) for v in (exclude if exclude is not None else ())
-                 if 0 <= v < bound],
-                width=width,
-                already_truncated=True,
-            ).packed_rows()
-        kept_matrix: Optional[np.ndarray] = None
-        kept_words: Optional[np.ndarray] = None
-        # Marginal yield of distinct non-excluded rows per drawn sample,
-        # re-estimated each round and used to oversample the next batch,
-        # so the loop converges in a couple of rounds instead of
-        # geometrically many.
-        marginal_yield = 1.0
-        # Likelihood weighting materializes an oversample=4 pool per
-        # batch, so constrained generation gets a tighter cap to keep
-        # peak memory at the pre-rewrite level (~4n transient rows).
-        batch_cap = max(n if evidence else 4 * n, 8192)
-        for round_index in range(max_batches):
-            kept = 0 if kept_matrix is None else len(kept_matrix)
-            need = n - kept
-            if need <= 0:
-                break
-            batch_size = min(
-                max(int(need / marginal_yield) + need // 8 + 64, 4096),
-                batch_cap,
+        if workers is not None or shards is not None:
+            from repro.exec import sharded_generate_set
+
+            return sharded_generate_set(
+                self,
+                n,
+                rng,
+                evidence=evidence,
+                exclude=exclude,
+                max_batches=max_batches,
+                workers=workers if workers is not None else 1,
+                shards=shards,
             )
+
+        def draw(batch_size: int) -> "tuple[np.ndarray, np.ndarray]":
             codes = self.sample_codes(batch_size, rng, evidence)
             batch = self.encoder.decode_to_set(codes, rng, validate=False)
-            # Stack already-accepted uniques ahead of the new batch:
-            # stable dedup keeps them (and their order), so each round
-            # only pays for kept + batch rows, never the full raw stream.
-            if kept_matrix is None:
-                matrix = batch.matrix
-                words = batch.packed_rows()
-            else:
-                matrix = np.vstack([kept_matrix, batch.matrix])
-                words = np.vstack([kept_words, batch.packed_rows()])
-            positions = first_occurrence_positions(words, exclude_words)
-            kept_matrix = matrix[positions]
-            kept_words = words[positions]
-            new_found = len(kept_matrix) - kept
-            marginal_yield = max(new_found / batch_size, 1.0 / batch_size)
-            # Saturation guard: when the model's effective support is
-            # (nearly) exhausted, rounds trickle in a handful of new rows
-            # each.  Stop once the remaining rounds cannot plausibly
-            # close the gap at the observed marginal yield, returning the
-            # partial result instead of burning max-size batches.
-            rounds_left = max_batches - round_index - 1
-            reachable = marginal_yield * batch_cap * rounds_left
-            if new_found == 0 or reachable < n - len(kept_matrix):
-                break
-        if kept_matrix is None:
-            return AddressSet.empty(width)
-        # Hand the packed words over with the rows: campaign-style
-        # callers fold them straight into their running exclude matrix.
-        return AddressSet._with_packed(kept_matrix[:n], kept_words[:n])
+            return batch.matrix, batch.packed_rows()
+
+        return run_generation_rounds(
+            self.encoder.width,
+            n,
+            draw,
+            exclude=exclude,
+            max_batches=max_batches,
+            constrained=bool(evidence),
+        )
 
     def generate(
         self,
         n: int,
         rng: np.random.Generator,
         evidence: Optional[EvidenceLike] = None,
-        exclude: Optional[Union[AddressSet, np.ndarray, Iterable[int]]] = None,
+        exclude: Optional[ExcludeLike] = None,
         max_batches: int = 64,
+        workers: Optional[int] = None,
+        shards: Optional[int] = None,
     ) -> List[int]:
         """Generate ``n`` distinct candidate values (``width``-nybble ints).
 
@@ -278,7 +385,13 @@ class AddressModel:
         integers.
         """
         return self.generate_set(
-            n, rng, evidence=evidence, exclude=exclude, max_batches=max_batches
+            n,
+            rng,
+            evidence=evidence,
+            exclude=exclude,
+            max_batches=max_batches,
+            workers=workers,
+            shards=shards,
         ).to_ints()
 
     # ------------------------------------------------------------------

@@ -144,15 +144,20 @@ class EntropyIP:
         rng: Optional[np.random.Generator] = None,
         evidence: Optional[EvidenceLike] = None,
         exclude_training: bool = True,
+        workers: Optional[int] = None,
     ) -> AddressSet:
         """Generate ``n`` distinct candidate targets.
 
         With ``exclude_training`` (the default, matching §5.5), no
-        candidate equals a training address.
+        candidate equals a training address.  ``workers`` shards the
+        generation across a thread pool (see :mod:`repro.exec`); output
+        is bit-identical for any worker count.
         """
         rng = default_rng(rng)
         exclude = self.address_set if exclude_training else None
-        return self.model.generate_set(n, rng, evidence=evidence, exclude=exclude)
+        return self.model.generate_set(
+            n, rng, evidence=evidence, exclude=exclude, workers=workers
+        )
 
     def generate_addresses(
         self,
@@ -160,10 +165,15 @@ class EntropyIP:
         rng: Optional[np.random.Generator] = None,
         evidence: Optional[EvidenceLike] = None,
         exclude_training: bool = True,
+        workers: Optional[int] = None,
     ) -> List[IPv6Address]:
         """Like :meth:`generate`, materialized as address objects."""
         return self.generate(
-            n, rng, evidence=evidence, exclude_training=exclude_training
+            n,
+            rng,
+            evidence=evidence,
+            exclude_training=exclude_training,
+            workers=workers,
         ).addresses()
 
 

@@ -1,0 +1,126 @@
+"""The sharded §5.5 drivers: parallel generation and row-sharded scoring.
+
+:func:`sharded_generate_set` is the parallel counterpart of
+:meth:`repro.core.model.AddressModel.generate_set`.  Each oversampling
+round is split into ``shards`` fixed sub-draws; every shard samples and
+decodes with its own ``SeedSequence``-spawned RNG stream, and the shard
+outputs are merged *in shard order* into the same growing
+:class:`~repro.ipv6.sets.BucketTable` dedup the serial loop uses.  The
+decomposition (shard count, shard sizes, shard streams) is a pure
+function of the caller's RNG and ``shards`` — workers only decide how
+many shards run concurrently — so ``workers=N`` output is bit-identical
+to ``workers=1`` at the same seed.
+
+:func:`sharded_map_rows` is the scoring-side helper: it splits a row
+range into contiguous chunks and runs a pure per-chunk function across
+the pool, concatenating in order.  Oracle masks are pure per-row
+functions, so this is trivially exact for any worker count.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.exec.pool import WorkerPool
+from repro.exec.sharding import (
+    derive_seed_sequence,
+    shard_bounds,
+    shard_sizes,
+)
+from repro.ipv6.sets import AddressSet
+
+#: Default shard count per generation round.  Part of the determinism
+#: contract: changing ``shards`` changes which RNG stream draws which
+#: row (and therefore the output); changing ``workers`` never does.
+DEFAULT_SHARDS = 8
+
+#: Row count below which sharded scoring is not worth the thread
+#: handoff; the chunk function runs inline instead.
+MIN_ROWS_PER_SHARD = 4096
+
+
+def sharded_generate_set(
+    model,
+    n: int,
+    rng: np.random.Generator,
+    evidence=None,
+    exclude=None,
+    max_batches: int = 64,
+    workers: int = 1,
+    shards: Optional[int] = None,
+) -> AddressSet:
+    """Generate ``n`` distinct candidate rows across a worker pool.
+
+    See :meth:`repro.core.model.AddressModel.generate_set` for the
+    contract; this is the engine behind its ``workers=``/``shards=``
+    parameters.  Both paths run the one shared round loop
+    (:func:`~repro.core.model.run_generation_rounds`) — identical
+    oversampling policy, saturation guard and first-occurrence
+    semantics — and differ only in how each batch is drawn.
+    """
+    from repro.core.model import run_generation_rounds
+
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    shards = DEFAULT_SHARDS if shards is None else int(shards)
+    if shards < 1:
+        raise ValueError("shards must be positive")
+    resolved = model.normalize_evidence(evidence) if evidence else None
+    seed_sequence = derive_seed_sequence(rng)
+    pool = WorkerPool(workers)
+
+    def draw_shard(args) -> "tuple[np.ndarray, np.ndarray]":
+        size, child = args
+        shard_rng = np.random.default_rng(child)
+        codes = model.sample_codes(size, shard_rng, resolved)
+        decoded = model.encoder.decode_to_set(
+            codes, shard_rng, validate=False
+        )
+        return decoded.matrix, decoded.packed_rows()
+
+    def draw(batch_size: int) -> "tuple[np.ndarray, np.ndarray]":
+        sizes = shard_sizes(batch_size, shards)
+        children = seed_sequence.spawn(shards)
+        parts = pool.map(draw_shard, list(zip(sizes, children)))
+        matrix = np.vstack([part[0] for part in parts])
+        words = np.vstack([part[1] for part in parts])
+        return matrix, words
+
+    return run_generation_rounds(
+        model.encoder.width,
+        n,
+        draw,
+        exclude=exclude,
+        max_batches=max_batches,
+        constrained=bool(evidence),
+    )
+
+
+def sharded_map_rows(
+    fn,
+    n_rows: int,
+    workers: Optional[int] = None,
+    shards: Optional[int] = None,
+):
+    """Run ``fn(start, stop)`` over contiguous row chunks; concatenate.
+
+    ``fn`` must be a pure function of its row range returning a 1-D or
+    2-D array of ``stop - start`` rows (an oracle mask, match
+    positions, ...).  With one worker — or too few rows to be worth
+    the handoff — the single full-range call runs inline, so serial
+    callers pay nothing.
+    """
+    pool = WorkerPool(workers)
+    if shards is None:
+        shards = pool.workers
+    if (
+        pool.workers <= 1
+        or shards <= 1
+        or n_rows < 2 * MIN_ROWS_PER_SHARD
+    ):
+        return fn(0, n_rows)
+    bounds = shard_bounds(n_rows, shards)
+    parts = pool.map(lambda span: fn(span[0], span[1]), bounds)
+    return np.concatenate(parts)

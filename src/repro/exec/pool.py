@@ -1,0 +1,61 @@
+"""A thin, ordered worker pool over ``concurrent.futures``.
+
+Threads, not processes: the shard work units are numpy-heavy (BN
+inverse-CDF sampling, segment decoding, packed-row hashing), and numpy
+releases the GIL inside its kernels, so a thread pool overlaps real
+work without pickling models across process boundaries.  A pool with
+``workers <= 1`` degrades to a plain loop — no executor, no threads —
+which keeps the serial path allocation-free and trivially debuggable.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, List, Optional, Sequence, TypeVar
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+def resolve_workers(workers: Optional[int]) -> int:
+    """Normalize a ``workers`` argument into a concrete thread count.
+
+    ``None`` means serial (1); any negative value means "all available
+    cores" (``os.cpu_count()``); positive values pass through.  Zero is
+    rejected — a pool with no workers cannot make progress.
+    """
+    if workers is None:
+        return 1
+    workers = int(workers)
+    if workers == 0:
+        raise ValueError("workers must be nonzero (None or 1 means serial)")
+    if workers < 0:
+        return os.cpu_count() or 1
+    return workers
+
+
+class WorkerPool:
+    """Execute tasks across ``workers`` threads, preserving order.
+
+    ``map`` returns results in input order regardless of completion
+    order, and the first task exception propagates to the caller (the
+    remaining tasks still run to completion — shard work units are
+    side-effect free, so there is nothing to unwind).
+    """
+
+    def __init__(self, workers: Optional[int] = None):
+        self.workers = resolve_workers(workers)
+
+    def map(self, fn: Callable[[T], R], items: Sequence[T]) -> List[R]:
+        """Apply ``fn`` to every item; results in input order."""
+        items = list(items)
+        if self.workers <= 1 or len(items) <= 1:
+            return [fn(item) for item in items]
+        with ThreadPoolExecutor(
+            max_workers=min(self.workers, len(items))
+        ) as executor:
+            return list(executor.map(fn, items))
+
+    def __repr__(self) -> str:
+        return f"WorkerPool(workers={self.workers})"

@@ -1,0 +1,61 @@
+"""Deterministic work decomposition for the sharded engine.
+
+Everything here is a pure function of its inputs: the same total and
+shard count always produce the same split, and the same caller RNG
+always derives the same ``SeedSequence`` (and therefore the same spawned
+child streams).  That is what lets the engine promise bit-identical
+output for any worker count.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+
+def shard_sizes(total: int, shards: int) -> np.ndarray:
+    """Balanced deterministic split of ``total`` items into ``shards``.
+
+    The first ``total % shards`` shards get one extra item; sizes sum
+    to ``total`` exactly and zero-size shards are legal (a batch
+    smaller than the shard count simply leaves trailing shards empty).
+    """
+    if total < 0:
+        raise ValueError("total must be non-negative")
+    if shards < 1:
+        raise ValueError("shards must be positive")
+    base, extra = divmod(total, shards)
+    sizes = np.full(shards, base, dtype=np.int64)
+    sizes[:extra] += 1
+    return sizes
+
+
+def shard_bounds(total: int, shards: int) -> List[tuple]:
+    """``(start, stop)`` row ranges matching :func:`shard_sizes`."""
+    stops = np.cumsum(shard_sizes(total, shards))
+    starts = np.concatenate([[0], stops[:-1]])
+    return [(int(a), int(b)) for a, b in zip(starts, stops)]
+
+
+def derive_seed_sequence(rng: np.random.Generator) -> np.random.SeedSequence:
+    """One ``SeedSequence`` derived deterministically from a generator.
+
+    Draws four 64-bit words off the caller's stream as entropy, so the
+    derived sequence (and everything spawned from it) is a pure
+    function of the generator's state.  Per-shard streams then come
+    from ``seed_sequence.spawn(shards)`` — ``spawn`` advances its
+    spawn key, so each generation round gets fresh, never-reused child
+    streams without any coordination.
+    """
+    entropy = [int(word) for word in rng.integers(0, 2**63, size=4)]
+    return np.random.SeedSequence(entropy)
+
+
+def spawn_generators(
+    seed_sequence: np.random.SeedSequence, shards: int
+) -> List[np.random.Generator]:
+    """``shards`` independent generators spawned from one sequence."""
+    return [
+        np.random.default_rng(child) for child in seed_sequence.spawn(shards)
+    ]

@@ -11,12 +11,16 @@ supported — the prefix-prediction mode of Section 5.6 runs the identical
 pipeline on 16-nybble (/64) rows.
 
 Whole-row set algebra runs on packed ``uint64`` words (:func:`pack_rows`):
-:func:`first_occurrence_positions` is the generation dedup,
-:meth:`AddressSet.match_rows`/:meth:`~AddressSet.contains_rows` answer
-batch membership through a cached mixed-hash index, and
+:class:`BucketTable` is the open-addressing membership index behind both
+generation dedup and batch membership
+(:meth:`AddressSet.match_rows`/:meth:`~AddressSet.contains_rows`), and
 :meth:`AddressSet.prefixes64`/:meth:`~AddressSet.value_words` feed the
 scan layer's /64 accounting and keyed-hash oracles — the whole §5.5
 scoring path never materializes a per-row Python integer.
+:func:`first_occurrence_positions` remains as the sort-based dedup
+reference, and the sorted searchsorted index survives as
+:meth:`AddressSet._match_rows_sorted` so the perf harness can measure
+the bucket table against it on identical batches.
 """
 
 from __future__ import annotations
@@ -117,6 +121,356 @@ def first_occurrence_positions(
     return np.flatnonzero(mask)
 
 
+class BucketTable:
+    """Growable open-addressing membership index over packed rows.
+
+    The random-access floor of a sorted ``searchsorted`` membership
+    probe is ~log2(n) dependent cache misses per query; an open-address
+    table needs ~1-2 independent gathers at load factor <= 1/2.  Rows
+    are keyed by their SplitMix64-mixed fold (:func:`_mix_words`),
+    probed linearly in a power-of-two slot array, and every key match
+    is verified against the actual packed words — so two *distinct*
+    rows whose 64-bit folds collide simply occupy adjacent slots and
+    both remain individually findable (the probe walks past a
+    word-mismatched key instead of stopping).  Exactness never depends
+    on the fold being collision-free.
+
+    The table is growable: :meth:`insert` accepts batches, suppresses
+    rows already present (first occurrence wins), and doubles the slot
+    array whenever the load factor would pass 1/2.  That makes it both
+    the one-shot index behind :meth:`AddressSet.match_rows` and the
+    incrementally-fed dedup set of the generation loop, which inserts
+    one candidate batch per round against everything kept so far.
+
+    All operations are vectorized over batches; nothing on the probe
+    path touches per-row Python.
+    """
+
+    __slots__ = (
+        "_word_count",
+        "_size",
+        "_mask",
+        "_slots",
+        "_claim",
+        "_mixed",
+        "_words",
+        "_ids",
+        "_count",
+        "_offered",
+    )
+
+    #: Smallest slot-array size (keeps the empty table cheap while
+    #: avoiding degenerate single-slot probing).
+    _MIN_SIZE = 16
+
+    #: Slot array stays at least this many times larger than the
+    #: stored-row count (reciprocal of the maximum load factor).
+    _LOAD_NUM = 2
+
+    def __init__(self, word_count: int, capacity: int = 0):
+        if word_count < 1:
+            raise ValueError(f"word_count must be positive, got {word_count}")
+        self._word_count = word_count
+        size = self._MIN_SIZE
+        while size < self._LOAD_NUM * capacity:
+            size *= 2
+        self._size = size
+        self._mask = np.uint64(size - 1)
+        self._slots = np.full(size, -1, dtype=np.int32)
+        # Scratch buffer for batched first-occurrence slot claiming;
+        # only the entries touched by an insert round are ever written
+        # and they are reset immediately after, so the buffer is
+        # allocated once per growth instead of once per batch.
+        self._claim = np.full(size, -1, dtype=np.int64)
+        # Stored-row columns (amortized-doubling appends).
+        self._mixed = np.empty(size // 2, dtype=np.uint64)
+        self._words = np.empty((size // 2, word_count), dtype=np.uint64)
+        self._ids = np.empty(size // 2, dtype=np.int64)
+        self._count = 0
+        self._offered = 0
+
+    def __len__(self) -> int:
+        """Number of distinct rows stored."""
+        return self._count
+
+    @property
+    def slot_count(self) -> int:
+        """Current size of the (power-of-two) slot array."""
+        return self._size
+
+    def _ensure_slots(self, total_rows: int) -> bool:
+        """Grow the slot array until ``total_rows`` stored rows fit at
+        the load-factor bound, rehashing stored rows into the new
+        array.  Returns True when a growth (and therefore a rehash)
+        happened — callers holding probe positions must restart from
+        the home slots.
+
+        The insert loop calls this lazily with the count of rows that
+        actually reached an empty slot, not the raw batch size: a
+        duplicate-heavy batch (the saturated generation regime) mostly
+        lands on its equal rows' occupied slots and must not balloon
+        the table.
+        """
+        if self._LOAD_NUM * total_rows <= self._size:
+            return False
+        size = self._size
+        while self._LOAD_NUM * total_rows > size:
+            size *= 2
+        self._size = size
+        self._mask = np.uint64(size - 1)
+        self._slots = np.full(size, -1, dtype=np.int32)
+        self._claim = np.full(size, -1, dtype=np.int64)
+        if self._count:
+            self._place_all(self._mixed[: self._count])
+        return True
+
+    def _ensure_storage(self, total_rows: int) -> None:
+        """Amortized-doubling growth of the stored-row columns; sized
+        by rows actually appended, independently of the slot array."""
+        if total_rows <= len(self._mixed):
+            return
+        grown = max(2 * len(self._mixed), total_rows, 8)
+        mixed = np.empty(grown, dtype=np.uint64)
+        words = np.empty((grown, self._word_count), dtype=np.uint64)
+        ids = np.empty(grown, dtype=np.int64)
+        mixed[: self._count] = self._mixed[: self._count]
+        words[: self._count] = self._words[: self._count]
+        ids[: self._count] = self._ids[: self._count]
+        self._mixed, self._words, self._ids = mixed, words, ids
+
+    def _place_all(self, mixed: np.ndarray) -> None:
+        """Rehash: place already-distinct stored rows by storage id."""
+        step = np.int64(self._size - 1)
+        pending = np.arange(len(mixed), dtype=np.int64)
+        probe = (mixed & self._mask).astype(np.int64)
+        claim = self._claim
+        first_round = True
+        while pending.size:
+            if first_round:
+                # A rehash always starts from an all-empty slot array.
+                empty = np.ones(pending.size, dtype=bool)
+                first_round = False
+            else:
+                at = self._slots[probe]
+                empty = at < 0
+            e_pos = np.flatnonzero(empty)
+            placed = np.zeros(pending.size, dtype=bool)
+            if e_pos.size:
+                slots_e = probe[e_pos]
+                rows_e = pending[e_pos]
+                # Reversed write: with duplicate slots the final value
+                # is the earliest row, i.e. first occurrence wins.
+                claim[slots_e[::-1]] = rows_e[::-1]
+                winners = claim[slots_e] == rows_e
+                self._slots[slots_e[winners]] = rows_e[winners].astype(
+                    np.int32
+                )
+                claim[slots_e] = -1
+                placed[e_pos[winners]] = True
+            keep = ~placed
+            # Every unplaced row advances: occupied slots were simply
+            # skipped, and claim losers just watched a *distinct* row
+            # (rehash inserts no duplicates) take their slot.
+            pending = pending[keep]
+            probe = (probe[keep] + 1) & step
+
+    def _append(
+        self, words: np.ndarray, mixed: np.ndarray, ids: np.ndarray
+    ) -> np.ndarray:
+        """Append stored rows; return their storage indices."""
+        start = self._count
+        stop = start + len(words)
+        self._ensure_storage(stop)
+        self._words[start:stop] = words
+        self._mixed[start:stop] = mixed
+        self._ids[start:stop] = ids
+        self._count = stop
+        return np.arange(start, stop, dtype=np.int64)
+
+    def insert(
+        self, words: np.ndarray, ids: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        """Insert a batch of packed rows; return the "fresh" mask.
+
+        ``words`` is an ``(m, word_count)`` :func:`pack_rows` matrix.
+        Rows already present in the table — or duplicated earlier in
+        this same batch — are suppressed; the returned boolean mask
+        marks the rows that were actually added (the first occurrence
+        of each new distinct row, in batch order).  ``ids`` optionally
+        assigns the external identifier :meth:`lookup` reports for each
+        row (defaults to the running count of rows ever offered, i.e.
+        the stream position).
+        """
+        words = np.ascontiguousarray(words, dtype=np.uint64)
+        if words.ndim != 2 or words.shape[1] != self._word_count:
+            raise ValueError(
+                f"expected (m, {self._word_count}) packed rows, "
+                f"got shape {words.shape}"
+            )
+        m = len(words)
+        fresh = np.zeros(m, dtype=bool)
+        if ids is None:
+            ids = np.arange(self._offered, self._offered + m, dtype=np.int64)
+        else:
+            ids = np.ascontiguousarray(ids, dtype=np.int64)
+            if ids.shape != (m,):
+                raise ValueError("ids must be one per inserted row")
+        self._offered += m
+        if m == 0:
+            return fresh
+        mixed = _mix_words(words)
+        step = np.int64(self._size - 1)
+        pending = np.arange(m, dtype=np.int64)
+        probe = (mixed & self._mask).astype(np.int64)
+        claim = self._claim
+        while pending.size:
+            if self._count == 0:
+                # Empty table: every slot is free, so skip the gather
+                # and the occupied branch entirely.
+                empty = np.ones(pending.size, dtype=bool)
+                at = None
+            else:
+                at = self._slots[probe]
+                empty = at < 0
+            e_pos = np.flatnonzero(empty)
+            # Grow lazily, sized by rows that actually reached an empty
+            # slot this round (an upper bound on this round's appends).
+            if e_pos.size and self._ensure_slots(self._count + e_pos.size):
+                # The slot array was rebuilt: every computed probe is
+                # stale.  Restart the round from the home slots.
+                step = np.int64(self._size - 1)
+                claim = self._claim
+                probe = (mixed[pending] & self._mask).astype(np.int64)
+                continue
+            resolved = np.zeros(pending.size, dtype=bool)
+            if e_pos.size:
+                slots_e = probe[e_pos]
+                rows_e = pending[e_pos]
+                # First-occurrence claim: pending stays ascending, so a
+                # reversed fancy write leaves the earliest row in each
+                # contested slot.
+                claim[slots_e[::-1]] = rows_e[::-1]
+                claimed = claim[slots_e]
+                winners = claimed == rows_e
+                win_rows = rows_e[winners]
+                storage = self._append(
+                    words[win_rows], mixed[win_rows], ids[win_rows]
+                )
+                self._slots[slots_e[winners]] = storage.astype(np.int32)
+                claim[slots_e] = -1
+                fresh[win_rows] = True
+                resolved[e_pos[winners]] = True
+                # Claim losers compare against their slot's new
+                # occupant — the winner — right now instead of burning
+                # a whole extra round on it: duplicate-heavy batches
+                # (the generation loop's steady state) resolve almost
+                # entirely in one pass.
+                loser = ~winners
+                if loser.any():
+                    l_pos = e_pos[loser]
+                    l_rows = rows_e[loser]
+                    w_rows = claimed[loser]
+                    same_key = mixed[l_rows] == mixed[w_rows]
+                    dup_l = np.zeros(l_pos.size, dtype=bool)
+                    if same_key.any():
+                        dup_l[same_key] = (
+                            words[l_rows[same_key]] == words[w_rows[same_key]]
+                        ).all(axis=1)
+                    resolved[l_pos[dup_l]] = True
+                    advance_l = l_pos[~dup_l]
+                    probe[advance_l] = (probe[advance_l] + 1) & step
+            o_pos = np.flatnonzero(~empty)
+            if o_pos.size:
+                stored = at[o_pos]
+                rows_o = pending[o_pos]
+                key_eq = self._mixed[stored] == mixed[rows_o]
+                duplicate = np.zeros(o_pos.size, dtype=bool)
+                if key_eq.any():
+                    cand = stored[key_eq]
+                    rows_eq = rows_o[key_eq]
+                    duplicate[key_eq] = (
+                        self._words[cand] == words[rows_eq]
+                    ).all(axis=1)
+                resolved[o_pos[duplicate]] = True
+                mismatch = o_pos[~duplicate]
+                probe[mismatch] = (probe[mismatch] + 1) & step
+            keep = ~resolved
+            pending = pending[keep]
+            probe = probe[keep]
+        return fresh
+
+    def lookup(self, words: np.ndarray) -> np.ndarray:
+        """External id of each queried row, or -1 when absent.
+
+        One ``~1-2``-gather linear probe per query row; every key hit
+        is word-verified, so the answer is exact even across fold
+        collisions.
+        """
+        words = np.ascontiguousarray(words, dtype=np.uint64)
+        if words.ndim != 2 or words.shape[1] != self._word_count:
+            raise ValueError(
+                f"expected (m, {self._word_count}) packed rows, "
+                f"got shape {words.shape}"
+            )
+        m = len(words)
+        out = np.full(m, -1, dtype=np.int64)
+        if m == 0 or self._count == 0:
+            return out
+        mixed = _mix_words(words)
+        step = np.int64(self._size - 1)
+        # First probe, unrolled over the whole batch: at load <= 1/2
+        # the overwhelming majority of queries resolve here (hit or
+        # empty-slot miss), so this iteration runs without any
+        # pending-row indirection.  Only the leftovers — occupied slots
+        # whose row failed verification — enter the general loop.
+        probe = (mixed & self._mask).astype(np.int64)
+        at = self._slots[probe]
+        o_pos = np.flatnonzero(at >= 0)
+        if o_pos.size == 0:
+            return out
+        stored = at[o_pos]
+        key_eq = self._mixed[stored] == mixed[o_pos]
+        match = np.zeros(o_pos.size, dtype=bool)
+        if key_eq.any():
+            cand = stored[key_eq]
+            match[key_eq] = (
+                self._words[cand] == words[o_pos[key_eq]]
+            ).all(axis=1)
+        hit = o_pos[match]
+        out[hit] = self._ids[stored[match]]
+        pending = o_pos[~match]
+        probe = (probe[pending] + 1) & step
+        while pending.size:
+            at = self._slots[probe]
+            empty = at < 0  # empty slot: definitive miss
+            resolved = empty.copy()
+            o_pos = np.flatnonzero(~empty)
+            if o_pos.size:
+                stored = at[o_pos]
+                rows_o = pending[o_pos]
+                key_eq = self._mixed[stored] == mixed[rows_o]
+                match = np.zeros(o_pos.size, dtype=bool)
+                if key_eq.any():
+                    cand = stored[key_eq]
+                    rows_eq = rows_o[key_eq]
+                    match[key_eq] = (
+                        self._words[cand] == words[rows_eq]
+                    ).all(axis=1)
+                hit = o_pos[match]
+                out[pending[hit]] = self._ids[stored[match]]
+                resolved[hit] = True
+                mismatch = o_pos[~match]
+                probe[mismatch] = (probe[mismatch] + 1) & step
+            keep = ~resolved
+            pending = pending[keep]
+            probe = probe[keep]
+        return out
+
+    def contains(self, words: np.ndarray) -> np.ndarray:
+        """Boolean membership mask (thin wrapper over :meth:`lookup`)."""
+        return self.lookup(words) >= 0
+
+
 class AddressSet:
     """An immutable set (with multiplicity) of fixed-width nybble rows.
 
@@ -127,7 +481,13 @@ class AddressSet:
     [1, 2]
     """
 
-    __slots__ = ("_matrix", "_member_index", "_packed", "__weakref__")
+    __slots__ = (
+        "_matrix",
+        "_member_index",
+        "_sorted_index",
+        "_packed",
+        "__weakref__",
+    )
 
     def __init__(self, matrix: np.ndarray):
         matrix = np.ascontiguousarray(matrix, dtype=np.uint8)
@@ -137,7 +497,8 @@ class AddressSet:
             raise ValueError("nybble matrix contains values > 0xf")
         self._matrix = matrix
         self._matrix.setflags(write=False)
-        self._member_index = None
+        self._member_index: Optional[BucketTable] = None
+        self._sorted_index = None
         self._packed: Optional[np.ndarray] = None
 
     # ------------------------------------------------------------------
@@ -387,23 +748,41 @@ class AddressSet:
             self._packed.setflags(write=False)
         return self._packed
 
-    def _membership_index(self):
-        """Cached lookup structure behind :meth:`match_rows`.
+    def _membership_index(self) -> BucketTable:
+        """Cached :class:`BucketTable` behind :meth:`match_rows`.
+
+        Every row is inserted with its own position as the external id;
+        duplicate rows are suppressed on insert with the first
+        occurrence winning, so a lookup reports the first position of
+        an equal row — exact across fold collisions, because the table
+        word-verifies every key match.  The matrix is immutable, so the
+        index is built exactly once however many batches are screened
+        against it.
+        """
+        if self._member_index is None:
+            words = self.packed_rows()
+            table = BucketTable(words.shape[1], capacity=len(words))
+            table.insert(words)
+            self._member_index = table
+        return self._member_index
+
+    def _sorted_membership_index(self):
+        """The PR-2 sorted searchsorted index, kept as the reference
+        implementation the perf harness benchmarks the bucket table
+        against (and as an independent oracle for equivalence tests).
 
         Distinct rows are folded into one well-mixed uint64 each
         (:func:`_mix_words` over the packed words) and sorted, so a
         batch lookup is a single uint64 ``searchsorted`` followed by a
-        packed-word equality check — exact, because every candidate
-        match is verified against the actual row words.  If the fold
-        ever collides on two *distinct* rows (probability ~n²/2⁶⁵, and
-        a collision would make ``searchsorted`` miss one of them), the
-        index falls back to *rank composition*: each word column ranked
-        against its sorted uniques, the (rank0, rank1) pair packed into
-        one uint64 and sorted — three ``searchsorted`` passes, still no
-        per-row Python.  The matrix is immutable, so the index is built
-        exactly once however many batches are screened against it.
+        packed-word equality check.  If the fold ever collides on two
+        *distinct* rows (probability ~n²/2⁶⁵, and a collision would
+        make ``searchsorted`` miss one of them), the index falls back
+        to *rank composition*: each word column ranked against its
+        sorted uniques, the (rank0, rank1) pair packed into one uint64
+        and sorted — three ``searchsorted`` passes, still no per-row
+        Python.
         """
-        if self._member_index is None:
+        if self._sorted_index is None:
             words = self.packed_rows()
             distinct = first_occurrence_positions(words)
             uwords = words[distinct]
@@ -411,15 +790,15 @@ class AddressSet:
             order = np.argsort(mixed, kind="stable")
             mixed_sorted = mixed[order]
             if np.any(mixed_sorted[1:] == mixed_sorted[:-1]):
-                self._member_index = self._build_rank_index(uwords, distinct)
+                self._sorted_index = self._build_rank_index(uwords, distinct)
             else:
-                self._member_index = (
+                self._sorted_index = (
                     "mixed",
                     mixed_sorted,
                     uwords[order],
                     distinct[order],
                 )
-        return self._member_index
+        return self._sorted_index
 
     @staticmethod
     def _build_rank_index(uwords: np.ndarray, distinct: np.ndarray):
@@ -441,17 +820,48 @@ class AddressSet:
 
         The workhorse of oracle scoring: the returned positions let a
         caller gather per-member precomputed values (e.g. responder
-        verdicts) in one indexed load.  Runs as one or three uint64
-        ``searchsorted`` passes over the cached
-        :meth:`_membership_index` — no per-address Python.  When self
-        has duplicate rows, the first occurrence's position is reported.
+        verdicts) in one indexed load.  Runs as a vectorized ~1-2-probe
+        open-addressing lookup over the cached
+        :meth:`_membership_index` bucket table — no per-address Python,
+        and no log-factor binary search.  When self has duplicate rows,
+        the first occurrence's position is reported.
+        """
+        if other.width != self.width:
+            raise ValueError("cannot test membership across different widths")
+        if len(self) == 0 or len(other) == 0:
+            return np.full(len(other), -1, dtype=np.intp)
+        return self._membership_index().lookup(other.packed_rows()).astype(
+            np.intp, copy=False
+        )
+
+    def match_words(self, words: np.ndarray) -> np.ndarray:
+        """:meth:`match_rows` against pre-packed query rows.
+
+        ``words`` is a :func:`pack_rows` matrix (or a row slice of
+        one); row-sharded scorers use this to probe chunks of a large
+        batch without materializing a sub-:class:`AddressSet` per
+        chunk.
+        """
+        if len(self) == 0 or len(words) == 0:
+            return np.full(len(words), -1, dtype=np.intp)
+        return self._membership_index().lookup(words).astype(
+            np.intp, copy=False
+        )
+
+    def _match_rows_sorted(self, other: "AddressSet") -> np.ndarray:
+        """:meth:`match_rows` on the PR-2 sorted searchsorted index.
+
+        Same contract and results as :meth:`match_rows`; kept so the
+        perf harness can time the bucket table against the binary
+        search it replaced, and as an independent implementation for
+        equivalence tests.
         """
         if other.width != self.width:
             raise ValueError("cannot test membership across different widths")
         out = np.full(len(other), -1, dtype=np.intp)
         if len(self) == 0 or len(other) == 0:
             return out
-        index = self._membership_index()
+        index = self._sorted_membership_index()
         query = other.packed_rows()
         if index[0] == "mixed":
             _, mixed_sorted, words_sorted, rows_sorted = index

@@ -80,6 +80,7 @@ class ScanCampaign:
         round_size: int = 10_000,
         adaptive: bool = False,
         seed: int = 0,
+        workers: "int | None" = None,
     ):
         if probe_budget < 1 or round_size < 1:
             raise ValueError("budget and round size must be positive")
@@ -89,6 +90,10 @@ class ScanCampaign:
         self._round_size = round_size
         self._adaptive = adaptive
         self._rng = np.random.default_rng(seed)
+        # workers=N routes generation and scoring through the sharded
+        # engine (repro.exec); campaign outcomes are bit-identical for
+        # any N because the shard decomposition is worker-independent.
+        self._workers = workers
 
     def run(self) -> CampaignResult:
         """Probe until the budget is exhausted; return the full record."""
@@ -109,12 +114,17 @@ class ScanCampaign:
         while spent < self._budget:
             want = min(self._round_size, self._budget - spent)
             candidates = analysis.model.generate_set(
-                want, self._rng, exclude=probed_words
+                want, self._rng, exclude=probed_words, workers=self._workers
             )
             if len(candidates) == 0:
                 break  # model support exhausted
             probed_words = np.vstack([probed_words, candidates.packed_rows()])
-            hit_mask = self._responder.ping_mask(candidates)
+            # oracle_masks runs inline when workers is None and matches
+            # ping_mask bit for bit, so one call site serves any worker
+            # count.
+            _, hit_mask, _ = self._responder.oracle_masks(
+                candidates, workers=self._workers
+            )
             hits = candidates.take(np.flatnonzero(hit_mask))
             spent += len(candidates)
             discovered = discovered.concat(hits)
@@ -164,6 +174,7 @@ def run_campaign(
     round_size: int = 10_000,
     adaptive: bool = False,
     seed: int = 0,
+    workers: "int | None" = None,
 ) -> CampaignResult:
     """Functional one-shot interface to :class:`ScanCampaign`."""
     return ScanCampaign(
@@ -173,4 +184,5 @@ def run_campaign(
         round_size=round_size,
         adaptive=adaptive,
         seed=seed,
+        workers=workers,
     ).run()

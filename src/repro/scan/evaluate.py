@@ -95,12 +95,17 @@ def scan_experiment(
     n_candidates: int = 100_000,
     dataset_size: Optional[int] = None,
     seed: int = 0,
+    workers: Optional[int] = None,
 ) -> ScanResult:
     """Run the full §5.5 scanning experiment against one network.
 
     ``dataset_size`` bounds the observed dataset sampled from the
     population (defaults to half the population, leaving the rest as
     never-observed-but-active addresses the ping oracle can confirm).
+
+    ``workers`` runs generation and oracle scoring across a thread
+    pool (see :mod:`repro.exec`); results are bit-identical for any
+    worker count, including the serial default.
     """
     population = network.population(seed)
     responder = SimulatedResponder(
@@ -116,11 +121,26 @@ def scan_experiment(
     train, test = split_train_test(dataset, train_size, rng)
 
     analysis = EntropyIP.fit(train, width=train.width)
-    candidates = analysis.model.generate_set(n_candidates, rng, exclude=train)
+    candidates = analysis.model.generate_set(
+        n_candidates, rng, exclude=train, workers=workers
+    )
 
-    test_mask = test.contains_rows(candidates)
-    ping_mask = responder.ping_mask(candidates)
-    rdns_mask = responder.rdns_mask(candidates)
+    # One scoring path for any worker count: sharded_map_rows and
+    # oracle_masks both run inline when workers is None, and their
+    # outputs are pinned equal to the per-mask calls by the exec tests.
+    from repro.exec import sharded_map_rows
+
+    packed = candidates.packed_rows()
+    if len(test):
+        test._membership_index()  # build serially, probe in shards
+    test_mask = sharded_map_rows(
+        lambda a, b: test.match_words(packed[a:b]) >= 0,
+        len(candidates),
+        workers=workers,
+    )
+    _, ping_mask, rdns_mask = responder.oracle_masks(
+        candidates, workers=workers
+    )
     overall_mask = test_mask | ping_mask | rdns_mask
     overall = candidates.take(np.flatnonzero(overall_mask))
 
@@ -149,6 +169,7 @@ def prefix_prediction_experiment(
     n_candidates: int = 100_000,
     day_fraction: float = 0.45,
     seed: int = 0,
+    workers: Optional[int] = None,
 ) -> PrefixPredictionResult:
     """Run the §5.6 client /64 prediction experiment.
 
@@ -171,7 +192,9 @@ def prefix_prediction_experiment(
     train = AddressSet.from_words(day_prefixes[train_rows], width=16)
 
     analysis = EntropyIP.fit(train, width=16)
-    candidates = analysis.model.generate_set(n_candidates, rng, exclude=train)
+    candidates = analysis.model.generate_set(
+        n_candidates, rng, exclude=train, workers=workers
+    )
 
     candidate_words = candidates.prefixes64()  # distinct width-16 rows
     predicted_day = int(np.isin(candidate_words, day_prefixes).sum())

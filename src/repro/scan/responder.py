@@ -10,12 +10,15 @@ an rDNS record with probability ``rdns_rate``, decided by a keyed hash
 so the same address always behaves the same way.
 
 The oracle is array-native: the population lives as an
-:class:`~repro.ipv6.sets.AddressSet` whose sorted row view answers
-batch membership with one ``searchsorted``, and the keyed hash runs as
-numpy uint64 ops — :meth:`SimulatedResponder.member_mask`,
+:class:`~repro.ipv6.sets.AddressSet` whose bucket-table membership
+index answers batch probes in ~1-2 gathers per row, and the keyed hash
+runs as numpy uint64 ops — :meth:`SimulatedResponder.member_mask`,
 :meth:`~SimulatedResponder.ping_mask` and
 :meth:`~SimulatedResponder.rdns_mask` score a 1M-candidate batch
-without materializing a single Python integer.  The scalar
+without materializing a single Python integer, and
+:meth:`~SimulatedResponder.oracle_masks` produces all three verdicts
+from one membership pass, optionally sharded across a worker pool.
+The scalar
 :meth:`~SimulatedResponder.ping`/:meth:`~SimulatedResponder.rdns` and
 the list-based ``*_many`` interfaces remain as thin wrappers (and as
 the references the equivalence tests pin the vectorized paths to).
@@ -168,10 +171,66 @@ class SimulatedResponder:
     def member_mask(self, candidates: AddressSet) -> np.ndarray:
         """Boolean mask: which candidate rows belong to the population.
 
-        One binary search against the population's cached membership
-        index — O(m log n) with no per-candidate Python.
+        One probe against the population's cached bucket-table
+        membership index — O(m) with no per-candidate Python.
         """
         return self._match_positions(candidates) >= 0
+
+    def oracle_masks(
+        self,
+        candidates: AddressSet,
+        workers: "Optional[int]" = None,
+        shards: "Optional[int]" = None,
+    ) -> "tuple[np.ndarray, np.ndarray, np.ndarray]":
+        """``(member, ping, rdns)`` masks in one membership pass.
+
+        The batch-scoring fast path: each row is matched against the
+        population once and all three verdicts are gathered from that
+        single set of positions.  With ``workers`` set, the candidate
+        rows are split into contiguous chunks scored across a thread
+        pool (:func:`repro.exec.sharded_map_rows`); every mask is a
+        pure per-row function, so any worker count produces identical
+        masks.
+        """
+        from repro.exec import sharded_map_rows
+
+        if candidates.width != self._width:
+            raise ValueError(
+                f"candidate width {candidates.width} != "
+                f"population width {self._width}"
+            )
+        n = len(candidates)
+        if n == 0:
+            empty = np.zeros(0, dtype=bool)
+            return empty, empty.copy(), empty.copy()
+        # Materialize the shared inputs serially before any threads
+        # fork: the packed rows, the population's membership index and
+        # the lazy per-population verdict caches.  (Concurrent lazy
+        # builds would be correct — last assignment wins and every
+        # built index is complete — just wasted work.)
+        packed = candidates.packed_rows()
+        if len(self._population):
+            self._population._membership_index()
+            ping_verdicts = self._verdicts("ping")
+            rdns_verdicts = self._verdicts("rdns")
+
+        def score(start: int, stop: int) -> np.ndarray:
+            out = np.zeros((stop - start, 3), dtype=bool)
+            if len(self._population):
+                positions = self._population.match_words(packed[start:stop])
+                member = positions >= 0
+                out[:, 0] = member
+                out[member, 1] = ping_verdicts[positions[member]]
+                out[member, 2] = rdns_verdicts[positions[member]]
+            if self._wildcards:
+                for i in np.flatnonzero(~out[:, 0]):
+                    out[i, 1] = self._wildcard_hit(
+                        candidates.row_int(start + int(i))
+                    )
+            return out
+
+        scored = sharded_map_rows(score, n, workers=workers, shards=shards)
+        return scored[:, 0], scored[:, 1], scored[:, 2]
 
     def ping_mask(self, candidates: AddressSet) -> np.ndarray:
         """Boolean mask of candidates answering the simulated ping.

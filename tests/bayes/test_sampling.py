@@ -130,6 +130,73 @@ class TestInverseCdfEquivalence:
         assert a.min() >= 0 and a.max() <= 1
 
 
+class TestGroupedDraws:
+    """The grouped per-configuration path must agree with the flat path."""
+
+    def _big_cpd(self):
+        # 64 configurations x 64 states = 4096 flat entries, above the
+        # grouped threshold.  Probabilities are multiples of 1/64, so
+        # both code paths compare the exact same float values and must
+        # pick identical states.
+        rng = np.random.default_rng(3)
+        raw = rng.integers(1, 8, size=(64, 64)).astype(np.float64)
+        table = raw / raw.sum(axis=0)
+        return CPD("y", ("x",), table)
+
+    def test_grouped_matches_flat(self):
+        from repro.bayes import sampling as sampling_module
+        from repro.bayes.sampling import _draw_states, _draw_states_grouped
+
+        cpd = self._big_cpd()
+        assert len(cpd.sampling_cdf()) > sampling_module.GROUPED_CDF_THRESHOLD
+        rng = np.random.default_rng(4)
+        flat_config = rng.integers(0, 64, size=20_000).astype(np.int64)
+        u = rng.random(20_000)
+        grouped = _draw_states_grouped(cpd, flat_config, u)
+        flat = (
+            np.searchsorted(cpd.sampling_cdf(), flat_config + u, side="right")
+            - flat_config * cpd.child_cardinality
+        )
+        assert np.array_equal(grouped, flat)
+        # And the dispatcher actually routes to the grouped path for a
+        # table this large.
+        assert np.array_equal(_draw_states(cpd, flat_config, u), grouped)
+
+    def test_grouped_path_empty_batch(self):
+        # n=0 must stay legal for any CPD size (regression: the group
+        # loop indexed into a zero-length configuration array).
+        from repro.bayes.sampling import _draw_states_grouped
+
+        cpd = self._big_cpd()
+        empty = _draw_states_grouped(
+            cpd, np.empty(0, dtype=np.int64), np.empty(0)
+        )
+        assert empty.shape == (0,)
+
+    def test_cdf_matrix_matches_flat_cdf(self):
+        table = np.array([[0.25, 0.5], [0.75, 0.5]])
+        cpd = CPD("y", ("x",), table)
+        matrix = cpd.sampling_cdf_matrix()
+        assert matrix.shape == (2, 2)
+        assert matrix.tolist() == [[0.25, 1.0], [0.5, 1.0]]
+        assert matrix is cpd.sampling_cdf_matrix()  # cached
+
+    def test_degenerate_variables_skip_draws(self):
+        # A cardinality-1 variable must consume no randomness: the
+        # stream position after sampling equals a run without it.
+        x = CPD("x", (), np.array([1.0]))
+        y = CPD("y", ("x",), np.array([[0.5], [0.5]]))
+        network = BayesianNetwork(["x", "y"], [x, y])
+        rng = np.random.default_rng(6)
+        samples = forward_sample(network, 1000, rng)
+        assert np.all(samples[:, 0] == 0)
+        reference = np.random.default_rng(6)
+        expected = np.searchsorted(
+            y.sampling_cdf(), reference.random(1000), side="right"
+        )
+        assert np.array_equal(samples[:, 1], expected)
+
+
 class TestAssignments:
     def test_dict_form(self, coupled, rng):
         assignments = sample_assignments(coupled, 5, rng)

@@ -241,3 +241,79 @@ class TestRoundTrip:
         table = encoder.code_table()
         assert table["A"][0] == ("A1", "20010db8", 0.6)
         assert table["B"][1][1].startswith("0000")
+
+
+class TestPackedWordAssembly:
+    """decode_to_set's direct word assembly must equal pack_rows."""
+
+    def test_mined_encoder_words_match_pack_rows(self):
+        from repro.ipv6.sets import pack_rows
+
+        generator = np.random.default_rng(5)
+        values = [
+            (0x20010DB8 << 96)
+            | (int(generator.integers(0, 4)) << 64)
+            | int(generator.integers(0, 1 << 20))
+            for _ in range(300)
+        ]
+        s = AddressSet.from_ints(values)
+        encoder = AddressEncoder(mine_segments(s, segment_addresses(s)))
+        assert encoder._word_plan is not None  # hard cuts: no straddling
+        codes = encoder.encode_set(s)
+        decoded = encoder.decode_to_set(codes, np.random.default_rng(1))
+        assert np.array_equal(
+            decoded.packed_rows(), pack_rows(decoded.matrix)
+        )
+
+    def test_straddling_segment_falls_back(self):
+        # The hand-built encoder has a 24-nybble segment crossing the
+        # /64 word boundary: no assembly plan, plain pack_rows path.
+        encoder = make_encoder()
+        assert encoder._word_plan is None
+        codes = np.array([[0, 0], [1, 1]])
+        decoded = encoder.decode_to_set(codes, np.random.default_rng(2))
+        from repro.ipv6.sets import pack_rows
+
+        assert np.array_equal(
+            decoded.packed_rows(), pack_rows(decoded.matrix)
+        )
+
+    def test_prefix_width_words_match(self):
+        from repro.ipv6.sets import pack_rows
+
+        generator = np.random.default_rng(6)
+        values = [int(v) for v in generator.integers(0, 1 << 40, size=200)]
+        s = AddressSet.from_ints(values, width=16, already_truncated=True)
+        encoder = AddressEncoder(mine_segments(s, segment_addresses(s)))
+        codes = encoder.encode_set(s)
+        decoded = encoder.decode_to_set(codes, np.random.default_rng(3))
+        assert np.array_equal(
+            decoded.packed_rows(), pack_rows(decoded.matrix)
+        )
+
+    def test_constant_segment_broadcast(self):
+        # Cardinality-1 point segments take the broadcast fast path;
+        # the nybbles and packed words must both reflect the constant.
+        a = MinedSegment(
+            Segment("A", 1, 8),
+            (SegmentValue("A1", 0x20010DB8, 0x20010DB8, 1.0, "outlier"),),
+        )
+        b = MinedSegment(
+            Segment("B", 9, 16),
+            (
+                SegmentValue("B1", 0x1111, 0x1111, 0.5, "outlier"),
+                SegmentValue("B2", 0x2222, 0x2222, 0.5, "outlier"),
+            ),
+        )
+        encoder = AddressEncoder([a, b])
+        codes = np.array([[0, 0], [0, 1]])
+        decoded = encoder.decode_to_set(codes, np.random.default_rng(4))
+        assert list(decoded.hex_rows()) == [
+            "20010db800001111",
+            "20010db800002222",
+        ]
+        from repro.ipv6.sets import pack_rows
+
+        assert np.array_equal(
+            decoded.packed_rows(), pack_rows(decoded.matrix)
+        )

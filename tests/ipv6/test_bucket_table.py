@@ -1,0 +1,229 @@
+"""Adversarial tests for the open-addressing bucket-table index.
+
+Covers the failure modes a hash table earns the hard way: fold
+collisions between distinct rows, growth (rehashing) across many
+power-of-two boundaries, duplicate-heavy batches, empty tables and
+empty queries — plus equivalence against both the sorted searchsorted
+reference index and a plain Python-set oracle.
+"""
+
+import numpy as np
+import pytest
+
+import repro.ipv6.sets as sets_module
+from repro.ipv6.sets import AddressSet, BucketTable, pack_rows
+
+
+def _random_words(rng, n, k=2, bits=63):
+    return rng.integers(0, 1 << bits, size=(n, k), dtype=np.uint64)
+
+
+class TestBasics:
+    def test_insert_and_lookup_roundtrip(self):
+        rng = np.random.default_rng(0)
+        words = _random_words(rng, 1000)
+        table = BucketTable(2)
+        fresh = table.insert(words)
+        assert fresh.all()  # all distinct at 63 random bits
+        assert len(table) == 1000
+        assert np.array_equal(table.lookup(words), np.arange(1000))
+        misses = _random_words(rng, 500)
+        assert (table.lookup(misses) == -1).all()
+
+    def test_duplicates_first_occurrence_wins(self):
+        words = np.array(
+            [[1, 2], [3, 4], [1, 2], [5, 6], [3, 4], [1, 2]], dtype=np.uint64
+        )
+        table = BucketTable(2)
+        fresh = table.insert(words)
+        assert fresh.tolist() == [True, True, False, True, False, False]
+        assert len(table) == 3
+        # Lookup reports the id of the first occurrence.
+        assert table.lookup(words).tolist() == [0, 1, 0, 3, 1, 0]
+
+    def test_incremental_ids_continue_across_batches(self):
+        table = BucketTable(1)
+        table.insert(np.array([[7], [8]], dtype=np.uint64))
+        fresh = table.insert(np.array([[8], [9]], dtype=np.uint64))
+        assert fresh.tolist() == [False, True]
+        # Default ids count every offered row, so [9] is row 3 of the
+        # stream (0-indexed).
+        assert table.lookup(np.array([[9]], dtype=np.uint64)).tolist() == [3]
+
+    def test_explicit_ids(self):
+        table = BucketTable(1)
+        table.insert(
+            np.array([[4], [5]], dtype=np.uint64),
+            ids=np.array([40, 50], dtype=np.int64),
+        )
+        assert table.lookup(np.array([[5], [4]], dtype=np.uint64)).tolist() == [
+            50,
+            40,
+        ]
+
+    def test_empty_table_and_empty_query(self):
+        table = BucketTable(2)
+        assert len(table) == 0
+        assert table.lookup(np.empty((0, 2), dtype=np.uint64)).size == 0
+        rng = np.random.default_rng(1)
+        assert (table.lookup(_random_words(rng, 100)) == -1).all()
+        assert table.insert(np.empty((0, 2), dtype=np.uint64)).size == 0
+
+    def test_shape_validation(self):
+        table = BucketTable(2)
+        with pytest.raises(ValueError):
+            table.insert(np.zeros((4, 3), dtype=np.uint64))
+        with pytest.raises(ValueError):
+            table.lookup(np.zeros(4, dtype=np.uint64))
+        with pytest.raises(ValueError):
+            table.insert(
+                np.zeros((4, 2), dtype=np.uint64),
+                ids=np.zeros(3, dtype=np.int64),
+            )
+        with pytest.raises(ValueError):
+            BucketTable(0)
+
+
+class TestGrowth:
+    def test_growth_across_many_boundaries(self):
+        rng = np.random.default_rng(2)
+        table = BucketTable(2)  # starts at the minimum slot count
+        seen = []
+        sizes = set()
+        for _ in range(40):
+            batch = _random_words(rng, 97)
+            table.insert(batch)
+            seen.append(batch)
+            sizes.add(table.slot_count)
+        all_words = np.vstack(seen)
+        assert len(table) == len(all_words)  # 63-bit rows: no dups
+        assert len(sizes) > 3  # actually crossed several boundaries
+        assert (table.lookup(all_words) >= 0).all()
+        assert (table.lookup(_random_words(rng, 1000)) == -1).all()
+
+    def test_single_huge_insert_grows_once(self):
+        rng = np.random.default_rng(3)
+        words = _random_words(rng, 10_000, k=1)
+        table = BucketTable(1)
+        fresh = table.insert(words)
+        assert fresh.all()
+        assert table.slot_count >= 2 * len(words)
+        assert np.array_equal(table.lookup(words), np.arange(10_000))
+
+    def test_duplicates_do_not_trigger_spurious_growth(self):
+        words = np.tile(np.array([[1, 9]], dtype=np.uint64), (5000, 1))
+        table = BucketTable(2)
+        fresh = table.insert(words)
+        assert fresh.sum() == 1
+        assert len(table) == 1
+
+    def test_dup_heavy_batch_into_populated_table_keeps_size(self):
+        # The saturated-generation regime: a batch far larger than the
+        # table that contains nothing new must leave the slot array and
+        # storage untouched (growth tracks fresh rows, not batch size).
+        rng = np.random.default_rng(11)
+        base = _random_words(rng, 4000)
+        table = BucketTable(2, capacity=4000)
+        table.insert(base)
+        slots_before = table.slot_count
+        fresh = table.insert(np.vstack([base, base, base, base]))
+        assert not fresh.any()
+        assert table.slot_count == slots_before
+        assert len(table) == 4000
+
+
+class TestFoldCollisions:
+    """Distinct rows with identical mixed folds must stay distinct."""
+
+    def test_weak_fold_is_still_exact(self, monkeypatch):
+        # Degrade the fold to its low 3 bits: massive intentional
+        # collisions.  The table must still answer exactly, because
+        # every key match is word-verified and probing walks past
+        # mismatches.
+        monkeypatch.setattr(
+            sets_module,
+            "_mix_words",
+            lambda words: words[:, 0] & np.uint64(7),
+        )
+        rng = np.random.default_rng(4)
+        words = _random_words(rng, 500)
+        table = BucketTable(2)
+        fresh = table.insert(words)
+        assert fresh.all()
+        assert np.array_equal(table.lookup(words), np.arange(500))
+        misses = _random_words(rng, 200)
+        assert (table.lookup(misses) == -1).all()
+
+    def test_constant_fold_duplicates_and_growth(self, monkeypatch):
+        # The pathological extreme: every row hashes to the same home
+        # slot, turning the table into a linear scan.  Correctness
+        # (dedup, first-occurrence ids, growth) must survive.
+        monkeypatch.setattr(
+            sets_module,
+            "_mix_words",
+            lambda words: np.zeros(len(words), dtype=np.uint64),
+        )
+        rng = np.random.default_rng(5)
+        distinct = _random_words(rng, 300, k=1)
+        batch = np.vstack([distinct, distinct[::2]])
+        table = BucketTable(1)
+        fresh = table.insert(batch)
+        assert fresh[:300].all()
+        assert not fresh[300:].any()
+        assert len(table) == 300
+        assert np.array_equal(table.lookup(distinct), np.arange(300))
+
+    def test_match_rows_with_weak_fold(self, monkeypatch):
+        monkeypatch.setattr(
+            sets_module,
+            "_mix_words",
+            lambda words: words[:, 0] & np.uint64(15),
+        )
+        rng = np.random.default_rng(6)
+        values = [int(v) for v in rng.integers(0, 1 << 60, size=400)]
+        base = AddressSet.from_ints(values + values[:60])
+        query = AddressSet.from_ints(
+            values[::5] + [int(v) for v in rng.integers(0, 1 << 60, size=150)]
+        )
+        positions = base.match_rows(query)
+        # Python-set oracle.
+        base_ints = base.to_ints()
+        first_position = {}
+        for i, v in enumerate(base_ints):
+            first_position.setdefault(v, i)
+        expected = [first_position.get(v, -1) for v in query.to_ints()]
+        assert positions.tolist() == expected
+
+
+class TestAgainstReferences:
+    def test_match_rows_agrees_with_sorted_reference(self):
+        rng = np.random.default_rng(7)
+        values = [int(v) for v in rng.integers(0, 1 << 62, size=2000)]
+        base = AddressSet.from_ints(values + values[:300])
+        query = AddressSet.from_ints(
+            values[::2] + [int(v) for v in rng.integers(0, 1 << 62, size=800)]
+        )
+        assert (
+            base.match_rows(query).tolist()
+            == base._match_rows_sorted(query).tolist()
+        )
+
+    def test_prefix_width_rows(self):
+        rng = np.random.default_rng(8)
+        values = [int(v) for v in rng.integers(0, 1 << 60, size=500)]
+        base = AddressSet.from_ints(values, width=16, already_truncated=False)
+        query = AddressSet.from_ints(
+            values[::3], width=16, already_truncated=False
+        )
+        assert (base.match_rows(query) >= 0).all()
+        assert (
+            base.match_rows(query).tolist()
+            == base._match_rows_sorted(query).tolist()
+        )
+
+    def test_table_consistent_with_pack_rows(self):
+        rng = np.random.default_rng(9)
+        matrix = rng.integers(0, 16, size=(300, 32), dtype=np.uint8)
+        base = AddressSet(matrix)
+        table = base._membership_index()
+        assert (table.lookup(pack_rows(matrix)) >= 0).all()

@@ -358,16 +358,18 @@ class TestMatchRows:
             values[::3] + [int(v) for v in generator.integers(0, 1 << 60, size=100)]
         )
         fast = base.match_rows(query)
+        # The sorted reference path must agree with the bucket table.
+        assert base._match_rows_sorted(query).tolist() == fast.tolist()
         # Force the collision-proof rank-composition index and re-match.
         from repro.ipv6.sets import first_occurrence_positions, pack_rows
 
         words = pack_rows(base.matrix)
         distinct = first_occurrence_positions(words)
         forced = AddressSet(base.matrix)
-        forced._member_index = AddressSet._build_rank_index(
+        forced._sorted_index = AddressSet._build_rank_index(
             words[distinct], distinct
         )
-        assert forced.match_rows(query).tolist() == fast.tolist()
+        assert forced._match_rows_sorted(query).tolist() == fast.tolist()
         assert forced.contains_rows(query).tolist() == (fast >= 0).tolist()
 
     def test_rank_fallback_single_word(self):
@@ -381,10 +383,10 @@ class TestMatchRows:
         words = pack_rows(base.matrix)
         distinct = first_occurrence_positions(words)
         forced = AddressSet(base.matrix)
-        forced._member_index = AddressSet._build_rank_index(
+        forced._sorted_index = AddressSet._build_rank_index(
             words[distinct], distinct
         )
-        assert forced.match_rows(query).tolist() == [1, -1, 3]
+        assert forced._match_rows_sorted(query).tolist() == [1, -1, 3]
 
     def test_from_words_rejects_negative_and_float(self):
         with pytest.raises(ValueError):
