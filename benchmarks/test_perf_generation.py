@@ -6,10 +6,12 @@ trajectory is tracked across PRs), and asserts the headline properties:
 a 1M-candidate end-to-end run finishes far inside the CI budget, the
 vectorized generation stages hold their speedups over the checked-in
 seed baseline (end-to-end ≥5x after the PR-3 sampling/dedup rewrite),
-the scan-side oracle sweep holds ≥10x over its per-int scalar
-reference, the bucket-table candidate-batch oracle holds ≥2x over the
-PR-2 searchsorted path, and the sharded engine's ``workers=4`` output
-is bit-identical to ``workers=1``.
+the vectorized ``EntropyIP.fit`` holds ≥3x per network and ≥5x
+headline over the retained scalar ``_fit_reference`` path (the PR-4
+fit-path rewrite), the scan-side oracle sweep holds ≥10x over its
+per-int scalar reference, the bucket-table candidate-batch oracle
+holds ≥2x over the PR-2 searchsorted path, and the sharded engine's
+``workers=4`` output is bit-identical to ``workers=1``.
 
 With ``REPRO_BENCH_CANDIDATES`` set below the full scale the run is a
 smoke pass: the whole pipeline still executes and the structural and
@@ -49,6 +51,15 @@ MIN_END_TO_END_HEADLINE = 5.0
 #: least this factor (measured in-harness, not against the seed file).
 MIN_ORACLE_SPEEDUP = 10.0
 
+#: The PR-4 fit-path gates: the vectorized ``EntropyIP.fit`` must beat
+#: the retained scalar ``_fit_reference`` path by ≥3× on every
+#: benchmark network (noisy-machine floor) and by ≥5× on at least one
+#: (the acceptance headline; R1/S1 measure ~7.5×/~4.5-5× on an idle
+#: host).  Both paths produce bit-identical models — asserted by
+#: tests/core/test_fit_golden.py, not here.
+MIN_FIT_SPEEDUP = 3.0
+MIN_FIT_HEADLINE = 5.0
+
 #: The bucket-table membership probe must beat the PR-2 searchsorted
 #: index by at least this factor on the same candidate batch.
 MIN_BUCKET_SPEEDUP = 2.0
@@ -72,6 +83,8 @@ def test_perf_generation(benchmark, artifact):
         for stage, data in record["stages"].items():
             speedup = record.get("speedup_vs_seed", {}).get(stage)
             suffix = f"  ({speedup}x vs seed)" if speedup else ""
+            if not suffix and data.get("speedup_vs_reference"):
+                suffix = f"  ({data['speedup_vs_reference']}x vs reference)"
             lines.append(
                 f"{name:>4} {stage:>10}: "
                 f"{data['addresses_per_second']:>12,.0f} addr/s"
@@ -150,7 +163,24 @@ def test_perf_generation(benchmark, artifact):
             >= MIN_BUCKET_SPEEDUP
         ), (name, scan["candidate_oracle"])
 
+        # Fit-path gate: the vectorized EntropyIP.fit vs the retained
+        # scalar reference, measured in-harness on the same training
+        # set (best of three each).
+        assert (
+            record["stages"]["fit"]["speedup_vs_reference"]
+            >= MIN_FIT_SPEEDUP
+        ), (name, record["stages"]["fit"])
+
     if FULL_SCALE:
+        # The ≥5x fit headline must hold on at least one network.
+        assert any(
+            record["stages"]["fit"]["speedup_vs_reference"]
+            >= MIN_FIT_HEADLINE
+            for record in result["networks"].values()
+        ), {
+            name: record["stages"]["fit"].get("speedup_vs_reference")
+            for name, record in result["networks"].items()
+        }
         # The ≥5x end-to-end headline must hold somewhere (it holds on
         # every measured network on a quiet machine; the per-network
         # floor above guards regressions on noisy ones).

@@ -138,15 +138,22 @@ def estimate_cpd(
     cardinalities: Sequence[int],
     names: Sequence[str],
     alpha: float = 0.5,
+    counts: np.ndarray = None,
 ) -> CPD:
     """Estimate P(child | parents) with a symmetric Dirichlet prior.
 
     ``alpha`` is the per-cell pseudo-count; 0 gives the raw MLE (parent
     configurations never observed then fall back to uniform).
+
+    ``counts`` optionally supplies the pre-computed family count tensor
+    (axes ``(child, *parents)``, as :func:`count_family` lays it out) —
+    the structure learner passes the cached sufficient statistics the
+    family was scored with, so parameter estimation never re-counts.
     """
     if alpha < 0:
         raise ValueError("alpha must be non-negative")
-    counts = count_family(data, child_index, parent_indices, cardinalities)
+    if counts is None:
+        counts = count_family(data, child_index, parent_indices, cardinalities)
     smoothed = counts + alpha
     column_totals = smoothed.sum(axis=0)
     # Guard the alpha == 0 case: unseen parent configs become uniform.

@@ -5,11 +5,23 @@ each vertex, the parent set that maximizes a decomposable score — either
 the MDL score or a Bayesian (BDe) score.  We implement both; the
 structure learner defaults to BDeu, with BIC/MDL available via
 configuration.
+
+:class:`FamilyStats` is the cached-sufficient-statistics layer the
+structure search runs on: every candidate parent configuration is
+encoded as one fused integer code (built incrementally from the cached
+code of its prefix), family count tensors come from a single
+``bincount`` over ``child * q + parent_code``, BDeu/BIC evaluate with
+vectorized ``gammaln`` over those count arrays, and both counts and
+scores are memoized per ``(child, parent-set)`` so greedy/exhaustive
+search never re-counts a family — and CPD estimation afterwards reuses
+the exact count tensors the winning families were scored with.  The
+direct, uncached :func:`family_score` path is retained as the reference
+implementation (``learn_structure(..., cache=False)``).
 """
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Dict, Sequence, Tuple
 
 import numpy as np
 from scipy.special import gammaln
@@ -76,6 +88,56 @@ def bdeu_score(counts: np.ndarray, equivalent_sample_size: float = 1.0) -> float
     return score
 
 
+def _bdeu_score_sparse(
+    counts: np.ndarray, equivalent_sample_size: float = 1.0
+) -> float:
+    """:func:`bdeu_score`, evaluating ``gammaln`` on nonzero cells only.
+
+    Zero-count cells contribute ``gammaln(α) - gammaln(α) = 0.0``
+    exactly, so the expensive ``gammaln`` runs only where counts are
+    positive and the results scatter back into dense zero arrays —
+    the final ``.sum()`` then traverses arrays elementwise identical
+    to the dense implementation, making the returned float
+    bit-identical while typically touching an order of magnitude fewer
+    cells (family tables are sparse: at most one occupied cell per
+    training row).
+    """
+    if equivalent_sample_size <= 0:
+        raise ValueError("equivalent_sample_size must be positive")
+    r = counts.shape[0]
+    child_counts = counts.reshape(r, -1)
+    q = child_counts.shape[1]
+    alpha_cell = equivalent_sample_size / (r * q)
+    alpha_config = equivalent_sample_size / q
+    column_totals = child_counts.sum(axis=0)
+    config_terms = np.zeros(q, dtype=np.float64)
+    occupied = column_totals > 0
+    config_terms[occupied] = _gammaln_scalar(alpha_config) - gammaln(
+        alpha_config + column_totals[occupied]
+    )
+    score = float(config_terms.sum())
+    cell_terms = np.zeros((r, q), dtype=np.float64)
+    positive = child_counts > 0
+    cell_terms[positive] = gammaln(alpha_cell + child_counts[positive]) - _gammaln_scalar(
+        alpha_cell
+    )
+    score += float(cell_terms.sum())
+    return score
+
+
+#: Scalar ``gammaln`` memo — structure search evaluates the same prior
+#: strengths (a handful of distinct α values per model) thousands of
+#: times.
+_GAMMALN_CACHE: Dict[float, float] = {}
+
+
+def _gammaln_scalar(alpha: float) -> float:
+    cached = _GAMMALN_CACHE.get(alpha)
+    if cached is None:
+        cached = _GAMMALN_CACHE[alpha] = float(gammaln(alpha))
+    return cached
+
+
 def family_score(
     data: np.ndarray,
     child_index: int,
@@ -84,10 +146,127 @@ def family_score(
     method: str = "bdeu",
     equivalent_sample_size: float = 1.0,
 ) -> float:
-    """Score one (child, parent-set) family directly from data."""
+    """Score one (child, parent-set) family directly from data.
+
+    Uncached: every call re-counts the family.  The structure learner
+    normally goes through :class:`FamilyStats`; this function is the
+    retained reference path (and produces bit-identical scores, since
+    :class:`FamilyStats` computes the same fused codes and calls the
+    same scoring functions).
+    """
     counts = count_family(data, child_index, parent_indices, cardinalities)
     if method == "bdeu":
         return bdeu_score(counts, equivalent_sample_size)
     if method in ("bic", "mdl"):
         return bic_score(counts, data.shape[0])
     raise ValueError(f"unknown scoring method: {method!r}")
+
+
+class FamilyStats:
+    """Cached sufficient statistics for family scoring over one dataset.
+
+    Holds the categorical data column-wise and memoizes, per
+    ``(child, parent-set)``: the fused parent configuration codes
+    (small sets only — one multiply-add extends a cached prefix), the
+    family count tensor (one ``bincount``), and the final score.  Count
+    tensors are laid out exactly like
+    :func:`repro.bayes.cpd.count_family` (axes ``(child, *parents)``),
+    so :func:`repro.bayes.cpd.estimate_cpd` can consume them directly
+    and the fitted CPDs are bit-identical to the uncached path.
+    """
+
+    #: Fused parent codes are cached for subsets up to this size; larger
+    #: codes are rebuilt from their cached prefix (one multiply-add per
+    #: extra parent), keeping the cache O(num_vars) arrays.
+    _CODE_CACHE_SIZE = 1
+
+    def __init__(self, data: np.ndarray, cardinalities: Sequence[int]):
+        data = np.asarray(data)
+        if data.ndim != 2:
+            raise ValueError("data must be a 2-D code matrix")
+        self._n = data.shape[0]
+        self._columns = [
+            np.ascontiguousarray(data[:, i], dtype=np.int64)
+            for i in range(data.shape[1])
+        ]
+        self._cards = tuple(int(c) for c in cardinalities)
+        if len(self._cards) != data.shape[1]:
+            raise ValueError("cardinalities must match data columns")
+        empty = np.zeros(self._n, dtype=np.int64)
+        self._codes: Dict[Tuple[int, ...], Tuple[np.ndarray, int]] = {(): (empty, 1)}
+        self._counts: Dict[Tuple[int, Tuple[int, ...]], np.ndarray] = {}
+        self._scores: Dict[Tuple, float] = {}
+
+    @property
+    def n_samples(self) -> int:
+        return self._n
+
+    def parent_codes(self, parents: Tuple[int, ...]) -> Tuple[np.ndarray, int]:
+        """Fused configuration codes for a parent tuple, and their count q.
+
+        ``codes[row] = ((p1*c2 + p2)*c3 + p3)...`` — the same nesting
+        :func:`count_family` flattens with, so counts reshape directly
+        into ``(child, *parent_cards)``.
+        """
+        cached = self._codes.get(parents)
+        if cached is not None:
+            return cached
+        prefix, q = self.parent_codes(parents[:-1])
+        last = parents[-1]
+        card = self._cards[last]
+        entry = (prefix * card + self._columns[last], q * card)
+        if len(parents) <= self._CODE_CACHE_SIZE:
+            self._codes[parents] = entry
+        return entry
+
+    def counts2d(self, child: int, parents: Tuple[int, ...]) -> np.ndarray:
+        """Family counts as an int64 ``(r, q)`` matrix, memoized.
+
+        The 2-D layout is what scoring consumes directly;
+        :meth:`counts` reshapes (a view) into the full tensor.
+        """
+        key = (child, parents)
+        cached = self._counts.get(key)
+        if cached is not None:
+            return cached
+        codes, q = self.parent_codes(parents)
+        r = self._cards[child]
+        flat = self._columns[child] * q + codes
+        counts = np.bincount(flat, minlength=r * q).reshape(r, q)
+        self._counts[key] = counts
+        return counts
+
+    def counts(self, child: int, parents: Tuple[int, ...]) -> np.ndarray:
+        """Family count tensor N(child, parents), axes ``(child, *parents)``.
+
+        Bit-compatible with :func:`repro.bayes.cpd.count_family` (same
+        fused codes, same ``bincount``), reshaped from the memoized 2-D
+        matrix without copying.
+        """
+        parents = tuple(parents)
+        return self.counts2d(child, parents).reshape(
+            (self._cards[child],) + tuple(self._cards[p] for p in parents)
+        )
+
+    def score(
+        self,
+        child: int,
+        parents: Tuple[int, ...],
+        method: str = "bdeu",
+        equivalent_sample_size: float = 1.0,
+    ) -> float:
+        """Memoized family score from the cached count tensor."""
+        parents = tuple(parents)
+        key = (child, parents, method, equivalent_sample_size)
+        cached = self._scores.get(key)
+        if cached is not None:
+            return cached
+        counts = self.counts2d(child, parents)
+        if method == "bdeu":
+            score = _bdeu_score_sparse(counts, equivalent_sample_size)
+        elif method in ("bic", "mdl"):
+            score = bic_score(counts, self._n)
+        else:
+            raise ValueError(f"unknown scoring method: {method!r}")
+        self._scores[key] = score
+        return score

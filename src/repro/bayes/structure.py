@@ -15,19 +15,31 @@ implement the same exhaustive-with-bound search:
 
 For wide models a greedy fallback activates when the predecessor count
 makes exhaustive enumeration too large.
+
+Scoring runs on cached sufficient statistics
+(:class:`repro.bayes.scores.FamilyStats`): candidate parent
+configurations are fused integer codes counted with one ``bincount``,
+BDeu/BIC evaluate vectorized ``gammaln`` over the count arrays, and
+per-``(child, parent-set)`` scores are memoized so neither the
+exhaustive sweep nor greedy forward selection ever re-counts a family.
+The count tensors of the winning families are then handed straight to
+CPD estimation, which makes the fitted parameters bit-identical to the
+uncached path by construction.  ``learn_structure(..., cache=False)``
+retains the original score-from-scratch behaviour (the
+``EntropyIP._fit_reference`` benchmark path).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from itertools import combinations
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.bayes.cpd import estimate_cpd
 from repro.bayes.network import BayesianNetwork
-from repro.bayes.scores import family_score
+from repro.bayes.scores import FamilyStats, family_score
 
 
 @dataclass(frozen=True)
@@ -60,11 +72,18 @@ def learn_structure(
     names: Sequence[str],
     cardinalities: Sequence[int],
     config: StructureConfig = StructureConfig(),
+    cache: bool = True,
 ) -> BayesianNetwork:
     """Learn an ordered BN from an (n, num_vars) categorical code matrix.
 
     ``names`` fixes the ordering constraint: column k may only receive
     parents among columns < k.
+
+    ``cache`` (default) scores through a shared
+    :class:`~repro.bayes.scores.FamilyStats` instance and estimates
+    each CPD from the count tensor its family was scored with;
+    ``cache=False`` retains the original re-count-per-score path (the
+    benchmark reference — results are bit-identical either way).
     """
     data = np.asarray(data)
     if data.ndim != 2:
@@ -75,8 +94,9 @@ def learn_structure(
     if n == 0:
         raise ValueError("cannot learn from an empty dataset")
 
+    stats = FamilyStats(data, cardinalities) if cache else None
     parent_sets = [
-        select_parents(data, child, cardinalities, config)
+        select_parents(data, child, cardinalities, config, stats=stats)
         for child in range(num_vars)
     ]
     cpds = [
@@ -87,6 +107,11 @@ def learn_structure(
             cardinalities,
             names,
             alpha=config.alpha,
+            counts=(
+                stats.counts(child, parent_sets[child])
+                if stats is not None
+                else None
+            ),
         )
         for child in range(num_vars)
     ]
@@ -98,22 +123,53 @@ def select_parents(
     child: int,
     cardinalities: Sequence[int],
     config: StructureConfig,
+    stats: Optional[FamilyStats] = None,
 ) -> Tuple[int, ...]:
-    """Best-scoring parent subset of vertex ``child``'s predecessors."""
+    """Best-scoring parent subset of vertex ``child``'s predecessors.
+
+    With ``stats`` (the cached path), degenerate cardinality-1
+    variables are pruned from the search: a constant child scores 0 for
+    every parent set (the two BDeu sums cancel exactly), and adding a
+    constant parent to any subset reproduces the smaller subset's count
+    table — and therefore its exact float score — so under the strict
+    ``>`` comparisons (smallest subsets first) neither can ever be
+    selected.  The pruned search returns bit-identical parent sets to
+    the exhaustive reference; the exhaustive-vs-greedy decision still
+    uses the unpruned predecessor count so both paths walk the same
+    search strategy.
+    """
     predecessors = list(range(child))
     max_parents = min(config.max_parents, len(predecessors))
+    if stats is not None:
+        if cardinalities[child] <= 1:
+            return ()
+        predecessors = [i for i in predecessors if cardinalities[i] > 1]
 
-    def score_of(parents: Tuple[int, ...]) -> float:
-        return family_score(
-            data,
-            child,
-            parents,
-            cardinalities,
-            method=config.score,
-            equivalent_sample_size=config.equivalent_sample_size,
-        )
+    if stats is not None:
 
-    if _subset_count(len(predecessors), max_parents) <= config.exhaustive_limit:
+        def score_of(parents: Tuple[int, ...]) -> float:
+            return stats.score(
+                child,
+                parents,
+                method=config.score,
+                equivalent_sample_size=config.equivalent_sample_size,
+            )
+
+    else:
+
+        def score_of(parents: Tuple[int, ...]) -> float:
+            return family_score(
+                data,
+                child,
+                parents,
+                cardinalities,
+                method=config.score,
+                equivalent_sample_size=config.equivalent_sample_size,
+            )
+
+    # Exhaustive-vs-greedy is decided on the unpruned predecessor count
+    # so the cached and reference paths always run the same strategy.
+    if _subset_count(child, min(config.max_parents, child)) <= config.exhaustive_limit:
         best_parents: Tuple[int, ...] = ()
         best_score = score_of(())
         for size in range(1, max_parents + 1):

@@ -12,9 +12,33 @@ This implementation supports:
   neighborhood it belongs to) — the mining step clusters *distinct*
   segment values weighted by their frequencies instead of expanding
   multisets;
-- a uniform-grid spatial index with cell size eps, so region queries only
-  examine neighboring cells (expected near-linear behaviour for the low
-  dimensional, 1-D/2-D, inputs used here).
+- two interchangeable engines behind one :class:`DBSCAN` facade:
+
+  * ``"vector"`` — the array-native engine segment mining runs on.
+    Points are ordered by their first coordinate; two ``searchsorted``
+    calls per point delimit a *candidate band* (using an
+    over-approximated radius, so no true neighbor can fall outside),
+    the exact distance test runs once over the flattened band pairs,
+    neighborhood weights come from one ``bincount``, core components
+    from a sparse connected-components pass, and border points join the
+    lowest-numbered adjacent cluster.  No per-point Python region
+    queries at all.
+  * ``"grid"`` — the original scan: a uniform-grid spatial index with
+    cell size eps and an explicit expansion frontier.  Retained both as
+    the reference implementation (the scalar fit path of
+    ``EntropyIP._fit_reference`` runs it) and as the fallback for
+    inputs the banded engine cannot handle bit-exactly (non-integral
+    weights, or coordinates so large that the band over-approximation
+    slack would round away — see :func:`_banded_is_exact`).
+
+Both engines produce **identical labels**, not merely isomorphic
+clusterings: distances use the same ``sqrt((deltas**2).sum())``
+arithmetic, integer-valued weights make neighborhood sums
+order-independent, cluster ids number components by their smallest
+original core index (the order the scan discovers them), and a border
+point between two clusters joins the lower-numbered one (the one whose
+expansion reaches it first).  ``tests/cluster`` and the property suite
+assert this parity on random inputs.
 """
 
 from __future__ import annotations
@@ -27,22 +51,42 @@ import numpy as np
 #: Cluster label assigned to noise points.
 NOISE = -1
 
+#: Relative over-approximation applied to the banded engine's candidate
+#: radius.  Any point passing the exact test ``sqrt((dx² + ... )) <= eps``
+#: has ``|dx| <= eps * (1 + 2**-50)``, so widening the candidate window
+#: by this much guarantees the band is a superset of every true
+#: neighborhood (provided the slack survives coordinate rounding, which
+#: :func:`_banded_is_exact` checks).
+_BAND_SLACK = 1e-9
+
+#: Candidate-pair budget of the banded engine (~30M pairs ≈ a few
+#: hundred MB transient); denser inputs fall back to the grid scan.
+_MAX_BAND_PAIRS = 30_000_000
+
 
 class DBSCAN:
     """Reusable DBSCAN clusterer.
+
+    ``algorithm`` selects the engine: ``"auto"`` (default) runs the
+    vectorized banded engine whenever it is provably label-exact for
+    the input and the grid scan otherwise; ``"vector"`` / ``"grid"``
+    force one engine.
 
     >>> points = [[0.0], [0.1], [0.2], [9.0]]
     >>> DBSCAN(eps=0.5, min_samples=2).fit(points).labels.tolist()
     [0, 0, 0, -1]
     """
 
-    def __init__(self, eps: float, min_samples: float):
+    def __init__(self, eps: float, min_samples: float, algorithm: str = "auto"):
         if eps <= 0:
             raise ValueError("eps must be positive")
         if min_samples <= 0:
             raise ValueError("min_samples must be positive")
+        if algorithm not in ("auto", "vector", "grid"):
+            raise ValueError(f"unknown algorithm: {algorithm!r}")
         self.eps = float(eps)
         self.min_samples = float(min_samples)
+        self.algorithm = algorithm
         self.labels: Optional[np.ndarray] = None
 
     def fit(
@@ -61,7 +105,14 @@ class DBSCAN:
                 raise ValueError("weights must match number of points")
             if np.any(weight_array < 0):
                 raise ValueError("weights must be non-negative")
-        self.labels = _dbscan(array, weight_array, self.eps, self.min_samples)
+        if self.algorithm == "grid" or (
+            self.algorithm == "auto"
+            and not _banded_is_exact(array, weight_array, self.eps)
+        ):
+            engine = _dbscan_grid
+        else:
+            engine = _dbscan_banded
+        self.labels = engine(array, weight_array, self.eps, self.min_samples)
         return self
 
     def clusters(self) -> Dict[int, List[int]]:
@@ -83,6 +134,127 @@ def dbscan_labels(
 ) -> np.ndarray:
     """Functional one-shot interface to :class:`DBSCAN`."""
     return DBSCAN(eps, min_samples).fit(points, weights).labels
+
+
+# ----------------------------------------------------------------------
+# vectorized banded engine
+# ----------------------------------------------------------------------
+
+
+def _banded_is_exact(
+    points: np.ndarray, weights: np.ndarray, eps: float
+) -> bool:
+    """True when the banded engine is label-identical to the grid scan.
+
+    Two conditions: all weights integral and summing inside the float64
+    exact-integer range (so neighborhood sums are order-independent),
+    and the band slack ``eps * _BAND_SLACK`` strictly dominating the
+    rounding of ``x ± radius`` at the coordinate magnitudes present (so
+    the candidate window cannot round past a true neighbor).  Both hold
+    for every input segment mining produces.
+    """
+    if points.shape[0] == 0:
+        return True
+    if not np.all(weights == np.floor(weights)):
+        return False
+    if weights.sum() >= 2.0**53:
+        return False
+    x = points[:, 0]
+    max_magnitude = float(np.abs(x).max()) + eps
+    return eps * _BAND_SLACK > 8.0 * np.spacing(max_magnitude)
+
+
+def _dbscan_banded(
+    points: np.ndarray, weights: np.ndarray, eps: float, min_samples: float
+) -> np.ndarray:
+    """Vectorized DBSCAN over first-coordinate candidate bands.
+
+    Label-identical to :func:`_dbscan_grid` for inputs passing
+    :func:`_banded_is_exact` (see module docstring for why the
+    tie-breaking rules coincide).
+    """
+    n = points.shape[0]
+    labels = np.full(n, NOISE, dtype=np.int64)
+    if n == 0:
+        return labels
+    order = np.argsort(points[:, 0], kind="stable")
+    sorted_points = points[order]
+    x = sorted_points[:, 0]
+    radius = eps * (1.0 + _BAND_SLACK)
+    lo = np.searchsorted(x, x - radius, side="left")
+    hi = np.searchsorted(x, x + radius, side="right")
+    band_widths = hi - lo
+    total = int(band_widths.sum())
+    if total > _MAX_BAND_PAIRS:
+        # Dense bands would materialize too many candidate pairs; the
+        # grid scan handles this regime in bounded memory.
+        return _dbscan_grid(points, weights, eps, min_samples)
+    rows = np.repeat(np.arange(n, dtype=np.int64), band_widths)
+    starts = np.zeros(n, dtype=np.int64)
+    np.cumsum(band_widths[:-1], out=starts[1:])
+    cols = np.arange(total, dtype=np.int64) - np.repeat(starts - lo, band_widths)
+    # The exact neighbor test, same arithmetic as the grid scan.
+    deltas = sorted_points[cols] - sorted_points[rows]
+    within = np.sqrt((deltas * deltas).sum(axis=1)) <= eps
+    rows, cols = rows[within], cols[within]
+    sorted_weights = weights[order]
+    neighborhood_weight = np.bincount(
+        rows, weights=sorted_weights[cols], minlength=n
+    )
+    core = neighborhood_weight >= min_samples
+    core_indices = np.nonzero(core)[0]
+    if core_indices.size == 0:
+        return labels
+    if points.shape[1] == 1:
+        # 1-D fast path: cores are sorted by value, and core i connects
+        # to core j > i exactly when every consecutive gap between them
+        # passes the eps test (distance is monotone along the line), so
+        # components split at consecutive-core gaps exceeding eps.
+        core_x = sorted_points[core_indices]
+        gap = core_x[1:] - core_x[:-1]
+        broken = np.sqrt((gap * gap).sum(axis=1)) > eps
+        component = np.concatenate([[0], np.cumsum(broken)])
+    else:
+        # Components of the core-core adjacency (sparse, C pass).
+        from scipy.sparse import coo_matrix
+        from scipy.sparse.csgraph import connected_components
+
+        core_pair = core[rows] & core[cols]
+        core_rank = np.cumsum(core) - 1  # sorted core index → 0..k-1
+        graph = coo_matrix(
+            (
+                np.ones(int(core_pair.sum()), dtype=np.int8),
+                (core_rank[rows[core_pair]], core_rank[cols[core_pair]]),
+            ),
+            shape=(core_indices.size, core_indices.size),
+        )
+        _, component = connected_components(graph, directed=False)
+    # Renumber components by their smallest ORIGINAL core index — the
+    # order in which the scanning engine discovers clusters.
+    first_original = np.full(int(component.max()) + 1, n, dtype=np.int64)
+    np.minimum.at(first_original, component, order[core_indices])
+    component = np.argsort(np.argsort(first_original, kind="stable"))[component]
+    core_labels = np.full(n, np.iinfo(np.int64).max, dtype=np.int64)
+    core_labels[core_indices] = component
+    sorted_labels = np.full(n, NOISE, dtype=np.int64)
+    sorted_labels[core_indices] = component
+    # Border points: non-core within eps of >= 1 core join the
+    # lowest-numbered such cluster (whose expansion claims them first).
+    border_pair = ~core[rows] & core[cols]
+    if border_pair.any():
+        border_best = np.full(n, np.iinfo(np.int64).max, dtype=np.int64)
+        np.minimum.at(
+            border_best, rows[border_pair], core_labels[cols[border_pair]]
+        )
+        claimed = border_best < np.iinfo(np.int64).max
+        sorted_labels[claimed] = border_best[claimed]
+    labels[order] = sorted_labels
+    return labels
+
+
+# ----------------------------------------------------------------------
+# grid-scan engine (reference + fallback)
+# ----------------------------------------------------------------------
 
 
 class _GridIndex:
@@ -120,9 +292,10 @@ class _GridIndex:
         return within.tolist()
 
 
-def _dbscan(
+def _dbscan_grid(
     points: np.ndarray, weights: np.ndarray, eps: float, min_samples: float
 ) -> np.ndarray:
+    """The original frontier-expansion scan over a grid index."""
     n = points.shape[0]
     labels = np.full(n, NOISE, dtype=np.int64)
     if n == 0:
@@ -162,3 +335,7 @@ def _dbscan(
                         frontier.append(neighbor)
         cluster_id += 1
     return labels
+
+
+#: Backwards-compatible alias for the original engine entry point.
+_dbscan = _dbscan_grid

@@ -10,6 +10,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, List, Sequence, Tuple
 
+import numpy as np
+
 
 @dataclass(frozen=True, order=True)
 class Interval:
@@ -91,8 +93,31 @@ def clusters_to_intervals(
     """Convert DBSCAN output over scalar values into labeled intervals.
 
     Returns (label, interval) pairs sorted by interval; noise (-1) is
-    skipped.
+    skipped.  Accepts plain sequences or numpy arrays; integer-dtype
+    arrays are grouped vectorized instead of with a per-point loop.
+    (Plain Python lists with entries above 2**63 coerce to float64
+    under ``np.asarray`` — only a genuine integer dtype is trusted, so
+    such inputs keep the exact scalar path.)
     """
+    value_array = np.asarray(values)
+    label_array = np.asarray(labels)
+    if value_array.dtype.kind in "iu" and value_array.size:
+        clustered = label_array >= 0
+        cluster_labels = label_array[clustered]
+        cluster_values = value_array[clustered]
+        pairs = []
+        for label in np.unique(cluster_labels):
+            member_values = cluster_values[cluster_labels == label]
+            pairs.append(
+                (
+                    int(label),
+                    Interval(
+                        int(member_values.min()), int(member_values.max())
+                    ),
+                )
+            )
+        pairs.sort(key=lambda pair: pair[1])
+        return pairs
     spans: dict = {}
     for value, label in zip(values, labels):
         if label < 0:

@@ -19,6 +19,16 @@ distinct values remain, in which case they are taken individually.
 
 The resulting elements carry codes ``<label><index>`` (A1, B2, ...) used
 to rewrite addresses as categorical vectors (Table 3).
+
+The mining hot path is array-native (``engine="vector"``, the default):
+per-segment value histograms build straight from the nybble matrix via
+one ``np.unique`` pass, DBSCAN receives the histogram's value/count
+arrays (and runs its vectorized pairwise engine), and interval counts
+are ``searchsorted`` slices.  ``engine="reference"`` retains the
+pre-vectorization scalar path — per-value Python histograms
+(:class:`~repro.stats.histogram._ReferenceHistogram`), list-fed
+grid-scan DBSCAN — and produces byte-identical mined values; it backs
+``EntropyIP._fit_reference`` and the fit-stage benchmark.
 """
 
 from __future__ import annotations
@@ -32,8 +42,8 @@ from repro.cluster.dbscan import DBSCAN
 from repro.cluster.intervals import Interval, clusters_to_intervals
 from repro.core.segmentation import Segment
 from repro.ipv6.sets import AddressSet
-from repro.stats.histogram import Histogram
-from repro.stats.outliers import tukey_outlier_values
+from repro.stats.histogram import Histogram, _ReferenceHistogram
+from repro.stats.outliers import _tukey_outlier_values_scalar, tukey_outlier_values
 
 
 @dataclass(frozen=True)
@@ -169,10 +179,25 @@ def mine_segment(
     address_set: AddressSet,
     segment: Segment,
     config: MiningConfig = MiningConfig(),
+    engine: str = "vector",
 ) -> MinedSegment:
-    """Run the three-step mining heuristic on one segment."""
+    """Run the three-step mining heuristic on one segment.
+
+    ``engine="vector"`` (default) runs the array-native path;
+    ``engine="reference"`` runs the retained scalar path (identical
+    output, pre-vectorization cost — the benchmark baseline).
+    """
+    if engine not in ("vector", "reference"):
+        raise ValueError(f"unknown mining engine: {engine!r}")
     raw_values = address_set.segment_values(segment.first_nybble, segment.last_nybble)
-    histogram = Histogram.from_values(int(v) for v in raw_values)
+    scalar = engine == "reference"
+    if scalar:
+        histogram = _ReferenceHistogram.from_values(int(v) for v in raw_values)
+    else:
+        histogram = Histogram.from_array(raw_values)
+        # Segments wider than 64 bits (hard cuts disabled) fall back to
+        # object arrays; mine them with the scalar operations.
+        scalar = histogram.values.dtype == object
     total = histogram.total
     if total == 0:
         raise ValueError("cannot mine an empty address set")
@@ -195,16 +220,28 @@ def mine_segment(
         return histogram.total <= config.stop_fraction * total
 
     # ------------------------------------------------------------ (a)
-    outliers = tukey_outlier_values(histogram, max_results=config.max_nominations)
+    outlier_fn = _tukey_outlier_values_scalar if scalar else tukey_outlier_values
+    outliers = outlier_fn(histogram, max_results=config.max_nominations)
     chosen = dict(outliers)
     # Frequency-threshold nominations: popular values of near-uniform
     # segments that the fence misses (see MiningConfig.point_frequency).
     threshold = config.point_frequency * total
-    for value, count in histogram.items():
-        if len(chosen) >= config.max_nominations:
-            break
-        if count >= threshold and value not in chosen:
-            chosen[value] = count
+    need = config.max_nominations - len(chosen)
+    if scalar:
+        for value, count in histogram.items():
+            if len(chosen) >= config.max_nominations:
+                break
+            if count >= threshold and value not in chosen:
+                chosen[value] = count
+    elif need > 0 and len(histogram):
+        eligible = histogram.counts >= threshold
+        if chosen:
+            eligible &= ~np.isin(
+                histogram.values,
+                np.asarray(list(chosen), dtype=histogram.values.dtype),
+            )
+        for index in np.nonzero(eligible)[0][:need]:
+            chosen[int(histogram.values[index])] = int(histogram.counts[index])
     nominated = sorted(chosen.items(), key=lambda pair: (-pair[1], pair[0]))
     nominated = nominated[: config.max_nominations]
     for value, count in nominated:
@@ -213,7 +250,7 @@ def mine_segment(
 
     # ------------------------------------------------------------ (b)
     if not finished() and len(histogram) >= 2:
-        for interval in _value_space_ranges(histogram, segment, config):
+        for interval in _value_space_ranges(histogram, segment, config, scalar):
             count = histogram.count_in_range(interval.low, interval.high)
             if count == 0:
                 continue
@@ -222,7 +259,7 @@ def mine_segment(
 
     # ------------------------------------------------------------ (c)
     if not finished() and len(histogram) >= config.histogram_min_points:
-        for interval in _histogram_ranges(histogram, segment, config):
+        for interval in _histogram_ranges(histogram, segment, config, scalar):
             count = histogram.count_in_range(interval.low, interval.high)
             if count == 0:
                 continue
@@ -262,13 +299,31 @@ def mine_segments(
     address_set: AddressSet,
     segments: Sequence[Segment],
     config: MiningConfig = MiningConfig(),
+    engine: str = "vector",
 ) -> List[MinedSegment]:
     """Mine every segment of a segmentation."""
-    return [mine_segment(address_set, s, config) for s in segments]
+    return [mine_segment(address_set, s, config, engine=engine) for s in segments]
+
+
+def _histogram_points(histogram: Histogram, scalar: bool) -> np.ndarray:
+    """The histogram's values as a float column, without a Python loop."""
+    if scalar or histogram.values.dtype == object:
+        return np.asarray([float(int(v)) for v in histogram.values])
+    return histogram.values.astype(np.float64)
+
+
+def _cluster_values(histogram: Histogram, scalar: bool):
+    """Value sequence handed to :func:`clusters_to_intervals`."""
+    if scalar:
+        return [int(v) for v in histogram.values]
+    return histogram.values
 
 
 def _value_space_ranges(
-    histogram: Histogram, segment: Segment, config: MiningConfig
+    histogram: Histogram,
+    segment: Segment,
+    config: MiningConfig,
+    scalar: bool = False,
 ) -> List[Interval]:
     """Step (b): dense ranges in value space (weighted 1-D DBSCAN)."""
     cardinality = segment.cardinality
@@ -277,53 +332,115 @@ def _value_space_ranges(
         config.value_min_weight,
         histogram.total * config.value_min_weight_fraction,
     )
-    points = np.asarray([float(int(v)) for v in histogram.values]).reshape(-1, 1)
+    points = _histogram_points(histogram, scalar).reshape(-1, 1)
     weights = histogram.counts.astype(np.float64)
-    labels = DBSCAN(eps=eps, min_samples=min_weight).fit(points, weights).labels
-    intervals = [
-        interval
-        for _, interval in clusters_to_intervals(
-            [int(v) for v in histogram.values], labels
-        )
-        if _interval_distinct(histogram, interval) >= config.min_range_width
-    ]
-    return _top_ranges(histogram, intervals, config.max_nominations)
+    algorithm = "grid" if scalar else "auto"
+    labels = (
+        DBSCAN(eps=eps, min_samples=min_weight, algorithm=algorithm)
+        .fit(points, weights)
+        .labels
+    )
+    intervals = _wide_enough_intervals(histogram, labels, config, scalar)
+    return _top_ranges(histogram, intervals, config.max_nominations, scalar)
 
 
 def _histogram_ranges(
-    histogram: Histogram, segment: Segment, config: MiningConfig
+    histogram: Histogram,
+    segment: Segment,
+    config: MiningConfig,
+    scalar: bool = False,
 ) -> List[Interval]:
     """Step (c): uniform & continuous ranges in the (value, count) plane."""
     cardinality = segment.cardinality
     max_count = float(histogram.counts.max())
     points = np.column_stack(
         [
-            np.asarray([float(int(v)) for v in histogram.values]) / cardinality,
+            _histogram_points(histogram, scalar) / cardinality,
             histogram.counts.astype(np.float64) / max_count,
         ]
     )
+    algorithm = "grid" if scalar else "auto"
     labels = (
-        DBSCAN(eps=config.histogram_eps, min_samples=config.histogram_min_points)
+        DBSCAN(
+            eps=config.histogram_eps,
+            min_samples=config.histogram_min_points,
+            algorithm=algorithm,
+        )
         .fit(points)
         .labels
     )
-    intervals = [
+    intervals = _wide_enough_intervals(histogram, labels, config, scalar)
+    return _top_ranges(histogram, intervals, config.max_nominations, scalar)
+
+
+def _wide_enough_intervals(
+    histogram: Histogram,
+    labels: np.ndarray,
+    config: MiningConfig,
+    scalar: bool,
+) -> List[Interval]:
+    """Cluster intervals with at least ``min_range_width`` distinct values."""
+    pairs = clusters_to_intervals(_cluster_values(histogram, scalar), labels)
+    if not pairs:
+        return []
+    intervals = [interval for _, interval in pairs]
+    distinct = _interval_distinct_many(histogram, intervals, scalar)
+    return [
         interval
-        for _, interval in clusters_to_intervals(
-            [int(v) for v in histogram.values], labels
-        )
-        if _interval_distinct(histogram, interval) >= config.min_range_width
+        for interval, width in zip(intervals, distinct)
+        if width >= config.min_range_width
     ]
-    return _top_ranges(histogram, intervals, config.max_nominations)
 
 
-def _interval_distinct(histogram: Histogram, interval: Interval) -> int:
+def _interval_distinct(
+    histogram: Histogram, interval: Interval, scalar: bool = False
+) -> int:
     """Distinct histogram values inside the interval."""
-    return sum(1 for v in histogram.values if interval.low <= int(v) <= interval.high)
+    if scalar or histogram.values.dtype == object:
+        return sum(
+            1 for v in histogram.values if interval.low <= int(v) <= interval.high
+        )
+    start, stop = histogram._range_slice(interval.low, interval.high)
+    return stop - start
+
+
+def _interval_bounds_slices(
+    histogram: Histogram, intervals: Sequence[Interval]
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Vectorized ``_range_slice`` over many intervals at once."""
+    lows = np.asarray([i.low for i in intervals], dtype=np.uint64)
+    highs = np.asarray([i.high for i in intervals], dtype=np.uint64)
+    starts = histogram.values.searchsorted(lows, side="left")
+    stops = histogram.values.searchsorted(highs, side="right")
+    return starts, stops
+
+
+def _interval_distinct_many(
+    histogram: Histogram, intervals: Sequence[Interval], scalar: bool
+) -> List[int]:
+    """Distinct value counts for every interval, batched when vectorized."""
+    if scalar or histogram.values.dtype == object:
+        return [_interval_distinct(histogram, i, scalar=True) for i in intervals]
+    starts, stops = _interval_bounds_slices(histogram, intervals)
+    return (stops - starts).tolist()
+
+
+def _interval_counts_many(
+    histogram: Histogram, intervals: Sequence[Interval], scalar: bool
+) -> List[int]:
+    """Observation counts for every interval, batched when vectorized."""
+    if scalar or histogram.values.dtype == object:
+        return [histogram.count_in_range(i.low, i.high) for i in intervals]
+    starts, stops = _interval_bounds_slices(histogram, intervals)
+    cumulative = np.concatenate([[0], np.cumsum(histogram.counts)])
+    return (cumulative[stops] - cumulative[starts]).tolist()
 
 
 def _top_ranges(
-    histogram: Histogram, intervals: List[Interval], limit: int
+    histogram: Histogram,
+    intervals: List[Interval],
+    limit: int,
+    scalar: bool = False,
 ) -> List[Interval]:
     """Keep the ``limit`` ranges covering the most observations.
 
@@ -333,9 +450,12 @@ def _top_ranges(
     from repro.cluster.intervals import merge_intervals
 
     merged = merge_intervals(intervals)
-    merged.sort(
-        key=lambda i: (-histogram.count_in_range(i.low, i.high), i.low)
+    if not merged:
+        return merged
+    covered = _interval_counts_many(histogram, merged, scalar)
+    decorated = sorted(
+        zip(merged, covered), key=lambda pair: (-pair[1], pair[0].low)
     )
-    chosen = merged[:limit]
+    chosen = [interval for interval, _ in decorated[:limit]]
     chosen.sort(key=lambda i: i.low)
     return chosen

@@ -18,7 +18,7 @@ from typing import Dict, Iterable, List, Optional, Union
 
 import numpy as np
 
-from repro.bayes.structure import StructureConfig
+from repro.bayes.structure import StructureConfig, learn_structure
 from repro.core.acr import aggregate_count_ratio
 from repro.core.browser import ConditionalBrowser
 from repro.core.encoding import AddressEncoder
@@ -33,7 +33,7 @@ from repro.core.segmentation import (
 from repro.core.windowing import WindowingResult, windowing_analysis
 from repro.ipv6.address import IPv6Address
 from repro.ipv6.sets import AddressSet
-from repro.stats.entropy import nybble_entropies
+from repro.stats.entropy import _nybble_entropies_scalar, nybble_entropies
 from repro.stats.rng import default_rng
 
 
@@ -88,6 +88,44 @@ class EntropyIP:
         mined = mine_segments(address_set, segments, mining)
         encoder = AddressEncoder(mined)
         model = AddressModel.fit(address_set, encoder, structure)
+        return cls(address_set, entropies, segments, mined, model)
+
+    @classmethod
+    def _fit_reference(
+        cls,
+        addresses: Union[AddressSet, Iterable[Union[str, int, IPv6Address]]],
+        width: int = 32,
+        segmentation: SegmentationConfig = SegmentationConfig(),
+        mining: MiningConfig = MiningConfig(),
+        structure: StructureConfig = StructureConfig(),
+    ) -> "EntropyIP":
+        """The retained pre-vectorization scalar fit path.
+
+        Runs the identical pipeline on the scalar building blocks kept
+        for exactly this purpose — the per-column entropy loop, the
+        per-value Python histogram / grid-scan DBSCAN mining engine,
+        and re-count-per-score structure learning — and produces a
+        **bit-identical** fitted model (same segments, mined values, BN
+        edges and CPD tables; the golden-fit suite asserts it).  The
+        fit-stage benchmark measures :meth:`fit` against this method.
+        """
+        address_set = _as_address_set(addresses, width)
+        if len(address_set) == 0:
+            raise ValueError("cannot fit on an empty address set")
+        entropies = _nybble_entropies_scalar(address_set)
+        starts = boundaries_from_entropy(entropies, segmentation)
+        segments = segments_from_boundaries(starts, address_set.width)
+        mined = mine_segments(address_set, segments, mining, engine="reference")
+        encoder = AddressEncoder(mined)
+        codes = encoder.encode_set(address_set)
+        network = learn_structure(
+            codes,
+            encoder.variable_names,
+            encoder.cardinalities,
+            structure,
+            cache=False,
+        )
+        model = AddressModel(encoder, network)
         return cls(address_set, entropies, segments, mined, model)
 
     # ------------------------------------------------------------------

@@ -6,17 +6,30 @@ within segments.  We intend to do so in future research, possibly
 employing the concept of mutual information."  This module implements
 that study: empirical MI between nybble columns, a full pairwise MI
 matrix, and a normalized variant suitable for heat-map rendering.
+
+The pairwise scalar estimators (:func:`mutual_information`,
+:func:`normalized_mutual_information`) are the reference definitions;
+:func:`mi_matrix` no longer calls them per pair but derives the whole
+``width × width`` matrix from the shared joint-count tensor of
+:func:`repro.stats.entropy.nybble_contingency` — one fused bincount
+over the address matrix — via ``I(X;Y) = H(X) + H(Y) - H(X,Y)`` with
+every entropy computed by one vectorized pass over the count rows.
+:func:`top_dependent_pairs` is then a thin argsort over that matrix.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Sequence, Tuple
+from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.ipv6.sets import AddressSet
-from repro.stats.entropy import entropy_of_counts
+from repro.stats.entropy import (
+    entropy_of_count_rows,
+    entropy_of_counts,
+    nybble_contingency,
+)
 
 #: Number of possible nybble values.
 _CARD = 16
@@ -63,8 +76,37 @@ def mi_matrix(
     """Pairwise (width x width) MI matrix over all nybble columns.
 
     The diagonal holds each column's self-NMI (1 for non-constant
-    columns under normalization, H(X) otherwise).
+    columns under normalization, H(X) otherwise).  Derived in one
+    contingency pass: the ``(width, width, 16, 16)`` joint tensor from
+    :func:`~repro.stats.entropy.nybble_contingency` yields all joint
+    and marginal entropies without touching the data again.
     """
+    width = address_set.width
+    if len(address_set) == 0:
+        return np.zeros((width, width), dtype=np.float64)
+    joint = nybble_contingency(address_set)
+    h_joint = entropy_of_count_rows(
+        joint.reshape(width, width, _CARD * _CARD)
+    )
+    marginal_counts = joint[:, 0, :, :].sum(axis=2)
+    h = entropy_of_count_rows(marginal_counts)
+    mi = np.maximum(0.0, h[:, np.newaxis] + h[np.newaxis, :] - h_joint)
+    if normalized:
+        denominator = np.minimum(h[:, np.newaxis], h[np.newaxis, :])
+        safe = np.where(denominator > 0, denominator, 1.0)
+        mi = np.where(denominator > 0, np.minimum(1.0, mi / safe), 0.0)
+    # H(X_i, X_j) and H(X_j, X_i) sum the same 256 joint counts in
+    # transposed order, which can differ in the last ulp; mirror the
+    # upper triangle exactly like the pairwise loop did.
+    lower = np.tril_indices(width, -1)
+    mi[lower] = mi.T[lower]
+    return mi
+
+
+def _mi_matrix_pairwise(
+    address_set: AddressSet, normalized: bool = True
+) -> np.ndarray:
+    """The pre-vectorization per-pair loop (reference for property tests)."""
     matrix = address_set.matrix
     width = address_set.width
     measure = normalized_mutual_information if normalized else mutual_information
@@ -81,22 +123,32 @@ def top_dependent_pairs(
     address_set: AddressSet,
     limit: int = 10,
     min_nmi: float = 0.2,
+    matrix: Optional[np.ndarray] = None,
 ) -> Sequence[Tuple[int, int, float]]:
     """The most-dependent non-adjacent column pairs, strongest first.
 
     Returns (position_i, position_j, nmi) with 1-indexed positions,
     skipping trivially-correlated adjacent columns so the output
     surfaces the long-range structure the BN cares about.
+
+    A thin argsort over the (cheap, single-pass) :func:`mi_matrix`
+    output; pass ``matrix`` to reuse an already-computed NMI matrix
+    instead of recomputing it.
     """
-    matrix = mi_matrix(address_set, normalized=True)
+    if matrix is None:
+        matrix = mi_matrix(address_set, normalized=True)
     width = matrix.shape[0]
-    pairs = []
-    for i in range(width):
-        for j in range(i + 2, width):  # skip adjacent columns
-            if matrix[i, j] >= min_nmi:
-                pairs.append((i + 1, j + 1, float(matrix[i, j])))
-    pairs.sort(key=lambda triple: -triple[2])
-    return pairs[:limit]
+    i_idx, j_idx = np.triu_indices(width, k=2)  # skip adjacent columns
+    values = matrix[i_idx, j_idx]
+    keep = values >= min_nmi
+    i_idx, j_idx, values = i_idx[keep], j_idx[keep], values[keep]
+    # Strongest first; ties keep (i, j) order like the stable list sort
+    # of the scalar implementation did.
+    order = np.argsort(-values, kind="stable")[:limit]
+    return [
+        (int(i_idx[k]) + 1, int(j_idx[k]) + 1, float(values[k]))
+        for k in order
+    ]
 
 
 def intra_segment_mi(

@@ -48,6 +48,38 @@ def tukey_outlier_values(
         outliers = [(int(histogram.values[0]), int(histogram.counts[0]))]
         return outliers[:max_results] if max_results else outliers
     fence = tukey_fence(counts, k=k)
+    if histogram.values.dtype == object:
+        chosen = [
+            (int(v), int(c))
+            for v, c in zip(histogram.values, histogram.counts)
+            if c > fence
+        ]
+        chosen.sort(key=lambda pair: (-pair[1], pair[0]))
+        if max_results is not None:
+            chosen = chosen[:max_results]
+        return chosen
+    # Vectorized: mask the fence, then one stable lexsort by
+    # (-count, value) — values are already ascending, so a stable sort
+    # on the negated counts alone reproduces the scalar tie order.
+    mask = histogram.counts > fence
+    values, over = histogram.values[mask], histogram.counts[mask]
+    order = np.argsort(-over, kind="stable")
+    if max_results is not None:
+        order = order[:max_results]
+    return [(int(values[i]), int(over[i])) for i in order]
+
+
+def _tukey_outlier_values_scalar(
+    histogram: Histogram, k: float = 1.5, max_results: int = None
+) -> List[Tuple[int, int]]:
+    """The pre-vectorization comprehension (reference fit path)."""
+    if len(histogram) == 0:
+        return []
+    counts = histogram.counts.astype(np.float64)
+    if len(histogram) == 1:
+        outliers = [(int(histogram.values[0]), int(histogram.counts[0]))]
+        return outliers[:max_results] if max_results else outliers
+    fence = tukey_fence(counts, k=k)
     chosen = [
         (int(v), int(c))
         for v, c in zip(histogram.values, histogram.counts)

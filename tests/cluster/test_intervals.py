@@ -118,3 +118,21 @@ class TestClustersToIntervals:
 
     def test_noise_skipped(self):
         assert clusters_to_intervals([5], [-1]) == []
+
+    def test_vectorized_matches_scalar_on_uint64_array(self):
+        import numpy as np
+
+        values = np.asarray([1, 2, 3, 10, 11, 50], dtype=np.uint64)
+        labels = np.asarray([0, 0, 0, 1, 1, -1])
+        assert clusters_to_intervals(values, labels) == [
+            (0, Interval(1, 3)),
+            (1, Interval(10, 11)),
+        ]
+
+    def test_python_ints_above_2_63_stay_exact(self):
+        # A plain int list with entries above 2**63 coerces to float64
+        # under np.asarray; the exact scalar path must handle it, not
+        # the vectorized branch (which would round the bounds).
+        low, high = 2**63 + 12345, 2**63 + 12346
+        pairs = clusters_to_intervals([low, high, 5], [0, 0, -1])
+        assert pairs == [(0, Interval(low, high))]

@@ -1,0 +1,125 @@
+"""Golden-fit regression tests for the vectorized fit path.
+
+The PR-4 vectorization rewired every stage of ``EntropyIP.fit``
+(fused-bincount entropies, array-native mining over the banded DBSCAN,
+cached-sufficient-statistics structure learning).  These tests pin a
+content digest of the complete fitted model — segment boundaries, mined
+value/range codes with exact frequencies, BN edges, CPD tables — for
+the benchmark networks at seed 0, so any change that alters fit output
+fails loudly here instead of silently shifting scan counts; and they
+assert the vectorized path is bit-identical to the retained scalar
+reference path (``EntropyIP._fit_reference``) on the same data.
+
+If a digest changes *intentionally* (an algorithmic change to the
+pipeline), re-pin it by running this file's ``print_digests`` helper::
+
+    PYTHONPATH=src python -c \
+        "from tests.core.test_fit_golden import print_digests; print_digests()"
+"""
+
+import hashlib
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import EntropyIP
+from repro.datasets.networks import build_network
+
+TRAIN_SIZE = 1000
+SEED = 0
+
+#: sha256 over the canonical model serialization of model_digest(),
+#: for EntropyIP.fit(network.sample(1000, seed=0)).
+GOLDEN_DIGESTS = {
+    "S1": "74d3bfaa861d28ea30f03c10a75665f68815922a147156f2b8af6466dc5b8b61",
+    "R1": "20f27ed31bd9fbce301b2dfab5b3fc36f0be7a1033f55d4cb16059fcf70a6e5b",
+}
+
+
+def model_digest(analysis: EntropyIP) -> str:
+    """Canonical content digest of a fitted model.
+
+    Covers everything generation depends on: segmentation, the mined
+    value/range codes (with bit-exact frequencies), the learned BN
+    edges, and the raw CPD table bytes.
+    """
+    h = hashlib.sha256()
+    for segment in analysis.segments:
+        h.update(
+            f"segment:{segment.label}:{segment.first_nybble}:"
+            f"{segment.last_nybble}\n".encode()
+        )
+    for mined in analysis.mined:
+        for value in mined.values:
+            h.update(
+                f"value:{mined.segment.label}:{value.code}:{value.low:x}:"
+                f"{value.high:x}:{value.origin}:{value.frequency.hex()}\n".encode()
+            )
+    for parent, child in sorted(analysis.model.network.edges()):
+        h.update(f"edge:{parent}->{child}\n".encode())
+    for name in analysis.model.network.variables:
+        cpd = analysis.model.network.cpd(name)
+        h.update(
+            f"cpd:{name}:{','.join(cpd.parents)}:{cpd.table.shape}\n".encode()
+        )
+        h.update(np.ascontiguousarray(cpd.table).tobytes())
+    return h.hexdigest()
+
+
+def print_digests():
+    """Recompute the digests to pin (run after intentional changes)."""
+    for name in sorted(GOLDEN_DIGESTS):
+        train = build_network(name).sample(TRAIN_SIZE, seed=SEED)
+        print(name, model_digest(EntropyIP.fit(train)))
+
+
+@pytest.fixture(scope="module", params=sorted(GOLDEN_DIGESTS))
+def fitted(request):
+    train = build_network(request.param).sample(TRAIN_SIZE, seed=SEED)
+    return request.param, train, EntropyIP.fit(train)
+
+
+class TestGoldenDigests:
+    def test_fit_matches_pinned_digest(self, fitted):
+        name, _, analysis = fitted
+        assert model_digest(analysis) == GOLDEN_DIGESTS[name], (
+            f"{name}: fitted-model digest changed — the vectorized fit "
+            "path no longer reproduces the pinned model; if intentional, "
+            "re-pin via print_digests()"
+        )
+
+    def test_reference_path_matches_pinned_digest(self, fitted):
+        name, train, _ = fitted
+        reference = EntropyIP._fit_reference(train)
+        assert model_digest(reference) == GOLDEN_DIGESTS[name], name
+
+
+class TestVectorReferenceBitIdentity:
+    """Field-by-field equality, so a mismatch names the diverging stage."""
+
+    def test_fit_bit_identical_to_reference(self, fitted):
+        name, train, analysis = fitted
+        reference = EntropyIP._fit_reference(train)
+        assert np.array_equal(analysis.entropies, reference.entropies), name
+        assert analysis.segments == reference.segments, name
+        for mined_v, mined_r in zip(analysis.mined, reference.mined):
+            assert mined_v.segment == mined_r.segment, name
+            assert mined_v.values == mined_r.values, (
+                name,
+                mined_v.segment.label,
+            )
+        network_v = analysis.model.network
+        network_r = reference.model.network
+        assert sorted(network_v.edges()) == sorted(network_r.edges()), name
+        for variable in network_v.variables:
+            assert np.array_equal(
+                network_v.cpd(variable).table, network_r.cpd(variable).table
+            ), (name, variable)
+
+
+class TestGoldenAcrossProcessState:
+    def test_digest_insensitive_to_refit(self, fitted):
+        """Two fits of the same data in one process agree exactly."""
+        name, train, analysis = fitted
+        again = EntropyIP.fit(train)
+        assert model_digest(again) == model_digest(analysis), name

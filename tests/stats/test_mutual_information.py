@@ -8,6 +8,7 @@ from hypothesis import given, settings, strategies as st
 
 from repro.ipv6.sets import AddressSet
 from repro.stats.mutual_information import (
+    _mi_matrix_pairwise,
     intra_segment_mi,
     mi_matrix,
     mutual_information,
@@ -101,6 +102,39 @@ class TestMatrix:
     def test_top_pairs_skip_adjacent(self, structured_set):
         for i, j, _ in top_dependent_pairs(structured_set):
             assert j - i >= 2
+
+    def test_top_pairs_unchanged_by_argsort_rewrite(self, structured_set):
+        """Regression: the thin argsort over mi_matrix reports exactly
+        the pairs (and ordering) the old per-pair recomputation did."""
+        matrix = _mi_matrix_pairwise(structured_set, normalized=True)
+        width = matrix.shape[0]
+        expected = []
+        for i in range(width):
+            for j in range(i + 2, width):
+                if matrix[i, j] >= 0.2:
+                    expected.append((i + 1, j + 1, float(matrix[i, j])))
+        expected.sort(key=lambda triple: -triple[2])
+        observed = top_dependent_pairs(structured_set, limit=10, min_nmi=0.2)
+        assert [(i, j) for i, j, _ in observed] == [
+            (i, j) for i, j, _ in expected[:10]
+        ]
+        for (_, _, fast), (_, _, slow) in zip(observed, expected):
+            assert fast == pytest.approx(slow, rel=0, abs=1e-12)
+
+    def test_top_pairs_accepts_precomputed_matrix(self, structured_set):
+        matrix = mi_matrix(structured_set, normalized=True)
+        direct = top_dependent_pairs(structured_set, limit=5)
+        reused = top_dependent_pairs(structured_set, limit=5, matrix=matrix)
+        assert direct == reused
+
+    def test_matrix_equals_pairwise_reference(self, structured_set):
+        for normalized in (True, False):
+            assert np.allclose(
+                mi_matrix(structured_set, normalized=normalized),
+                _mi_matrix_pairwise(structured_set, normalized=normalized),
+                rtol=0,
+                atol=1e-12,
+            )
 
     def test_intra_segment(self, structured_set):
         sub = intra_segment_mi(structured_set, 29, 32)

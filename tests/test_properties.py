@@ -4,9 +4,18 @@ import numpy as np
 import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
+from repro.bayes.scores import FamilyStats, family_score
+from repro.cluster.dbscan import _banded_is_exact, _dbscan_banded, _dbscan_grid
 from repro.core.pipeline import EntropyIP
 from repro.ipv6.sets import AddressSet
-from repro.stats.entropy import nybble_entropies
+from repro.stats.entropy import (
+    _nybble_entropies_scalar,
+    empirical_entropy,
+    entropy_of_count_rows,
+    nybble_contingency,
+    nybble_entropies,
+)
+from repro.stats.mutual_information import _mi_matrix_pairwise, mi_matrix
 
 SLOW = settings(
     max_examples=15,
@@ -102,3 +111,166 @@ class TestPipelineProperties:
         once = nybble_entropies(AddressSet.from_ints(values))
         twice = nybble_entropies(AddressSet.from_ints(values * 2))
         assert np.allclose(once, twice)
+
+
+def random_nybble_matrix(seed, max_rows=300, max_width=12):
+    """A random nybble matrix with injected column dependencies."""
+    generator = np.random.default_rng(seed)
+    n = int(generator.integers(1, max_rows))
+    width = int(generator.integers(1, max_width))
+    matrix = generator.integers(0, 16, size=(n, width)).astype(np.uint8)
+    if width >= 3 and generator.random() < 0.5:
+        matrix[:, 2] = matrix[:, 0]  # a deterministic dependency
+    if width >= 2 and generator.random() < 0.3:
+        matrix[:, 1] = 7  # a constant column
+    return matrix
+
+
+class TestContingencyProperties:
+    """The shared contingency pass against the scalar definitions."""
+
+    @SLOW
+    @given(st.integers(0, 10_000))
+    def test_contingency_entropies_equal_scalar_empirical_entropy(self, seed):
+        matrix = random_nybble_matrix(seed)
+        address_set = AddressSet(matrix)
+        joint = nybble_contingency(address_set)
+        width = matrix.shape[1]
+        marginal_entropies = entropy_of_count_rows(
+            joint[np.arange(width), np.arange(width)].reshape(width, 256)
+        )
+        for column in range(width):
+            assert marginal_entropies[column] == pytest.approx(
+                empirical_entropy(matrix[:, column].tolist()), abs=1e-12
+            )
+
+    @SLOW
+    @given(st.integers(0, 10_000))
+    def test_vectorized_nybble_entropies_equal_scalar(self, seed):
+        address_set = AddressSet(random_nybble_matrix(seed))
+        vectorized = nybble_entropies(address_set)
+        scalar = _nybble_entropies_scalar(address_set)
+        assert np.allclose(vectorized, scalar, rtol=0, atol=1e-12)
+
+    @SLOW
+    @given(st.integers(0, 10_000))
+    def test_contingency_row_sums_are_column_marginals(self, seed):
+        matrix = random_nybble_matrix(seed)
+        joint = nybble_contingency(AddressSet(matrix))
+        for column in range(matrix.shape[1]):
+            expected = np.bincount(matrix[:, column], minlength=16)
+            assert np.array_equal(joint[column, 0].sum(axis=1), expected)
+            assert np.array_equal(np.diag(joint[column, column]), expected)
+
+    @SLOW
+    @given(st.integers(0, 10_000))
+    def test_mi_matrix_symmetric_with_unit_diagonal(self, seed):
+        matrix = random_nybble_matrix(seed)
+        address_set = AddressSet(matrix)
+        nmi = mi_matrix(address_set, normalized=True)
+        assert np.array_equal(nmi, nmi.T)
+        constant = np.asarray(
+            [len(np.unique(matrix[:, i])) <= 1 for i in range(matrix.shape[1])]
+        )
+        diagonal = nmi[np.diag_indices_from(nmi)]
+        # H(X,X) re-sums H(X)'s counts through a 256-cell table, so the
+        # self-NMI can sit one ulp under 1 — for the scalar definition
+        # just as much as for the contingency pass.
+        assert np.allclose(diagonal[~constant], 1.0, rtol=0, atol=1e-12)
+        assert np.all(diagonal[constant] == 0.0)
+        assert np.all(nmi >= 0.0) and np.all(nmi <= 1.0)
+
+    @SLOW
+    @given(st.integers(0, 10_000))
+    def test_mi_matrix_equals_pairwise_reference(self, seed):
+        address_set = AddressSet(random_nybble_matrix(seed))
+        for normalized in (True, False):
+            fast = mi_matrix(address_set, normalized=normalized)
+            reference = _mi_matrix_pairwise(address_set, normalized=normalized)
+            assert np.allclose(fast, reference, rtol=0, atol=1e-12)
+
+
+class TestFamilyStatsProperties:
+    """Cached sufficient-statistics scores against the direct reference."""
+
+    @SLOW
+    @given(st.integers(0, 10_000))
+    def test_cached_scores_equal_reference_family_score(self, seed):
+        generator = np.random.default_rng(seed)
+        num_vars = int(generator.integers(2, 6))
+        cardinalities = [int(generator.integers(1, 6)) for _ in range(num_vars)]
+        n = int(generator.integers(1, 200))
+        data = np.column_stack(
+            [generator.integers(0, c, size=n) for c in cardinalities]
+        )
+        stats = FamilyStats(data, cardinalities)
+        ess = float(generator.choice([0.5, 1.0, 4.0]))
+        for child in range(num_vars):
+            candidates = [()] + [
+                (p,) for p in range(child)
+            ] + [
+                (p, q)
+                for p in range(child)
+                for q in range(p + 1, child)
+            ]
+            for parents in candidates:
+                for method in ("bdeu", "bic"):
+                    cached = stats.score(
+                        child, parents, method=method, equivalent_sample_size=ess
+                    )
+                    reference = family_score(
+                        data,
+                        child,
+                        parents,
+                        cardinalities,
+                        method=method,
+                        equivalent_sample_size=ess,
+                    )
+                    assert cached == pytest.approx(reference, rel=1e-12, abs=1e-12)
+
+    @SLOW
+    @given(st.integers(0, 10_000))
+    def test_cached_counts_match_count_family(self, seed):
+        from repro.bayes.cpd import count_family
+
+        generator = np.random.default_rng(seed)
+        cardinalities = [int(generator.integers(1, 7)) for _ in range(4)]
+        n = int(generator.integers(1, 150))
+        data = np.column_stack(
+            [generator.integers(0, c, size=n) for c in cardinalities]
+        )
+        stats = FamilyStats(data, cardinalities)
+        for child, parents in [(3, (0, 2)), (2, (1,)), (1, ()), (3, (1, 2))]:
+            assert np.array_equal(
+                stats.counts(child, parents),
+                count_family(data, child, parents, cardinalities),
+            )
+
+
+class TestDBSCANEngineParity:
+    """Banded vectorized DBSCAN against the grid-scan reference."""
+
+    @SLOW
+    @given(st.integers(0, 10_000))
+    def test_banded_labels_identical_to_grid(self, seed):
+        generator = np.random.default_rng(seed)
+        n = int(generator.integers(1, 120))
+        dims = int(generator.integers(1, 3))
+        if generator.random() < 0.5:
+            points = generator.integers(0, 4096, size=(n, dims)).astype(
+                np.float64
+            )
+            eps = float(generator.choice([1.0, 16.0, 256.0]))
+        else:
+            points = np.round(generator.random((n, dims)) * 10, 3)
+            eps = float(generator.choice([0.05, 0.3, 1.0]))
+        weights = (
+            generator.integers(1, 40, size=n).astype(np.float64)
+            if generator.random() < 0.5
+            else np.ones(n)
+        )
+        min_samples = float(generator.integers(1, 50))
+        assert _banded_is_exact(points, weights, eps)
+        grid = _dbscan_grid(points, weights, eps, min_samples)
+        banded = _dbscan_banded(points, weights, eps, min_samples)
+        assert np.array_equal(grid, banded)
