@@ -27,6 +27,7 @@ from perf_generation import BASELINE_PATH, DEFAULT_OUT, SMOKE_THRESHOLD
 #: Mirrors of the asserted gates in test_perf_generation (kept in one
 #: import chain so they cannot drift).
 from test_perf_generation import (
+    MAX_STEADY_FLATNESS,
     MIN_BUCKET_SPEEDUP,
     MIN_END_TO_END_HEADLINE,
     MIN_END_TO_END_SPEEDUP,
@@ -35,6 +36,7 @@ from test_perf_generation import (
     MIN_HEADLINE_SPEEDUP,
     MIN_ORACLE_SPEEDUP,
     MIN_STAGE_SPEEDUP,
+    MIN_STEADY_SPEEDUP,
     VECTORIZED_STAGES,
 )
 
@@ -75,17 +77,27 @@ def render_markdown(record: Dict) -> str:
                 f"| {name} | {stage_name} | {_rate(stage):,.0f} | {cell} |"
             )
         for stage_name, stage in network.get("scan", {}).items():
-            speedup = stage.get("speedup_vs_searchsorted") or stage.get(
-                "speedup_vs_scalar"
+            speedup = (
+                stage.get("speedup_vs_searchsorted")
+                or stage.get("speedup_vs_reseed")
+                or stage.get("speedup_vs_scalar")
             )
-            reference = (
-                "vs searchsorted"
-                if "speedup_vs_searchsorted" in stage
-                else "vs scalar"
-            )
+            if "speedup_vs_searchsorted" in stage:
+                reference = "vs searchsorted"
+            elif "speedup_vs_reseed" in stage:
+                reference = "vs reseed"
+            else:
+                reference = "vs scalar"
+            cell = f"{speedup}x {reference}" if speedup else "—"
+            if "round_flatness_ratio" in stage:
+                cell += (
+                    f", round flatness {stage['round_flatness_ratio']}"
+                    if speedup
+                    else ""
+                )
             lines.append(
                 f"| {name} | scan/{stage_name} | {_rate(stage):,.0f} | "
-                f"{f'{speedup}x {reference}' if speedup else '—'} |"
+                f"{cell} |"
             )
         workers = network.get("workers")
         if workers:
@@ -108,6 +120,12 @@ def check_gates(record: Dict) -> List[str]:
         workers = network.get("workers")
         if workers is not None and not workers.get("bit_identical"):
             failures.append(f"{name}: workers=4 output not bit-identical")
+        steady = network.get("scan", {}).get("campaign_steady_state")
+        if steady is not None and not steady.get("identical_to_reseed"):
+            failures.append(
+                f"{name}: steady-state campaign diverged from the "
+                "re-seeding reference"
+            )
     if record.get("n_candidates", 0) < FULL_SCALE_THRESHOLD:
         return failures  # smoke record: no throughput gates
     headline_end_to_end = 0.0
@@ -156,6 +174,19 @@ def check_gates(record: Dict) -> List[str]:
             failures.append(
                 f"{name}: candidate oracle {bucket}x < "
                 f"{MIN_BUCKET_SPEEDUP}x vs searchsorted"
+            )
+        steady = scan.get("campaign_steady_state", {})
+        flatness = steady.get("round_flatness_ratio", 0.0)
+        if flatness > MAX_STEADY_FLATNESS:
+            failures.append(
+                f"{name}: steady-state round flatness {flatness} > "
+                f"{MAX_STEADY_FLATNESS} (per-round cost not flat)"
+            )
+        steady_speedup = steady.get("speedup_vs_reseed", 0.0)
+        if steady_speedup < MIN_STEADY_SPEEDUP:
+            failures.append(
+                f"{name}: steady-state campaign {steady_speedup}x < "
+                f"{MIN_STEADY_SPEEDUP}x vs the re-seeding reference"
             )
     if headline_end_to_end < MIN_END_TO_END_HEADLINE:
         failures.append(

@@ -10,8 +10,12 @@ the vectorized ``EntropyIP.fit`` holds ≥3x per network and ≥5x
 headline over the retained scalar ``_fit_reference`` path (the PR-4
 fit-path rewrite), the scan-side oracle sweep holds ≥10x over its
 per-int scalar reference, the bucket-table candidate-batch oracle
-holds ≥2x over the PR-2 searchsorted path, and the sharded engine's
-``workers=4`` output is bit-identical to ``workers=1``.
+holds ≥2x over the PR-2 searchsorted path, the sharded engine's
+``workers=4`` output is bit-identical to ``workers=1``, and the
+steady-state campaign engine (persistent generation session +
+incremental accounting) holds per-round cost ~flat across the steady
+window of a 100-round campaign and ≥2x end-to-end over the retained
+re-seeding reference loop while matching it round for round.
 
 With ``REPRO_BENCH_CANDIDATES`` set below the full scale the run is a
 smoke pass: the whole pipeline still executes and the structural and
@@ -63,6 +67,18 @@ MIN_FIT_HEADLINE = 5.0
 #: The bucket-table membership probe must beat the PR-2 searchsorted
 #: index by at least this factor on the same candidate batch.
 MIN_BUCKET_SPEEDUP = 2.0
+
+#: Steady-state campaign gates: across a 100-round fixed-size campaign
+#: the persistent-session engine must (a) hold per-round cost ~flat
+#: over the steady-state window (the second half of the rounds: mean
+#: of its last 5 rounds at most 1.5x the mean of its first 5 — the
+#: re-seeding loop it replaced degrades monotonically with campaign
+#: age) and (b) finish the whole campaign at least 2x faster than the
+#: retained re-seeding reference loop on the same seed (measured
+#: ~5.5-7.5x on this class of host).
+MAX_STEADY_FLATNESS = 1.5
+MIN_STEADY_SPEEDUP = 2.0
+MIN_STEADY_WINDOW_ROUNDS = 25
 
 #: Throughput gates only run at (near) paper scale; below the shared
 #: smoke threshold the run is a smoke pass.
@@ -130,6 +146,13 @@ def test_perf_generation(benchmark, artifact):
         )
         # The sharded engine must be bit-identical at any scale.
         assert record["workers"]["bit_identical"], name
+        # The steady-state session engine must match the re-seeding
+        # reference round for round at any scale (correctness, not
+        # throughput).
+        assert scan["campaign_steady_state"]["identical_to_reseed"], (
+            name,
+            scan["campaign_steady_state"],
+        )
 
         if not FULL_SCALE:
             continue
@@ -170,6 +193,23 @@ def test_perf_generation(benchmark, artifact):
             record["stages"]["fit"]["speedup_vs_reference"]
             >= MIN_FIT_SPEEDUP
         ), (name, record["stages"]["fit"])
+
+        # Steady-state campaign gates: enough rounds to observe the
+        # cost curve, ~flat per-round time across the steady window,
+        # and ≥2x end-to-end over the re-seeding reference loop.
+        steady = scan["campaign_steady_state"]
+        assert steady["window_rounds"] >= MIN_STEADY_WINDOW_ROUNDS, (
+            name,
+            steady,
+        )
+        assert steady["round_flatness_ratio"] <= MAX_STEADY_FLATNESS, (
+            name,
+            steady,
+        )
+        assert steady["speedup_vs_reseed"] >= MIN_STEADY_SPEEDUP, (
+            name,
+            steady,
+        )
 
     if FULL_SCALE:
         # The ≥5x fit headline must hold on at least one network.

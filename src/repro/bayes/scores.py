@@ -11,17 +11,27 @@ structure search runs on: every candidate parent configuration is
 encoded as one fused integer code (built incrementally from the cached
 code of its prefix), family count tensors come from a single
 ``bincount`` over ``child * q + parent_code``, BDeu/BIC evaluate with
-vectorized ``gammaln`` over those count arrays, and both counts and
-scores are memoized per ``(child, parent-set)`` so greedy/exhaustive
-search never re-counts a family — and CPD estimation afterwards reuses
-the exact count tensors the winning families were scored with.  The
-direct, uncached :func:`family_score` path is retained as the reference
-implementation (``learn_structure(..., cache=False)``).
+vectorized ``gammaln`` over those count arrays, and scores (plus, on
+the per-family path, counts) are memoized per ``(child, parent-set)``
+so greedy/exhaustive search never re-scores a family — and CPD
+estimation afterwards consumes :meth:`FamilyStats.counts` tensors that
+are bit-identical to the ones the winning families were scored from.
+
+:meth:`FamilyStats.score_tier` is the tier-batched layer on top: the
+structure search hands over a whole subset tier (every candidate
+parent set of one size for one child) at once, the tier's count
+tensors come from *one* fused bincount over offset family codes, and
+all their BDeu cells are evaluated by a *single* ``gammaln`` call per
+chunk — while per-family dense summation order is preserved, so every
+batched score is bit-identical to the per-family :meth:`FamilyStats.score`
+(near-tie winners cannot move).  The direct, uncached
+:func:`family_score` path is retained as the reference implementation
+(``learn_structure(..., cache=False)``).
 """
 
 from __future__ import annotations
 
-from typing import Dict, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 from scipy.special import gammaln
@@ -270,3 +280,216 @@ class FamilyStats:
             raise ValueError(f"unknown scoring method: {method!r}")
         self._scores[key] = score
         return score
+
+    #: Upper bound on fused elements (codes or count cells) per tier
+    #: chunk.  A 20k-family exhaustive tier at a large n would
+    #: otherwise materialize hundreds of megabytes of fused codes in
+    #: one go; chunking regroups the kernel launches only — no
+    #: per-family float ever depends on which chunk its family landed
+    #: in.
+    _TIER_ELEMENT_BUDGET = 1 << 21
+
+    #: Below this many uncached families a tier is scored per-family:
+    #: the fused passes have a fixed ~25-kernel setup cost that a
+    #: handful of families cannot amortize.
+    _TIER_MIN_FAMILIES = 8
+
+    def score_tier(
+        self,
+        child: int,
+        parent_sets: Sequence[Tuple[int, ...]],
+        method: str = "bdeu",
+        equivalent_sample_size: float = 1.0,
+    ) -> List[float]:
+        """Score a whole subset tier of families in fused batches.
+
+        ``parent_sets`` is the tier — every candidate parent set the
+        search wants scored for ``child`` (typically all predecessor
+        subsets of one size).  Families with memoized scores are served
+        from the cache; the rest are scored in chunks, each chunk
+        paying one ``bincount`` over the families' offset fused codes
+        and one ``gammaln`` evaluation over all their occupied cells.
+        The per-family reduction reproduces
+        :func:`_bdeu_score_sparse`'s dense arrays and summation order
+        exactly, so every returned float is bit-identical to
+        :meth:`score` on the same family — tier batching can never move
+        a near-tie.  Only scores are memoized: the fused chunk counts
+        are not written back to the :meth:`counts` memo (holding views
+        into every chunk's count array would pin far more memory than
+        the handful of winning families justifies), so a winner's
+        tensor is re-derived by one `bincount` at CPD time — the same
+        int64 counts, so the fitted CPDs are unchanged.
+
+        Non-BDeu methods gain nothing from a shared ``gammaln`` pass
+        and simply delegate to :meth:`score`.
+        """
+        parent_sets = [tuple(parents) for parents in parent_sets]
+        if method != "bdeu":
+            return [
+                self.score(child, parents, method, equivalent_sample_size)
+                for parents in parent_sets
+            ]
+        if equivalent_sample_size <= 0:
+            raise ValueError("equivalent_sample_size must be positive")
+        out: List[Optional[float]] = [None] * len(parent_sets)
+        missing: List[int] = []
+        for i, parents in enumerate(parent_sets):
+            key = (child, parents, method, equivalent_sample_size)
+            cached = self._scores.get(key)
+            if cached is not None:
+                out[i] = cached
+            elif not parents:
+                # The empty family has no last parent column to fuse
+                # on; it is a single q=1 table, scored directly.
+                out[i] = self.score(
+                    child, parents, method, equivalent_sample_size
+                )
+            else:
+                missing.append(i)
+        if len(missing) < self._TIER_MIN_FAMILIES:
+            # A tiny tier cannot amortize the fused-pass setup; the
+            # per-family scorer is already optimal there (and produces
+            # the same floats, so the cutoff is pure dispatch).
+            for i in missing:
+                out[i] = self.score(
+                    child, parent_sets[i], method, equivalent_sample_size
+                )
+            return out  # type: ignore[return-value]
+        r = self._cards[child]
+        position = 0
+        while position < len(missing):
+            chunk: List[Tuple[int, Tuple[int, ...], int]] = []
+            code_elements = 0
+            cell_elements = 0
+            while position < len(missing):
+                index = missing[position]
+                parents = parent_sets[index]
+                q = 1
+                for parent in parents:
+                    q *= self._cards[parent]
+                if chunk and (
+                    code_elements + self._n > self._TIER_ELEMENT_BUDGET
+                    or cell_elements + r * q > self._TIER_ELEMENT_BUDGET
+                ):
+                    break
+                chunk.append((index, parents, q))
+                code_elements += self._n
+                cell_elements += r * q
+                position += 1
+            self._score_bdeu_chunk(child, chunk, equivalent_sample_size, out)
+        return out  # type: ignore[return-value]
+
+    def _score_bdeu_chunk(
+        self,
+        child: int,
+        chunk: List[Tuple[int, Tuple[int, ...], int]],
+        equivalent_sample_size: float,
+        out: List[Optional[float]],
+    ) -> None:
+        """Count and BDeu-score one chunk of families in fused passes.
+
+        Everything that is exact under reordering runs chunk-wide in a
+        handful of vectorized passes: family configuration codes come
+        from one multiply-add over the concatenated cached prefixes,
+        both count tensors (cells and per-config totals) are int64
+        bincounts over fused offset codes, the occupied/positive masks
+        and per-cell Dirichlet parameters are computed over the whole
+        chunk, and every ``gammaln`` input of every family is evaluated
+        in one call.  Only the two final reductions per family stay
+        per-family, because *their* float summation order is the
+        bit-identity contract: each sums the same dense zero-scattered
+        term array, in the same layout, that :func:`_bdeu_score_sparse`
+        sums.
+        """
+        r = self._cards[child]
+        child_column = self._columns[child]
+        n = self._n
+        qs = np.array([q for (_, _, q) in chunk], dtype=np.int64)
+        # Per-family cell/config segment boundaries.  The cell layout
+        # is family-major then (state, config) row-major — the exact
+        # (r, q_f) layout counts2d uses — so cell_offsets are r times
+        # the config_offsets.
+        config_offsets = np.zeros(len(chunk) + 1, dtype=np.int64)
+        np.cumsum(qs, out=config_offsets[1:])
+        cell_offsets = r * config_offsets
+        # Fused configuration codes for the whole chunk: every family
+        # extends its cached prefix code by its last parent's column
+        # with one chunk-wide multiply-add (prefix * card + column) —
+        # the same nesting parent_codes uses, so the counted cells are
+        # identical.
+        prefixes: List[np.ndarray] = []
+        last_columns: List[np.ndarray] = []
+        last_cards = np.empty(len(chunk), dtype=np.int64)
+        for i, (_, parents, _) in enumerate(chunk):
+            prefixes.append(self.parent_codes(parents[:-1])[0])
+            last_columns.append(self._columns[parents[-1]])
+            last_cards[i] = self._cards[parents[-1]]
+        codes = np.concatenate(prefixes)
+        codes *= np.repeat(last_cards, n)
+        codes += np.concatenate(last_columns)
+        # Two fused bincounts: one over cell codes, one over config
+        # codes (int64 counting is exact under any grouping, so the
+        # per-config totals need no per-family axis reduction).
+        cell_codes = np.tile(child_column, len(chunk)) * np.repeat(qs, n)
+        cell_codes += codes
+        cell_codes += np.repeat(cell_offsets[:-1], n)
+        counts_all = np.bincount(cell_codes, minlength=int(cell_offsets[-1]))
+        codes += np.repeat(config_offsets[:-1], n)
+        totals_all = np.bincount(codes, minlength=int(config_offsets[-1]))
+        # Chunk-wide Dirichlet parameters: alpha_cell = ess/(r*q_f) per
+        # cell, alpha_config = ess/q_f per config, and their memoized
+        # scalar gammaln values — materialized only at the nonzero
+        # positions (family id via one searchsorted per side), never as
+        # full per-cell vectors.
+        alpha_configs = equivalent_sample_size / qs
+        # ess / (r*q) exactly as the per-family path divides it — not
+        # (ess/q)/r, whose double rounding could differ in the last bit.
+        alpha_cells = equivalent_sample_size / (r * qs)
+        config_alpha_gammaln = np.array(
+            [_gammaln_scalar(a) for a in alpha_configs]
+        )
+        cell_alpha_gammaln = np.array(
+            [_gammaln_scalar(a) for a in alpha_cells]
+        )
+        occupied_at = np.flatnonzero(totals_all > 0)
+        positive_at = np.flatnonzero(counts_all > 0)
+        config_family = (
+            np.searchsorted(config_offsets, occupied_at, side="right") - 1
+        )
+        cell_family = (
+            np.searchsorted(cell_offsets, positive_at, side="right") - 1
+        )
+        split = len(occupied_at)
+        # The single gammaln pass of the chunk: every occupied config
+        # total and positive cell of every family, evaluated
+        # elementwise in one call.
+        fused = np.concatenate(
+            [
+                alpha_configs[config_family] + totals_all[occupied_at],
+                alpha_cells[cell_family] + counts_all[positive_at],
+            ]
+        )
+        fused_gammaln = gammaln(fused)
+        # Scatter the term values into dense zero arrays (zeros exactly
+        # where _bdeu_score_sparse has zeros), chunk-wide.
+        config_terms = np.zeros(int(config_offsets[-1]), dtype=np.float64)
+        config_terms[occupied_at] = (
+            config_alpha_gammaln[config_family] - fused_gammaln[:split]
+        )
+        cell_terms = np.zeros(int(cell_offsets[-1]), dtype=np.float64)
+        cell_terms[positive_at] = (
+            fused_gammaln[split:] - cell_alpha_gammaln[cell_family]
+        )
+        for i, (index, parents, _) in enumerate(chunk):
+            # The per-family float reductions — dense contiguous
+            # segments summed exactly as the per-family path sums its
+            # dense (q,) and (r, q) term arrays.
+            score = float(
+                config_terms[config_offsets[i]:config_offsets[i + 1]].sum()
+            )
+            score += float(
+                cell_terms[cell_offsets[i]:cell_offsets[i + 1]].sum()
+            )
+            key = (child, parents, "bdeu", equivalent_sample_size)
+            self._scores[key] = score
+            out[index] = score

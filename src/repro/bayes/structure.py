@@ -17,15 +17,21 @@ For wide models a greedy fallback activates when the predecessor count
 makes exhaustive enumeration too large.
 
 Scoring runs on cached sufficient statistics
-(:class:`repro.bayes.scores.FamilyStats`): candidate parent
-configurations are fused integer codes counted with one ``bincount``,
-BDeu/BIC evaluate vectorized ``gammaln`` over the count arrays, and
-per-``(child, parent-set)`` scores are memoized so neither the
-exhaustive sweep nor greedy forward selection ever re-counts a family.
-The count tensors of the winning families are then handed straight to
-CPD estimation, which makes the fitted parameters bit-identical to the
-uncached path by construction.  ``learn_structure(..., cache=False)``
-retains the original score-from-scratch behaviour (the
+(:class:`repro.bayes.scores.FamilyStats`) and is *tier-batched*: the
+exhaustive sweep hands each whole subset tier (all predecessor subsets
+of one size) to :meth:`~repro.bayes.scores.FamilyStats.score_tier`,
+which counts every family of the tier in one fused ``bincount`` and
+evaluates all their BDeu cells with a single ``gammaln`` pass per
+chunk — with per-family summation order preserved, so each score is
+bit-identical to the per-family path and near-tie winners cannot move.
+Greedy forward selection batches each iteration's candidate additions
+the same way.  Per-``(child, parent-set)`` scores are memoized so
+neither search strategy ever re-counts a family, and the count tensors
+of the winning families are handed straight to CPD estimation, which
+makes the fitted parameters bit-identical to the uncached path by
+construction.  ``learn_structure(..., cache=False)`` retains the
+original score-from-scratch behaviour (the reference the golden-fit
+suite pins tier-batched output against, and the
 ``EntropyIP._fit_reference`` benchmark path).
 """
 
@@ -155,6 +161,14 @@ def select_parents(
                 equivalent_sample_size=config.equivalent_sample_size,
             )
 
+        def score_tier_of(tier: List[Tuple[int, ...]]) -> List[float]:
+            return stats.score_tier(
+                child,
+                tier,
+                method=config.score,
+                equivalent_sample_size=config.equivalent_sample_size,
+            )
+
     else:
 
         def score_of(parents: Tuple[int, ...]) -> float:
@@ -167,37 +181,62 @@ def select_parents(
                 equivalent_sample_size=config.equivalent_sample_size,
             )
 
+        score_tier_of = None
+
     # Exhaustive-vs-greedy is decided on the unpruned predecessor count
     # so the cached and reference paths always run the same strategy.
     if _subset_count(child, min(config.max_parents, child)) <= config.exhaustive_limit:
         best_parents: Tuple[int, ...] = ()
         best_score = score_of(())
         for size in range(1, max_parents + 1):
-            for subset in combinations(predecessors, size):
-                candidate_score = score_of(subset)
+            tier = list(combinations(predecessors, size))
+            if not tier:
+                break
+            # One fused counting/gammaln pass scores the whole tier on
+            # the cached path; the comparison below walks the same
+            # subsets in the same order with the same strict >, so the
+            # selected parents are bit-identical to per-family scoring.
+            if score_tier_of is not None:
+                tier_scores = score_tier_of(tier)
+            else:
+                tier_scores = [score_of(subset) for subset in tier]
+            for subset, candidate_score in zip(tier, tier_scores):
                 if candidate_score > best_score:
                     best_score = candidate_score
                     best_parents = subset
         return best_parents
-    return _greedy_parents(predecessors, max_parents, score_of)
+    return _greedy_parents(
+        predecessors, max_parents, score_of, score_tier_of=score_tier_of
+    )
 
 
 def _greedy_parents(
     predecessors: List[int],
     max_parents: int,
     score_of,
+    score_tier_of=None,
 ) -> Tuple[int, ...]:
-    """Greedy forward selection: add the best single parent until no gain."""
+    """Greedy forward selection: add the best single parent until no gain.
+
+    Each iteration's candidate one-parent extensions form a tier;
+    ``score_tier_of`` (the cached path) scores them in one fused pass,
+    with the selection loop unchanged so the chosen additions are
+    bit-identical to per-candidate scoring.
+    """
     chosen: List[int] = []
     current_score = score_of(())
     while len(chosen) < max_parents:
+        candidates = [c for c in predecessors if c not in chosen]
+        if not candidates:
+            break
+        tier = [tuple(sorted(chosen + [c])) for c in candidates]
+        if score_tier_of is not None:
+            tier_scores = score_tier_of(tier)
+        else:
+            tier_scores = [score_of(candidate_set) for candidate_set in tier]
         best_addition = None
         best_score = current_score
-        for candidate in predecessors:
-            if candidate in chosen:
-                continue
-            candidate_set = tuple(sorted(chosen + [candidate]))
-            candidate_score = score_of(candidate_set)
+        for candidate, candidate_score in zip(candidates, tier_scores):
             if candidate_score > best_score:
                 best_score = candidate_score
                 best_addition = candidate

@@ -65,6 +65,85 @@ def exclude_packed_words(
     ).packed_rows()
 
 
+class GenerationSession:
+    """Persistent cross-round exclusion/dedup state for §5.5 campaigns.
+
+    The adaptive scanning loop is inherently *stateful*: probe, fold
+    the hits back in, refit, probe again.  A session owns the one
+    growing :class:`~repro.ipv6.sets.BucketTable` that serves as the
+    combined exclusion + dedup index for the lifetime of that loop —
+    seeded once with the initial exclusions (typically the training
+    set), then fed each ``generate_set(..., state=session)`` call's
+    returned rows (and nothing else, so an oversampled batch's
+    overshoot is never permanently excluded).  Per-call cost therefore
+    depends only on the batches drawn in that call, never on the
+    length of the campaign history; and because the session is
+    independent of the model object, an adaptive refit simply reuses
+    it — only the BN changed, not the probed universe.
+
+    The output contract is unchanged: a sequence of session-backed
+    calls is bit-identical to the legacy pattern of re-passing an
+    ever-growing packed ``exclude`` matrix to each call, for any
+    worker count.
+    """
+
+    __slots__ = ("_width", "_table", "_excluded")
+
+    def __init__(
+        self,
+        width: int,
+        exclude: Optional[ExcludeLike] = None,
+        capacity: int = 0,
+    ):
+        if width < 1:
+            raise ValueError(f"width must be positive, got {width}")
+        excluded = exclude_packed_words(exclude, width)
+        self._width = width
+        self._table = BucketTable(
+            (width + 15) // 16, capacity=max(int(capacity), len(excluded))
+        )
+        self._table.insert_packed(excluded)
+        self._excluded = len(self._table)
+
+    @property
+    def width(self) -> int:
+        """Row width (nybbles) every call on this session must match."""
+        return self._width
+
+    @property
+    def table(self) -> BucketTable:
+        """The underlying combined exclusion+dedup index."""
+        return self._table
+
+    @property
+    def excluded_rows(self) -> int:
+        """Distinct rows folded in as exclusions (seed + ``observe``)."""
+        return self._excluded
+
+    @property
+    def generated_rows(self) -> int:
+        """Distinct rows generated (and therefore retired) so far."""
+        return len(self._table) - self._excluded
+
+    def __len__(self) -> int:
+        """Total distinct rows the session will never emit again."""
+        return len(self._table)
+
+    def observe(self, exclude: ExcludeLike) -> int:
+        """Fold additional exclusions in mid-campaign; returns how many
+        of them were actually new to the session."""
+        words = exclude_packed_words(exclude, self._width)
+        fresh = int(np.count_nonzero(self._table.insert_packed(words)))
+        self._excluded += fresh
+        return fresh
+
+    def __repr__(self) -> str:
+        return (
+            f"GenerationSession(width={self._width}, "
+            f"excluded={self._excluded}, generated={self.generated_rows})"
+        )
+
+
 def generation_batch_size(
     need: int, marginal_yield: float, batch_cap: int
 ) -> int:
@@ -87,6 +166,7 @@ def run_generation_rounds(
     exclude: Optional[ExcludeLike] = None,
     max_batches: int = 64,
     constrained: bool = False,
+    state: Optional[GenerationSession] = None,
 ) -> AddressSet:
     """The §5.5 streaming generation loop, draw strategy abstracted.
 
@@ -102,6 +182,17 @@ def run_generation_rounds(
     the drawing differs between callers, so the oversampling policy and
     saturation behavior cannot drift between them.
 
+    ``state`` runs the loop on a persistent :class:`GenerationSession`
+    instead of a per-call table: the session's table *is* the dedup
+    index, and the rows this call returns stay in it, so the next call
+    (or the next campaign round) excludes them automatically without
+    anyone re-feeding the probed history.  Batch inserts are bounded by
+    the outstanding need, so an oversampled final round's overshoot is
+    rolled back rather than retired — the session ends the call holding
+    exactly its prior rows plus the rows returned, which keeps
+    session-backed sequences bit-identical to the legacy grow-and-repass
+    ``exclude`` pattern.
+
     ``constrained`` marks evidence-constrained draws, which materialize
     an oversample=4 likelihood-weighting pool per batch and therefore
     get a tighter batch cap to keep peak memory at ~4n transient rows.
@@ -112,12 +203,23 @@ def run_generation_rounds(
     if n < 0:
         raise ValueError("n must be non-negative")
     words_per_row = (width + 15) // 16
-    excluded = exclude_packed_words(exclude, width)
-    # Pre-size for the expected final population (kept rows plus
-    # exclusions) so the table almost never grows — and therefore
-    # never rehashes — mid-campaign.
-    seen = BucketTable(words_per_row, capacity=n + len(excluded))
-    seen.insert(excluded)
+    if state is not None:
+        if exclude is not None:
+            raise ValueError(
+                "pass exclusions to the GenerationSession, not alongside it"
+            )
+        if state.width != width:
+            raise ValueError(
+                f"session width {state.width} != model width {width}"
+            )
+        seen = state.table
+    else:
+        excluded = exclude_packed_words(exclude, width)
+        # Pre-size for the expected final population (kept rows plus
+        # exclusions) so the table almost never grows — and therefore
+        # never rehashes — mid-campaign.
+        seen = BucketTable(words_per_row, capacity=n + len(excluded))
+        seen.insert_packed(excluded)
     chunks_matrix: List[np.ndarray] = []
     chunks_words: List[np.ndarray] = []
     kept = 0
@@ -133,7 +235,14 @@ def run_generation_rounds(
             break
         batch_size = generation_batch_size(need, marginal_yield, batch_cap)
         matrix, words = draw(batch_size)
-        fresh = seen.insert(words)
+        # Bounded insert: at most ``need`` fresh rows are admitted, so
+        # the table never retains overshoot beyond the requested n.
+        # The returned rows are identical to the unbounded
+        # insert-then-truncate pattern (the limited mask keeps the
+        # first ``need`` fresh rows in stream order — exactly the rows
+        # truncation kept), and for a persistent session the rollback
+        # is what keeps future calls able to re-emit the overshoot.
+        fresh = seen.insert_packed(words, limit=need)
         new_found = int(np.count_nonzero(fresh))
         if new_found:
             chunks_matrix.append(matrix[fresh])
@@ -296,6 +405,26 @@ class AddressModel:
             return likelihood_weighted_sample(self.network, n, rng, resolved)
         return forward_sample(self.network, n, rng)
 
+    def session(
+        self,
+        exclude: Optional[ExcludeLike] = None,
+        capacity: int = 0,
+    ) -> GenerationSession:
+        """Open a persistent :class:`GenerationSession` for this model's
+        width, seeded with ``exclude``.
+
+        The session is the steady-state campaign primitive: pass it as
+        ``generate_set(..., state=session)`` and every returned row is
+        retired from all future calls — across rounds *and across
+        adaptive refits* (a refitted model of the same width reuses the
+        session unchanged).  ``capacity`` pre-sizes the table (e.g. to
+        the campaign's probe budget) so steady-state rounds almost
+        never rehash.
+        """
+        return GenerationSession(
+            self.encoder.width, exclude=exclude, capacity=capacity
+        )
+
     def generate_set(
         self,
         n: int,
@@ -305,6 +434,7 @@ class AddressModel:
         max_batches: int = 64,
         workers: Optional[int] = None,
         shards: Optional[int] = None,
+        state: Optional[GenerationSession] = None,
     ) -> AddressSet:
         """Generate ``n`` distinct candidate rows as an :class:`AddressSet`.
 
@@ -321,9 +451,15 @@ class AddressModel:
         ``exclude`` is ideally an :class:`AddressSet` of matching width,
         which feeds the dedup directly with zero conversion, or a
         pre-packed ``(n, ceil(width/16))`` uint64 word matrix
-        (:meth:`AddressSet.packed_rows` form — what the campaign
-        maintains incrementally across rounds); an iterable of
+        (:meth:`AddressSet.packed_rows` form); an iterable of
         ``width``-nybble integers is also accepted for compatibility.
+
+        ``state`` replaces ``exclude`` with a persistent
+        :class:`GenerationSession` (see :meth:`session`): the session
+        already holds everything excluded or previously generated, and
+        this call's returned rows are folded into it — the multi-round
+        campaign pattern, with per-call cost independent of how much
+        history the session carries.
 
         ``workers``/``shards`` switch to the sharded parallel engine
         (:func:`repro.exec.sharded_generate_set`): each batch is split
@@ -352,6 +488,7 @@ class AddressModel:
                 max_batches=max_batches,
                 workers=workers if workers is not None else 1,
                 shards=shards,
+                state=state,
             )
 
         def draw(batch_size: int) -> "tuple[np.ndarray, np.ndarray]":
@@ -366,6 +503,7 @@ class AddressModel:
             exclude=exclude,
             max_batches=max_batches,
             constrained=bool(evidence),
+            state=state,
         )
 
     def generate(
@@ -377,6 +515,7 @@ class AddressModel:
         max_batches: int = 64,
         workers: Optional[int] = None,
         shards: Optional[int] = None,
+        state: Optional[GenerationSession] = None,
     ) -> List[int]:
         """Generate ``n`` distinct candidate values (``width``-nybble ints).
 
@@ -392,6 +531,7 @@ class AddressModel:
             max_batches=max_batches,
             workers=workers,
             shards=shards,
+            state=state,
         ).to_ints()
 
     # ------------------------------------------------------------------

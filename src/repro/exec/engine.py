@@ -50,6 +50,7 @@ def sharded_generate_set(
     max_batches: int = 64,
     workers: int = 1,
     shards: Optional[int] = None,
+    state=None,
 ) -> AddressSet:
     """Generate ``n`` distinct candidate rows across a worker pool.
 
@@ -58,7 +59,11 @@ def sharded_generate_set(
     parameters.  Both paths run the one shared round loop
     (:func:`~repro.core.model.run_generation_rounds`) — identical
     oversampling policy, saturation guard and first-occurrence
-    semantics — and differ only in how each batch is drawn.
+    semantics — and differ only in how each batch is drawn.  ``state``
+    (a persistent :class:`~repro.core.model.GenerationSession`) is
+    shared with the serial path: shard outputs merge into the session
+    in shard order on the caller's thread, so worker count still never
+    changes the output or the session's final contents.
     """
     from repro.core.model import run_generation_rounds
 
@@ -95,6 +100,7 @@ def sharded_generate_set(
         exclude=exclude,
         max_batches=max_batches,
         constrained=bool(evidence),
+        state=state,
     )
 
 

@@ -83,6 +83,38 @@ def pack_rows(matrix: np.ndarray) -> np.ndarray:
     )
 
 
+def in_sorted(sorted_values: np.ndarray, values: np.ndarray) -> np.ndarray:
+    """Boolean membership of ``values`` in a sorted 1-D array.
+
+    One ``searchsorted`` per call — the binary-search primitive behind
+    the campaign's incremental /64 accounting, where the haystack is a
+    running sorted-unique uint64 array.
+    """
+    values = np.asarray(values)
+    if len(sorted_values) == 0 or len(values) == 0:
+        return np.zeros(len(values), dtype=bool)
+    at = np.minimum(
+        np.searchsorted(sorted_values, values), len(sorted_values) - 1
+    )
+    return sorted_values[at] == values
+
+
+def merge_sorted_unique(base: np.ndarray, fresh: np.ndarray) -> np.ndarray:
+    """Merge sorted-distinct ``fresh`` values into sorted-distinct
+    ``base``; ``fresh`` must be disjoint from ``base`` (filter with
+    :func:`in_sorted` first).
+
+    One ``searchsorted`` + one ``np.insert`` — O(len(base) +
+    len(fresh)) per call, so a campaign that folds each round's new
+    /64 prefixes into a running array never re-sorts its history.
+    """
+    if fresh.size == 0:
+        return base
+    if base.size == 0:
+        return fresh
+    return np.insert(base, np.searchsorted(base, fresh), fresh)
+
+
 def first_occurrence_positions(
     words: np.ndarray, exclude_words: Optional[np.ndarray] = None
 ) -> np.ndarray:
@@ -142,6 +174,16 @@ class BucketTable:
     incrementally-fed dedup set of the generation loop, which inserts
     one candidate batch per round against everything kept so far.
 
+    :meth:`insert_packed` is the first-class incremental API a
+    long-lived table (a campaign's combined exclusion+dedup index)
+    runs on: batch insert returning the fresh-row mask, an optional
+    ``limit`` on how many fresh rows a batch may admit (the rest are
+    rolled back exactly, so a generation round that overshoots its
+    target never pollutes the persistent state), and the
+    :attr:`rows_stored`/:attr:`rows_offered` snapshot counters.
+    Growth rehashes from the stored columns only — source matrices
+    that were folded in are never re-read.
+
     All operations are vectorized over batches; nothing on the probe
     path touches per-row Python.
     """
@@ -157,6 +199,8 @@ class BucketTable:
         "_ids",
         "_count",
         "_offered",
+        "_undo_slots",
+        "_undo_grew",
     )
 
     #: Smallest slot-array size (keeps the empty table cheap while
@@ -188,10 +232,25 @@ class BucketTable:
         self._ids = np.empty(size // 2, dtype=np.int64)
         self._count = 0
         self._offered = 0
+        # Per-insert undo log (slot indices written, growth flag) —
+        # what makes the bounded :meth:`insert_packed` able to roll an
+        # over-admitting batch back exactly.
+        self._undo_slots: List[np.ndarray] = []
+        self._undo_grew = False
 
     def __len__(self) -> int:
         """Number of distinct rows stored."""
         return self._count
+
+    @property
+    def rows_stored(self) -> int:
+        """Snapshot count of distinct rows stored (same as ``len``)."""
+        return self._count
+
+    @property
+    def rows_offered(self) -> int:
+        """Snapshot count of rows ever offered, duplicates included."""
+        return self._offered
 
     @property
     def slot_count(self) -> int:
@@ -316,6 +375,8 @@ class BucketTable:
             if ids.shape != (m,):
                 raise ValueError("ids must be one per inserted row")
         self._offered += m
+        self._undo_slots = []
+        self._undo_grew = False
         if m == 0:
             return fresh
         mixed = _mix_words(words)
@@ -338,6 +399,7 @@ class BucketTable:
             if e_pos.size and self._ensure_slots(self._count + e_pos.size):
                 # The slot array was rebuilt: every computed probe is
                 # stale.  Restart the round from the home slots.
+                self._undo_grew = True
                 step = np.int64(self._size - 1)
                 claim = self._claim
                 probe = (mixed[pending] & self._mask).astype(np.int64)
@@ -356,7 +418,9 @@ class BucketTable:
                 storage = self._append(
                     words[win_rows], mixed[win_rows], ids[win_rows]
                 )
-                self._slots[slots_e[winners]] = storage.astype(np.int32)
+                won_slots = slots_e[winners]
+                self._slots[won_slots] = storage.astype(np.int32)
+                self._undo_slots.append(won_slots)
                 claim[slots_e] = -1
                 fresh[win_rows] = True
                 resolved[e_pos[winners]] = True
@@ -398,6 +462,75 @@ class BucketTable:
             pending = pending[keep]
             probe = probe[keep]
         return fresh
+
+    def insert_packed(
+        self,
+        words: np.ndarray,
+        ids: Optional[np.ndarray] = None,
+        limit: Optional[int] = None,
+    ) -> np.ndarray:
+        """:meth:`insert` with an optional cap on admitted fresh rows.
+
+        With ``limit=None`` this is exactly :meth:`insert`.  With a
+        limit, at most the first ``limit`` fresh rows (in batch order)
+        are admitted; any further fresh rows are rolled back exactly —
+        their slots are released (or, if the batch triggered a growth,
+        the slot array is rebuilt from the surviving stored rows), so
+        the table ends in the precise state of having only ever seen
+        the admitted rows.  This is what lets a persistent campaign
+        session feed a whole oversampled generation batch through the
+        table without the overshoot beyond the round's target becoming
+        permanently excluded.
+
+        ``rows_offered`` counts the full batch either way; admitted
+        rows keep their true stream positions as default ids.
+        """
+        if limit is None:
+            return self.insert(words, ids)
+        if limit < 0:
+            raise ValueError(f"limit must be non-negative, got {limit}")
+        count_mark = self._count
+        offered_mark = self._offered
+        fresh = self.insert(words, ids)
+        if self._count - count_mark <= limit:
+            return fresh
+        self._rollback(count_mark, offered_mark)
+        positions = np.flatnonzero(fresh)[:limit]
+        if ids is None:
+            admit_ids = offered_mark + positions
+        else:
+            admit_ids = np.ascontiguousarray(ids, dtype=np.int64)[positions]
+        limited = np.zeros(len(fresh), dtype=bool)
+        if positions.size:
+            # Re-admitting only previously-fresh rows: every one lands
+            # as fresh again, so the admitted set is exact.
+            self.insert(words[positions], ids=admit_ids)
+            limited[positions] = True
+        self._offered = offered_mark + len(words)
+        return limited
+
+    def _rollback(self, count_mark: int, offered_mark: int) -> None:
+        """Undo the most recent :meth:`insert` call entirely.
+
+        Safe because older entries never probe *past* slots that were
+        still empty when they were placed: releasing every slot the
+        rolled-back batch claimed restores the exact pre-insert probe
+        topology.  If the batch grew (and therefore rehashed) the slot
+        array, the array is rebuilt from the surviving stored rows
+        instead — stored columns are never re-read from any source
+        matrix.
+        """
+        if self._undo_grew:
+            self._slots.fill(-1)
+            if count_mark:
+                self._place_all(self._mixed[:count_mark])
+        else:
+            for written in self._undo_slots:
+                self._slots[written] = -1
+        self._count = count_mark
+        self._offered = offered_mark
+        self._undo_slots = []
+        self._undo_grew = False
 
     def lookup(self, words: np.ndarray) -> np.ndarray:
         """External id of each queried row, or -1 when absent.

@@ -121,8 +121,17 @@ def scan_experiment(
     train, test = split_train_test(dataset, train_size, rng)
 
     analysis = EntropyIP.fit(train, width=train.width)
+    # A generation session (training pre-excluded) rather than a bare
+    # exclude: same rows bit for bit, and callers that extend the
+    # experiment into follow-up rounds inherit the no-repeat guarantee
+    # for free.  Pre-sized to the full candidate count so the table
+    # never rehashes mid-experiment (the capacity the old per-call
+    # exclude path implied).
+    session = analysis.model.session(
+        exclude=train, capacity=n_candidates + len(train)
+    )
     candidates = analysis.model.generate_set(
-        n_candidates, rng, exclude=train, workers=workers
+        n_candidates, rng, state=session, workers=workers
     )
 
     # One scoring path for any worker count: sharded_map_rows and

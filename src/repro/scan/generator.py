@@ -28,14 +28,26 @@ def generate_candidate_set(
     n: int,
     rng: Optional[np.random.Generator] = None,
     evidence=None,
+    state=None,
 ) -> AddressSet:
     """Generate ``n`` distinct candidates (training excluded) as rows.
 
     The array-native form: candidates stay an :class:`AddressSet` from
     BN sampling through dedup, with the training set excluded by
     whole-row set algebra — no Python integers anywhere.
+
+    ``state`` accepts a persistent
+    :class:`~repro.core.model.GenerationSession` (see
+    :meth:`AddressModel.session <repro.core.model.AddressModel.session>`)
+    for multi-round workflows: the session must already hold the
+    exclusions (seed it with ``analysis.address_set``), and each call's
+    candidates are retired from all later calls automatically.
     """
     rng = default_rng(rng)
+    if state is not None:
+        return analysis.model.generate_set(
+            n, rng, evidence=evidence, state=state
+        )
     return analysis.model.generate_set(
         n,
         rng,

@@ -117,6 +117,66 @@ class TestVectorReferenceBitIdentity:
             ), (name, variable)
 
 
+class TestTierBatchedBDeu:
+    """Tier-batched BDeu scoring (the default cached path) must
+    produce byte-identical models to the uncached
+    ``learn_structure(cache=False)`` reference — same parent sets,
+    same CPD table bytes."""
+
+    def test_learn_structure_tier_vs_uncached_reference(self, fitted):
+        from repro.bayes.structure import learn_structure
+
+        name, train, analysis = fitted
+        encoder = analysis.encoder
+        codes = encoder.encode_set(train)
+        tier_batched = learn_structure(
+            codes, encoder.variable_names, encoder.cardinalities
+        )
+        reference = learn_structure(
+            codes, encoder.variable_names, encoder.cardinalities, cache=False
+        )
+        assert sorted(tier_batched.edges()) == sorted(reference.edges()), name
+        for variable in tier_batched.variables:
+            assert tier_batched.parents(variable) == reference.parents(
+                variable
+            ), (name, variable)
+            assert (
+                np.ascontiguousarray(
+                    tier_batched.cpd(variable).table
+                ).tobytes()
+                == np.ascontiguousarray(
+                    reference.cpd(variable).table
+                ).tobytes()
+            ), (name, variable)
+
+    def test_tier_scores_equal_per_family_scores_on_fit_data(self, fitted):
+        from itertools import combinations
+
+        from repro.bayes.scores import FamilyStats
+
+        name, train, analysis = fitted
+        encoder = analysis.encoder
+        codes = encoder.encode_set(train)
+        cards = encoder.cardinalities
+        batched = FamilyStats(codes, cards)
+        single = FamilyStats(codes, cards)
+        for child in range(len(cards)):
+            tier = [
+                subset
+                for size in (1, 2)
+                for subset in combinations(range(child), size)
+            ]
+            if not tier:
+                continue
+            scores = batched.score_tier(child, tier)
+            for subset, score in zip(tier, scores):
+                assert score == single.score(child, subset), (
+                    name,
+                    child,
+                    subset,
+                )
+
+
 class TestGoldenAcrossProcessState:
     def test_digest_insensitive_to_refit(self, fitted):
         """Two fits of the same data in one process agree exactly."""

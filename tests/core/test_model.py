@@ -214,3 +214,98 @@ class TestAddressSetExclude:
                 np.random.default_rng(0),
                 exclude=np.zeros((3, 5), dtype=np.uint64),
             )
+
+
+class TestGenerationSession:
+    """The persistent cross-call exclusion/dedup state of §5.5 loops."""
+
+    def test_session_matches_grow_and_repass_exclude(
+        self, fitted, structured_set
+    ):
+        # The compat contract: a sequence of session-backed calls is
+        # bit-identical to the legacy pattern of re-passing an
+        # ever-growing packed exclude matrix to each call.
+        session = fitted.session(exclude=structured_set)
+        session_rng = np.random.default_rng(31)
+        legacy_rng = np.random.default_rng(31)
+        probed = structured_set.packed_rows()
+        for n in (150, 200, 120):
+            by_session = fitted.generate_set(n, session_rng, state=session)
+            by_exclude = fitted.generate_set(n, legacy_rng, exclude=probed)
+            assert np.array_equal(by_session.matrix, by_exclude.matrix)
+            probed = np.vstack([probed, by_exclude.packed_rows()])
+
+    def test_session_rows_never_repeat_across_calls(self, fitted):
+        session = fitted.session()
+        rng = np.random.default_rng(32)
+        seen = set()
+        for n in (100, 100, 100):
+            generated = fitted.generate_set(n, rng, state=session)
+            values = generated.to_ints()
+            assert len(values) == n
+            assert not (set(values) & seen)
+            seen.update(values)
+        assert session.generated_rows == 300
+
+    def test_session_survives_refit(self, fitted, structured_set):
+        # The adaptive-campaign pattern: refit a model (only the BN
+        # changes) and keep generating on the same session.
+        from repro.core.encoding import AddressEncoder
+        from repro.core.mining import mine_segments
+        from repro.core.segmentation import segment_addresses
+
+        session = fitted.session(exclude=structured_set)
+        rng = np.random.default_rng(33)
+        first = fitted.generate_set(200, rng, state=session)
+        grown = structured_set.concat(first)
+        segments = segment_addresses(grown)
+        encoder = AddressEncoder(mine_segments(grown, segments))
+        refitted = AddressModel.fit(grown, encoder)
+        second = refitted.generate_set(200, rng, state=session)
+        overlap = set(second.to_ints()) & (
+            set(first.to_ints()) | set(structured_set.to_ints())
+        )
+        assert not overlap
+
+    def test_session_excludes_seed_rows(self, fitted, structured_set):
+        session = fitted.session(exclude=structured_set)
+        rng = np.random.default_rng(34)
+        generated = fitted.generate_set(250, rng, state=session)
+        assert not structured_set.contains_rows(generated).any()
+        assert session.excluded_rows == len(structured_set.unique())
+
+    def test_observe_folds_in_new_exclusions(self, fitted):
+        session = fitted.session()
+        extra = fitted.generate_set(
+            50, np.random.default_rng(35), state=fitted.session()
+        )
+        assert session.observe(extra) == 50
+        assert session.observe(extra) == 0  # idempotent
+        generated = fitted.generate_set(
+            100, np.random.default_rng(36), state=session
+        )
+        assert not (set(generated.to_ints()) & set(extra.to_ints()))
+
+    def test_state_and_exclude_are_mutually_exclusive(self, fitted):
+        session = fitted.session()
+        with pytest.raises(ValueError):
+            fitted.generate_set(
+                10, np.random.default_rng(0), exclude=[1], state=session
+            )
+
+    def test_width_mismatch_rejected(self, fitted):
+        from repro.core.model import GenerationSession
+
+        narrow = GenerationSession(16)
+        with pytest.raises(ValueError):
+            fitted.generate_set(10, np.random.default_rng(0), state=narrow)
+
+    def test_overshoot_never_pollutes_session(self, fitted):
+        # A generation round oversamples; the overshoot beyond n must
+        # stay generatable by later calls — the session holds exactly
+        # seed + returned rows.
+        session = fitted.session()
+        rng = np.random.default_rng(37)
+        first = fitted.generate_set(101, rng, state=session)
+        assert len(session) == len(first) == 101
+        assert session.generated_rows == 101

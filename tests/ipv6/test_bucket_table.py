@@ -195,6 +195,171 @@ class TestFoldCollisions:
         assert positions.tolist() == expected
 
 
+class TestPersistentSession:
+    """The incremental API a campaign-lifetime table runs on:
+    ``insert_packed`` batches with growth mid-stream, fold collisions
+    across batches, bounded (``limit``) inserts with exact rollback,
+    and the snapshot counters."""
+
+    def test_insert_packed_unlimited_is_insert(self):
+        rng = np.random.default_rng(20)
+        words = _random_words(rng, 800)
+        a, b = BucketTable(2), BucketTable(2)
+        assert np.array_equal(a.insert_packed(words), b.insert(words))
+        assert len(a) == len(b)
+        assert np.array_equal(a.lookup(words), b.lookup(words))
+
+    def test_many_batches_against_python_set_oracle(self):
+        # A long campaign: 40 batches with heavy cross-batch repeats,
+        # growth boundaries crossed mid-stream.  Fresh masks must match
+        # a first-occurrence Python-set oracle at every step.
+        rng = np.random.default_rng(21)
+        pool = _random_words(rng, 1500)
+        table = BucketTable(2)  # minimum slot count: forces growth
+        seen = set()
+        sizes = set()
+        for _ in range(40):
+            take = rng.integers(0, len(pool), size=97)
+            batch = pool[take]
+            fresh = table.insert_packed(batch)
+            for i, row in enumerate(map(tuple, batch.tolist())):
+                assert fresh[i] == (row not in seen), row
+                seen.add(row)
+            sizes.add(table.slot_count)
+        assert len(table) == len(seen)
+        assert len(sizes) > 2  # growth actually happened mid-campaign
+        assert table.rows_offered == 40 * 97
+
+    def test_fold_collision_rows_across_batches(self, monkeypatch):
+        # Distinct rows whose (weakened) folds collide, spread across
+        # separate batches: later batches must still dedup against
+        # them and keep distinct colliding rows individually findable.
+        monkeypatch.setattr(
+            sets_module,
+            "_mix_words",
+            lambda words: words[:, 0] & np.uint64(3),
+        )
+        rng = np.random.default_rng(22)
+        base = _random_words(rng, 200)
+        table = BucketTable(2)
+        assert table.insert_packed(base).all()
+        for start in range(0, 200, 50):
+            again = table.insert_packed(base[start:start + 50])
+            assert not again.any()
+        extra = _random_words(rng, 100)
+        assert table.insert_packed(extra).all()
+        assert np.array_equal(table.lookup(base), np.arange(200))
+        assert (table.lookup(extra) >= 0).all()
+
+    def test_limit_admits_first_fresh_rows_only(self):
+        words = np.array(
+            [[1, 1], [2, 2], [1, 1], [3, 3], [4, 4]], dtype=np.uint64
+        )
+        table = BucketTable(2)
+        fresh = table.insert_packed(words, limit=2)
+        # Fresh rows in batch order are [1,1],[2,2],[3,3],[4,4]; only
+        # the first two are admitted.
+        assert fresh.tolist() == [True, True, False, False, False]
+        assert len(table) == 2
+        assert (table.lookup(words[3:]) == -1).all()
+        # Rolled-back rows are re-insertable later as fresh.
+        again = table.insert_packed(words, limit=10)
+        assert again.tolist() == [False, False, False, True, True]
+        assert len(table) == 4
+
+    def test_limit_rollback_is_exact_state(self):
+        # After a limited insert the table must behave exactly like a
+        # table that only ever saw the admitted rows.
+        rng = np.random.default_rng(23)
+        base = _random_words(rng, 500)
+        batch = _random_words(rng, 400)
+        limited = BucketTable(2, capacity=900)
+        limited.insert_packed(base)
+        fresh = limited.insert_packed(batch, limit=100)
+        assert fresh.sum() == 100
+        reference = BucketTable(2, capacity=900)
+        reference.insert_packed(base)
+        reference.insert_packed(batch[np.flatnonzero(fresh)])
+        probe = np.vstack([base, batch, _random_words(rng, 300)])
+        assert np.array_equal(
+            limited.lookup(probe) >= 0, reference.lookup(probe) >= 0
+        )
+        assert len(limited) == len(reference) == 600
+
+    def test_limit_rollback_across_growth_boundary(self):
+        # The limited batch itself triggers growth (rehash): rollback
+        # must rebuild the slot array, not leak phantom rows.
+        rng = np.random.default_rng(24)
+        table = BucketTable(1)  # minimum size
+        seed_rows = _random_words(rng, 10, k=1)
+        table.insert_packed(seed_rows)
+        big = _random_words(rng, 5000, k=1)
+        fresh = table.insert_packed(big, limit=7)
+        assert fresh.sum() == 7
+        assert len(table) == 17
+        admitted = big[np.flatnonzero(fresh)]
+        assert (table.lookup(admitted) >= 0).all()
+        dropped = big[~fresh]
+        assert (table.lookup(dropped) == -1).all()
+        # The table remains fully functional after the rollback.
+        assert table.insert_packed(big[:100], limit=None).sum() >= 93
+        assert (table.lookup(seed_rows) >= 0).all()
+
+    def test_limit_zero_and_validation(self):
+        table = BucketTable(2)
+        words = np.array([[5, 5], [6, 6]], dtype=np.uint64)
+        fresh = table.insert_packed(words, limit=0)
+        assert not fresh.any()
+        assert len(table) == 0
+        assert table.rows_offered == 2  # offered counts the full batch
+        with pytest.raises(ValueError):
+            table.insert_packed(words, limit=-1)
+
+    def test_snapshot_counters(self):
+        table = BucketTable(1)
+        table.insert_packed(np.array([[1], [2], [1]], dtype=np.uint64))
+        assert table.rows_stored == len(table) == 2
+        assert table.rows_offered == 3
+        table.insert_packed(np.array([[2], [3]], dtype=np.uint64), limit=0)
+        assert table.rows_stored == 2
+        assert table.rows_offered == 5
+
+    def test_workers_bit_identity_on_shared_prepopulated_session(self):
+        # Two identically pre-populated sessions, one driven at
+        # workers=1 and one at workers=4, across several generate_set
+        # calls: rows and session contents must stay bit-identical.
+        from repro.core.pipeline import EntropyIP
+
+        rng = np.random.default_rng(25)
+        values = [
+            (0x20010DB8 << 96) | (int(s) << 64) | int(h)
+            for s, h in zip(
+                rng.integers(0, 8, size=1200),
+                rng.integers(0, 1 << 16, size=1200),
+            )
+        ]
+        train = AddressSet.from_ints(values)
+        model = EntropyIP.fit(train).model
+        serial_session = model.session(exclude=train)
+        parallel_session = model.session(exclude=train)
+        serial_rng = np.random.default_rng(7)
+        parallel_rng = np.random.default_rng(7)
+        for n in (300, 300, 200):
+            serial = model.generate_set(
+                n, serial_rng, state=serial_session, workers=1
+            )
+            parallel = model.generate_set(
+                n, parallel_rng, state=parallel_session, workers=4
+            )
+            assert np.array_equal(serial.matrix, parallel.matrix)
+        assert len(serial_session) == len(parallel_session)
+        probe = serial_session.table
+        assert np.array_equal(
+            probe.lookup(train.packed_rows()),
+            parallel_session.table.lookup(train.packed_rows()),
+        )
+
+
 class TestAgainstReferences:
     def test_match_rows_agrees_with_sorted_reference(self):
         rng = np.random.default_rng(7)

@@ -192,6 +192,142 @@ class TestExhaustedSupportAccounting:
         assert result.total_probes < 10_000
 
 
+class TestIncrementalAccounting:
+    """The steady-state engine vs the retained re-seeding reference.
+
+    ``ScanCampaign.run`` now keeps one persistent generation session
+    and incremental /64 accounting; ``_run_reseed_reference`` is the
+    old loop (vstack'd probed history, per-round ``prefixes64()`` +
+    ``setdiff1d``).  Every observable outcome must be identical, round
+    for round — in particular the regression this PR fixes: per-round
+    ``new_prefixes64`` values from the running sorted-unique merge
+    must equal the from-scratch recomputation.
+    """
+
+    @pytest.mark.parametrize("adaptive", [False, True])
+    def test_rounds_identical_to_reseed_reference(self, setup, adaptive):
+        _, responder, training = setup
+        session = ScanCampaign(
+            training, responder, probe_budget=8000, round_size=2000,
+            adaptive=adaptive, seed=11,
+        ).run()
+        reseed = ScanCampaign(
+            training, responder, probe_budget=8000, round_size=2000,
+            adaptive=adaptive, seed=11,
+        )._run_reseed_reference()
+        assert len(session.rounds) >= 3  # actually multi-round
+        assert [
+            (r.index, r.probes_sent, r.hits, r.cumulative_probes,
+             r.cumulative_hits, r.new_prefixes64)
+            for r in session.rounds
+        ] == [
+            (r.index, r.probes_sent, r.hits, r.cumulative_probes,
+             r.cumulative_hits, r.new_prefixes64)
+            for r in reseed.rounds
+        ]
+        assert session.discovered == reseed.discovered
+        assert session.discovered_prefixes64 == reseed.discovered_prefixes64
+
+    def test_width16_prefix_mode_identical_to_reference(self):
+        population = _prefix_population()
+        responder = SimulatedResponder(population, ping_rate=1.0, seed=0)
+        training = population.sample(400, np.random.default_rng(2))
+        session = ScanCampaign(
+            training, responder, probe_budget=4000, round_size=1000, seed=3
+        ).run()
+        reseed = ScanCampaign(
+            training, responder, probe_budget=4000, round_size=1000, seed=3
+        )._run_reseed_reference()
+        assert [r.new_prefixes64 for r in session.rounds] == [
+            r.new_prefixes64 for r in reseed.rounds
+        ]
+        assert session.discovered == reseed.discovered
+
+    def test_no_per_round_reseeding(self, setup):
+        """The O(total-probed) per-round copy is gone: however many
+        rounds run, the campaign builds exactly one dedup table (the
+        session's), while the reference builds one per round."""
+        from repro.ipv6.sets import BucketTable
+
+        _, responder, training = setup
+        responder.oracle_masks(training)  # pre-warm the cached indexes
+
+        real_init = BucketTable.__init__
+
+        class Spy:
+            def __init__(self):
+                self.constructions = 0
+
+            def __enter__(self):
+                spy = self
+
+                def counting_init(table, *args, **kwargs):
+                    spy.constructions += 1
+                    return real_init(table, *args, **kwargs)
+
+                BucketTable.__init__ = counting_init
+                return spy
+
+            def __exit__(self, *exc):
+                BucketTable.__init__ = real_init
+
+        counts = {}
+        for budget, rounds_label in ((4000, "short"), (8000, "long")):
+            with Spy() as spy:
+                result = ScanCampaign(
+                    training, responder, probe_budget=budget,
+                    round_size=2000, seed=5,
+                ).run()
+            assert len(result.rounds) == budget // 2000
+            counts[rounds_label] = spy.constructions
+        # Table constructions do not scale with the round count...
+        assert counts["short"] == counts["long"] == 1
+        # ...while the reference pays one re-seeded table per round.
+        with Spy() as spy:
+            ScanCampaign(
+                training, responder, probe_budget=8000,
+                round_size=2000, seed=5,
+            )._run_reseed_reference()
+        assert spy.constructions == 4
+
+    def test_offered_rows_scale_with_probes_not_history(self, setup):
+        """Rows offered to dedup tables stay linear in the drawn
+        batches on the session path: the probed history is never
+        re-fed, while the reference re-offers it every round."""
+        from repro.ipv6.sets import BucketTable
+
+        _, responder, training = setup
+        responder.oracle_masks(training)  # pre-warm the cached indexes
+        real = BucketTable.insert_packed
+        offered = [0]
+
+        def counting(table, words, *args, **kwargs):
+            offered[0] += len(words)
+            return real(table, words, *args, **kwargs)
+
+        BucketTable.insert_packed = counting
+        try:
+            offered[0] = 0
+            ScanCampaign(
+                training, responder, probe_budget=8000,
+                round_size=2000, seed=9,
+            ).run()
+            session_offered = offered[0]
+            offered[0] = 0
+            ScanCampaign(
+                training, responder, probe_budget=8000,
+                round_size=2000, seed=9,
+            )._run_reseed_reference()
+            reseed_offered = offered[0]
+        finally:
+            BucketTable.insert_packed = real
+        # Session: the 600-row training seed once, plus each oversampled
+        # batch once — a loose linear ceiling of 4x the budget.
+        assert session_offered < 4 * 8000 + len(training)
+        # The reference re-feeds the growing history every round.
+        assert reseed_offered > session_offered + 2 * len(training)
+
+
 class TestDeterminism:
     def test_same_seed_same_curve(self, setup):
         _, responder, training = setup

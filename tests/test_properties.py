@@ -230,6 +230,49 @@ class TestFamilyStatsProperties:
 
     @SLOW
     @given(st.integers(0, 10_000))
+    def test_tier_batched_scores_equal_per_family_scores(self, seed):
+        """Tier-vs-family equality: FamilyStats.score_tier (fused
+        multi-family bincount + one gammaln pass per chunk) must be
+        *bitwise* equal to per-family scoring — the near-tie contract
+        of the structure search — and to the uncached reference."""
+        from itertools import combinations
+
+        generator = np.random.default_rng(seed)
+        num_vars = int(generator.integers(2, 7))
+        cardinalities = [int(generator.integers(1, 6)) for _ in range(num_vars)]
+        n = int(generator.integers(1, 150))
+        data = np.column_stack(
+            [generator.integers(0, c, size=n) for c in cardinalities]
+        )
+        ess = float(generator.choice([0.5, 1.0, 4.0]))
+        child = int(generator.integers(1, num_vars))
+        tier = [()] + [
+            subset
+            for size in (1, 2, 3)
+            for subset in combinations(range(child), size)
+        ]
+        batched = FamilyStats(data, cardinalities)
+        scores = batched.score_tier(
+            child, tier, equivalent_sample_size=ess
+        )
+        # Fresh stats per comparison so the per-family path cannot be
+        # served from the batch's memo.
+        single = FamilyStats(data, cardinalities)
+        for parents, score in zip(tier, scores):
+            assert score == single.score(
+                child, parents, equivalent_sample_size=ess
+            ), (child, parents)
+            assert score == family_score(
+                data, child, parents, cardinalities,
+                equivalent_sample_size=ess,
+            ), (child, parents)
+        # Repeating the tier serves every score from the memo.
+        assert batched.score_tier(
+            child, tier, equivalent_sample_size=ess
+        ) == scores
+
+    @SLOW
+    @given(st.integers(0, 10_000))
     def test_cached_counts_match_count_family(self, seed):
         from repro.bayes.cpd import count_family
 
