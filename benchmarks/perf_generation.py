@@ -7,7 +7,7 @@ times every stage of that path — the ``EntropyIP.fit`` model fit itself
 code→address decoding, dedup against the training set, the end-to-end
 ``AddressModel.generate_set`` loop, the ping/rDNS oracle membership
 sweep, the complete ``scan_experiment``, a multi-round adaptive
-``ScanCampaign``, and a 50-round fixed-size *steady-state* campaign on
+``ScanCampaign``, and a 100-round fixed-size *steady-state* campaign on
 the persistent-session engine (timed per round against the retained
 re-seeding reference loop, which re-pays its history every round) —
 for representative networks (S1: pseudo-random IIDs,

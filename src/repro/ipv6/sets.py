@@ -201,6 +201,7 @@ class BucketTable:
         "_offered",
         "_undo_slots",
         "_undo_grew",
+        "_undo_armed",
     )
 
     #: Smallest slot-array size (keeps the empty table cheap while
@@ -234,9 +235,14 @@ class BucketTable:
         self._offered = 0
         # Per-insert undo log (slot indices written, growth flag) —
         # what makes the bounded :meth:`insert_packed` able to roll an
-        # over-admitting batch back exactly.
+        # over-admitting batch back exactly.  Slot indices are only
+        # recorded while armed (the ``insert_packed(limit=...)`` path):
+        # an unarmed bulk insert — e.g. seeding a million-row
+        # membership index — must not pin its won-slot arrays for the
+        # table's lifetime.
         self._undo_slots: List[np.ndarray] = []
         self._undo_grew = False
+        self._undo_armed = False
 
     def __len__(self) -> int:
         """Number of distinct rows stored."""
@@ -420,7 +426,8 @@ class BucketTable:
                 )
                 won_slots = slots_e[winners]
                 self._slots[won_slots] = storage.astype(np.int32)
-                self._undo_slots.append(won_slots)
+                if self._undo_armed:
+                    self._undo_slots.append(won_slots)
                 claim[slots_e] = -1
                 fresh[win_rows] = True
                 resolved[e_pos[winners]] = True
@@ -491,10 +498,16 @@ class BucketTable:
             raise ValueError(f"limit must be non-negative, got {limit}")
         count_mark = self._count
         offered_mark = self._offered
-        fresh = self.insert(words, ids)
-        if self._count - count_mark <= limit:
-            return fresh
-        self._rollback(count_mark, offered_mark)
+        self._undo_armed = True
+        try:
+            fresh = self.insert(words, ids)
+            if self._count - count_mark <= limit:
+                return fresh
+            self._rollback(count_mark, offered_mark)
+        finally:
+            self._undo_armed = False
+            self._undo_slots = []
+            self._undo_grew = False
         positions = np.flatnonzero(fresh)[:limit]
         if ids is None:
             admit_ids = offered_mark + positions
