@@ -35,10 +35,24 @@ scan side (oracle sweep subsample, scalar reference, candidate batch,
 scan experiment, campaign budget) — so CI smoke passes run the whole
 pipeline small.
 
+Two stages added with the fused pipeline PR: ``sample_decode_fused``
+times :func:`repro.bayes.sampling.sample_packed` (BN states drawn
+straight into the packed-uint64 row layout) against the retained
+two-step ``sample_codes`` → ``decode_to_set`` reference on identical
+RNG streams (``sample_decode_twostep``), recording bit-identity of the
+packed rows; and a top-level ``backends`` record inserts ~10× the
+candidate scale into the in-memory ``BucketTable`` and the /64-sharded
+``ShardedBucketTable`` side by side (identical batches, periodic
+``limit=`` rollbacks), verifying identical verdicts while timing both.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/perf_generation.py \
         [--n 1000000] [--networks S1 R1] [--out BENCH_generation.json]
+
+By default the record is written to ``benchmarks/out/`` (gitignored
+scratch); set ``REPRO_BENCH_WRITE=1`` to update the committed
+repo-root ``BENCH_generation.json`` — do that only from an idle host.
 """
 
 from __future__ import annotations
@@ -55,6 +69,22 @@ import numpy as np
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 BASELINE_PATH = pathlib.Path(__file__).resolve().parent / "BENCH_baseline_seed.json"
 DEFAULT_OUT = REPO_ROOT / "BENCH_generation.json"
+OUT_DIR = pathlib.Path(__file__).resolve().parent / "out"
+
+
+def record_output_path() -> pathlib.Path:
+    """Where a benchmark run writes its record.
+
+    Defaults to the gitignored ``benchmarks/out/`` scratch directory so
+    a casual (or loaded-host) run can never clobber the committed
+    repo-root ``BENCH_generation.json``; exporting
+    ``REPRO_BENCH_WRITE=1`` opts into updating the tracked record —
+    only do that from an idle host (see ROADMAP perf notes).
+    """
+    if os.environ.get("REPRO_BENCH_WRITE") == "1":
+        return DEFAULT_OUT
+    OUT_DIR.mkdir(parents=True, exist_ok=True)
+    return OUT_DIR / "BENCH_generation.json"
 
 #: Paper scale, overridable for reduced-size CI smoke passes.
 DEFAULT_N_CANDIDATES = int(os.environ.get("REPRO_BENCH_CANDIDATES", 1_000_000))
@@ -134,6 +164,11 @@ def measure_network(
         decoded, elapsed = _timed(_seed_decode)
     record("decode", elapsed, n_candidates)
 
+    # --- stage 2b: fused sample→packed vs the two-step reference ----
+    fused_stages = measure_fused_stage(model, n_candidates, seed)
+    if fused_stages is not None:
+        stages.update(fused_stages)
+
     # --- stage 3: dedup against the training set --------------------
     if hasattr(decoded, "contains_rows"):
         _, elapsed = _timed(lambda: train.contains_rows(decoded))
@@ -169,6 +204,72 @@ def measure_network(
     if workers_stage is not None:
         result["workers"] = workers_stage
     return result
+
+
+def measure_fused_stage(model, n_candidates: int, seed: int) -> Optional[Dict]:
+    """Time the fused sample→packed path against the retained two-step
+    reference on identical RNG streams.
+
+    The two-step reference is the real pipeline the fused path
+    replaces — ``sample_codes`` materializing the (n, num_vars) code
+    matrix, then ``decode_to_set`` re-gathering it through the nybble
+    tables — so the ratio is the fusion win, not a microbenchmark.
+    Both paths draw from a fresh generator seeded identically and must
+    produce bit-identical packed rows (the fused path consumes the RNG
+    stream in exactly the reference's order); best of two per path so
+    one scheduler hiccup cannot decide the reported ratio.  Returns
+    None on trees without a fused plan (or encoders whose segment
+    layout straddles a word boundary).
+    """
+    encoder = model.encoder
+    if not hasattr(encoder, "fused_plan"):
+        return None
+    plan = encoder.fused_plan()
+    if plan is None:
+        return None
+    from repro.bayes.sampling import sample_packed
+
+    def two_step():
+        rng = np.random.default_rng(seed + 5)
+        codes = model.sample_codes(n_candidates, rng)
+        return encoder.decode_to_set(codes, rng, validate=False)
+
+    def fused():
+        rng = np.random.default_rng(seed + 5)
+        return sample_packed(model.network, plan, n_candidates, rng)
+
+    reference, twostep_elapsed = _timed(two_step)
+    fused_words, fused_elapsed = _timed(fused)
+    _, again = _timed(two_step)
+    twostep_elapsed = min(twostep_elapsed, again)
+    _, again = _timed(fused)
+    fused_elapsed = min(fused_elapsed, again)
+    return {
+        "sample_decode_twostep": {
+            "seconds": round(twostep_elapsed, 6),
+            "addresses_per_second": (
+                round(n_candidates / twostep_elapsed, 1)
+                if twostep_elapsed
+                else 0.0
+            ),
+        },
+        "sample_decode_fused": {
+            "seconds": round(fused_elapsed, 6),
+            "addresses_per_second": (
+                round(n_candidates / fused_elapsed, 1)
+                if fused_elapsed
+                else 0.0
+            ),
+            "bit_identical": bool(
+                np.array_equal(fused_words, reference.packed_rows())
+            ),
+            "speedup_vs_twostep": (
+                round(twostep_elapsed / fused_elapsed, 2)
+                if fused_elapsed
+                else 0.0
+            ),
+        },
+    }
 
 
 def measure_workers_stage(
@@ -548,6 +649,131 @@ def measure_campaign_steady_state(
     }
 
 
+#: The backends stage inserts this multiple of the candidate scale —
+#: at the default 1M that is a 10M-row exclusion set, one order past
+#: the generation benchmark's own working set (the 100M-row target is
+#: the same code path at 10x this, sized out of CI's time budget).
+BACKEND_SCALE_MULTIPLIER = 10
+
+#: Rows per insert batch (clamped to a tenth of the total for smoke
+#: runs so the stage always sees multiple batches).
+BACKEND_BATCH_ROWS = 1_000_000
+
+
+def measure_backends_stage(n_candidates: int, seed: int = 0) -> Optional[Dict]:
+    """Drive both AddressSet storage backends through an identical
+    large-scale insert/lookup schedule and verify identical verdicts.
+
+    Synthesizes ``BACKEND_SCALE_MULTIPLIER * n_candidates`` two-word
+    rows with ~25% duplicate pressure (values drawn from a pool of
+    0.75x the total; word 0 maps each value onto one of ~total/256
+    distinct /64 prefixes, so shard routing sees realistic clustering
+    — many IIDs per prefix, many prefixes per shard), then feeds the
+    same batches to the in-memory ``BucketTable`` and the /64-sharded
+    ``ShardedBucketTable``.  Every fourth batch runs through
+    ``insert_packed(limit=)`` so the sharded backend's cross-shard
+    rollback is exercised at scale.  Fresh-row masks and lookup
+    verdicts must match batch for batch (``identical``); per-backend
+    insert/lookup totals and the worst single-batch stall are timed.
+    Returns None on trees without the backend module.
+    """
+    try:
+        from repro.ipv6.backends import ShardedBucketTable
+        from repro.ipv6.sets import BucketTable
+    except ImportError:
+        return None
+    total = BACKEND_SCALE_MULTIPLIER * n_candidates
+    word_count = 2
+    batch_rows = max(min(BACKEND_BATCH_ROWS, total // 10), 1)
+    pool = max(int(total * 0.75), 4)
+    # ~256 IIDs per /64 prefix; both words derive from the same value
+    # so duplicate rows stay duplicates across the whole row.
+    num_prefixes64 = np.uint64(max(total // 256, 2))
+    prefix_base = np.uint64(0x20010DB8 << 32)
+    rng = np.random.default_rng(seed + 17)
+    tables = {
+        "memory": BucketTable(word_count),
+        "sharded64": ShardedBucketTable(word_count),
+    }
+    stats = {
+        name: {
+            "insert_seconds": 0.0,
+            "worst_batch_seconds": 0.0,
+            "lookup_seconds": 0.0,
+        }
+        for name in tables
+    }
+    identical = True
+    offered = 0
+    lookup_rows = 0
+    batch_index = 0
+    while offered < total:
+        m = min(batch_rows, total - offered)
+        values = rng.integers(0, pool, size=m, dtype=np.int64).astype(
+            np.uint64
+        )
+        words = np.empty((m, word_count), dtype=np.uint64)
+        words[:, 0] = prefix_base + values % num_prefixes64
+        words[:, 1] = values
+        limit = None if batch_index % 4 else max(m // 2, 1)
+        masks = {}
+        for name, table in tables.items():
+            started = time.perf_counter()
+            masks[name] = table.insert_packed(words, limit=limit)
+            elapsed = time.perf_counter() - started
+            stats[name]["insert_seconds"] += elapsed
+            stats[name]["worst_batch_seconds"] = max(
+                stats[name]["worst_batch_seconds"], elapsed
+            )
+        identical = identical and bool(
+            np.array_equal(masks["memory"], masks["sharded64"])
+        )
+        # Lookup parity on a probe slice: members interleaved with
+        # guaranteed misses (a flipped high bit in the IID word).
+        probe = words[:: max(m // 4096, 1)].copy()
+        probe[::2, 1] ^= np.uint64(1) << np.uint64(63)
+        lookup_rows += len(probe)
+        hits = {}
+        for name, table in tables.items():
+            started = time.perf_counter()
+            hits[name] = table.lookup(probe)
+            stats[name]["lookup_seconds"] += time.perf_counter() - started
+        identical = identical and bool(
+            np.array_equal(hits["memory"], hits["sharded64"])
+        )
+        offered += m
+        batch_index += 1
+    identical = identical and bool(
+        len(tables["memory"]) == len(tables["sharded64"])
+    )
+    record: Dict = {
+        "rows_offered": offered,
+        "distinct_rows": len(tables["memory"]),
+        "scale_multiplier": BACKEND_SCALE_MULTIPLIER,
+        "batches": batch_index,
+        "lookup_rows": lookup_rows,
+        "identical": identical,
+    }
+    for name, table in tables.items():
+        entry = {
+            "insert_seconds": round(stats[name]["insert_seconds"], 6),
+            "insert_rows_per_second": (
+                round(offered / stats[name]["insert_seconds"], 1)
+                if stats[name]["insert_seconds"]
+                else 0.0
+            ),
+            "worst_batch_seconds": round(
+                stats[name]["worst_batch_seconds"], 6
+            ),
+            "lookup_seconds": round(stats[name]["lookup_seconds"], 6),
+            "slot_count": table.slot_count,
+        }
+        record[name] = entry
+    record["sharded64"]["shards"] = tables["sharded64"].shard_count
+    record["sharded64"]["max_shard_rows"] = tables["sharded64"].max_shard_rows
+    return record
+
+
 def measure(
     n_candidates: int,
     networks: Optional[List[str]] = None,
@@ -555,7 +781,7 @@ def measure(
     seed: int = 0,
 ) -> Dict:
     """Measure every requested network; return the combined record."""
-    return {
+    result = {
         "n_candidates": n_candidates,
         "train_size": train_size,
         "networks": {
@@ -565,6 +791,10 @@ def measure(
             for name in (networks or NETWORKS)
         },
     }
+    backends = measure_backends_stage(n_candidates, seed=seed)
+    if backends is not None:
+        result["backends"] = backends
+    return result
 
 
 def attach_speedups(result: Dict, baseline_path: pathlib.Path = BASELINE_PATH) -> Dict:
@@ -597,8 +827,18 @@ def main(argv: Optional[list] = None) -> Dict:
     parser.add_argument("--networks", nargs="+", default=NETWORKS)
     parser.add_argument("--train-size", type=int, default=TRAIN_SIZE)
     parser.add_argument("--seed", type=int, default=0)
-    parser.add_argument("--out", type=pathlib.Path, default=DEFAULT_OUT)
+    parser.add_argument(
+        "--out",
+        type=pathlib.Path,
+        default=None,
+        help=(
+            "record destination (default: benchmarks/out/, or the "
+            "committed repo-root record when REPRO_BENCH_WRITE=1)"
+        ),
+    )
     args = parser.parse_args(argv)
+    if args.out is None:
+        args.out = record_output_path()
 
     result = measure(
         args.n,

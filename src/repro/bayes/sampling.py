@@ -114,21 +114,18 @@ def _draw_states_grouped(
     return states
 
 
-def forward_sample(
+def _forward_sample_columns(
     network: BayesianNetwork,
     n_samples: int,
     rng: np.random.Generator,
 ) -> np.ndarray:
-    """Draw ``n_samples`` code vectors by ancestral sampling.
+    """Ancestral sampling into the internal ``(num_vars, n)`` buffer.
 
-    Returns an (n_samples, num_vars) integer matrix with columns in
-    ``network.variables`` order.  One uniform vector and one
-    ``searchsorted`` per non-degenerate variable — no per-configuration
-    Python loops, no uniforms burned on cardinality-1 variables.
-
-    The result is a transposed view of the internal ``(num_vars, n)``
-    buffer; reading it column-by-column (as the encoder does) is
-    contiguous.
+    The single source of truth for the forward draw order — one
+    ``rng.random(n)`` per non-degenerate variable, in
+    ``network.variables`` order — shared by :func:`forward_sample` and
+    :func:`sample_packed` so the two consume the RNG stream
+    identically.
     """
     if n_samples < 0:
         raise ValueError("n_samples must be non-negative")
@@ -152,7 +149,92 @@ def forward_sample(
         else:
             flat_config = None
         columns[row] = _draw_states(cpd, flat_config, rng.random(n_samples))
-    return columns.T
+    return columns
+
+
+def forward_sample(
+    network: BayesianNetwork,
+    n_samples: int,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Draw ``n_samples`` code vectors by ancestral sampling.
+
+    Returns an (n_samples, num_vars) integer matrix with columns in
+    ``network.variables`` order.  One uniform vector and one
+    ``searchsorted`` per non-degenerate variable — no per-configuration
+    Python loops, no uniforms burned on cardinality-1 variables.
+
+    The result is a transposed view of the internal ``(num_vars, n)``
+    buffer; reading it column-by-column (as the encoder does) is
+    contiguous.
+    """
+    return _forward_sample_columns(network, n_samples, rng).T
+
+
+def sample_packed(
+    network: BayesianNetwork,
+    plan,
+    n_samples: int,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Fused sample→decode: draw straight into packed uint64 rows.
+
+    ``plan`` is an :class:`repro.core.encoding.FusedPlan` — the
+    per-segment ``(word, shift)`` layout plus pre-shifted value tables
+    that :meth:`AddressEncoder.fused_plan
+    <repro.core.encoding.AddressEncoder.fused_plan>` derives from its
+    packed-word assembly plan.  Segments must correspond one-to-one, in
+    order, with ``network.variables`` (true by construction for any
+    fitted :class:`~repro.core.model.AddressModel`).
+
+    Returns the ``(n_samples, word_count)`` :func:`repro.ipv6.sets.pack_rows`
+    image directly: the ``(n, num_vars)`` codes matrix, the ``(n,
+    width)`` nybble matrix, and the whole
+    :meth:`~repro.core.encoding.AddressEncoder.decode_to_set` pass are
+    skipped.  Bit-identity with the two-step reference is a hard
+    contract, maintained by consuming the RNG stream in exactly its
+    order: first the ancestral draws (shared helper
+    :func:`_forward_sample_columns`), then one ranged-offset draw per
+    ranged segment in segment order, replicating the reference's
+    all-/some-/no-ranged branch structure so the draw *shapes* match
+    too.  Constant segments (cardinality 1, no range) are pre-folded
+    into the plan's ``constant_words`` and cost nothing per row —
+    exactly mirroring the reference's broadcast branch, which consumes
+    no randomness either.
+    """
+    columns = _forward_sample_columns(network, n_samples, rng)
+    packed = np.empty((n_samples, plan.word_count), dtype=np.uint64)
+    packed[:] = plan.constant_words
+    for seg in plan.segments:
+        states = columns[seg.column]
+        # Fancy-indexed gather → a fresh array, safe to bump in place.
+        shifted = seg.shifted_lows[states]
+        if seg.has_ranges:
+            # Same branch structure — and therefore the same RNG
+            # consumption — as decode_to_set: one full-width draw when
+            # every row's code is a range, a subset draw when only some
+            # are, none when none are.  ``(low + offset) << shift ==
+            # (low << shift) + (offset << shift)`` exactly in uint64,
+            # and every segment value stays inside its word field, so
+            # adding pre-shifted parts equals the reference's
+            # shift-after-add bit for bit.
+            spans = seg.spans[states]
+            ranged = spans > 0
+            if ranged.all():
+                shifted += (
+                    rng.integers(0, spans, dtype=np.uint64, endpoint=True)
+                    << seg.shift
+                )
+            elif ranged.any():
+                rows = np.flatnonzero(ranged)
+                shifted[rows] += (
+                    rng.integers(
+                        0, spans[rows], dtype=np.uint64, endpoint=True
+                    )
+                    << seg.shift
+                )
+        packed[:, seg.word] |= shifted
+    return packed
 
 
 def likelihood_weighted_sample(

@@ -139,6 +139,93 @@ class _SegmentTables:
         return np.argmin(distance, axis=1).astype(np.int64)
 
 
+class _FusedSegment:
+    """One non-constant segment of a :class:`FusedPlan`.
+
+    ``column`` is the segment's position in the encoder's segment order
+    (= the BN variable order), ``word``/``shift`` its field in the
+    packed row, ``shifted_lows`` the per-code low values pre-shifted
+    into field position, and ``spans`` the per-code range widths
+    (``high - low``; all zero iff ``has_ranges`` is False).
+    """
+
+    __slots__ = (
+        "column",
+        "word",
+        "shift",
+        "shifted_lows",
+        "spans",
+        "has_ranges",
+    )
+
+    def __init__(
+        self,
+        column: int,
+        word: int,
+        shift: np.uint64,
+        shifted_lows: np.ndarray,
+        spans: np.ndarray,
+        has_ranges: bool,
+    ):
+        self.column = column
+        self.word = word
+        self.shift = shift
+        self.shifted_lows = shifted_lows
+        self.spans = spans
+        self.has_ranges = has_ranges
+
+
+class FusedPlan:
+    """Everything :func:`repro.bayes.sampling.sample_packed` needs to
+    land BN draws directly in packed uint64 rows.
+
+    Derived from the encoder's ``_word_plan`` (so it exists exactly
+    when no segment straddles a 16-nybble word boundary and every
+    segment has lookup tables): constant segments — cardinality 1, no
+    range, the bulk of low-entropy router layouts — are pre-folded into
+    one ``constant_words`` row that initializes every sample, and each
+    remaining segment carries its pre-shifted value table.  The fused
+    sampler then does one gather (+ one offset draw for ranged
+    segments) and one OR per segment per batch — no codes matrix, no
+    nybble matrix, no re-pack.
+    """
+
+    __slots__ = ("word_count", "constant_words", "segments")
+
+    def __init__(self, encoder: "AddressEncoder"):
+        if encoder._word_plan is None:
+            raise ValueError(
+                "encoder has no packed-word plan (a segment straddles a "
+                "word boundary); the fused path cannot apply"
+            )
+        self.word_count = (encoder._width + 15) // 16
+        constant = np.zeros(self.word_count, dtype=np.uint64)
+        segments = []
+        for column, (mined, tables) in enumerate(
+            zip(encoder._mined, encoder._tables)
+        ):
+            word, shift = encoder._word_plan[column]
+            if mined.cardinality == 1 and not tables.has_ranges:
+                # Mirrors decode_to_set's constant-broadcast branch
+                # (which consumes no randomness): fold the single value
+                # into the shared initialization row.
+                constant[word] |= tables.lows[0] << shift
+                continue
+            segments.append(
+                _FusedSegment(
+                    column=column,
+                    word=word,
+                    shift=shift,
+                    shifted_lows=tables.lows << shift,
+                    spans=tables.spans,
+                    has_ranges=tables.has_ranges,
+                )
+            )
+        constant.setflags(write=False)
+        self.constant_words = constant
+        self.segments = tuple(segments)
+
+
 class AddressEncoder:
     """Bidirectional mapping between nybble rows and code vectors."""
 
@@ -175,6 +262,20 @@ class AddressEncoder:
             self._word_plan.append(
                 (word, np.uint64(4 * (16 * (word + 1) - seg.last_nybble)))
             )
+        self._fused: Optional[FusedPlan] = None
+
+    def fused_plan(self) -> Optional[FusedPlan]:
+        """The cached :class:`FusedPlan` for this encoder, or ``None``
+        when fusion cannot apply (some segment straddles a 16-nybble
+        word boundary or is wider than 64 bits — possible only when the
+        hard /32 and /64 segmentation cuts are disabled).  ``None``
+        routes generation through the retained two-step
+        :meth:`decode_to_set` reference."""
+        if self._word_plan is None:
+            return None
+        if self._fused is None:
+            self._fused = FusedPlan(self)
+        return self._fused
 
     @property
     def mined_segments(self) -> Tuple[MinedSegment, ...]:

@@ -14,10 +14,15 @@ import numpy as np
 
 from repro.bayes.inference import VariableElimination
 from repro.bayes.network import BayesianNetwork
-from repro.bayes.sampling import forward_sample, likelihood_weighted_sample
+from repro.bayes.sampling import (
+    forward_sample,
+    likelihood_weighted_sample,
+    sample_packed,
+)
 from repro.bayes.structure import StructureConfig, learn_structure
 from repro.core.encoding import AddressEncoder
-from repro.ipv6.sets import AddressSet, BucketTable
+from repro.ipv6.backends import AddressSetBackend, BackendSpec, make_backend
+from repro.ipv6.sets import AddressSet, BucketTable, unpack_rows
 
 #: Evidence may name states by code string ("J1") or by index (0).
 EvidenceLike = Mapping[str, Union[str, int]]
@@ -94,13 +99,21 @@ class GenerationSession:
         width: int,
         exclude: Optional[ExcludeLike] = None,
         capacity: int = 0,
+        backend: BackendSpec = None,
     ):
         if width < 1:
             raise ValueError(f"width must be positive, got {width}")
         excluded = exclude_packed_words(exclude, width)
         self._width = width
-        self._table = BucketTable(
-            (width + 15) // 16, capacity=max(int(capacity), len(excluded))
+        # ``backend`` picks the exclusion-set storage layout (see
+        # repro.ipv6.backends): None/"memory" is the flat BucketTable,
+        # "sharded64" the per-prefix sharded bank for 100M+-row
+        # campaigns.  All backends share exact insert/limit semantics,
+        # so the choice never changes which rows a session emits.
+        self._table = make_backend(
+            backend,
+            (width + 15) // 16,
+            capacity=max(int(capacity), len(excluded)),
         )
         self._table.insert_packed(excluded)
         self._excluded = len(self._table)
@@ -111,8 +124,10 @@ class GenerationSession:
         return self._width
 
     @property
-    def table(self) -> BucketTable:
-        """The underlying combined exclusion+dedup index."""
+    def table(self) -> AddressSetBackend:
+        """The underlying combined exclusion+dedup store (a
+        :class:`~repro.ipv6.sets.BucketTable` by default; see
+        :mod:`repro.ipv6.backends` for the alternatives)."""
         return self._table
 
     @property
@@ -174,7 +189,10 @@ def run_generation_rounds(
     (:meth:`AddressModel.generate_set`) and the sharded engine
     (:func:`repro.exec.sharded_generate_set`): per round, ask ``draw``
     for ``batch_size`` candidate rows — returned as a ``(matrix,
-    packed_words)`` pair — feed them into a growing
+    packed_words)`` pair, where a fused draw may return ``matrix=None``
+    and the loop reconstructs the nybble matrix for the *kept* rows
+    only via :func:`~repro.ipv6.sets.unpack_rows` (the exact inverse of
+    packing, so output is unchanged) — feed them into a growing
     :class:`~repro.ipv6.sets.BucketTable` that suppresses duplicates
     and ``exclude`` members (already-kept rows are never re-sorted),
     re-estimate the marginal yield to oversample the next round, and
@@ -245,8 +263,14 @@ def run_generation_rounds(
         fresh = seen.insert_packed(words, limit=need)
         new_found = int(np.count_nonzero(fresh))
         if new_found:
-            chunks_matrix.append(matrix[fresh])
-            chunks_words.append(words[fresh])
+            kept_chunk = words[fresh]
+            if matrix is None:
+                # Fused draw: the nybble matrix was never built for the
+                # batch; materialize it for the kept rows alone.
+                chunks_matrix.append(unpack_rows(kept_chunk, width))
+            else:
+                chunks_matrix.append(matrix[fresh])
+            chunks_words.append(kept_chunk)
             kept += new_found
         marginal_yield = max(new_found / batch_size, 1.0 / batch_size)
         # Saturation guard: when the model's effective support is
@@ -409,6 +433,7 @@ class AddressModel:
         self,
         exclude: Optional[ExcludeLike] = None,
         capacity: int = 0,
+        backend: BackendSpec = None,
     ) -> GenerationSession:
         """Open a persistent :class:`GenerationSession` for this model's
         width, seeded with ``exclude``.
@@ -419,10 +444,15 @@ class AddressModel:
         adaptive refits* (a refitted model of the same width reuses the
         session unchanged).  ``capacity`` pre-sizes the table (e.g. to
         the campaign's probe budget) so steady-state rounds almost
-        never rehash.
+        never rehash.  ``backend`` picks the exclusion-store layout
+        (``"memory"``/``"sharded64"``, see :mod:`repro.ipv6.backends`);
+        emitted rows are identical for every backend.
         """
         return GenerationSession(
-            self.encoder.width, exclude=exclude, capacity=capacity
+            self.encoder.width,
+            exclude=exclude,
+            capacity=capacity,
+            backend=backend,
         )
 
     def generate_set(
@@ -435,18 +465,33 @@ class AddressModel:
         workers: Optional[int] = None,
         shards: Optional[int] = None,
         state: Optional[GenerationSession] = None,
+        fused: Optional[bool] = None,
     ) -> AddressSet:
         """Generate ``n`` distinct candidate rows as an :class:`AddressSet`.
 
-        The batched streaming hot path of §5.5: each round draws a code
-        batch from the BN (:meth:`sample_codes`), materializes it with
-        :meth:`AddressEncoder.decode_to_set`, and suppresses duplicates
-        and ``exclude`` members (typically the training set — the paper
-        scans for addresses "not yet seen") by feeding each batch into a
-        growing :class:`~repro.ipv6.sets.BucketTable`: already-kept rows
-        are never re-sorted, so a saturated multi-round run pays for
-        each drawn row once.  No stage round-trips through per-row
-        Python.
+        The batched streaming hot path of §5.5: each round draws a
+        batch from the BN and suppresses duplicates and ``exclude``
+        members (typically the training set — the paper scans for
+        addresses "not yet seen") by feeding each batch into a growing
+        :class:`~repro.ipv6.sets.BucketTable`: already-kept rows are
+        never re-sorted, so a saturated multi-round run pays for each
+        drawn row once.  No stage round-trips through per-row Python.
+
+        ``fused`` controls how a batch is drawn.  By default
+        (``None``), unconstrained draws whose encoder has a fused plan
+        (:meth:`AddressEncoder.fused_plan`) run
+        :func:`~repro.bayes.sampling.sample_packed`, which lands BN
+        states directly in packed uint64 words — skipping the
+        ``(vars, n)`` codes matrix, the nybble matrix, and the whole
+        :meth:`~repro.core.encoding.AddressEncoder.decode_to_set` pass.
+        The fused draw consumes the RNG stream in exactly the two-step
+        order, so output is bit-identical.  ``fused=False`` forces the
+        retained two-step :meth:`sample_codes` →
+        :meth:`decode_to_set <repro.core.encoding.AddressEncoder.decode_to_set>`
+        reference; ``fused=True`` insists on fusion where possible
+        (evidence-constrained draws and planless encoders still fall
+        back to the reference — fusion is an implementation detail,
+        never a behavior change).
 
         ``exclude`` is ideally an :class:`AddressSet` of matching width,
         which feeds the dedup directly with zero conversion, or a
@@ -489,9 +534,18 @@ class AddressModel:
                 workers=workers if workers is not None else 1,
                 shards=shards,
                 state=state,
+                fused=fused,
             )
 
+        plan = (
+            self.encoder.fused_plan()
+            if fused is not False and not evidence
+            else None
+        )
+
         def draw(batch_size: int) -> "tuple[np.ndarray, np.ndarray]":
+            if plan is not None:
+                return None, sample_packed(self.network, plan, batch_size, rng)
             codes = self.sample_codes(batch_size, rng, evidence)
             batch = self.encoder.decode_to_set(codes, rng, validate=False)
             return batch.matrix, batch.packed_rows()
@@ -516,6 +570,7 @@ class AddressModel:
         workers: Optional[int] = None,
         shards: Optional[int] = None,
         state: Optional[GenerationSession] = None,
+        fused: Optional[bool] = None,
     ) -> List[int]:
         """Generate ``n`` distinct candidate values (``width``-nybble ints).
 
@@ -532,6 +587,7 @@ class AddressModel:
             workers=workers,
             shards=shards,
             state=state,
+            fused=fused,
         ).to_ints()
 
     # ------------------------------------------------------------------

@@ -51,6 +51,7 @@ def sharded_generate_set(
     workers: int = 1,
     shards: Optional[int] = None,
     state=None,
+    fused: Optional[bool] = None,
 ) -> AddressSet:
     """Generate ``n`` distinct candidate rows across a worker pool.
 
@@ -64,7 +65,16 @@ def sharded_generate_set(
     shared with the serial path: shard outputs merge into the session
     in shard order on the caller's thread, so worker count still never
     changes the output or the session's final contents.
+
+    ``fused`` follows the serial path's semantics: by default each
+    shard runs :func:`~repro.bayes.sampling.sample_packed` against its
+    own spawned stream when the encoder has a fused plan and there is
+    no evidence (each shard's fused draw is bit-identical to its
+    two-step draw, so the merged output — and the ``workers=N`` ≡
+    ``workers=1`` promise — is unchanged); ``fused=False`` forces the
+    two-step reference in every shard.
     """
+    from repro.bayes.sampling import sample_packed
     from repro.core.model import run_generation_rounds
 
     if n < 0:
@@ -73,12 +83,19 @@ def sharded_generate_set(
     if shards < 1:
         raise ValueError("shards must be positive")
     resolved = model.normalize_evidence(evidence) if evidence else None
+    plan = (
+        model.encoder.fused_plan()
+        if fused is not False and not resolved
+        else None
+    )
     seed_sequence = derive_seed_sequence(rng)
     pool = WorkerPool(workers)
 
     def draw_shard(args) -> "tuple[np.ndarray, np.ndarray]":
         size, child = args
         shard_rng = np.random.default_rng(child)
+        if plan is not None:
+            return None, sample_packed(model.network, plan, size, shard_rng)
         codes = model.sample_codes(size, shard_rng, resolved)
         decoded = model.encoder.decode_to_set(
             codes, shard_rng, validate=False
@@ -89,8 +106,10 @@ def sharded_generate_set(
         sizes = shard_sizes(batch_size, shards)
         children = seed_sequence.spawn(shards)
         parts = pool.map(draw_shard, list(zip(sizes, children)))
-        matrix = np.vstack([part[0] for part in parts])
         words = np.vstack([part[1] for part in parts])
+        if plan is not None:
+            return None, words
+        matrix = np.vstack([part[0] for part in parts])
         return matrix, words
 
     return run_generation_rounds(

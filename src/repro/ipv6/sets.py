@@ -83,6 +83,31 @@ def pack_rows(matrix: np.ndarray) -> np.ndarray:
     )
 
 
+def unpack_rows(words: np.ndarray, width: int) -> np.ndarray:
+    """Exact inverse of :func:`pack_rows`: ``(n, ceil(width/16))``
+    big-endian ``uint64`` words back into an ``(n, width)`` nybble
+    matrix.
+
+    Because :func:`pack_rows` zero-pads narrow widths on the right,
+    ``unpack_rows(pack_rows(m), m.shape[1]) == m`` bit for bit.  This
+    is what lets the fused generation path work purely on packed words
+    and materialize the nybble matrix once, for the kept rows only.
+    """
+    words = np.ascontiguousarray(words, dtype=np.uint64)
+    if words.ndim != 2:
+        raise ValueError(f"expected 2-D packed words, got {words.ndim}-D")
+    n, word_count = words.shape
+    if not 1 <= width <= 16 * word_count:
+        raise ValueError(
+            f"width {width} does not fit {word_count} packed words"
+        )
+    byte_image = words.astype(">u8").view(np.uint8).reshape(n, 8 * word_count)
+    nybbles = np.empty((n, 16 * word_count), dtype=np.uint8)
+    nybbles[:, 0::2] = byte_image >> 4
+    nybbles[:, 1::2] = byte_image & 0x0F
+    return np.ascontiguousarray(nybbles[:, :width])
+
+
 def in_sorted(sorted_values: np.ndarray, values: np.ndarray) -> np.ndarray:
     """Boolean membership of ``values`` in a sorted 1-D array.
 
@@ -202,6 +227,7 @@ class BucketTable:
         "_undo_slots",
         "_undo_grew",
         "_undo_armed",
+        "_revert_mark",
     )
 
     #: Smallest slot-array size (keeps the empty table cheap while
@@ -243,10 +269,19 @@ class BucketTable:
         self._undo_slots: List[np.ndarray] = []
         self._undo_grew = False
         self._undo_armed = False
+        # (count, offered) snapshot of the last insert_reversible call;
+        # None whenever no reversible batch is outstanding.
+        self._revert_mark = None
 
     def __len__(self) -> int:
         """Number of distinct rows stored."""
         return self._count
+
+    @property
+    def word_count(self) -> int:
+        """Packed words per stored row (the row-shape contract every
+        :class:`~repro.ipv6.backends.AddressSetBackend` exposes)."""
+        return self._word_count
 
     @property
     def rows_stored(self) -> int:
@@ -262,6 +297,28 @@ class BucketTable:
     def slot_count(self) -> int:
         """Current size of the (power-of-two) slot array."""
         return self._size
+
+    def stored_words(self) -> np.ndarray:
+        """Read-only view of the distinct stored rows, insertion order.
+
+        The ``stored-words`` accessor of the storage-backend protocol:
+        a ``(rows_stored, word_count)`` packed-row matrix.  Rehash and
+        rollback both rebuild from these columns, never from any source
+        matrix, so the view is always the table's complete truth.
+        """
+        view = self._words[: self._count]
+        view.setflags(write=False)
+        return view
+
+    def reserve(self, capacity: int) -> None:
+        """Grow hook: pre-size slot and storage arrays for ``capacity``
+        stored rows, so subsequent inserts up to that point never
+        rehash mid-batch.  Growing past current sizes rehashes once,
+        now; shrinking is never performed."""
+        if capacity < 0:
+            raise ValueError(f"capacity must be non-negative, got {capacity}")
+        self._ensure_slots(capacity)
+        self._ensure_storage(capacity)
 
     def _ensure_slots(self, total_rows: int) -> bool:
         """Grow the slot array until ``total_rows`` stored rows fit at
@@ -383,6 +440,9 @@ class BucketTable:
         self._offered += m
         self._undo_slots = []
         self._undo_grew = False
+        # Any outstanding reversible batch is superseded: reverting it
+        # after further inserts would corrupt the probe topology.
+        self._revert_mark = None
         if m == 0:
             return fresh
         mixed = _mix_words(words)
@@ -470,6 +530,51 @@ class BucketTable:
             probe = probe[keep]
         return fresh
 
+    def insert_reversible(
+        self, words: np.ndarray, ids: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        """:meth:`insert` whose whole batch can still be undone.
+
+        The rollback hook of the storage-backend protocol: the insert
+        runs with the undo log armed, and until the next mutating call
+        the batch can be removed *exactly* with :meth:`revert_insert`.
+        A sharded backend uses this per shard to implement a
+        cross-shard ``insert_packed(limit=...)``: every shard inserts
+        its slice reversibly, and only if the global fresh count
+        overshoots are the touched shards reverted and re-fed the
+        admitted prefix.
+        """
+        count_mark, offered_mark = self._count, self._offered
+        self._undo_armed = True
+        try:
+            fresh = self.insert(words, ids)
+        finally:
+            self._undo_armed = False
+        self._revert_mark = (count_mark, offered_mark)
+        return fresh
+
+    def revert_insert(self) -> None:
+        """Undo the outstanding :meth:`insert_reversible` batch exactly.
+
+        Raises ``RuntimeError`` when no reversible batch is outstanding
+        (never called, already reverted, or superseded by a later
+        mutating insert — reverting across later inserts would corrupt
+        the probe topology, so the mark is invalidated instead).
+        """
+        if self._revert_mark is None:
+            raise RuntimeError("no reversible insert batch outstanding")
+        count_mark, offered_mark = self._revert_mark
+        self._revert_mark = None
+        self._rollback(count_mark, offered_mark)
+
+    def commit_insert(self) -> None:
+        """Keep the outstanding reversible batch and drop its undo
+        state, so the won-slot arrays are not pinned for the table's
+        lifetime.  A no-op when nothing is outstanding."""
+        self._revert_mark = None
+        self._undo_slots = []
+        self._undo_grew = False
+
     def insert_packed(
         self,
         words: np.ndarray,
@@ -498,16 +603,11 @@ class BucketTable:
             raise ValueError(f"limit must be non-negative, got {limit}")
         count_mark = self._count
         offered_mark = self._offered
-        self._undo_armed = True
-        try:
-            fresh = self.insert(words, ids)
-            if self._count - count_mark <= limit:
-                return fresh
-            self._rollback(count_mark, offered_mark)
-        finally:
-            self._undo_armed = False
-            self._undo_slots = []
-            self._undo_grew = False
+        fresh = self.insert_reversible(words, ids)
+        if self._count - count_mark <= limit:
+            self.commit_insert()
+            return fresh
+        self.revert_insert()
         positions = np.flatnonzero(fresh)[:limit]
         if ids is None:
             admit_ids = offered_mark + positions

@@ -93,6 +93,7 @@ class ScanCampaign:
         adaptive: bool = False,
         seed: int = 0,
         workers: "int | None" = None,
+        backend=None,
     ):
         if probe_budget < 1 or round_size < 1:
             raise ValueError("budget and round size must be positive")
@@ -106,6 +107,11 @@ class ScanCampaign:
         # engine (repro.exec); campaign outcomes are bit-identical for
         # any N because the shard decomposition is worker-independent.
         self._workers = workers
+        # backend= picks the session's exclusion-store layout (see
+        # repro.ipv6.backends): "memory" (default) or "sharded64" for
+        # campaigns whose probed universe outgrows one flat table.
+        # Emitted candidates are identical for every backend.
+        self._backend = backend
 
     def run(self) -> CampaignResult:
         """Probe until the budget is exhausted; return the full record.
@@ -124,7 +130,9 @@ class ScanCampaign:
         # so the next round can never probe them again.  Pre-sized to
         # the budget so steady-state rounds almost never rehash.
         session = analysis.model.session(
-            exclude=train, capacity=len(train) + self._budget
+            exclude=train,
+            capacity=len(train) + self._budget,
+            backend=self._backend,
         )
         train_64s = train.prefixes64()
         hit_chunks: List[np.ndarray] = []
@@ -276,6 +284,7 @@ def run_campaign(
     adaptive: bool = False,
     seed: int = 0,
     workers: "int | None" = None,
+    backend=None,
 ) -> CampaignResult:
     """Functional one-shot interface to :class:`ScanCampaign`."""
     return ScanCampaign(
@@ -286,4 +295,5 @@ def run_campaign(
         adaptive=adaptive,
         seed=seed,
         workers=workers,
+        backend=backend,
     ).run()

@@ -10,6 +10,7 @@ from repro.ipv6.sets import (
     first_occurrence_positions,
     pack_rows,
     split_train_test,
+    unpack_rows,
 )
 
 ADDRESS_INTS = st.integers(min_value=0, max_value=(1 << 128) - 1)
@@ -224,6 +225,19 @@ class TestVectorizedEquivalence:
                 assert (ints[i] == ints[j]) == bool(
                     np.all(words[i] == words[j])
                 )
+
+    @settings(max_examples=50)
+    @given(st.lists(ADDRESS_INTS, min_size=0, max_size=30), st.integers(1, 32))
+    def test_unpack_rows_inverts_pack_rows(self, values, width):
+        """unpack_rows is the exact inverse of pack_rows — the fused
+        generation path relies on it to materialize nybble matrices
+        only for the rows it keeps."""
+        s = AddressSet.from_ints(values, width=width)
+        matrix = unpack_rows(pack_rows(s.matrix), width)
+        assert matrix.shape == s.matrix.shape
+        assert matrix.dtype == s.matrix.dtype
+        assert np.array_equal(matrix, s.matrix)
+        assert matrix.flags["C_CONTIGUOUS"]
 
     @settings(max_examples=50)
     @given(
