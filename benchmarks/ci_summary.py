@@ -33,6 +33,7 @@ from perf_generation import (
 #: import chain so they cannot drift).
 from test_perf_generation import (
     FUSED_GATE_NETWORK,
+    MAX_SERVICE_OVERHEAD,
     MAX_STEADY_FLATNESS,
     MIN_BUCKET_SPEEDUP,
     MIN_END_TO_END_HEADLINE,
@@ -151,6 +152,18 @@ def render_markdown(record: Dict) -> str:
                 f"{stage.get('insert_rows_per_second', 0):,.0f} | "
                 f"identical verdicts {verdict} |"
             )
+    service = record.get("service_throughput")
+    if service:
+        verdict = "✅" if service.get("identical_to_direct") else "❌"
+        lines.append(
+            f"| — | service_throughput ({service.get('clients', 0)} "
+            f"clients × {service.get('requests', 0)} requests) | "
+            f"{service.get('rows_per_second', 0):,.0f} | "
+            f"{service.get('requests_per_second', 0):,.1f} req/s, "
+            f"p50 {service.get('p50_ms', 0)}ms / "
+            f"p99 {service.get('p99_ms', 0)}ms, "
+            f"bit-identical {verdict} |"
+        )
     return "\n".join(lines)
 
 
@@ -182,8 +195,28 @@ def check_gates(record: Dict) -> List[str]:
             "storage backends returned different verdicts under the "
             "identical insert/lookup schedule"
         )
+    service = record.get("service_throughput")
+    if service is not None and not service.get("identical_to_direct"):
+        failures.append(
+            "service-served streams not bit-identical to the direct "
+            "library path"
+        )
     if record.get("n_candidates", 0) < FULL_SCALE_THRESHOLD:
         return failures  # smoke record: no throughput gates
+    if service is not None:
+        p50 = service.get("p50_ms", 0.0)
+        p99 = service.get("p99_ms", 0.0)
+        if not p99 >= p50 > 0:
+            failures.append(
+                f"service latency accounting not live/sane "
+                f"(p50={p50}ms, p99={p99}ms)"
+            )
+        overhead = service.get("overhead_vs_direct", 0.0)
+        if overhead > MAX_SERVICE_OVERHEAD:
+            failures.append(
+                f"service overhead {overhead}x > {MAX_SERVICE_OVERHEAD}x "
+                "vs the serial direct path"
+            )
     headline_end_to_end = 0.0
     headline_fit = 0.0
     for name, network in networks.items():

@@ -45,6 +45,13 @@ candidate scale into the in-memory ``BucketTable`` and the /64-sharded
 ``ShardedBucketTable`` side by side (identical batches, periodic
 ``limit=`` rollbacks), verifying identical verdicts while timing both.
 
+The serving-runtime PR adds a top-level ``service_throughput`` record:
+concurrent client threads pulling generate requests through the
+:class:`~repro.serve.service.HitlistService` facade, recording
+requests/s with p50/p99 request latency and verifying every served
+stream bit-identical to the serial direct-library reference
+(``identical_to_direct``).
+
 Usage::
 
     PYTHONPATH=src python benchmarks/perf_generation.py \
@@ -61,6 +68,7 @@ import argparse
 import json
 import os
 import pathlib
+import threading
 import time
 from typing import Dict, List, Optional
 
@@ -649,6 +657,133 @@ def measure_campaign_steady_state(
     }
 
 
+#: The service stage: this many client threads, each issuing this many
+#: generate requests through the :class:`HitlistService` facade; the
+#: candidate scale is split evenly across the requests so the stage's
+#: total row volume tracks ``REPRO_BENCH_CANDIDATES`` like every other
+#: stage.
+SERVICE_CLIENTS = 4
+SERVICE_REQUESTS_PER_CLIENT = 8
+SERVICE_NETWORK = "S1"
+
+
+def measure_service_stage(n_candidates: int, seed: int = 0) -> Optional[Dict]:
+    """Drive the concurrent serving facade and verify bit-identity.
+
+    ``SERVICE_CLIENTS`` threads hammer one :class:`HitlistService`
+    (worker pool sized to the client count), each pulling
+    ``SERVICE_REQUESTS_PER_CLIENT`` generate requests off its own warm
+    stream.  Requests/s and per-request p50/p99 latency come from the
+    service's own accounting (wall clock including queue wait — what a
+    caller observes); afterwards every client's concatenated stream is
+    replayed against the serial direct-library reference
+    (``model.session(exclude=train)`` + ``generate_set`` on a fresh RNG
+    with the same seed) and must be bit-identical
+    (``identical_to_direct``).  ``overhead_vs_direct`` is the
+    concurrent service wall time over the serial direct wall time for
+    the same total row volume.  Returns None on trees without the
+    serving runtime.
+    """
+    try:
+        from repro.serve import HitlistService, ModelRegistry
+    except ImportError:
+        return None
+    from repro.core.pipeline import EntropyIP
+    from repro.datasets.networks import build_network
+
+    network = build_network(SERVICE_NETWORK)
+    train = network.sample(TRAIN_SIZE, seed=seed)
+    analysis = EntropyIP.fit(train)
+    total_requests = SERVICE_CLIENTS * SERVICE_REQUESTS_PER_CLIENT
+    batch_rows = max(n_candidates // total_requests, 1)
+
+    registry = ModelRegistry()
+    registry.register(SERVICE_NETWORK, analysis)
+    served: Dict[str, np.ndarray] = {}
+    errors: List[BaseException] = []
+    barrier = threading.Barrier(SERVICE_CLIENTS)
+
+    def run_client(index: int, service) -> None:
+        client = f"bench-{index}"
+        try:
+            barrier.wait()  # maximize interleaving
+            batches = [
+                service.generate(
+                    SERVICE_NETWORK, client, batch_rows, seed=seed + index
+                ).packed_rows()
+                for _ in range(SERVICE_REQUESTS_PER_CLIENT)
+            ]
+            served[client] = np.vstack(batches)
+        except BaseException as exc:  # surfaced after join
+            errors.append(exc)
+
+    with HitlistService(
+        registry=registry, workers=SERVICE_CLIENTS
+    ) as service:
+        threads = [
+            threading.Thread(target=run_client, args=(index, service))
+            for index in range(SERVICE_CLIENTS)
+        ]
+        started = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        service_elapsed = time.perf_counter() - started
+        stats = service.stats()
+    if errors:
+        raise errors[0]
+
+    # The serial direct-library reference: the same per-client streams
+    # drawn one after another with no service in the way.
+    def direct() -> Dict[str, np.ndarray]:
+        rows = {}
+        for index in range(SERVICE_CLIENTS):
+            session = analysis.model.session(exclude=train)
+            rng = np.random.default_rng(seed + index)
+            rows[f"bench-{index}"] = np.vstack(
+                [
+                    analysis.model.generate_set(
+                        batch_rows, rng, state=session
+                    ).packed_rows()
+                    for _ in range(SERVICE_REQUESTS_PER_CLIENT)
+                ]
+            )
+        return rows
+
+    reference, direct_elapsed = _timed(direct)
+    identical = all(
+        np.array_equal(served[client], rows)
+        for client, rows in reference.items()
+    )
+    generate_stats = stats["kinds"].get("generate", {})
+    rows_total = total_requests * batch_rows
+    return {
+        "network": SERVICE_NETWORK,
+        "clients": SERVICE_CLIENTS,
+        "requests": total_requests,
+        "rows_per_request": batch_rows,
+        "seconds": round(service_elapsed, 6),
+        "requests_per_second": (
+            round(total_requests / service_elapsed, 1)
+            if service_elapsed
+            else 0.0
+        ),
+        "rows_per_second": (
+            round(rows_total / service_elapsed, 1) if service_elapsed else 0.0
+        ),
+        "p50_ms": generate_stats.get("p50_ms", 0.0),
+        "p99_ms": generate_stats.get("p99_ms", 0.0),
+        "direct_seconds": round(direct_elapsed, 6),
+        "overhead_vs_direct": (
+            round(service_elapsed / direct_elapsed, 3)
+            if direct_elapsed
+            else 0.0
+        ),
+        "identical_to_direct": bool(identical),
+    }
+
+
 #: The backends stage inserts this multiple of the candidate scale —
 #: at the default 1M that is a 10M-row exclusion set, one order past
 #: the generation benchmark's own working set (the 100M-row target is
@@ -794,6 +929,9 @@ def measure(
     backends = measure_backends_stage(n_candidates, seed=seed)
     if backends is not None:
         result["backends"] = backends
+    service = measure_service_stage(n_candidates, seed=seed)
+    if service is not None:
+        result["service_throughput"] = service
     return result
 
 

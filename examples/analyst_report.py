@@ -6,26 +6,28 @@ mining table, BN graph, conditional browser, windowing map, discovered
 subnets, and generated candidates — into one document, for the S5
 (web-company) network.
 
+The fit and the report both go through the serving runtime — the same
+``fit``/``report`` requests `entropy-ip serve` answers, rendered
+through a bounded work queue with latency accounting.
+
 Run:  python examples/analyst_report.py [> report.md]
 """
 
-import numpy as np
-
-from repro import EntropyIP
-from repro.core.report import full_report
 from repro.datasets import build_network
+from repro.serve import HitlistService
 
 
 def main():
     network = build_network("S5")
     sample = network.sample(5000, seed=0)
-    analysis = EntropyIP.fit(sample)
-    print(full_report(
-        analysis,
-        title=f"Entropy/IP report — {network.name} ({network.description})",
-        n_candidates=15,
-        rng=np.random.default_rng(0),
-    ))
+    with HitlistService() as service:
+        service.fit(network.name, sample)
+        print(service.report(
+            network.name,
+            title=f"Entropy/IP report — {network.name} ({network.description})",
+            n_candidates=15,
+            seed=0,
+        ))
 
 
 if __name__ == "__main__":

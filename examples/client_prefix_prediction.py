@@ -10,11 +10,11 @@ Run:  python examples/client_prefix_prediction.py
 
 import numpy as np
 
-from repro import EntropyIP
 from repro.datasets import build_network
 from repro.ipv6.address import IPv6Address
 from repro.ipv6.sets import AddressSet
 from repro.scan.generator import prefixes64
+from repro.serve import HitlistService
 
 TRAIN_SIZE = 1000
 N_CANDIDATES = 20_000
@@ -27,9 +27,15 @@ def main():
     print(f"target network: {network.description}")
     print(f"active /64 prefixes over the week: {len(week_prefixes)}")
 
-    # First, demonstrate why full-address scanning is hopeless here:
-    # the per-nybble entropy of the IID is ~1 everywhere.
-    full_analysis = EntropyIP.fit(population.sample(3000, np.random.default_rng(0)))
+    # One service hosts both models: the full-width fit (to show why
+    # full-address scanning is hopeless here) and the width-16
+    # prefix-mode fit, registered under different names.
+    service = HitlistService()
+
+    # The per-nybble entropy of the IID is ~1 everywhere.
+    full_analysis = service.fit(
+        "C5-full", population.sample(3000, np.random.default_rng(0))
+    ).analysis
     iid_entropy = full_analysis.entropy()[16:]
     print(f"median IID nybble entropy: {np.median(iid_entropy):.2f} "
           "(pseudo-random privacy addresses)")
@@ -41,13 +47,14 @@ def main():
         for i in rng.choice(len(week_prefixes), TRAIN_SIZE, replace=False)
     ]
     train = AddressSet.from_ints(train_values, width=16, already_truncated=True)
-    analysis = EntropyIP.fit(train, width=16)
+    analysis = service.fit("C5-prefixes", train, width=16).analysis
     print(f"\nprefix-mode analysis: {analysis.describe()}")
 
-    # Generate candidate prefixes and score them.
-    candidates = analysis.model.generate(
-        N_CANDIDATES, rng, exclude=set(train_values)
-    )
+    # Generate candidate prefixes through the served session (training
+    # prefixes excluded by default) and score them.
+    candidates = service.generate(
+        "C5-prefixes", "predictor", N_CANDIDATES, seed=9
+    ).to_ints()
     active = set(week_prefixes)
     hits = [c for c in candidates if c in active]
     print(f"\ncandidate /64 prefixes generated: {len(candidates)}")
@@ -56,6 +63,7 @@ def main():
     print("\nexample predicted-and-active prefixes:")
     for value in hits[:5]:
         print(f"  {IPv6Address(value << 64)}/64")
+    service.close()
 
 
 if __name__ == "__main__":

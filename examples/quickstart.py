@@ -6,29 +6,38 @@ Bayesian network) on a synthetic client network, prints the entropy/ACR
 plot and the mined segment table, conditions the probability browser on
 a value (the Fig. 1 interaction), and generates candidate addresses.
 
+Model and session construction go through the serving runtime
+(:mod:`repro.serve`) — the same registry + warm-session path the
+`entropy-ip serve` facade uses, with output bit-identical to the
+direct `EntropyIP.fit` + `generate_addresses` calls.
+
 Run:  python examples/quickstart.py
 """
 
-import numpy as np
-
-from repro import EntropyIP
 from repro.datasets import build_network
+from repro.serve import HitlistService
 from repro.viz import render_acr_entropy_plot, render_browser, render_mining_table
 
 def main():
     # 1. Get a set of active addresses.  Here: a synthetic model of the
     #    paper's Fig. 1 Japanese telco; in practice, read your own list
-    #    of address strings and pass it straight to EntropyIP.fit().
+    #    of address strings and pass it straight to service.fit().
     network = build_network("JP")
     addresses = network.sample(4000, seed=0)
     print(f"training on {len(addresses)} addresses, e.g.:")
     for address in addresses.addresses()[:3]:
         print(f"  {address}")
 
-    # 2. Fit the full pipeline.
-    analysis = EntropyIP.fit(addresses)
+    # 2. Fit the full pipeline through the runtime: the fitted model
+    #    lands in a registry entry (keyed by name + content digest)
+    #    ready to serve many clients; `entry.analysis` is the same
+    #    EntropyIP object a direct fit would return.
+    service = HitlistService()
+    entry = service.fit("JP", addresses)
+    analysis = entry.analysis
     print()
     print(analysis.describe())
+    print(f"registered as {entry.name!r}, digest {entry.digest[:12]}…")
 
     # 3. Explore: entropy/ACR plot and the per-segment value table.
     print()
@@ -51,10 +60,14 @@ def main():
     ))
 
     # 5. Generate candidate targets the model believes are plausible.
-    candidates = analysis.generate_addresses(10, np.random.default_rng(1))
+    #    The service owns a warm per-client session (training excluded
+    #    by default), so a follow-up request continues the stream where
+    #    this one left off instead of repeating candidates.
+    candidates = service.generate("JP", "quickstart", 10, seed=1)
     print("\n10 generated candidate addresses (not seen in training):")
-    for candidate in candidates:
+    for candidate in candidates.addresses():
         print(f"  {candidate}")
+    service.close()
 
 
 if __name__ == "__main__":

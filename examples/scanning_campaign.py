@@ -11,10 +11,10 @@ Run:  python examples/scanning_campaign.py
 
 import numpy as np
 
-from repro import EntropyIP
 from repro.datasets import build_network
 from repro.scan import SimulatedResponder
 from repro.scan.generator import prefixes64
+from repro.serve import HitlistService
 
 TRAIN_SIZE = 1000
 N_CANDIDATES = 20_000
@@ -30,18 +30,20 @@ def main():
     rng = np.random.default_rng(7)
     train = population.sample(TRAIN_SIZE, rng)
 
-    # Fit and inspect.
-    analysis = EntropyIP.fit(train)
+    # Fit through the serving runtime and inspect.
+    service = HitlistService()
+    analysis = service.fit("R1", train).analysis
     print(f"\n{analysis.describe()}")
 
-    # Generate candidates not seen in training.
-    candidates = analysis.model.generate(
-        N_CANDIDATES, rng, exclude=set(train.to_ints())
-    )
+    # Generate candidates not seen in training: the service's warm
+    # per-client session excludes the training set by default and
+    # retires every served row, so a second request would continue the
+    # stream instead of repeating these candidates.
+    candidate_set = service.generate("R1", "survey", N_CANDIDATES, seed=7)
+    candidates = candidate_set.to_ints()
     print(f"\ngenerated {len(candidates)} candidate targets, e.g.:")
-    from repro.ipv6.address import IPv6Address
-    for value in candidates[:5]:
-        print(f"  {IPv6Address(value)}")
+    for address in candidate_set.addresses()[:5]:
+        print(f"  {address}")
 
     # "Scan" them against the simulated responder.
     responder = SimulatedResponder(
@@ -65,6 +67,7 @@ def main():
           f"(not present among the {len(train_64s)} training /64s)")
     print("\n=> from 1K seeds the model discovered "
           f"{len(overall)} active addresses in {len(new_64s)} unseen subnets.")
+    service.close()
 
 
 if __name__ == "__main__":

@@ -11,16 +11,20 @@ Run:  python examples/server_analysis.py
 
 import numpy as np
 
-from repro import EntropyIP
 from repro.datasets import build_network
 from repro.ipv6.eui64 import embedded_ipv4_dotted_quad
+from repro.serve import ModelRegistry
 from repro.viz import render_acr_entropy_plot, render_browser
 
 
 def main():
     network = build_network("S1")
     sample = network.sample(8000, seed=0)
-    analysis = EntropyIP.fit(sample)
+    # Fit through the model registry (the runtime's bottom layer): the
+    # fitted analysis is cached under its name + content digest, so a
+    # serving process repeating this analysis reuses the warm model.
+    registry = ModelRegistry()
+    analysis = registry.fit("S1", sample).analysis
 
     print(render_acr_entropy_plot(analysis, title="S1: web hosting company"))
     print()

@@ -11,9 +11,9 @@ Run:  python examples/temporal_monitoring.py
 
 import numpy as np
 
-from repro.core.pipeline import EntropyIP
 from repro.core.temporal import compare_snapshots, detect_changes
 from repro.ipv6.sets import AddressSet
+from repro.serve import ModelRegistry
 from repro.viz import render_snapshot_delta
 
 
@@ -47,11 +47,17 @@ def main():
         print(f"\n*** structural change detected at snapshot "
               f"{change.index + 1} (score {change.score:.2f}) ***")
 
-    # Zoom into the detected change with a full delta report.
+    # Zoom into the detected change with a full delta report.  Both
+    # weekly fits register under the same name in the runtime's model
+    # registry: re-registering different content bumps the version —
+    # exactly how a monitoring service would track the renumbering.
+    registry = ModelRegistry()
     event = changes[0].index
-    before = EntropyIP.fit(series[event - 1])
-    after = EntropyIP.fit(series[event])
-    delta = compare_snapshots(before, after)
+    before = registry.fit("clients", series[event - 1]).analysis
+    after_entry = registry.fit("clients", series[event])
+    print(f"\nmodel 'clients' replaced: now version {after_entry.version}, "
+          f"digest {after_entry.digest[:12]}…")
+    delta = compare_snapshots(before, after_entry.analysis)
     print()
     print(render_snapshot_delta(delta))
 

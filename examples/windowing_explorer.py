@@ -9,14 +9,16 @@ top-value frequency).
 Run:  python examples/windowing_explorer.py
 """
 
-from repro import EntropyIP
 from repro.datasets import build_network
+from repro.serve import ModelRegistry
 from repro.viz import render_windowing_map
 
 
 def main():
     network = build_network("S1")
-    analysis = EntropyIP.fit(network.sample(5000, seed=0))
+    # Fit through the runtime's model registry; `analysis` is the same
+    # EntropyIP object a direct fit would return.
+    analysis = ModelRegistry().fit("S1", network.sample(5000, seed=0)).analysis
 
     for measure in ("entropy", "distinct", "top-frequency"):
         result = analysis.windowing(measure=measure)

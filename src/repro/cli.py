@@ -9,7 +9,15 @@ Subcommands:
 - ``scan``     — run the §5.5 scanning experiment on a built-in network;
 - ``mi``       — pairwise nybble mutual-information heat map (§6);
 - ``compare``  — temporal comparison of two address files (§6);
-- ``report``   — full composed analysis report (the §1 "web page").
+- ``report``   — full composed analysis report (the §1 "web page");
+- ``serve``    — run a :class:`~repro.serve.service.HitlistService`
+  over a seed file: a line-protocol loop on stdin, or a synthetic
+  concurrent load (``--requests``) that prints requests/s + p50/p99.
+
+``generate``, ``report`` and ``serve`` all route through the serving
+runtime (:mod:`repro.serve`) rather than hand-rolling model/session
+construction — the same registry/lifecycle path concurrent callers
+use, with output bit-identical to the direct library calls.
 """
 
 from __future__ import annotations
@@ -29,6 +37,10 @@ from repro.viz.figures import (
     render_bn_graph,
     render_mining_table,
 )
+
+#: Exclusion-store layouts selectable from the CLI (see
+#: :mod:`repro.ipv6.backends`); emitted rows are backend-independent.
+BACKEND_CHOICES = ("memory", "sharded64")
 
 
 def _read_addresses(path: str) -> List[str]:
@@ -52,12 +64,24 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
 
 
 def _cmd_generate(args: argparse.Namespace) -> int:
+    from repro.serve import HitlistService
+
     addresses = _read_addresses(args.file)
-    analysis = EntropyIP.fit(addresses, width=args.width)
-    rng = np.random.default_rng(args.seed)
-    for address in analysis.generate_addresses(
-        args.count, rng, workers=args.workers or None
-    ):
+    # One-shot use of the same runtime path the long-running service
+    # serves: fit → registry, session → lifecycle, draw → facade.
+    # Bit-identical to the direct EntropyIP.fit + generate_addresses
+    # call for the same (seed, workers, backend).
+    with HitlistService() as service:
+        service.fit(args.file, addresses, width=args.width)
+        candidates = service.generate(
+            args.file,
+            "cli",
+            args.count,
+            seed=args.seed,
+            backend=args.backend,
+            workers=args.workers or None,
+        )
+    for address in candidates.addresses():
         print(address.compressed())
     return 0
 
@@ -78,6 +102,7 @@ def _cmd_scan(args: argparse.Namespace) -> int:
         n_candidates=args.count,
         seed=args.seed,
         workers=args.workers or None,
+        backend=args.backend,
     )
     print(result.row())
     return 0
@@ -111,13 +136,137 @@ def _cmd_compare(args: argparse.Namespace) -> int:
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
-    from repro.core.report import full_report
+    from repro.serve import HitlistService
 
-    analysis = EntropyIP.fit(_read_addresses(args.file), width=args.width)
-    rng = np.random.default_rng(args.seed)
-    print(full_report(analysis, title=f"Entropy/IP report: {args.file}",
-                      n_candidates=args.count, rng=rng))
+    with HitlistService() as service:
+        service.fit(args.file, _read_addresses(args.file), width=args.width)
+        print(
+            service.report(
+                args.file,
+                title=f"Entropy/IP report: {args.file}",
+                n_candidates=args.count,
+                seed=args.seed,
+            )
+        )
     return 0
+
+
+def _serve_stdin(service, name: str, width: int, stream) -> int:
+    """The ``serve`` line protocol: one request per line.
+
+    ``gen <client> <n>``        — next n candidates of the client's stream
+    ``member <client> <addr>…`` — membership-check rows against the stream
+    ``observe <client> <addr>…`` — fold client-observed rows into it
+    ``rollover <client>``       — restart the client's stream
+    ``stats``                   — service counters + latency percentiles
+    ``quit``                    — exit
+    """
+    import json
+
+    from repro.core.model import SessionCapacityError
+    from repro.ipv6.sets import AddressSet
+    from repro.serve import UnknownSessionError
+
+    def rows_from(tokens: List[str]) -> AddressSet:
+        return AddressSet.from_strings(tokens, width=width)
+
+    for raw in stream:
+        tokens = raw.split()
+        if not tokens:
+            continue
+        command, rest = tokens[0].lower(), tokens[1:]
+        try:
+            if command == "quit":
+                break
+            elif command == "gen" and len(rest) == 2:
+                batch = service.generate(name, rest[0], int(rest[1]))
+                for address in batch.addresses():
+                    print(address.compressed())
+            elif command == "member" and len(rest) >= 2:
+                mask = service.membership(name, rest[0], rows_from(rest[1:]))
+                for token, seen in zip(rest[1:], mask):
+                    print(f"{token} {'seen' if seen else 'new'}")
+            elif command == "observe" and len(rest) >= 2:
+                session = service.sessions.get(name, rest[0])
+                print(f"observed {session.observe(rows_from(rest[1:]))} new")
+            elif command == "rollover" and len(rest) == 1:
+                service.rollover_session(name, rest[0])
+                print(f"rolled over {rest[0]}")
+            elif command == "stats" and not rest:
+                print(json.dumps(service.stats(), sort_keys=True))
+            else:
+                print(f"error: unknown request {raw.strip()!r}", file=sys.stderr)
+        except (UnknownSessionError, SessionCapacityError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+    return 0
+
+
+def _serve_synthetic(service, name: str, args: argparse.Namespace) -> int:
+    """The ``serve --requests N`` mode: measured concurrent load.
+
+    ``--clients`` threads issue ``--requests`` generate calls of
+    ``--count`` rows round-robin through the facade; prints the served
+    row total and the service's own requests/s + p50/p99 accounting.
+    """
+    import threading
+    import time
+
+    counts = [
+        args.requests // args.clients
+        + (1 if i < args.requests % args.clients else 0)
+        for i in range(args.clients)
+    ]
+
+    def drive(index: int, requests: int) -> None:
+        for _ in range(requests):
+            service.generate(
+                name,
+                f"client-{index}",
+                args.count,
+                seed=args.seed + index,
+                backend=args.backend,
+                workers=args.workers or None,
+            )
+
+    threads = [
+        threading.Thread(target=drive, args=(index, requests))
+        for index, requests in enumerate(counts)
+        if requests
+    ]
+    started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - started
+    stats = service.stats()
+    generate = stats["kinds"].get("generate", {})
+    rows = args.requests * args.count
+    print(
+        f"served {args.requests} requests x {args.count} rows "
+        f"from {args.clients} clients in {elapsed:.3f}s"
+    )
+    print(
+        f"requests/s={stats['requests_per_second']:.2f}  "
+        f"rows/s={rows / elapsed:,.0f}  "
+        f"p50={generate.get('p50_ms', 0.0):.3f}ms  "
+        f"p99={generate.get('p99_ms', 0.0):.3f}ms"
+    )
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve import HitlistService
+
+    addresses = _read_addresses(args.file)
+    name = args.name or args.file
+    with HitlistService(
+        workers=args.service_workers, max_pending=args.max_pending
+    ) as service:
+        service.fit(name, addresses, width=args.width)
+        if args.requests:
+            return _serve_synthetic(service, name, args)
+        return _serve_stdin(service, name, args.width, sys.stdin)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -143,6 +292,9 @@ def build_parser() -> argparse.ArgumentParser:
     generate.add_argument("--workers", type=int, default=0,
                           help="shard generation across N worker threads "
                           "(0 = serial; output depends only on the seed)")
+    generate.add_argument("--backend", choices=BACKEND_CHOICES, default=None,
+                          help="exclusion-store layout (default: memory; "
+                          "output is identical for every backend)")
     generate.set_defaults(func=_cmd_generate)
 
     dataset = sub.add_parser("dataset", help="emit a built-in synthetic set")
@@ -159,6 +311,9 @@ def build_parser() -> argparse.ArgumentParser:
     scan.add_argument("--workers", type=int, default=0,
                       help="shard generation and oracle scoring across N "
                       "worker threads (0 = serial)")
+    scan.add_argument("--backend", choices=BACKEND_CHOICES, default=None,
+                      help="exclusion-store layout (default: memory; "
+                      "results are identical for every backend)")
     scan.set_defaults(func=_cmd_scan)
 
     mi = sub.add_parser("mi", help="mutual-information heat map")
@@ -179,6 +334,33 @@ def build_parser() -> argparse.ArgumentParser:
                         help="candidate targets to append")
     report.add_argument("--seed", type=int, default=0)
     report.set_defaults(func=_cmd_report)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run a HitlistService over a seed file (line protocol on "
+        "stdin, or a measured synthetic load with --requests)",
+    )
+    serve.add_argument("file", help="training address file, '-' for stdin")
+    serve.add_argument("--name", default=None,
+                       help="registry name for the model (default: the file)")
+    serve.add_argument("--width", type=int, default=32)
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument("--count", type=int, default=1000,
+                       help="rows per generate request (synthetic mode)")
+    serve.add_argument("--requests", type=int, default=0,
+                       help="run a synthetic load of N generate requests "
+                       "and print requests/s + p50/p99 (0 = line protocol)")
+    serve.add_argument("--clients", type=int, default=4,
+                       help="concurrent client threads in synthetic mode")
+    serve.add_argument("--workers", type=int, default=0,
+                       help="shard each draw across N worker threads")
+    serve.add_argument("--backend", choices=BACKEND_CHOICES, default=None,
+                       help="exclusion-store layout for served sessions")
+    serve.add_argument("--service-workers", type=int, default=2,
+                       help="service worker threads draining the queue")
+    serve.add_argument("--max-pending", type=int, default=64,
+                       help="bounded work queue depth (backpressure knob)")
+    serve.set_defaults(func=_cmd_serve)
 
     return parser
 

@@ -70,6 +70,18 @@ def exclude_packed_words(
     ).packed_rows()
 
 
+class SessionCapacityError(RuntimeError):
+    """A capacity-capped :class:`GenerationSession` would exceed its cap.
+
+    Raised *before* any state mutates: a generate call that asks for
+    more rows than the session has capacity left, or an
+    :meth:`GenerationSession.observe` batch whose fresh rows overflow
+    the cap (rolled back exactly).  The serving layer surfaces this as
+    a clean typed error a client can act on (roll the session over, or
+    raise the cap) instead of an opaque table growth/rehash.
+    """
+
+
 class GenerationSession:
     """Persistent cross-round exclusion/dedup state for §5.5 campaigns.
 
@@ -90,9 +102,18 @@ class GenerationSession:
     calls is bit-identical to the legacy pattern of re-passing an
     ever-growing packed ``exclude`` matrix to each call, for any
     worker count.
+
+    ``capacity`` is an **enforceable cap** on total distinct rows the
+    session may hold (0 = uncapped).  It still pre-sizes the table —
+    steady-state rounds almost never rehash — but it is no longer
+    *only* a sizing hint (the pre-PR-7 semantics): seeding, observing,
+    or generating past the cap raises :class:`SessionCapacityError`
+    with no partial state mutation, so a serving layer can bound each
+    client's memory and surface a clean typed error instead of
+    unbounded growth.
     """
 
-    __slots__ = ("_width", "_table", "_excluded")
+    __slots__ = ("_width", "_table", "_excluded", "_capacity")
 
     def __init__(
         self,
@@ -103,8 +124,11 @@ class GenerationSession:
     ):
         if width < 1:
             raise ValueError(f"width must be positive, got {width}")
+        if capacity < 0:
+            raise ValueError(f"capacity must be >= 0, got {capacity}")
         excluded = exclude_packed_words(exclude, width)
         self._width = width
+        self._capacity = int(capacity)
         # ``backend`` picks the exclusion-set storage layout (see
         # repro.ipv6.backends): None/"memory" is the flat BucketTable,
         # "sharded64" the per-prefix sharded bank for 100M+-row
@@ -113,10 +137,15 @@ class GenerationSession:
         self._table = make_backend(
             backend,
             (width + 15) // 16,
-            capacity=max(int(capacity), len(excluded)),
+            capacity=max(self._capacity, len(excluded)),
         )
         self._table.insert_packed(excluded)
         self._excluded = len(self._table)
+        if self._capacity and self._excluded > self._capacity:
+            raise SessionCapacityError(
+                f"seed exclusions ({self._excluded} distinct rows) exceed "
+                f"session capacity {self._capacity}"
+            )
 
     @property
     def width(self) -> int:
@@ -140,22 +169,55 @@ class GenerationSession:
         """Distinct rows generated (and therefore retired) so far."""
         return len(self._table) - self._excluded
 
+    @property
+    def capacity(self) -> int:
+        """The enforceable cap on total distinct rows (0 = uncapped)."""
+        return self._capacity
+
+    @property
+    def remaining_capacity(self) -> Optional[int]:
+        """Rows the session may still admit, or ``None`` if uncapped."""
+        if not self._capacity:
+            return None
+        return self._capacity - len(self._table)
+
     def __len__(self) -> int:
         """Total distinct rows the session will never emit again."""
         return len(self._table)
 
     def observe(self, exclude: ExcludeLike) -> int:
         """Fold additional exclusions in mid-campaign; returns how many
-        of them were actually new to the session."""
+        of them were actually new to the session.
+
+        On a capacity-capped session an over-cap batch raises
+        :class:`SessionCapacityError` and the insert is rolled back
+        exactly — the fresh count is only knowable after deduplication,
+        so the insert runs reversibly and commits only under the cap.
+        """
         words = exclude_packed_words(exclude, self._width)
-        fresh = int(np.count_nonzero(self._table.insert_packed(words)))
+        if not self._capacity:
+            fresh = int(np.count_nonzero(self._table.insert_packed(words)))
+            self._excluded += fresh
+            return fresh
+        mask = self._table.insert_reversible(words)
+        if len(self._table) > self._capacity:
+            overflow = len(self._table) - self._capacity
+            self._table.revert_insert()
+            raise SessionCapacityError(
+                f"observe batch would exceed session capacity "
+                f"{self._capacity} by {overflow} rows"
+            )
+        self._table.commit_insert()
+        fresh = int(np.count_nonzero(mask))
         self._excluded += fresh
         return fresh
 
     def __repr__(self) -> str:
+        cap = f", capacity={self._capacity}" if self._capacity else ""
         return (
             f"GenerationSession(width={self._width}, "
-            f"excluded={self._excluded}, generated={self.generated_rows})"
+            f"excluded={self._excluded}, generated={self.generated_rows}"
+            f"{cap})"
         )
 
 
@@ -229,6 +291,15 @@ def run_generation_rounds(
         if state.width != width:
             raise ValueError(
                 f"session width {state.width} != model width {width}"
+            )
+        remaining = state.remaining_capacity
+        if remaining is not None and n > remaining:
+            # Generation admits at most n fresh rows (inserts are
+            # bounded by the outstanding need), so the cap check is an
+            # exact precondition — raised before any draw or insert.
+            raise SessionCapacityError(
+                f"requested {n} rows but session has capacity for only "
+                f"{max(remaining, 0)} more (cap {state.capacity})"
             )
         seen = state.table
     else:
@@ -442,9 +513,12 @@ class AddressModel:
         ``generate_set(..., state=session)`` and every returned row is
         retired from all future calls — across rounds *and across
         adaptive refits* (a refitted model of the same width reuses the
-        session unchanged).  ``capacity`` pre-sizes the table (e.g. to
-        the campaign's probe budget) so steady-state rounds almost
-        never rehash.  ``backend`` picks the exclusion-store layout
+        session unchanged).  ``capacity`` is an enforceable cap on the
+        session's total distinct rows (0 = uncapped) — exceeding it
+        raises :class:`SessionCapacityError`; it also pre-sizes the
+        table (e.g. to the campaign's probe budget) so steady-state
+        rounds almost never rehash.  ``backend`` picks the
+        exclusion-store layout
         (``"memory"``/``"sharded64"``, see :mod:`repro.ipv6.backends`);
         emitted rows are identical for every backend.
         """

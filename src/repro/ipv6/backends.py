@@ -103,6 +103,25 @@ class AddressSetBackend(Protocol):
         """Grow hook: pre-size for ``capacity`` stored rows."""
         ...
 
+    def insert_reversible(
+        self, words: np.ndarray, ids: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        """:meth:`insert` with exact single-step rollback: the caller
+        must follow up with :meth:`commit_insert` or
+        :meth:`revert_insert`.  What the capacity-capped
+        :meth:`GenerationSession.observe
+        <repro.core.model.GenerationSession.observe>` uses to reject an
+        over-cap batch without partially mutating the store."""
+        ...
+
+    def revert_insert(self) -> None:
+        """Undo the pending :meth:`insert_reversible` exactly."""
+        ...
+
+    def commit_insert(self) -> None:
+        """Finalize the pending :meth:`insert_reversible`."""
+        ...
+
 
 class ShardedBucketTable:
     """A bank of :class:`BucketTable` shards routed by /64-prefix hash.

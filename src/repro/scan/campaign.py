@@ -38,6 +38,7 @@ import numpy as np
 from repro.core.pipeline import EntropyIP
 from repro.ipv6.sets import AddressSet, in_sorted, merge_sorted_unique
 from repro.scan.responder import SimulatedResponder
+from repro.serve.lifecycle import SessionSpec
 
 
 @dataclass(frozen=True)
@@ -127,13 +128,17 @@ class ScanCampaign:
         analysis = EntropyIP.fit(train, width=train.width)
         # The probed universe for the whole campaign (training counts
         # as probed): each round's generated rows stay in the session,
-        # so the next round can never probe them again.  Pre-sized to
-        # the budget so steady-state rounds almost never rehash.
-        session = analysis.model.session(
+        # so the next round can never probe them again.  Opened through
+        # the canonical SessionSpec recipe (shared with the serving
+        # runtime), capped at the probe budget — the cap both pre-sizes
+        # the table (steady-state rounds almost never rehash) and
+        # enforces that the campaign can never outgrow its budget.
+        session = SessionSpec(
             exclude=train,
             capacity=len(train) + self._budget,
             backend=self._backend,
-        )
+            workers=self._workers,
+        ).open(analysis.model)
         train_64s = train.prefixes64()
         hit_chunks: List[np.ndarray] = []
         hit_count = 0

@@ -32,8 +32,10 @@ import numpy as np
 
 from repro.core.pipeline import EntropyIP
 from repro.datasets.networks import SyntheticNetwork
+from repro.ipv6.backends import BackendSpec
 from repro.ipv6.sets import AddressSet, split_train_test
 from repro.scan.responder import SimulatedResponder
+from repro.serve.lifecycle import SessionSpec
 
 
 @dataclass(frozen=True)
@@ -96,6 +98,7 @@ def scan_experiment(
     dataset_size: Optional[int] = None,
     seed: int = 0,
     workers: Optional[int] = None,
+    backend: BackendSpec = None,
 ) -> ScanResult:
     """Run the full §5.5 scanning experiment against one network.
 
@@ -105,7 +108,9 @@ def scan_experiment(
 
     ``workers`` runs generation and oracle scoring across a thread
     pool (see :mod:`repro.exec`); results are bit-identical for any
-    worker count, including the serial default.
+    worker count, including the serial default.  ``backend`` picks the
+    exclusion-store layout (``"memory"``/``"sharded64"``) — output is
+    identical for every backend.
     """
     population = network.population(seed)
     responder = SimulatedResponder(
@@ -124,12 +129,16 @@ def scan_experiment(
     # A generation session (training pre-excluded) rather than a bare
     # exclude: same rows bit for bit, and callers that extend the
     # experiment into follow-up rounds inherit the no-repeat guarantee
-    # for free.  Pre-sized to the full candidate count so the table
-    # never rehashes mid-experiment (the capacity the old per-call
-    # exclude path implied).
-    session = analysis.model.session(
-        exclude=train, capacity=n_candidates + len(train)
-    )
+    # for free.  Opened through the one canonical SessionSpec recipe
+    # (shared with the serving runtime and the CLI), capped at the full
+    # candidate count so the table never rehashes mid-experiment — the
+    # capacity the old per-call exclude path implied, now enforced.
+    session = SessionSpec(
+        exclude=train,
+        capacity=n_candidates + len(train),
+        backend=backend,
+        workers=workers,
+    ).open(analysis.model)
     candidates = analysis.model.generate_set(
         n_candidates, rng, state=session, workers=workers
     )
@@ -201,8 +210,15 @@ def prefix_prediction_experiment(
     train = AddressSet.from_words(day_prefixes[train_rows], width=16)
 
     analysis = EntropyIP.fit(train, width=16)
+    # Same canonical session recipe as the full-width experiment
+    # (session-backed generation is bit-identical to the bare
+    # exclude= call); uncapped because prefix-mode support is often
+    # smaller than the ask and saturates early.
+    session = SessionSpec(exclude=train, workers=workers).open(
+        analysis.model
+    )
     candidates = analysis.model.generate_set(
-        n_candidates, rng, exclude=train, workers=workers
+        n_candidates, rng, state=session, workers=workers
     )
 
     candidate_words = candidates.prefixes64()  # distinct width-16 rows

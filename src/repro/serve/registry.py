@@ -1,0 +1,274 @@
+"""The model registry: warm fitted :class:`EntropyIP` models by name.
+
+A serving runtime cannot afford to refit a model per request — the fit
+is ~5–20 ms, but the point of serving is amortizing *one* fit across
+thousands of requests and many concurrent clients.  The
+:class:`ModelRegistry` keeps fitted analyses warm, keyed by **name +
+content digest**:
+
+- the *name* is the caller's handle ("S1", "march-17-clients", a file
+  path) — what requests address;
+- the *digest* (:func:`model_digest` — the same canonical sha256 the
+  golden-fit suite pins) identifies the fitted content, so the registry
+  can tell a redundant re-registration (same digest: the warm entry is
+  reused untouched) from a genuine model update (new digest: the entry
+  is replaced and its version bumped), and a caller holding a stale
+  handle can detect the swap (``get(name, digest=...)`` raises
+  :class:`ModelDigestMismatch`).
+
+Capacity is bounded: at most ``capacity`` entries live at once, evicted
+least-recently-used; ``ttl`` additionally expires entries idle longer
+than the given seconds (checked on every access, and on demand via
+:meth:`ModelRegistry.prune`).  All methods are thread-safe — the
+registry is shared by every worker thread of a
+:class:`~repro.serve.service.HitlistService`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from repro.core.pipeline import EntropyIP
+
+
+class UnknownModelError(KeyError):
+    """No registered (live) model under the requested name."""
+
+
+class ModelDigestMismatch(ValueError):
+    """The registered model's content digest is not the one requested —
+    the model under this name was replaced since the caller last saw
+    it."""
+
+
+def model_digest(analysis: EntropyIP) -> str:
+    """Canonical content digest of a fitted model.
+
+    Covers everything generation depends on: segmentation, the mined
+    value/range codes (with bit-exact frequencies), the learned BN
+    edges, and the raw CPD table bytes.  This is the digest the
+    golden-fit regression suite pins for the benchmark networks, and
+    the registry's content key: two fits hashing equal are
+    interchangeable for serving, byte for byte.
+    """
+    h = hashlib.sha256()
+    for segment in analysis.segments:
+        h.update(
+            f"segment:{segment.label}:{segment.first_nybble}:"
+            f"{segment.last_nybble}\n".encode()
+        )
+    for mined in analysis.mined:
+        for value in mined.values:
+            h.update(
+                f"value:{mined.segment.label}:{value.code}:{value.low:x}:"
+                f"{value.high:x}:{value.origin}:{value.frequency.hex()}\n".encode()
+            )
+    for parent, child in sorted(analysis.model.network.edges()):
+        h.update(f"edge:{parent}->{child}\n".encode())
+    for name in analysis.model.network.variables:
+        cpd = analysis.model.network.cpd(name)
+        h.update(
+            f"cpd:{name}:{','.join(cpd.parents)}:{cpd.table.shape}\n".encode()
+        )
+        h.update(np.ascontiguousarray(cpd.table).tobytes())
+    return h.hexdigest()
+
+
+@dataclass
+class ModelEntry:
+    """One registered model and its bookkeeping.
+
+    The entry object is stable across touches — holders (warm sessions)
+    keep a reference and compare ``digest`` to detect replacement.
+    """
+
+    name: str
+    digest: str
+    analysis: EntropyIP
+    #: Monotonically increasing per name: 1 for the first registration,
+    #: bumped each time a *different* digest replaces the entry.
+    version: int
+    registered_at: float
+    last_used: float = 0.0
+    uses: int = 0
+    #: Address-set width the model generates (convenience for callers
+    #: normalizing membership queries without touching the analysis).
+    width: int = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.width = self.analysis.encoder.width
+
+
+class ModelRegistry:
+    """Bounded, thread-safe store of fitted models (LRU + TTL).
+
+    ``capacity`` caps live entries (least-recently-used evicted on
+    overflow); ``ttl`` (seconds, by ``clock``) expires idle entries.
+    ``clock`` is injectable so tests can drive time explicitly; it
+    defaults to :func:`time.monotonic`.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 8,
+        ttl: Optional[float] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if capacity < 1:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        if ttl is not None and ttl <= 0:
+            raise ValueError(f"ttl must be positive, got {ttl}")
+        self._capacity = capacity
+        self._ttl = ttl
+        self._clock = clock
+        self._lock = threading.RLock()
+        #: name -> entry, maintained in LRU order (oldest first).
+        self._entries: "OrderedDict[str, ModelEntry]" = OrderedDict()
+        self._evictions = 0
+        self._expirations = 0
+
+    # ------------------------------------------------------------------
+    # registration
+    # ------------------------------------------------------------------
+
+    def fit(self, name: str, addresses, width: int = 32, **fit_kwargs) -> ModelEntry:
+        """Fit :meth:`EntropyIP.fit` on ``addresses`` and register it.
+
+        The fit runs outside the registry lock (it is the expensive
+        part); only the registration itself serializes.
+        """
+        analysis = EntropyIP.fit(addresses, width=width, **fit_kwargs)
+        return self.register(name, analysis)
+
+    def register(self, name: str, analysis: EntropyIP) -> ModelEntry:
+        """Register a fitted analysis under ``name``.
+
+        Same name + same digest: the existing warm entry is touched and
+        returned (re-registering identical content is free and never
+        invalidates holders).  Same name + different digest: the entry
+        is replaced, version bumped.  Distinct names may share a digest
+        — entries are independent.
+        """
+        digest = model_digest(analysis)
+        now = self._clock()
+        with self._lock:
+            self._expire(now)
+            existing = self._entries.get(name)
+            if existing is not None and existing.digest == digest:
+                self._touch(existing, now)
+                return existing
+            entry = ModelEntry(
+                name=name,
+                digest=digest,
+                analysis=analysis,
+                version=existing.version + 1 if existing else 1,
+                registered_at=now,
+                last_used=now,
+            )
+            self._entries[name] = entry
+            self._entries.move_to_end(name)
+            while len(self._entries) > self._capacity:
+                self._entries.popitem(last=False)
+                self._evictions += 1
+            return entry
+
+    # ------------------------------------------------------------------
+    # lookup
+    # ------------------------------------------------------------------
+
+    def get(self, name: str, digest: Optional[str] = None) -> ModelEntry:
+        """Fetch the live entry for ``name`` (touching its LRU/TTL
+        clock).  ``digest`` pins the expected content: a mismatch —
+        the model was replaced under this name — raises
+        :class:`ModelDigestMismatch` instead of silently serving a
+        different model.
+        """
+        now = self._clock()
+        with self._lock:
+            self._expire(now)
+            entry = self._entries.get(name)
+            if entry is None:
+                raise UnknownModelError(name)
+            if digest is not None and entry.digest != digest:
+                raise ModelDigestMismatch(
+                    f"model {name!r} is now digest {entry.digest[:12]}… "
+                    f"(version {entry.version}), caller expected "
+                    f"{digest[:12]}…"
+                )
+            self._touch(entry, now)
+            return entry
+
+    def __contains__(self, name: str) -> bool:
+        with self._lock:
+            self._expire(self._clock())
+            return name in self._entries
+
+    def __len__(self) -> int:
+        with self._lock:
+            self._expire(self._clock())
+            return len(self._entries)
+
+    def names(self) -> List[str]:
+        """Live model names, least-recently-used first."""
+        with self._lock:
+            self._expire(self._clock())
+            return list(self._entries)
+
+    # ------------------------------------------------------------------
+    # eviction
+    # ------------------------------------------------------------------
+
+    def evict(self, name: str) -> bool:
+        """Drop ``name`` now; returns whether it was present."""
+        with self._lock:
+            return self._entries.pop(name, None) is not None
+
+    def prune(self) -> int:
+        """Drop every TTL-expired entry; returns how many were dropped."""
+        with self._lock:
+            before = self._expirations
+            self._expire(self._clock())
+            return self._expirations - before
+
+    def stats(self) -> dict:
+        """Registry counters (for service-level introspection)."""
+        with self._lock:
+            return {
+                "models": len(self._entries),
+                "capacity": self._capacity,
+                "evictions": self._evictions,
+                "expirations": self._expirations,
+            }
+
+    # ------------------------------------------------------------------
+
+    def _touch(self, entry: ModelEntry, now: float) -> None:
+        entry.last_used = now
+        entry.uses += 1
+        self._entries.move_to_end(entry.name)
+
+    def _expire(self, now: float) -> None:
+        if self._ttl is None:
+            return
+        expired = [
+            name
+            for name, entry in self._entries.items()
+            if now - entry.last_used > self._ttl
+        ]
+        for name in expired:
+            del self._entries[name]
+            self._expirations += 1
+
+    def __repr__(self) -> str:
+        with self._lock:
+            return (
+                f"ModelRegistry(models={len(self._entries)}, "
+                f"capacity={self._capacity}, ttl={self._ttl})"
+            )

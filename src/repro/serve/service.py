@@ -1,0 +1,408 @@
+"""The hitlist-as-a-service facade: concurrent requests over warm state.
+
+The top runtime layer.  :class:`HitlistService` fronts a
+:class:`~repro.serve.registry.ModelRegistry` and a
+:class:`~repro.serve.lifecycle.SessionManager` with a **bounded work
+queue** and a small worker-thread pool, serving the three §5.5-shaped
+request families concurrently:
+
+- ``generate``  — "next N candidates for network X, excluding what
+  this client has seen" (a warm session's stream);
+- ``membership`` — "which of these rows has this client's stream
+  already retired";
+- ``fit`` / ``report`` — "fit this seed set" / "render the full
+  analyst report".
+
+Backpressure is explicit: at most ``max_pending`` requests queue; a
+submission past that raises :class:`ServiceOverloadedError` immediately
+instead of growing an unbounded backlog (the caller sheds load or
+retries — the queue never does).  Every request's queue wait and
+service time are recorded; :meth:`HitlistService.stats` reports
+per-kind counts, p50/p99 latency and completed requests/s — the
+serving-side analogue of the addr/s benchmark stages.
+
+Determinism is inherited from the layers below: a served generate
+stream is bit-identical to the direct
+``AddressModel.session()``/``generate_set`` path for the same (seed,
+workers, backend), because the service *is* that path plus queuing —
+asserted by the threaded stress suite and the ``service_throughput``
+benchmark stage.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from collections import deque
+from concurrent.futures import Future
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.core.model import ExcludeLike
+from repro.ipv6.backends import BackendSpec
+from repro.ipv6.sets import AddressSet
+from repro.serve.lifecycle import ManagedSession, SessionManager
+from repro.serve.registry import ModelEntry, ModelRegistry
+
+#: Request kinds with dedicated latency accounting.
+REQUEST_KINDS = ("generate", "membership", "fit", "report", "other")
+
+
+class ServiceOverloadedError(RuntimeError):
+    """The bounded work queue is full — shed load or retry later."""
+
+
+class ServiceClosedError(RuntimeError):
+    """The service was closed; no further requests are accepted."""
+
+
+_SHUTDOWN = object()
+
+
+class HitlistService:
+    """Thread-safe serving facade over warm models and sessions.
+
+    ``workers`` sizes the executor pool (requests already queued run
+    concurrently up to this); ``max_pending`` bounds the work queue —
+    the backpressure knob; ``latency_window`` bounds the per-kind
+    latency samples kept for percentile reporting.
+
+    The service owns its registry/session-manager by default; passing
+    shared ones composes (e.g. several services over one registry).
+    Use as a context manager or call :meth:`close` — worker threads
+    are non-daemonic bookkeeping-wise but shut down cleanly.
+    """
+
+    def __init__(
+        self,
+        registry: Optional[ModelRegistry] = None,
+        sessions: Optional[SessionManager] = None,
+        workers: int = 2,
+        max_pending: int = 64,
+        latency_window: int = 2048,
+        clock: Callable[[], float] = time.perf_counter,
+    ):
+        if workers < 1:
+            raise ValueError(f"workers must be positive, got {workers}")
+        if max_pending < 1:
+            raise ValueError(
+                f"max_pending must be positive, got {max_pending}"
+            )
+        self.registry = registry if registry is not None else ModelRegistry()
+        self.sessions = (
+            sessions
+            if sessions is not None
+            else SessionManager(self.registry)
+        )
+        self._clock = clock
+        self._queue: "queue.Queue" = queue.Queue(maxsize=max_pending)
+        self._max_pending = max_pending
+        self._lock = threading.Lock()
+        self._closed = False
+        self._rejected = 0
+        self._submitted = 0
+        self._completed = 0
+        self._failed = 0
+        #: (queue wait + service) latency samples per request kind.
+        self._latencies: Dict[str, deque] = {
+            kind: deque(maxlen=latency_window) for kind in REQUEST_KINDS
+        }
+        self._kind_counts: Dict[str, int] = {
+            kind: 0 for kind in REQUEST_KINDS
+        }
+        #: Completion timestamps for the requests/s window.
+        self._completions: deque = deque(maxlen=latency_window)
+        self._threads = [
+            threading.Thread(
+                target=self._worker, name=f"hitlist-worker-{i}", daemon=True
+            )
+            for i in range(workers)
+        ]
+        for thread in self._threads:
+            thread.start()
+
+    # ------------------------------------------------------------------
+    # the request plane
+    # ------------------------------------------------------------------
+
+    def submit(self, kind: str, fn: Callable[[], object]) -> "Future":
+        """Enqueue ``fn`` as a ``kind`` request; returns its future.
+
+        The one entry point every typed request goes through: the
+        bounded queue is the backpressure boundary, so a full queue
+        raises :class:`ServiceOverloadedError` *here*, synchronously —
+        the caller knows immediately, holding no ticket.
+        """
+        if kind not in REQUEST_KINDS:
+            kind = "other"
+        with self._lock:
+            if self._closed:
+                raise ServiceClosedError("service is closed")
+            future: "Future" = Future()
+            item = (future, kind, fn, self._clock())
+            try:
+                self._queue.put_nowait(item)
+            except queue.Full:
+                self._rejected += 1
+                raise ServiceOverloadedError(
+                    f"work queue full ({self._max_pending} pending)"
+                ) from None
+            self._submitted += 1
+            return future
+
+    def _worker(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is _SHUTDOWN:
+                return
+            future, kind, fn, queued_at = item
+            if not future.set_running_or_notify_cancel():
+                continue
+            try:
+                result = fn()
+            except BaseException as exc:  # surfaced via the future
+                with self._lock:
+                    self._failed += 1
+                future.set_exception(exc)
+            else:
+                future.set_result(result)
+            finished = self._clock()
+            with self._lock:
+                self._completed += 1
+                self._kind_counts[kind] += 1
+                self._latencies[kind].append(finished - queued_at)
+                self._completions.append(finished)
+
+    # ------------------------------------------------------------------
+    # typed requests (synchronous wrappers over submit)
+    # ------------------------------------------------------------------
+
+    def fit(
+        self, name: str, addresses, width: int = 32, **fit_kwargs
+    ) -> ModelEntry:
+        """Fit and register a model (a queued request like any other)."""
+        return self.submit(
+            "fit",
+            lambda: self.registry.fit(
+                name, addresses, width=width, **fit_kwargs
+            ),
+        ).result()
+
+    def register(self, name: str, analysis) -> ModelEntry:
+        """Register an already-fitted analysis (inline: no fit cost)."""
+        return self.registry.register(name, analysis)
+
+    def open_session(
+        self,
+        model: str,
+        client: str,
+        seed: int = 0,
+        exclude: Optional[ExcludeLike] = None,
+        exclude_training: bool = True,
+        capacity: int = 0,
+        backend: BackendSpec = None,
+        workers: Optional[int] = None,
+    ) -> ManagedSession:
+        """Get-or-create the client's warm stream (inline bookkeeping).
+
+        Defaults to ``exclude_training=True`` — the §5.5 contract that
+        served candidates never repeat the model's training rows.
+        """
+        return self.sessions.open(
+            model,
+            client,
+            seed=seed,
+            exclude=exclude,
+            exclude_training=exclude_training,
+            capacity=capacity,
+            backend=backend,
+            workers=workers,
+        )
+
+    def generate(
+        self,
+        model: str,
+        client: str,
+        n: int,
+        seed: int = 0,
+        exclude: Optional[ExcludeLike] = None,
+        exclude_training: bool = True,
+        capacity: int = 0,
+        backend: BackendSpec = None,
+        workers: Optional[int] = None,
+    ) -> AddressSet:
+        """Serve the next ``n`` candidates of ``(model, client)``'s
+        stream; blocks for the result.  See :meth:`generate_async`."""
+        return self.generate_async(
+            model,
+            client,
+            n,
+            seed=seed,
+            exclude=exclude,
+            exclude_training=exclude_training,
+            capacity=capacity,
+            backend=backend,
+            workers=workers,
+        ).result()
+
+    def generate_async(
+        self,
+        model: str,
+        client: str,
+        n: int,
+        seed: int = 0,
+        exclude: Optional[ExcludeLike] = None,
+        exclude_training: bool = True,
+        capacity: int = 0,
+        backend: BackendSpec = None,
+        workers: Optional[int] = None,
+    ) -> "Future":
+        """Queue a generate request; the future resolves to the
+        :class:`AddressSet`.
+
+        The session open/get happens inside the request (on the worker
+        thread), so first-touch session construction is paid under the
+        same accounting as the draw.  Open parameters only shape a
+        *new* stream; an existing live session ignores them.
+        """
+        session = None
+        try:
+            session = self.sessions.get(model, client)
+        except KeyError:
+            pass
+
+        def run() -> AddressSet:
+            live = session
+            if live is None or live.closed:
+                live = self.open_session(
+                    model,
+                    client,
+                    seed=seed,
+                    exclude=exclude,
+                    exclude_training=exclude_training,
+                    capacity=capacity,
+                    backend=backend,
+                    workers=workers,
+                )
+            return live.generate(n, workers=workers)
+
+        return self.submit("generate", run)
+
+    def membership(
+        self, model: str, client: str, rows: ExcludeLike
+    ) -> np.ndarray:
+        """Which of ``rows`` the client's stream has already retired
+        (seed exclusions or previously served candidates)."""
+        session = self.sessions.get(model, client)
+        return self.submit(
+            "membership", lambda: session.membership(rows)
+        ).result()
+
+    def report(
+        self,
+        model: str,
+        title: Optional[str] = None,
+        n_candidates: int = 10,
+        seed: int = 0,
+    ) -> str:
+        """Render the full §1 analyst report for a registered model."""
+        from repro.core.report import full_report
+
+        entry = self.registry.get(model)
+
+        def run() -> str:
+            return full_report(
+                entry.analysis,
+                title=title or f"Entropy/IP report: {model}",
+                n_candidates=n_candidates,
+                rng=np.random.default_rng(seed),
+            )
+
+        return self.submit("report", run).result()
+
+    def close_session(self, model: str, client: str) -> bool:
+        """Explicitly close one client stream."""
+        return self.sessions.close(model, client)
+
+    def rollover_session(self, model: str, client: str) -> ManagedSession:
+        """Restart one client stream (same spec/seed, fresh state)."""
+        return self.sessions.rollover(model, client)
+
+    # ------------------------------------------------------------------
+    # accounting
+    # ------------------------------------------------------------------
+
+    def stats(self) -> dict:
+        """Service counters and latency percentiles.
+
+        ``requests_per_second`` is measured over the retained window of
+        completion timestamps; ``p50_ms``/``p99_ms`` per request kind
+        over the same window.  All numbers are wall-clock *including*
+        queue wait — the latency a caller actually observes.
+        """
+        with self._lock:
+            kinds = {}
+            for kind in REQUEST_KINDS:
+                samples = self._latencies[kind]
+                if self._kind_counts[kind] == 0:
+                    continue
+                entry = {"requests": self._kind_counts[kind]}
+                if samples:
+                    values = np.asarray(samples, dtype=np.float64)
+                    entry["p50_ms"] = round(
+                        float(np.percentile(values, 50)) * 1e3, 3
+                    )
+                    entry["p99_ms"] = round(
+                        float(np.percentile(values, 99)) * 1e3, 3
+                    )
+                kinds[kind] = entry
+            completions = list(self._completions)
+            rate = 0.0
+            if len(completions) >= 2:
+                span = completions[-1] - completions[0]
+                if span > 0:
+                    rate = round((len(completions) - 1) / span, 2)
+            return {
+                "submitted": self._submitted,
+                "completed": self._completed,
+                "failed": self._failed,
+                "rejected": self._rejected,
+                "pending": self._queue.qsize(),
+                "max_pending": self._max_pending,
+                "workers": len(self._threads),
+                "requests_per_second": rate,
+                "kinds": kinds,
+                "registry": self.registry.stats(),
+                "sessions": self.sessions.stats(),
+            }
+
+    # ------------------------------------------------------------------
+    # shutdown
+    # ------------------------------------------------------------------
+
+    def close(self, wait: bool = True) -> None:
+        """Stop accepting requests; drain queued work, stop workers."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        for _ in self._threads:
+            self._queue.put(_SHUTDOWN)
+        if wait:
+            for thread in self._threads:
+                thread.join()
+
+    def __enter__(self) -> "HitlistService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"HitlistService(workers={len(self._threads)}, "
+            f"max_pending={self._max_pending}, "
+            f"models={len(self.registry)}, sessions={len(self.sessions)})"
+        )

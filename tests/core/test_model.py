@@ -309,3 +309,92 @@ class TestGenerationSession:
         first = fitted.generate_set(101, rng, state=session)
         assert len(session) == len(first) == 101
         assert session.generated_rows == 101
+
+
+class TestSessionCapacity:
+    """capacity= is an enforceable cap (PR 7), not just a sizing hint."""
+
+    def test_uncapped_by_default(self, fitted):
+        session = fitted.session()
+        assert session.capacity == 0
+        assert session.remaining_capacity is None
+
+    def test_remaining_capacity_tracks_growth(self, fitted):
+        session = fitted.session(capacity=300)
+        assert session.remaining_capacity == 300
+        fitted.generate_set(120, np.random.default_rng(40), state=session)
+        assert session.remaining_capacity == 180
+
+    def test_generate_past_cap_raises_before_drawing(self, fitted):
+        from repro.core.model import SessionCapacityError
+
+        session = fitted.session(capacity=100)
+        rng = np.random.default_rng(41)
+        fitted.generate_set(100, rng, state=session)
+        state_before = rng.bit_generator.state
+        with pytest.raises(SessionCapacityError):
+            fitted.generate_set(1, rng, state=session)
+        # The check is a precondition: no draw was consumed, no state
+        # mutated — the caller can roll the session over and retry.
+        assert rng.bit_generator.state == state_before
+        assert len(session) == 100
+
+    def test_cap_enforced_under_sharded_engine(self, fitted):
+        from repro.core.model import SessionCapacityError
+
+        session = fitted.session(capacity=100)
+        rng = np.random.default_rng(42)
+        fitted.generate_set(100, rng, state=session, workers=2)
+        with pytest.raises(SessionCapacityError):
+            fitted.generate_set(1, rng, state=session, workers=2)
+
+    def test_capped_output_identical_to_uncapped(self, fitted, structured_set):
+        # The cap never changes emitted rows — only whether a call is
+        # admitted at all.
+        capped = fitted.session(
+            exclude=structured_set, capacity=len(structured_set) + 400
+        )
+        uncapped = fitted.session(exclude=structured_set)
+        rng_a = np.random.default_rng(43)
+        rng_b = np.random.default_rng(43)
+        for n in (250, 150):
+            a = fitted.generate_set(n, rng_a, state=capped)
+            b = fitted.generate_set(n, rng_b, state=uncapped)
+            assert np.array_equal(a.matrix, b.matrix)
+
+    def test_seed_exclusions_over_cap_raise(self, fitted, structured_set):
+        from repro.core.model import SessionCapacityError
+
+        with pytest.raises(SessionCapacityError):
+            fitted.session(exclude=structured_set, capacity=10)
+
+    def test_observe_over_cap_rolls_back_exactly(self, fitted):
+        from repro.core.model import SessionCapacityError
+
+        donor = fitted.generate_set(
+            80, np.random.default_rng(44), state=fitted.session()
+        )
+        session = fitted.session(capacity=50)
+        before = len(session)
+        with pytest.raises(SessionCapacityError):
+            session.observe(donor)
+        assert len(session) == before  # nothing partially inserted
+        assert not session.table.contains(donor.packed_rows()).any()
+        # An under-cap batch still lands normally afterwards.
+        assert session.observe(donor.take(np.arange(50))) == 50
+
+    @pytest.mark.parametrize("backend", ["memory", "sharded64"])
+    def test_observe_rollback_on_both_backends(self, fitted, backend):
+        from repro.core.model import SessionCapacityError
+
+        donor = fitted.generate_set(
+            30, np.random.default_rng(45), state=fitted.session()
+        )
+        session = fitted.session(capacity=20, backend=backend)
+        with pytest.raises(SessionCapacityError):
+            session.observe(donor)
+        assert len(session) == 0
+
+    def test_negative_capacity_rejected(self, fitted):
+        with pytest.raises(ValueError):
+            fitted.session(capacity=-1)

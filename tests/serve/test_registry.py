@@ -1,0 +1,155 @@
+"""ModelRegistry: name+digest keying, LRU/TTL eviction, versioning."""
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import EntropyIP
+from repro.serve.registry import (
+    ModelDigestMismatch,
+    ModelRegistry,
+    UnknownModelError,
+    model_digest,
+)
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+@pytest.fixture(scope="module")
+def analysis(structured_set):
+    return EntropyIP.fit(structured_set)
+
+
+@pytest.fixture(scope="module")
+def other_analysis(structured_set, s1_small):
+    train = s1_small.population(0).sample(
+        500, np.random.default_rng(3)
+    )
+    return EntropyIP.fit(train)
+
+
+class TestRegistration:
+    def test_fit_registers_and_returns_entry(self, structured_set):
+        registry = ModelRegistry()
+        entry = registry.fit("m", structured_set)
+        assert entry.name == "m"
+        assert entry.version == 1
+        assert entry.digest == model_digest(entry.analysis)
+        assert "m" in registry and len(registry) == 1
+
+    def test_same_digest_reuses_entry(self, analysis):
+        registry = ModelRegistry()
+        first = registry.register("m", analysis)
+        again = registry.register("m", analysis)
+        assert again is first
+        assert again.version == 1
+        assert again.uses == 1  # the re-registration touched it
+
+    def test_different_digest_bumps_version(self, analysis, other_analysis):
+        registry = ModelRegistry()
+        first = registry.register("m", analysis)
+        replaced = registry.register("m", other_analysis)
+        assert replaced is not first
+        assert replaced.version == 2
+        assert replaced.digest != first.digest
+        assert len(registry) == 1
+
+    def test_distinct_names_may_share_digest(self, analysis):
+        registry = ModelRegistry()
+        a = registry.register("a", analysis)
+        b = registry.register("b", analysis)
+        assert a is not b
+        assert a.digest == b.digest
+        assert len(registry) == 2
+
+    def test_entry_width_exposed(self, analysis):
+        entry = ModelRegistry().register("m", analysis)
+        assert entry.width == analysis.encoder.width
+
+
+class TestDigestPinning:
+    def test_get_with_matching_digest(self, analysis):
+        registry = ModelRegistry()
+        entry = registry.register("m", analysis)
+        assert registry.get("m", digest=entry.digest) is entry
+
+    def test_get_with_stale_digest_raises(self, analysis, other_analysis):
+        registry = ModelRegistry()
+        stale = registry.register("m", analysis).digest
+        registry.register("m", other_analysis)
+        with pytest.raises(ModelDigestMismatch):
+            registry.get("m", digest=stale)
+
+    def test_get_unknown_raises(self):
+        with pytest.raises(UnknownModelError):
+            ModelRegistry().get("nope")
+
+    def test_unknown_model_error_is_key_error(self):
+        with pytest.raises(KeyError):
+            ModelRegistry().get("nope")
+
+
+class TestEviction:
+    def test_lru_capacity(self, analysis):
+        registry = ModelRegistry(capacity=2)
+        registry.register("a", analysis)
+        registry.register("b", analysis)
+        registry.get("a")  # touch: b becomes the LRU entry
+        registry.register("c", analysis)
+        assert registry.names() == ["a", "c"]
+        assert registry.stats()["evictions"] == 1
+        with pytest.raises(UnknownModelError):
+            registry.get("b")
+
+    def test_ttl_expiry_with_fake_clock(self, analysis):
+        clock = FakeClock()
+        registry = ModelRegistry(ttl=10.0, clock=clock)
+        registry.register("m", analysis)
+        clock.advance(9.0)
+        assert registry.get("m").name == "m"  # touch resets idle time
+        clock.advance(9.0)
+        assert "m" in registry
+        clock.advance(11.0)
+        assert "m" not in registry
+        assert registry.stats()["expirations"] == 1
+
+    def test_prune_counts_expired(self, analysis):
+        clock = FakeClock()
+        registry = ModelRegistry(ttl=5.0, clock=clock)
+        registry.register("a", analysis)
+        registry.register("b", analysis)
+        clock.advance(6.0)
+        assert registry.prune() == 2
+        assert len(registry) == 0
+
+    def test_explicit_evict(self, analysis):
+        registry = ModelRegistry()
+        registry.register("m", analysis)
+        assert registry.evict("m") is True
+        assert registry.evict("m") is False
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            ModelRegistry(capacity=0)
+        with pytest.raises(ValueError):
+            ModelRegistry(ttl=0.0)
+
+
+class TestDigestFunction:
+    def test_refit_same_data_same_digest(self, structured_set, analysis):
+        assert model_digest(EntropyIP.fit(structured_set)) == model_digest(
+            analysis
+        )
+
+    def test_different_models_different_digest(
+        self, analysis, other_analysis
+    ):
+        assert model_digest(analysis) != model_digest(other_analysis)

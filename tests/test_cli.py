@@ -71,6 +71,108 @@ class TestCommands:
         assert main(["analyze", "-"]) == 0
         assert "H_S=" in capsys.readouterr().out
 
+    def test_generate_backend_flag_output_identical(
+        self, address_file, capsys
+    ):
+        main(["generate", address_file, "--count", "15", "--seed", "4"])
+        default = capsys.readouterr().out
+        main(["generate", address_file, "--count", "15", "--seed", "4",
+              "--backend", "sharded64"])
+        sharded = capsys.readouterr().out
+        assert default == sharded
+
+    def test_generate_matches_direct_library_path(
+        self, address_file, capsys
+    ):
+        """The service-routed CLI serves the same rows as a direct
+        EntropyIP.fit + generate_addresses call."""
+        import numpy as np
+
+        from repro.cli import _read_addresses
+        from repro.core.pipeline import EntropyIP
+
+        main(["generate", address_file, "--count", "25", "--seed", "8"])
+        served = capsys.readouterr().out.strip().splitlines()
+        analysis = EntropyIP.fit(_read_addresses(address_file), width=32)
+        direct = [
+            a.compressed()
+            for a in analysis.generate_addresses(
+                25, np.random.default_rng(8)
+            )
+        ]
+        assert served == direct
+
+    def test_generate_rejects_unknown_backend(self, address_file):
+        with pytest.raises(SystemExit):
+            main(["generate", address_file, "--backend", "mmap"])
+
+    def test_scan_backend_flag(self, capsys):
+        assert main([
+            "scan", "R5", "--train", "200", "--count", "500",
+        ]) == 0
+        default = capsys.readouterr().out
+        assert main([
+            "scan", "R5", "--train", "200", "--count", "500",
+            "--backend", "sharded64",
+        ]) == 0
+        assert capsys.readouterr().out == default
+
+
+class TestServeCommand:
+    def test_synthetic_load(self, address_file, capsys):
+        assert main([
+            "serve", address_file, "--requests", "6", "--clients", "2",
+            "--count", "50",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "served 6 requests x 50 rows" in out
+        assert "requests/s=" in out and "p99=" in out
+
+    def test_line_protocol(self, address_file, capsys, monkeypatch):
+        import io
+
+        script = "gen alice 4\nmember alice ::1\nstats\nquit\n"
+        monkeypatch.setattr("sys.stdin", io.StringIO(script))
+        assert main(["serve", address_file, "--name", "m"]) == 0
+        out = capsys.readouterr().out
+        lines = out.strip().splitlines()
+        assert all(":" in line for line in lines[:4])  # 4 candidates
+        assert "::1 new" in out
+        assert '"completed"' in out
+
+    def test_line_protocol_gen_matches_service_stream(
+        self, address_file, capsys, monkeypatch
+    ):
+        """Protocol-served candidates equal the library service path."""
+        import io
+
+        from repro.cli import _read_addresses
+        from repro.serve import HitlistService
+
+        monkeypatch.setattr("sys.stdin", io.StringIO("gen a 3\ngen a 3\n"))
+        assert main(["serve", address_file, "--name", "m"]) == 0
+        served = capsys.readouterr().out.strip().splitlines()
+        with HitlistService() as svc:
+            svc.fit("m", _read_addresses(address_file), width=32)
+            direct = [
+                a.compressed()
+                for _ in range(2)
+                for a in svc.generate("m", "a", 3).addresses()
+            ]
+        assert served == direct
+
+    def test_line_protocol_errors_do_not_kill_loop(
+        self, address_file, capsys, monkeypatch
+    ):
+        import io
+
+        script = "member ghost ::1\nbogus request\ngen ok 2\nquit\n"
+        monkeypatch.setattr("sys.stdin", io.StringIO(script))
+        assert main(["serve", address_file, "--name", "m"]) == 0
+        captured = capsys.readouterr()
+        assert "error:" in captured.err
+        assert len(captured.out.strip().splitlines()) == 2
+
 
 class TestExtensionCommands:
     def test_mi(self, address_file, capsys):
