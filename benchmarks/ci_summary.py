@@ -33,6 +33,7 @@ from perf_generation import (
 #: import chain so they cannot drift).
 from test_perf_generation import (
     FUSED_GATE_NETWORK,
+    MAX_INGEST_REFIT_FRACTION,
     MAX_SERVICE_OVERHEAD,
     MAX_STEADY_FLATNESS,
     MIN_BUCKET_SPEEDUP,
@@ -42,6 +43,7 @@ from test_perf_generation import (
     MIN_FIT_SPEEDUP,
     MIN_FUSED_SPEEDUP,
     MIN_HEADLINE_SPEEDUP,
+    MIN_INGEST_ROWS_PER_SECOND,
     MIN_ORACLE_SPEEDUP,
     MIN_STAGE_SPEEDUPS,
     MIN_STEADY_SPEEDUP,
@@ -164,6 +166,19 @@ def render_markdown(record: Dict) -> str:
             f"p99 {service.get('p99_ms', 0)}ms, "
             f"bit-identical {verdict} |"
         )
+    ingest = record.get("streaming_ingest")
+    if ingest:
+        verdict = "✅" if ingest.get("digest_equal_to_reference") else "❌"
+        lines.append(
+            f"| — | streaming_ingest ({ingest.get('batches', 0)} batches, "
+            f"{ingest.get('rows_ingested', 0):,} rows) | "
+            f"{ingest.get('rows_per_second', 0):,.0f} | "
+            f"{ingest.get('refits', 0)} refits vs "
+            f"{ingest.get('reference_refits', 0)} refit-every-batch "
+            f"({ingest.get('speedup_vs_refit_every_batch', 0)}x, mean refit "
+            f"{ingest.get('mean_refit_seconds', 0)}s), "
+            f"digest-identical {verdict} |"
+        )
     return "\n".join(lines)
 
 
@@ -201,8 +216,41 @@ def check_gates(record: Dict) -> List[str]:
             "service-served streams not bit-identical to the direct "
             "library path"
         )
+    ingest = record.get("streaming_ingest")
+    if ingest is not None:
+        # Deterministic correctness gates: applied at any scale.
+        if not ingest.get("digest_equal_to_reference"):
+            failures.append(
+                "streaming ingest's final model digest differs from the "
+                "refit-every-batch reference"
+            )
+        if ingest.get("refits", 0) >= ingest.get("reference_refits", 0):
+            failures.append(
+                f"streaming ingest paid {ingest.get('refits')} refits — "
+                f"not fewer than the reference's "
+                f"{ingest.get('reference_refits')} (one per batch)"
+            )
+        if ingest.get("drift_refits", 0) < 1:
+            failures.append(
+                "streaming ingest's drift signal never fired on the "
+                "feed's renumbering event"
+            )
     if record.get("n_candidates", 0) < FULL_SCALE_THRESHOLD:
         return failures  # smoke record: no throughput gates
+    if ingest is not None:
+        refit_cap = ingest.get("reference_refits", 0) * MAX_INGEST_REFIT_FRACTION
+        if ingest.get("refits", 0) > refit_cap:
+            failures.append(
+                f"streaming ingest refit count {ingest.get('refits')} > "
+                f"{MAX_INGEST_REFIT_FRACTION:.0%} of the reference's "
+                f"{ingest.get('reference_refits')}"
+            )
+        rate = ingest.get("rows_per_second", 0.0)
+        if rate < MIN_INGEST_ROWS_PER_SECOND:
+            failures.append(
+                f"streaming ingest {rate:,.0f} rows/s < "
+                f"{MIN_INGEST_ROWS_PER_SECOND:,.0f} floor"
+            )
     if service is not None:
         p50 = service.get("p50_ms", 0.0)
         p99 = service.get("p99_ms", 0.0)

@@ -52,6 +52,15 @@ requests/s with p50/p99 request latency and verifying every served
 stream bit-identical to the serial direct-library reference
 (``identical_to_direct``).
 
+The streaming-ingest PR adds a top-level ``streaming_ingest`` record:
+the :class:`~repro.ingest.IngestPipeline` fed a drifting temporal
+snapshot series in batches, recording sustained ingest rows/s, refit
+count and per-refit latency against the refit-every-batch reference
+(a from-scratch ``EntropyIP.fit`` on the cumulative rows after every
+batch), and verifying both land on the same final model digest
+(``digest_equal_to_reference`` — the incremental path's bit-identity
+contract).
+
 Usage::
 
     PYTHONPATH=src python benchmarks/perf_generation.py \
@@ -909,6 +918,140 @@ def measure_backends_stage(n_candidates: int, seed: int = 0) -> Optional[Dict]:
     return record
 
 
+#: The streaming-ingest stage: a drifting temporal feed (steady churn,
+#: plus a renumbering event at the first post-training snapshot so the
+#: event signal is observable undiluted) sliced into per-snapshot
+#: batches.  The
+#: snapshot sample size tracks the candidate scale (clamped so a smoke
+#: pass still sees multiple refit-worthy windows) and the threshold
+#: sits between churn noise and the renumbering signal on this feed;
+#: ``min_refit_rows`` (one snapshot's worth of rows) keeps tiny pending
+#: windows — whose small-sample JS noise swamps any threshold — from
+#: firing on every batch.
+INGEST_NETWORK = "S1"
+INGEST_SNAPSHOTS = 6
+INGEST_BATCHES_PER_SNAPSHOT = 3
+INGEST_RENUMBER_AT = 1
+INGEST_CHURN = 0.3
+INGEST_THRESHOLD = 0.06
+
+
+def measure_streaming_ingest_stage(
+    n_candidates: int, seed: int = 0
+) -> Optional[Dict]:
+    """Drive the streaming-ingest pipeline over a drifting feed and
+    compare it to the refit-every-batch reference.
+
+    The pipeline fits on snapshot 0, then ingests every later snapshot
+    in ``INGEST_BATCHES_PER_SNAPSHOT`` slices; drift-triggered refits
+    run inline, and one forced catch-up refit at the end covers any
+    still-pending rows so the final model spans the whole feed.  The
+    reference pays a from-scratch ``EntropyIP.fit`` on the cumulative
+    rows after *every* batch — the naive way to keep a model current.
+    The two must land on the **same final digest** (the pipeline's
+    bit-identity contract) while the pipeline pays strictly fewer
+    refits; sustained ingest rows/s and per-refit latency are recorded.
+    Returns None on trees without the ingest subsystem.
+    """
+    try:
+        from repro.ingest import IngestConfig, IngestPipeline
+    except ImportError:
+        return None
+    from repro.core.pipeline import EntropyIP
+    from repro.datasets.networks import build_network
+    from repro.datasets.temporal import SnapshotSeries, TemporalEvent
+    from repro.ipv6.sets import AddressSet
+    from repro.serve.registry import model_digest
+
+    network = build_network(INGEST_NETWORK)
+    sample_size = max(min(n_candidates // 400, 2500), 200)
+    snapshots = SnapshotSeries(
+        network,
+        n_snapshots=INGEST_SNAPSHOTS,
+        sample_size=sample_size,
+        churn=INGEST_CHURN,
+        events=(
+            TemporalEvent(at_index=INGEST_RENUMBER_AT, kind="renumber"),
+        ),
+        seed=seed,
+    ).build()
+    train = snapshots[0]
+    batches = []
+    for snapshot in snapshots[1:]:
+        bounds = np.linspace(
+            0, len(snapshot), INGEST_BATCHES_PER_SNAPSHOT + 1, dtype=int
+        )
+        batches.extend(
+            snapshot.take(range(low, high))
+            for low, high in zip(bounds[:-1], bounds[1:])
+        )
+
+    analysis = EntropyIP.fit(train)
+    pipeline = IngestPipeline(
+        "bench",
+        analysis,
+        config=IngestConfig(
+            threshold=INGEST_THRESHOLD, min_refit_rows=sample_size
+        ),
+    )
+    started = time.perf_counter()
+    for batch in batches:
+        pipeline.ingest(batch)
+    drift_refits = pipeline.refits
+    if pipeline.pending_rows:
+        pipeline.refit()  # catch up so the final model spans the feed
+    ingest_elapsed = time.perf_counter() - started
+    rows_ingested = pipeline.total_rows - len(train)
+
+    # The refit-every-batch reference: a from-scratch fit on the
+    # cumulative rows after each batch (final iteration == the full
+    # cumulative fit the pipeline's last refit must reproduce).
+    matrices = [train.matrix]
+    reference = analysis
+    started = time.perf_counter()
+    for batch in batches:
+        matrices.append(batch.matrix)
+        reference = EntropyIP.fit(
+            AddressSet(np.concatenate(matrices, axis=0))
+        )
+    reference_elapsed = time.perf_counter() - started
+    reference_refits = len(batches)
+
+    mean_refit = (
+        pipeline.refit_seconds_total / pipeline.refits
+        if pipeline.refits
+        else 0.0
+    )
+    return {
+        "network": INGEST_NETWORK,
+        "snapshots": INGEST_SNAPSHOTS,
+        "sample_size": sample_size,
+        "batches": len(batches),
+        "rows_ingested": rows_ingested,
+        "seconds": round(ingest_elapsed, 6),
+        "rows_per_second": (
+            round(rows_ingested / ingest_elapsed, 1) if ingest_elapsed else 0.0
+        ),
+        "threshold": INGEST_THRESHOLD,
+        "drift_refits": drift_refits,
+        "refits": pipeline.refits,
+        "refit_seconds_total": round(pipeline.refit_seconds_total, 6),
+        "mean_refit_seconds": round(mean_refit, 6),
+        "last_refit_seconds": round(pipeline.last_refit_seconds or 0.0, 6),
+        "final_version": pipeline.version,
+        "reference_refits": reference_refits,
+        "reference_seconds": round(reference_elapsed, 6),
+        "speedup_vs_refit_every_batch": (
+            round(reference_elapsed / ingest_elapsed, 2)
+            if ingest_elapsed
+            else 0.0
+        ),
+        "digest_equal_to_reference": bool(
+            pipeline.digest == model_digest(reference)
+        ),
+    }
+
+
 def measure(
     n_candidates: int,
     networks: Optional[List[str]] = None,
@@ -932,6 +1075,9 @@ def measure(
     service = measure_service_stage(n_candidates, seed=seed)
     if service is not None:
         result["service_throughput"] = service
+    ingest = measure_streaming_ingest_stage(n_candidates, seed=seed)
+    if ingest is not None:
+        result["streaming_ingest"] = ingest
     return result
 
 

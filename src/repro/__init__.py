@@ -13,19 +13,37 @@ Quickstart::
     print(analysis.describe())
     candidates = analysis.generate_addresses(1000)
 
+The curated one-call surface below is the package's public API —
+analysis (:class:`EntropyIP`), the serving runtime
+(:class:`ModelRegistry`, :class:`SessionSpec`, :class:`HitlistService`),
+streaming ingestion (:class:`IngestPipeline`), exclusion-store
+selection (:func:`make_backend`) and the consolidated error hierarchy
+(:class:`ReproError`).  ``tests/test_public_api.py`` pins ``__all__``
+so entry-point drift is a test failure, not a silent break.
+
 See :mod:`repro.core.pipeline` for the facade, :mod:`repro.datasets` for
-the synthetic network models used in the evaluation, and
-:mod:`repro.scan` for the scanning/prediction harness.
+the synthetic network models used in the evaluation,
+:mod:`repro.scan` for the scanning/prediction harness, and
+:mod:`repro.ingest` for the online path.
 """
 
+from repro.bayes.structure import StructureConfig
 from repro.core.browser import ConditionalBrowser
 from repro.core.mining import MiningConfig
 from repro.core.pipeline import EntropyIP
 from repro.core.segmentation import SegmentationConfig
-from repro.bayes.structure import StructureConfig
+from repro.errors import ReproError
+from repro.ingest import IngestConfig, IngestPipeline
 from repro.ipv6.address import IPv6Address
+from repro.ipv6.backends import make_backend
 from repro.ipv6.prefix import Prefix
 from repro.ipv6.sets import AddressSet
+from repro.serve import (
+    HitlistService,
+    ModelRegistry,
+    SessionManager,
+    SessionSpec,
+)
 
 __version__ = "1.0.0"
 
@@ -33,10 +51,18 @@ __all__ = [
     "AddressSet",
     "ConditionalBrowser",
     "EntropyIP",
+    "HitlistService",
     "IPv6Address",
+    "IngestConfig",
+    "IngestPipeline",
     "MiningConfig",
+    "ModelRegistry",
     "Prefix",
+    "ReproError",
     "SegmentationConfig",
+    "SessionManager",
+    "SessionSpec",
     "StructureConfig",
     "__version__",
+    "make_backend",
 ]

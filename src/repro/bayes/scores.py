@@ -211,6 +211,42 @@ class FamilyStats:
     def n_samples(self) -> int:
         return self._n
 
+    def extend(self, data: np.ndarray) -> None:
+        """Fold fresh rows into the cached sufficient statistics.
+
+        The streaming-ingest hook: arriving batches extend the stored
+        columns, and every already-memoized family count tensor is
+        updated **incrementally** — one ``bincount`` over the fresh rows
+        added onto the cached int64 counts, never a re-count of the
+        full history.  Integer addition is exact, so the updated
+        tensors are bit-identical to counting the concatenated data
+        from scratch, and a subsequent structure search over this
+        instance returns exactly what a fresh
+        :class:`FamilyStats` over the cumulative matrix would.  Scores
+        are dropped (they depend on the counts and on ``n``); fused
+        parent codes are rebuilt lazily.
+        """
+        data = np.asarray(data)
+        if data.ndim != 2 or data.shape[1] != len(self._cards):
+            raise ValueError("data must be a 2-D code matrix with matching columns")
+        fresh = data.shape[0]
+        if fresh == 0:
+            return
+        if self._counts:
+            chunk = FamilyStats(data, self._cards)
+            for (child, parents), counts in self._counts.items():
+                counts += chunk.counts2d(child, parents)
+        self._columns = [
+            np.concatenate(
+                [column, np.ascontiguousarray(data[:, i], dtype=np.int64)]
+            )
+            for i, column in enumerate(self._columns)
+        ]
+        self._n += fresh
+        empty = np.zeros(self._n, dtype=np.int64)
+        self._codes = {(): (empty, 1)}
+        self._scores = {}
+
     def parent_codes(self, parents: Tuple[int, ...]) -> Tuple[np.ndarray, int]:
         """Fused configuration codes for a parent tuple, and their count q.
 

@@ -79,6 +79,7 @@ def learn_structure(
     cardinalities: Sequence[int],
     config: StructureConfig = StructureConfig(),
     cache: bool = True,
+    stats: Optional[FamilyStats] = None,
 ) -> BayesianNetwork:
     """Learn an ordered BN from an (n, num_vars) categorical code matrix.
 
@@ -90,6 +91,11 @@ def learn_structure(
     each CPD from the count tensor its family was scored with;
     ``cache=False`` retains the original re-count-per-score path (the
     benchmark reference — results are bit-identical either way).
+    ``stats`` supplies a pre-built (e.g. incrementally extended)
+    :class:`~repro.bayes.scores.FamilyStats` over the same rows — the
+    streaming-ingest refit path, where family counts have already been
+    folded batch by batch; it must agree with ``data`` on the sample
+    count.
     """
     data = np.asarray(data)
     if data.ndim != 2:
@@ -100,7 +106,12 @@ def learn_structure(
     if n == 0:
         raise ValueError("cannot learn from an empty dataset")
 
-    stats = FamilyStats(data, cardinalities) if cache else None
+    if stats is not None and stats.n_samples != n:
+        raise ValueError(
+            f"stats cover {stats.n_samples} rows, data has {n}"
+        )
+    if stats is None and cache:
+        stats = FamilyStats(data, cardinalities)
     parent_sets = [
         select_parents(data, child, cardinalities, config, stats=stats)
         for child in range(num_vars)

@@ -12,12 +12,16 @@ Subcommands:
 - ``report``   — full composed analysis report (the §1 "web page");
 - ``serve``    — run a :class:`~repro.serve.service.HitlistService`
   over a seed file: a line-protocol loop on stdin, or a synthetic
-  concurrent load (``--requests``) that prints requests/s + p50/p99.
+  concurrent load (``--requests``) that prints requests/s + p50/p99;
+- ``ingest``   — replay a time-sliced feed from
+  :mod:`repro.datasets.temporal` through the streaming-ingest pipeline
+  and report drift scores, refits and sustained ingest rate.
 
-``generate``, ``report`` and ``serve`` all route through the serving
-runtime (:mod:`repro.serve`) rather than hand-rolling model/session
-construction — the same registry/lifecycle path concurrent callers
-use, with output bit-identical to the direct library calls.
+``generate``, ``report``, ``serve`` and ``ingest`` all route through
+the serving runtime (:mod:`repro.serve`) rather than hand-rolling
+model/session construction — the same registry/lifecycle path
+concurrent callers use, with output bit-identical to the direct
+library calls.
 """
 
 from __future__ import annotations
@@ -158,14 +162,16 @@ def _serve_stdin(service, name: str, width: int, stream) -> int:
     ``member <client> <addr>…`` — membership-check rows against the stream
     ``observe <client> <addr>…`` — fold client-observed rows into it
     ``rollover <client>``       — restart the client's stream
+    ``ingest <addr>…``          — feed arriving rows into the model's
+    streaming-ingest pipeline (drift may refit it; live streams adopt
+    the new version without resetting)
     ``stats``                   — service counters + latency percentiles
     ``quit``                    — exit
     """
     import json
 
-    from repro.core.model import SessionCapacityError
+    from repro.errors import ReproError
     from repro.ipv6.sets import AddressSet
-    from repro.serve import UnknownSessionError
 
     def rows_from(tokens: List[str]) -> AddressSet:
         return AddressSet.from_strings(tokens, width=width)
@@ -192,11 +198,23 @@ def _serve_stdin(service, name: str, width: int, stream) -> int:
             elif command == "rollover" and len(rest) == 1:
                 service.rollover_session(name, rest[0])
                 print(f"rolled over {rest[0]}")
+            elif command == "ingest" and len(rest) >= 1:
+                report = service.ingest(name, rows_from(rest))
+                line = (
+                    f"ingested {report.rows} rows, "
+                    f"drift {report.signal.score:.3f}"
+                )
+                if report.refit:
+                    line += (
+                        f", refit in {report.refit_seconds:.3f}s -> "
+                        f"version {report.version}"
+                    )
+                print(line)
             elif command == "stats" and not rest:
                 print(json.dumps(service.stats(), sort_keys=True))
             else:
                 print(f"error: unknown request {raw.strip()!r}", file=sys.stderr)
-        except (UnknownSessionError, SessionCapacityError, ValueError) as exc:
+        except (ReproError, ValueError) as exc:
             print(f"error: {exc}", file=sys.stderr)
     return 0
 
@@ -267,6 +285,87 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         if args.requests:
             return _serve_synthetic(service, name, args)
         return _serve_stdin(service, name, args.width, sys.stdin)
+
+
+def _cmd_ingest(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.datasets.temporal import SnapshotSeries, TemporalEvent
+    from repro.ingest import IngestConfig
+    from repro.serve import HitlistService
+
+    network = build_network(args.name)
+    events = ()
+    if args.renumber_at is not None:
+        events = (TemporalEvent(at_index=args.renumber_at, kind="renumber"),)
+    snapshots = SnapshotSeries(
+        network,
+        n_snapshots=args.snapshots,
+        sample_size=args.sample_size,
+        churn=args.churn,
+        events=events,
+        seed=args.seed,
+    ).build()
+    config = IngestConfig(
+        threshold=args.threshold, min_refit_rows=args.min_refit_rows
+    )
+    with HitlistService() as service:
+        service.fit(args.name, snapshots[0])
+        service.open_ingest(args.name, config=config)
+        # A live monitor stream, to demonstrate that drift-triggered
+        # rolls never reset a client: rows served before the feed stay
+        # retired after it.
+        service.open_session(
+            args.name,
+            "monitor",
+            seed=args.seed,
+            capacity=args.capacity,
+            backend=args.backend,
+            workers=args.workers or None,
+        )
+        before = service.generate(args.name, "monitor", args.count)
+        per_snapshot = max(1, args.batches)
+        rows = refits = 0
+        refit_seconds = 0.0
+        started = time.perf_counter()
+        for index, snapshot in enumerate(snapshots[1:], start=1):
+            bounds = np.linspace(
+                0, len(snapshot), per_snapshot + 1, dtype=int
+            )
+            for batch_index, (low, high) in enumerate(
+                zip(bounds[:-1], bounds[1:]), start=1
+            ):
+                report = service.ingest(
+                    args.name, snapshot.take(range(low, high))
+                )
+                rows += report.rows
+                line = (
+                    f"snapshot {index} batch {batch_index}/{per_snapshot}: "
+                    f"{report.rows} rows, drift {report.signal.score:.3f}"
+                )
+                if report.refit:
+                    refits += 1
+                    refit_seconds += report.refit_seconds
+                    line += (
+                        f", refit in {report.refit_seconds:.3f}s -> "
+                        f"version {report.version}"
+                    )
+                print(line)
+        elapsed = time.perf_counter() - started
+        after = service.generate(args.name, "monitor", args.count)
+        entry = service.registry.get(args.name)
+        repeats = int(before.contains_rows(after).sum())
+        print(
+            f"ingested {rows} rows in {elapsed:.3f}s "
+            f"({rows / elapsed:,.0f} rows/s), {refits} refits "
+            f"({refit_seconds:.3f}s), model version {entry.version} "
+            f"({entry.digest[:12]}…)"
+        )
+        print(
+            f"monitor stream: {len(before)} + {len(after)} rows served "
+            f"across the roll, {repeats} repeats"
+        )
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -361,6 +460,41 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--max-pending", type=int, default=64,
                        help="bounded work queue depth (backpressure knob)")
     serve.set_defaults(func=_cmd_serve)
+
+    ingest = sub.add_parser(
+        "ingest",
+        help="replay a time-sliced feed through the streaming-ingest "
+        "pipeline (drift-triggered refits roll into live streams)",
+    )
+    ingest.add_argument("name", help="S1-S5, R1-R5, C1-C5 or JP")
+    ingest.add_argument("--snapshots", type=int, default=4,
+                        help="snapshots in the simulated feed (the first "
+                        "trains the model)")
+    ingest.add_argument("--sample-size", type=int, default=800,
+                        help="rows per snapshot")
+    ingest.add_argument("--batches", type=int, default=4,
+                        help="ingest batches per snapshot")
+    ingest.add_argument("--churn", type=float, default=0.3,
+                        help="fraction of each snapshot resampled fresh")
+    ingest.add_argument("--renumber-at", type=int, default=None,
+                        help="inject a renumbering event at this snapshot "
+                        "index (default: none)")
+    ingest.add_argument("--threshold", type=float, default=0.15,
+                        help="drift score that triggers a refit")
+    ingest.add_argument("--min-refit-rows", type=int, default=1,
+                        help="pending rows required before a refit can fire")
+    ingest.add_argument("--count", type=int, default=200,
+                        help="rows drawn on the monitor stream before and "
+                        "after the feed")
+    ingest.add_argument("--seed", type=int, default=0)
+    ingest.add_argument("--workers", type=int, default=0,
+                        help="shard monitor draws across N worker threads")
+    ingest.add_argument("--backend", choices=BACKEND_CHOICES, default=None,
+                        help="exclusion-store layout for the monitor stream")
+    ingest.add_argument("--capacity", type=int, default=0,
+                        help="capacity cap of the monitor stream (0 = "
+                        "uncapped)")
+    ingest.set_defaults(func=_cmd_ingest)
 
     return parser
 

@@ -21,6 +21,9 @@ from repro.bayes.sampling import (
 )
 from repro.bayes.structure import StructureConfig, learn_structure
 from repro.core.encoding import AddressEncoder
+# Defined in the consolidated hierarchy (repro.errors); re-exported
+# here because this module is its historical home.
+from repro.errors import SessionCapacityError
 from repro.ipv6.backends import AddressSetBackend, BackendSpec, make_backend
 from repro.ipv6.sets import AddressSet, BucketTable, unpack_rows
 
@@ -68,18 +71,6 @@ def exclude_packed_words(
         width=width,
         already_truncated=True,
     ).packed_rows()
-
-
-class SessionCapacityError(RuntimeError):
-    """A capacity-capped :class:`GenerationSession` would exceed its cap.
-
-    Raised *before* any state mutates: a generate call that asks for
-    more rows than the session has capacity left, or an
-    :meth:`GenerationSession.observe` batch whose fresh rows overflow
-    the cap (rolled back exactly).  The serving layer surfaces this as
-    a clean typed error a client can act on (roll the session over, or
-    raise the cap) instead of an opaque table growth/rehash.
-    """
 
 
 class GenerationSession:

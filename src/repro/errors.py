@@ -1,0 +1,107 @@
+"""The consolidated typed-error hierarchy of the whole package.
+
+Every error the library raises deliberately — capacity caps, serving
+backpressure, registry lookups, streaming-ingest drift — derives from
+one :class:`ReproError` base, so callers can catch "anything this
+package considers a client-actionable condition" in one clause::
+
+    try:
+        service.generate(model, client, n)
+    except ReproError as exc:
+        shed_or_retry(exc)
+
+Each class additionally keeps the builtin base it historically had
+(``RuntimeError``, ``KeyError``, ``ValueError``), so existing
+``except`` clauses written against the old locations keep working, and
+the old defining modules (:mod:`repro.core.model`,
+:mod:`repro.serve.registry`, :mod:`repro.serve.lifecycle`,
+:mod:`repro.serve.service`) re-export their errors from here —
+``from repro.core.model import SessionCapacityError`` still resolves
+to the same class object.
+
+Message formatting is uniform: every raise site passes one
+pre-formatted, lower-case, single-sentence message (``<subject>:
+<detail>``), and :meth:`ReproError.__str__` renders exactly that
+string — including for the ``KeyError``-derived classes, which would
+otherwise ``repr()`` their argument.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of every typed error raised by this package."""
+
+    def __str__(self) -> str:
+        # One formatted message per raise site; suppress KeyError's
+        # repr-the-argument rendering so all errors print uniformly.
+        if len(self.args) == 1:
+            return str(self.args[0])
+        return super().__str__()
+
+
+class SessionCapacityError(ReproError, RuntimeError):
+    """A capacity-capped :class:`~repro.core.model.GenerationSession`
+    would exceed its cap.
+
+    Raised *before* any state mutates: a generate call that asks for
+    more rows than the session has capacity left, or an
+    ``observe`` batch whose fresh rows overflow the cap (rolled back
+    exactly).  The serving layer surfaces this as a clean typed error a
+    client can act on (roll the session over, or raise the cap)
+    instead of an opaque table growth/rehash.
+    """
+
+
+class ServiceOverloadedError(ReproError, RuntimeError):
+    """The bounded work queue is full — shed load or retry later."""
+
+
+class ServiceClosedError(ReproError, RuntimeError):
+    """The service was closed; no further requests are accepted."""
+
+
+class SessionClosedError(ReproError, RuntimeError):
+    """The session was closed (explicitly or by idle eviction)."""
+
+
+class UnknownSessionError(ReproError, KeyError):
+    """No live session under the requested (model, client) key."""
+
+
+class UnknownModelError(ReproError, KeyError):
+    """No registered (live) model under the requested name."""
+
+
+class ModelDigestMismatch(ReproError, ValueError):
+    """The registered model's content digest is not the one requested —
+    the model under this name was replaced since the caller last saw
+    it."""
+
+
+class IngestDriftError(ReproError, RuntimeError):
+    """The drift signal crossed the refit threshold while automatic
+    refits are disabled — the caller must run
+    :meth:`~repro.ingest.pipeline.IngestPipeline.refit` explicitly (or
+    accept serving a model the feed has drifted away from)."""
+
+
+class StaleModelError(ReproError, RuntimeError):
+    """The registry entry an ingest pipeline maintains was replaced
+    behind its back (another writer registered a different digest under
+    the same name), so rolling the incremental refit forward would
+    silently clobber someone else's model."""
+
+
+__all__ = [
+    "IngestDriftError",
+    "ModelDigestMismatch",
+    "ReproError",
+    "ServiceClosedError",
+    "ServiceOverloadedError",
+    "SessionCapacityError",
+    "SessionClosedError",
+    "StaleModelError",
+    "UnknownModelError",
+    "UnknownSessionError",
+]

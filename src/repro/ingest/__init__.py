@@ -1,0 +1,33 @@
+"""Streaming ingestion: online statistics, drift detection, live refits.
+
+The online counterpart of the static ``EntropyIP.fit``: address
+batches arrive continuously, sufficient statistics update
+incrementally, and a refit runs only when a drift signal says the
+fitted model no longer matches the feed — then rolls into the serving
+runtime without resetting client streams.  See
+:class:`~repro.ingest.pipeline.IngestPipeline` for the full contract.
+"""
+
+from repro.ingest.drift import (
+    DEFAULT_DRIFT_THRESHOLD,
+    DriftDetector,
+    DriftSignal,
+)
+from repro.ingest.pipeline import IngestConfig, IngestPipeline, IngestReport
+from repro.ingest.stats import (
+    IncrementalStats,
+    same_code_mapping,
+    variable_code_counts,
+)
+
+__all__ = [
+    "DEFAULT_DRIFT_THRESHOLD",
+    "DriftDetector",
+    "DriftSignal",
+    "IncrementalStats",
+    "IngestConfig",
+    "IngestPipeline",
+    "IngestReport",
+    "same_code_mapping",
+    "variable_code_counts",
+]

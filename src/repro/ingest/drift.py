@@ -1,0 +1,176 @@
+"""The drift signal: does the pending window still look like the model?
+
+Reuses the §6 temporal machinery
+(:func:`repro.core.temporal.jensen_shannon`, the entropy-shift framing
+of ``detect_changes``) over the *incrementally maintained* statistics
+of :mod:`repro.ingest.stats` — no refit, no re-scan of history, just
+count arithmetic per batch:
+
+- **entropy shift**: largest absolute difference between the pending
+  window's per-nybble normalized entropies and the fitted baseline's —
+  a renumbered block or a new allocation policy moves structure;
+- **code divergence**: largest per-BN-variable Jensen-Shannon
+  divergence (normalized to [0, 1] by log 2) between the baseline code
+  histogram and the pending window's — the distribution over *mined
+  values* shifting even when marginal entropy doesn't.
+
+Both are exactly 0.0 — not merely small — when the pending window
+reproduces the training distribution, because identical integer counts
+feed identical float expressions; the "batch identical to training"
+edge case can therefore never fire a refit on rounding noise.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.temporal import jensen_shannon
+from repro.stats.entropy import NYBBLE_CARDINALITY, entropy_of_count_rows
+
+#: Default refit threshold, matching the structural-change threshold of
+#: :func:`repro.core.temporal.detect_changes`.
+DEFAULT_DRIFT_THRESHOLD = 0.15
+
+
+@dataclass(frozen=True)
+class DriftSignal:
+    """One evaluation of the drift score over the pending window."""
+
+    #: max(entropy_shift, code_divergence) — what the threshold gates.
+    score: float
+    #: Largest absolute per-nybble entropy change vs. the baseline.
+    entropy_shift: float
+    #: Largest per-variable JS divergence / log 2 vs. the baseline.
+    code_divergence: float
+    #: Rows accumulated since the last rebase (fit or refit).
+    pending_rows: int
+    #: The configured firing threshold, for self-contained reporting.
+    threshold: float
+    #: Whether this evaluation crossed the threshold.
+    fired: bool
+
+
+class DriftDetector:
+    """Accumulates pending-window statistics and scores drift.
+
+    ``baseline_entropies`` / ``baseline_code_counts`` describe the
+    currently fitted model (the training rows under the fitted
+    encoder); :meth:`update` folds each batch's count statistics into
+    the pending window, :meth:`signal` scores the window, and
+    :meth:`rebase` resets it after a refit adopts the window into a new
+    baseline.  ``min_rows`` suppresses firing until the window holds
+    enough rows to mean anything.
+    """
+
+    def __init__(
+        self,
+        baseline_entropies: np.ndarray,
+        baseline_code_counts: Sequence[np.ndarray],
+        threshold: float = DEFAULT_DRIFT_THRESHOLD,
+        min_rows: int = 1,
+    ):
+        if threshold <= 0:
+            raise ValueError(f"threshold must be positive, got {threshold}")
+        if min_rows < 1:
+            raise ValueError(f"min_rows must be positive, got {min_rows}")
+        self.threshold = threshold
+        self.min_rows = min_rows
+        self._baseline_entropies = np.asarray(
+            baseline_entropies, dtype=np.float64
+        )
+        self._baseline_code_counts = [
+            np.asarray(c, dtype=np.int64) for c in baseline_code_counts
+        ]
+        self._pending_counts = np.zeros(
+            (len(self._baseline_entropies), NYBBLE_CARDINALITY),
+            dtype=np.int64,
+        )
+        self._pending_code_counts = [
+            np.zeros_like(c) for c in self._baseline_code_counts
+        ]
+        self._pending_rows = 0
+
+    @property
+    def pending_rows(self) -> int:
+        """Rows in the pending window."""
+        return self._pending_rows
+
+    def update(
+        self,
+        batch_counts: np.ndarray,
+        batch_code_counts: Sequence[np.ndarray],
+        rows: int,
+    ) -> None:
+        """Fold one batch's count statistics into the pending window."""
+        if rows == 0:
+            return
+        self._pending_counts += batch_counts
+        for pending, batch in zip(
+            self._pending_code_counts, batch_code_counts
+        ):
+            pending += batch
+        self._pending_rows += rows
+
+    def signal(self) -> DriftSignal:
+        """Score the pending window against the baseline."""
+        if self._pending_rows == 0:
+            return DriftSignal(
+                score=0.0,
+                entropy_shift=0.0,
+                code_divergence=0.0,
+                pending_rows=0,
+                threshold=self.threshold,
+                fired=False,
+            )
+        pending_entropies = entropy_of_count_rows(
+            self._pending_counts
+        ) / math.log(NYBBLE_CARDINALITY)
+        entropy_shift = float(
+            np.abs(pending_entropies - self._baseline_entropies).max()
+        )
+        code_divergence = 0.0
+        for baseline, pending in zip(
+            self._baseline_code_counts, self._pending_code_counts
+        ):
+            if len(baseline) < 2:
+                continue  # constant variable: nothing to diverge
+            divergence = jensen_shannon(baseline, pending) / math.log(2)
+            if divergence > code_divergence:
+                code_divergence = divergence
+        score = max(entropy_shift, code_divergence)
+        return DriftSignal(
+            score=score,
+            entropy_shift=entropy_shift,
+            code_divergence=code_divergence,
+            pending_rows=self._pending_rows,
+            threshold=self.threshold,
+            fired=(
+                self._pending_rows >= self.min_rows
+                and score > self.threshold
+            ),
+        )
+
+    def rebase(
+        self,
+        baseline_entropies: np.ndarray,
+        baseline_code_counts: Sequence[np.ndarray],
+    ) -> None:
+        """Adopt a refitted model as the new baseline; clear the window."""
+        self._baseline_entropies = np.asarray(
+            baseline_entropies, dtype=np.float64
+        )
+        self._baseline_code_counts = [
+            np.asarray(c, dtype=np.int64) for c in baseline_code_counts
+        ]
+        self._pending_counts = np.zeros(
+            (len(self._baseline_entropies), NYBBLE_CARDINALITY),
+            dtype=np.int64,
+        )
+        self._pending_code_counts = [
+            np.zeros_like(c) for c in self._baseline_code_counts
+        ]
+        self._pending_rows = 0

@@ -1,0 +1,337 @@
+"""The online ingestion pipeline: feed in, drift-gated refits out.
+
+:class:`IngestPipeline` is the subsystem that connects the repo's
+static fit (:class:`~repro.core.pipeline.EntropyIP`) to the serving
+runtime as a *living* model.  Address batches arrive
+(:meth:`IngestPipeline.ingest`), fold into incrementally maintained
+sufficient statistics (:mod:`repro.ingest.stats`), and move a drift
+score (:mod:`repro.ingest.drift`); only when the score crosses the
+configured threshold does a refit run — on the cumulative rows, and
+**bit-identical** to a from-scratch ``EntropyIP.fit`` on them (the
+golden-digest suite asserts it).
+
+A refit then rolls forward in place: the new analysis registers under
+the same name in the :class:`~repro.serve.registry.ModelRegistry`
+(content digest changes → version bumps) and every live
+:class:`~repro.serve.lifecycle.ManagedSession` on the model adopts the
+new entry *without* resetting its exclusion/dedup state or RNG
+position — clients keep their no-repeat guarantee across the roll;
+``rollover`` remains the explicit full-reset escape hatch.  If another
+writer replaced the registry entry behind the pipeline's back, the
+refit refuses with :class:`~repro.errors.StaleModelError` instead of
+clobbering it.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, Optional, TYPE_CHECKING
+
+from repro.bayes.structure import StructureConfig, learn_structure
+from repro.core.encoding import AddressEncoder
+from repro.core.mining import MiningConfig, mine_segments
+from repro.core.model import AddressModel
+from repro.core.pipeline import EntropyIP, _as_address_set
+from repro.core.segmentation import (
+    SegmentationConfig,
+    boundaries_from_entropy,
+    segments_from_boundaries,
+)
+from repro.errors import (
+    IngestDriftError,
+    ModelDigestMismatch,
+    StaleModelError,
+    UnknownModelError,
+)
+from repro.ingest.drift import (
+    DEFAULT_DRIFT_THRESHOLD,
+    DriftDetector,
+    DriftSignal,
+)
+from repro.ingest.stats import (
+    IncrementalStats,
+    same_code_mapping,
+    variable_code_counts,
+)
+from repro.serve.registry import model_digest
+
+if TYPE_CHECKING:
+    from repro.serve.lifecycle import SessionManager
+    from repro.serve.registry import ModelRegistry
+
+
+@dataclass(frozen=True)
+class IngestConfig:
+    """Knobs of the streaming-ingest pipeline.
+
+    ``threshold`` gates refits on the drift score (max of entropy
+    shift and per-variable JS divergence, both in [0, 1]);
+    ``min_refit_rows`` suppresses firing until the pending window holds
+    that many rows.  ``auto_refit=False`` turns a fired signal into
+    :class:`~repro.errors.IngestDriftError` instead of an inline refit
+    — the batch is *kept* (statistics already folded); the caller
+    decides when to pay the refit.  The three stage configs are passed
+    through to the refit exactly as ``EntropyIP.fit`` would take them.
+    """
+
+    threshold: float = DEFAULT_DRIFT_THRESHOLD
+    min_refit_rows: int = 1
+    auto_refit: bool = True
+    segmentation: SegmentationConfig = SegmentationConfig()
+    mining: MiningConfig = MiningConfig()
+    structure: StructureConfig = StructureConfig()
+
+
+@dataclass(frozen=True)
+class IngestReport:
+    """What one :meth:`IngestPipeline.ingest` call did."""
+
+    #: Rows in this batch (after width normalization).
+    rows: int
+    #: Cumulative rows folded in so far (training set included).
+    total_rows: int
+    #: The drift evaluation after folding this batch.
+    signal: DriftSignal
+    #: Whether this call ran a refit.
+    refit: bool
+    #: Wall-clock seconds of that refit (None when none ran).
+    refit_seconds: Optional[float]
+    #: Content digest of the current model after this call.
+    digest: str
+    #: Registry version of the current model after this call.
+    version: int
+
+
+class IngestPipeline:
+    """Online ingestion for one named model.
+
+    Thread-safe (one lock serializes folds and refits — batches on one
+    feed are ordered by definition).  ``registry`` and ``sessions`` are
+    optional: without them the pipeline still ingests, detects drift
+    and refits, tracking digest/version locally — the library-only
+    mode the tests exercise; with them, refits roll into the serving
+    runtime.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        analysis: EntropyIP,
+        config: Optional[IngestConfig] = None,
+        registry: Optional["ModelRegistry"] = None,
+        sessions: Optional["SessionManager"] = None,
+        clock: Callable[[], float] = time.perf_counter,
+    ):
+        self.name = name
+        self.config = config if config is not None else IngestConfig()
+        self.registry = registry
+        self.sessions = sessions
+        self._clock = clock
+        self._lock = threading.RLock()
+        self._analysis = analysis
+        self._width = analysis.encoder.width
+        self._stats = IncrementalStats(analysis.address_set, analysis.encoder)
+        self._detector = DriftDetector(
+            analysis.entropies,
+            variable_code_counts(
+                self._stats.codes(), analysis.encoder.cardinalities
+            ),
+            threshold=self.config.threshold,
+            min_rows=self.config.min_refit_rows,
+        )
+        if registry is not None:
+            entry = registry.register(name, analysis)
+            self._digest = entry.digest
+            self._version = entry.version
+        else:
+            self._digest = model_digest(analysis)
+            self._version = 1
+        self.batches = 0
+        self.rows_ingested = 0
+        self.refits = 0
+        self.refit_seconds_total = 0.0
+        self.last_refit_seconds: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    # accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def analysis(self) -> EntropyIP:
+        """The currently served analysis (latest refit, or the seed)."""
+        return self._analysis
+
+    @property
+    def digest(self) -> str:
+        """Content digest of the current model."""
+        return self._digest
+
+    @property
+    def version(self) -> int:
+        """Registry version of the current model."""
+        return self._version
+
+    @property
+    def total_rows(self) -> int:
+        """Cumulative rows folded in (training set + every batch)."""
+        return self._stats.rows
+
+    @property
+    def pending_rows(self) -> int:
+        """Rows accumulated since the last fit/refit baseline."""
+        return self._detector.pending_rows
+
+    # ------------------------------------------------------------------
+    # the feed
+    # ------------------------------------------------------------------
+
+    def ingest(self, rows) -> IngestReport:
+        """Fold one arriving batch; refit if (and only if) drift fired.
+
+        ``rows`` is anything ``EntropyIP.fit`` accepts — an
+        :class:`~repro.ipv6.sets.AddressSet` or an iterable of address
+        strings / integers; wider sets are truncated to the feed
+        width.  Empty batches are legal no-ops (the signal is still
+        evaluated and reported).  With ``auto_refit=False`` a fired
+        signal raises :class:`~repro.errors.IngestDriftError` *after*
+        folding — no data is lost; call :meth:`refit` to catch up.
+        """
+        batch = _as_address_set(rows, self._width)
+        with self._lock:
+            n = len(batch)
+            if n:
+                batch_counts, codes = self._stats.update(batch)
+                self._detector.update(
+                    batch_counts,
+                    variable_code_counts(
+                        codes, self._stats.encoder.cardinalities
+                    ),
+                    n,
+                )
+                self.rows_ingested += n
+            self.batches += 1
+            signal = self._detector.signal()
+            refit_seconds: Optional[float] = None
+            if signal.fired:
+                if not self.config.auto_refit:
+                    raise IngestDriftError(
+                        f"drift score {signal.score:.3f} crossed threshold "
+                        f"{signal.threshold} over {signal.pending_rows} "
+                        f"pending rows of model {self.name!r}; the batch is "
+                        f"kept — call refit() to roll the model"
+                    )
+                refit_seconds = self.refit()
+            return IngestReport(
+                rows=n,
+                total_rows=self._stats.rows,
+                signal=signal,
+                refit=refit_seconds is not None,
+                refit_seconds=refit_seconds,
+                digest=self._digest,
+                version=self._version,
+            )
+
+    def refit(self) -> float:
+        """Refit on the cumulative rows and roll the result forward.
+
+        Runs exactly the ``EntropyIP.fit`` stage sequence, feeding each
+        stage from the incrementally maintained statistics where they
+        are integer-exact (entropies from summed counts, the code
+        matrix from cached chunks, family counts via
+        ``FamilyStats.extend``) and from the materialized cumulative
+        set where the stage is inherently joint (value mining) — so
+        the result is bit-identical to a from-scratch fit on the same
+        rows.  Registers the new analysis (same name, version bump on
+        digest change), adopts it into live sessions, rebases the
+        drift baseline, and returns the wall-clock seconds spent.
+        """
+        with self._lock:
+            start = self._clock()
+            cumulative = self._stats.materialize()
+            entropies = self._stats.entropies()
+            starts = boundaries_from_entropy(
+                entropies, self.config.segmentation
+            )
+            segments = segments_from_boundaries(starts, self._width)
+            mined = mine_segments(cumulative, segments, self.config.mining)
+            encoder = AddressEncoder(mined)
+            if same_code_mapping(self._stats.encoder, encoder):
+                self._stats.rebase(encoder)
+                codes = self._stats.codes()
+            else:
+                codes = encoder.encode_set(cumulative)
+                self._stats.rebase(encoder, codes)
+            network = learn_structure(
+                codes,
+                encoder.variable_names,
+                encoder.cardinalities,
+                self.config.structure,
+                stats=self._stats.family,
+            )
+            model = AddressModel(encoder, network)
+            analysis = EntropyIP(cumulative, entropies, segments, mined, model)
+            if self.registry is not None:
+                try:
+                    self.registry.get(self.name, digest=self._digest)
+                except ModelDigestMismatch as exc:
+                    raise StaleModelError(
+                        f"model {self.name!r} was replaced in the registry "
+                        f"behind this ingest pipeline ({exc}); refusing to "
+                        f"clobber it — re-open the pipeline on the current "
+                        f"model to continue"
+                    ) from exc
+                except UnknownModelError:
+                    pass  # evicted/expired: re-registering is harmless
+                entry = self.registry.register(self.name, analysis)
+                self._digest = entry.digest
+                self._version = entry.version
+                if self.sessions is not None:
+                    self.sessions.adopt_model(self.name)
+            else:
+                digest = model_digest(analysis)
+                if digest != self._digest:
+                    self._digest = digest
+                    self._version += 1
+            self._analysis = analysis
+            self._detector.rebase(
+                entropies,
+                variable_code_counts(codes, encoder.cardinalities),
+            )
+            seconds = self._clock() - start
+            self.refits += 1
+            self.refit_seconds_total += seconds
+            self.last_refit_seconds = seconds
+            return seconds
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+
+    def stats(self) -> dict:
+        """Pipeline counters for service-level introspection."""
+        with self._lock:
+            return {
+                "model": self.name,
+                "batches": self.batches,
+                "rows_ingested": self.rows_ingested,
+                "total_rows": self._stats.rows,
+                "pending_rows": self._detector.pending_rows,
+                "refits": self.refits,
+                "refit_seconds_total": round(self.refit_seconds_total, 6),
+                "last_refit_seconds": (
+                    round(self.last_refit_seconds, 6)
+                    if self.last_refit_seconds is not None
+                    else None
+                ),
+                "digest": self._digest,
+                "version": self._version,
+            }
+
+    def __repr__(self) -> str:
+        return (
+            f"IngestPipeline({self.name!r}, rows={self._stats.rows}, "
+            f"pending={self._detector.pending_rows}, refits={self.refits}, "
+            f"version={self._version})"
+        )

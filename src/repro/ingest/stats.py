@@ -1,0 +1,219 @@
+"""Incrementally maintained sufficient statistics of a growing feed.
+
+The refit contract of the streaming-ingest subsystem is **bit-identity**:
+a drift-triggered refit must produce exactly the model a from-scratch
+:meth:`~repro.core.pipeline.EntropyIP.fit` would produce on the same
+cumulative rows.  :class:`IncrementalStats` makes that cheap without
+making it approximate, by exploiting which fit inputs are exactly
+decomposable over batches:
+
+- **nybble counts** are integer bincounts, so per-batch
+  :func:`~repro.stats.entropy.nybble_counts` sums are *equal* (not just
+  close) to one pass over the concatenated matrix, and
+  :meth:`IncrementalStats.entropies` evaluates the same float expression
+  :func:`~repro.stats.entropy.nybble_entropies` evaluates on them;
+- **code chunks** concatenate exactly: the encoder classifies each row
+  independently (cached per-segment lookup tables, no cross-row state),
+  so encoding batch by batch equals encoding the concatenation;
+- **family count tensors** (:class:`~repro.bayes.scores.FamilyStats`)
+  are int64 bincounts too, folded per batch via
+  :meth:`~repro.bayes.scores.FamilyStats.extend`.
+
+Only the stages that genuinely depend on the joint row set — value
+mining and the structure search — run at refit time, on the
+materialized cumulative set and the incrementally maintained counts.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.bayes.scores import FamilyStats
+from repro.core.encoding import AddressEncoder
+from repro.ipv6.sets import AddressSet
+from repro.stats.entropy import (
+    NYBBLE_CARDINALITY,
+    entropy_of_count_rows,
+    nybble_counts,
+)
+
+
+def variable_code_counts(
+    codes: np.ndarray, cardinalities: Sequence[int]
+) -> List[np.ndarray]:
+    """Per-variable code histograms of a code matrix.
+
+    One int64 count vector per BN variable — the marginal sufficient
+    statistics the drift detector compares between the fitted baseline
+    and the pending window.
+    """
+    codes = np.asarray(codes)
+    return [
+        np.bincount(codes[:, column], minlength=int(card))
+        for column, card in enumerate(cardinalities)
+    ]
+
+
+def same_code_mapping(a: AddressEncoder, b: AddressEncoder) -> bool:
+    """Whether two encoders classify every address identically.
+
+    True when both have the same segmentation and, per segment, the
+    same ordered value elements (code label, low, high, origin) —
+    mined *frequencies* are ignored, they annotate but never steer
+    classification.  A false negative only costs a re-encode of the
+    cumulative set; a false positive would break bit-identity, so the
+    comparison is strict everywhere classification looks.
+    """
+    if len(a.mined_segments) != len(b.mined_segments):
+        return False
+    for ma, mb in zip(a.mined_segments, b.mined_segments):
+        if (
+            ma.segment.first_nybble != mb.segment.first_nybble
+            or ma.segment.last_nybble != mb.segment.last_nybble
+        ):
+            return False
+        if len(ma.values) != len(mb.values):
+            return False
+        for va, vb in zip(ma.values, mb.values):
+            if (
+                va.code != vb.code
+                or va.low != vb.low
+                or va.high != vb.high
+                or va.origin != vb.origin
+            ):
+                return False
+    return True
+
+
+class IncrementalStats:
+    """Cumulative sufficient statistics of everything ingested so far.
+
+    Seeded with the fitted model's training set (and its encoder);
+    :meth:`update` folds each arriving batch into the nybble counts,
+    the cached per-batch code chunks, and the
+    :class:`~repro.bayes.scores.FamilyStats` family counts — all
+    integer-exact, so :meth:`entropies`, :meth:`codes` and
+    :attr:`family` always equal what a from-scratch pass over
+    :meth:`materialize` would compute.
+    """
+
+    def __init__(self, address_set: AddressSet, encoder: AddressEncoder):
+        if len(address_set) == 0:
+            raise ValueError("cannot seed incremental stats with an empty set")
+        if address_set.width != encoder.width:
+            raise ValueError(
+                f"address set width {address_set.width} != encoder width "
+                f"{encoder.width}"
+            )
+        self._width = address_set.width
+        self._chunks: List[np.ndarray] = [address_set.matrix]
+        self._counts = nybble_counts(address_set).copy()
+        self._rows = len(address_set)
+        self._encoder = encoder
+        codes = encoder.encode_set(address_set)
+        self._code_chunks: List[np.ndarray] = [codes]
+        self._family = FamilyStats(codes, encoder.cardinalities)
+
+    # ------------------------------------------------------------------
+    # accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def width(self) -> int:
+        return self._width
+
+    @property
+    def rows(self) -> int:
+        """Total rows folded in (training set + every batch)."""
+        return self._rows
+
+    @property
+    def encoder(self) -> AddressEncoder:
+        """The encoder the cached code chunks were classified under."""
+        return self._encoder
+
+    @property
+    def family(self) -> FamilyStats:
+        """The incrementally extended family-count statistics."""
+        return self._family
+
+    # ------------------------------------------------------------------
+    # folding
+    # ------------------------------------------------------------------
+
+    def update(self, batch: AddressSet) -> Tuple[np.ndarray, np.ndarray]:
+        """Fold one batch; returns its ``(nybble_counts, codes)``.
+
+        Integer-exact everywhere: counts add, code chunks append (the
+        encoder is row-independent), family counts extend.  The caller
+        (the drift detector) reuses the returned per-batch statistics
+        so nothing is counted twice.
+        """
+        if batch.width != self._width:
+            raise ValueError(
+                f"batch width {batch.width} != feed width {self._width}"
+            )
+        batch_counts = nybble_counts(batch)
+        codes = self._encoder.encode_set(batch)
+        if len(batch):
+            self._counts += batch_counts
+            self._chunks.append(batch.matrix)
+            self._code_chunks.append(codes)
+            self._family.extend(codes)
+            self._rows += len(batch)
+        return batch_counts, codes
+
+    # ------------------------------------------------------------------
+    # refit inputs
+    # ------------------------------------------------------------------
+
+    def entropies(self) -> np.ndarray:
+        """Per-nybble normalized entropies of the cumulative rows.
+
+        Evaluates the exact expression of
+        :func:`~repro.stats.entropy.nybble_entropies` on the summed
+        counts — same op order, so the floats are bit-identical to a
+        full pass over :meth:`materialize`.
+        """
+        return entropy_of_count_rows(self._counts) / math.log(
+            NYBBLE_CARDINALITY
+        )
+
+    def materialize(self) -> AddressSet:
+        """The cumulative rows as one :class:`AddressSet`, in arrival
+        order (training rows first).  Collapses the chunk list so
+        repeated refits never re-concatenate history."""
+        if len(self._chunks) > 1:
+            self._chunks = [np.concatenate(self._chunks, axis=0)]
+        return AddressSet(self._chunks[0])
+
+    def codes(self) -> np.ndarray:
+        """The cumulative code matrix under the current encoder."""
+        if len(self._code_chunks) > 1:
+            self._code_chunks = [np.concatenate(self._code_chunks, axis=0)]
+        return self._code_chunks[0]
+
+    def rebase(
+        self, encoder: AddressEncoder, codes: Optional[np.ndarray] = None
+    ) -> None:
+        """Switch the cached code statistics onto a new encoder.
+
+        When a refit's new encoder classifies differently
+        (:func:`same_code_mapping` is False), the cached chunks are
+        invalid; ``codes`` supplies the cumulative matrix re-encoded
+        under the new mapping and the family counts restart from it.
+        With ``codes=None`` the mapping was unchanged and only the
+        encoder object is swapped — chunks and family counts carry
+        over.
+        """
+        if codes is not None:
+            if codes.shape[0] != self._rows:
+                raise ValueError(
+                    f"codes cover {codes.shape[0]} rows, feed has {self._rows}"
+                )
+            self._code_chunks = [codes]
+            self._family = FamilyStats(codes, encoder.cardinalities)
+        self._encoder = encoder

@@ -188,6 +188,7 @@ def prefix_prediction_experiment(
     day_fraction: float = 0.45,
     seed: int = 0,
     workers: Optional[int] = None,
+    backend: BackendSpec = None,
 ) -> PrefixPredictionResult:
     """Run the §5.6 client /64 prediction experiment.
 
@@ -197,6 +198,10 @@ def prefix_prediction_experiment(
     scored against the day-1 set and the full week set.  Scoring is
     pure uint64 array membership (the /64 identifier of a width-16 row
     is the row itself).
+
+    ``workers``/``backend`` have the same spelling and semantics as
+    every other session-opening entry point (results are bit-identical
+    for any worker count and for every backend).
     """
     population = network.population(seed)
     week_prefixes = population.prefixes64()  # sorted distinct uint64
@@ -214,9 +219,9 @@ def prefix_prediction_experiment(
     # (session-backed generation is bit-identical to the bare
     # exclude= call); uncapped because prefix-mode support is often
     # smaller than the ask and saturates early.
-    session = SessionSpec(exclude=train, workers=workers).open(
-        analysis.model
-    )
+    session = SessionSpec(
+        exclude=train, backend=backend, workers=workers
+    ).open(analysis.model)
     candidates = analysis.model.generate_set(
         n_candidates, rng, state=session, workers=workers
     )
@@ -240,11 +245,15 @@ def training_size_sweep(
     n_candidates: int = 50_000,
     prefix_mode: bool = False,
     seed: int = 0,
+    workers: Optional[int] = None,
+    backend: BackendSpec = None,
 ) -> Dict[int, float]:
     """Success rate vs training size (Table 5).
 
     Returns train_size → success rate.  Sizes larger than the available
-    dataset are skipped.
+    dataset are skipped.  ``workers``/``backend`` forward to the
+    underlying experiments with the unified spelling (results are
+    bit-identical either way).
     """
     results: Dict[int, float] = {}
     for train_size in train_sizes:
@@ -261,6 +270,8 @@ def training_size_sweep(
                 train_size=train_size,
                 n_candidates=n_candidates,
                 seed=seed,
+                workers=workers,
+                backend=backend,
             )
             results[train_size] = result.success_rate_week
         else:
@@ -269,6 +280,8 @@ def training_size_sweep(
                 train_size=train_size,
                 n_candidates=n_candidates,
                 seed=seed,
+                workers=workers,
+                backend=backend,
             )
             results[train_size] = scan.success_rate
     return results

@@ -37,17 +37,12 @@ from repro.core.model import (
     ExcludeLike,
     GenerationSession,
 )
+# Defined in the consolidated hierarchy (repro.errors); re-exported
+# here because this module is their historical home.
+from repro.errors import SessionClosedError, UnknownSessionError
 from repro.ipv6.backends import BackendSpec
 from repro.ipv6.sets import AddressSet
 from repro.serve.registry import ModelEntry, ModelRegistry
-
-
-class UnknownSessionError(KeyError):
-    """No live session under the requested (model, client) key."""
-
-
-class SessionClosedError(RuntimeError):
-    """The session was closed (explicitly or by idle eviction)."""
 
 
 @dataclass(frozen=True)
@@ -153,6 +148,29 @@ class ManagedSession:
     def touch(self) -> None:
         """Refresh the idle clock (any manager access counts as use)."""
         self.last_used = self._clock()
+
+    def adopt(self, entry: ModelEntry) -> None:
+        """Swap this stream onto a new registry entry for its model —
+        the drift-triggered roll of the streaming-ingest path.
+
+        Only the model reference changes: the session's exclusion/dedup
+        table and the client's RNG position carry over untouched, so
+        every row ever served (or observed) stays retired and the
+        stream continues from where it was — exactly how adaptive
+        campaign refits reuse their session.  ``rollover`` remains the
+        explicit full-reset escape hatch.  The new entry must generate
+        the same address width as the session it inherits.
+        """
+        with self._lock:
+            if self.closed:
+                raise SessionClosedError(f"session {self.key} is closed")
+            if entry.width != self.session.width:
+                raise ValueError(
+                    f"cannot adopt model of width {entry.width} into a "
+                    f"width-{self.session.width} session"
+                )
+            self.entry = entry
+            self.last_used = self._clock()
 
     def membership(self, rows: ExcludeLike) -> np.ndarray:
         """Which of ``rows`` this session has already retired (seed
@@ -287,7 +305,10 @@ class SessionManager:
             self._expire(self._clock())
             session = self._sessions.get(key)
             if session is None or session.closed:
-                raise UnknownSessionError(key)
+                raise UnknownSessionError(
+                    f"no live session for model {model_name!r}, "
+                    f"client {client!r}"
+                )
             session.touch()
             self._sessions.move_to_end(key)
             return session
@@ -315,7 +336,10 @@ class SessionManager:
         with self._lock:
             old = self._sessions.pop(key, None)
             if old is None:
-                raise UnknownSessionError(key)
+                raise UnknownSessionError(
+                    f"no live session for model {model_name!r}, "
+                    f"client {client!r}"
+                )
             old.close()
             entry = self.registry.get(model_name)
             session = ManagedSession(
@@ -324,6 +348,32 @@ class SessionManager:
             self._sessions[key] = session
             self._sessions.move_to_end(key)
             return session
+
+    def adopt_model(self, model_name: str) -> int:
+        """Roll every live session of ``model_name`` onto the model's
+        *current* registry entry, preserving each stream's
+        exclusion/dedup state and RNG position.
+
+        The streaming-ingest pipeline calls this after a drift-triggered
+        refit lands in the registry: clients keep their no-repeat
+        guarantee across the model roll (nothing they were served or
+        observed is ever re-emitted), only the distribution future
+        draws come from changes.  Sessions already on the current
+        digest are left untouched.  Returns how many sessions adopted
+        the new entry; ``rollover`` stays the explicit way to *reset* a
+        stream instead.
+        """
+        with self._lock:
+            entry = self.registry.get(model_name)
+            adopted = 0
+            for key, session in self._sessions.items():
+                if key[0] != model_name or session.closed:
+                    continue
+                if session.entry.digest == entry.digest:
+                    continue
+                session.adopt(entry)
+                adopted += 1
+            return adopted
 
     # ------------------------------------------------------------------
     # introspection / eviction

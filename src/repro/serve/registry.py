@@ -36,16 +36,9 @@ from typing import Callable, List, Optional
 import numpy as np
 
 from repro.core.pipeline import EntropyIP
-
-
-class UnknownModelError(KeyError):
-    """No registered (live) model under the requested name."""
-
-
-class ModelDigestMismatch(ValueError):
-    """The registered model's content digest is not the one requested —
-    the model under this name was replaced since the caller last saw
-    it."""
+# Defined in the consolidated hierarchy (repro.errors); re-exported
+# here because this module is their historical home.
+from repro.errors import ModelDigestMismatch, UnknownModelError
 
 
 def model_digest(analysis: EntropyIP) -> str:
@@ -195,7 +188,7 @@ class ModelRegistry:
             self._expire(now)
             entry = self._entries.get(name)
             if entry is None:
-                raise UnknownModelError(name)
+                raise UnknownModelError(f"no registered model named {name!r}")
             if digest is not None and entry.digest != digest:
                 raise ModelDigestMismatch(
                     f"model {name!r} is now digest {entry.digest[:12]}… "

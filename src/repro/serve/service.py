@@ -36,27 +36,21 @@ import threading
 import time
 from collections import deque
 from concurrent.futures import Future
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, Optional
 
 import numpy as np
 
 from repro.core.model import ExcludeLike
+# Defined in the consolidated hierarchy (repro.errors); re-exported
+# here because this module is their historical home.
+from repro.errors import ServiceClosedError, ServiceOverloadedError
 from repro.ipv6.backends import BackendSpec
 from repro.ipv6.sets import AddressSet
 from repro.serve.lifecycle import ManagedSession, SessionManager
 from repro.serve.registry import ModelEntry, ModelRegistry
 
 #: Request kinds with dedicated latency accounting.
-REQUEST_KINDS = ("generate", "membership", "fit", "report", "other")
-
-
-class ServiceOverloadedError(RuntimeError):
-    """The bounded work queue is full — shed load or retry later."""
-
-
-class ServiceClosedError(RuntimeError):
-    """The service was closed; no further requests are accepted."""
-
+REQUEST_KINDS = ("generate", "membership", "fit", "ingest", "report", "other")
 
 _SHUTDOWN = object()
 
@@ -114,6 +108,10 @@ class HitlistService:
         }
         #: Completion timestamps for the requests/s window.
         self._completions: deque = deque(maxlen=latency_window)
+        #: model name -> live streaming-ingest pipeline (lazy import of
+        #: repro.ingest keeps serving importable on its own).
+        self._pipelines: Dict[str, object] = {}
+        self._pipelines_lock = threading.Lock()
         self._threads = [
             threading.Thread(
                 target=self._worker, name=f"hitlist-worker-{i}", daemon=True
@@ -329,6 +327,50 @@ class HitlistService:
     def rollover_session(self, model: str, client: str) -> ManagedSession:
         """Restart one client stream (same spec/seed, fresh state)."""
         return self.sessions.rollover(model, client)
+
+    # ------------------------------------------------------------------
+    # the streaming-ingest plane
+    # ------------------------------------------------------------------
+
+    def open_ingest(self, model: str, config=None):
+        """Get-or-create the streaming-ingest pipeline for ``model``.
+
+        One pipeline per registered model name: it folds arriving
+        batches into cached sufficient statistics and, on drift,
+        refits and rolls the new version into this service's registry
+        and live sessions (:class:`~repro.ingest.pipeline.IngestPipeline`).
+        ``config`` (an :class:`~repro.ingest.pipeline.IngestConfig`)
+        only shapes a *newly created* pipeline; an existing one keeps
+        its configuration.
+        """
+        from repro.ingest import IngestPipeline
+
+        with self._pipelines_lock:
+            pipeline = self._pipelines.get(model)
+            if pipeline is None:
+                entry = self.registry.get(model)
+                pipeline = IngestPipeline(
+                    entry.name,
+                    entry.analysis,
+                    config=config,
+                    registry=self.registry,
+                    sessions=self.sessions,
+                )
+                self._pipelines[model] = pipeline
+            return pipeline
+
+    def ingest(self, model: str, rows):
+        """Feed one batch of arriving addresses into ``model``'s
+        streaming-ingest pipeline; blocks for the
+        :class:`~repro.ingest.pipeline.IngestReport`.
+
+        Queued like any other request — the bounded work queue is the
+        ingest backpressure boundary too, so a producer outrunning the
+        service sees :class:`ServiceOverloadedError` instead of an
+        unbounded backlog.
+        """
+        pipeline = self.open_ingest(model)
+        return self.submit("ingest", lambda: pipeline.ingest(rows)).result()
 
     # ------------------------------------------------------------------
     # accounting

@@ -1,0 +1,171 @@
+"""Drift detector edge cases: exact zeros, windows, rebasing."""
+
+import numpy as np
+import pytest
+
+from repro.ingest.drift import DEFAULT_DRIFT_THRESHOLD, DriftDetector
+from repro.ingest.stats import variable_code_counts
+from repro.stats.entropy import nybble_counts, nybble_entropies
+
+
+def make_detector(rows, codes, cards, **kwargs):
+    return DriftDetector(
+        nybble_entropies(rows),
+        variable_code_counts(codes, cards),
+        **kwargs,
+    )
+
+
+@pytest.fixture(scope="module")
+def fitted():
+    from repro.core.pipeline import EntropyIP
+    from repro.datasets.networks import build_network
+
+    rows = build_network("S1").sample(500, seed=1)
+    analysis = EntropyIP.fit(rows)
+    codes = analysis.encoder.encode_set(rows)
+    return rows, analysis, codes
+
+
+class TestValidation:
+    def test_rejects_nonpositive_threshold(self, fitted):
+        rows, analysis, codes = fitted
+        with pytest.raises(ValueError, match="threshold"):
+            make_detector(
+                rows, codes, analysis.encoder.cardinalities, threshold=0.0
+            )
+
+    def test_rejects_nonpositive_min_rows(self, fitted):
+        rows, analysis, codes = fitted
+        with pytest.raises(ValueError, match="min_rows"):
+            make_detector(
+                rows, codes, analysis.encoder.cardinalities, min_rows=0
+            )
+
+    def test_default_threshold_matches_temporal_change_detection(self):
+        assert DEFAULT_DRIFT_THRESHOLD == 0.15
+
+
+class TestSignal:
+    def test_empty_window_scores_zero_and_never_fires(self, fitted):
+        rows, analysis, codes = fitted
+        detector = make_detector(rows, codes, analysis.encoder.cardinalities)
+        signal = detector.signal()
+        assert signal.score == 0.0
+        assert signal.pending_rows == 0
+        assert not signal.fired
+
+    def test_zero_row_update_is_a_no_op(self, fitted):
+        rows, analysis, codes = fitted
+        cards = analysis.encoder.cardinalities
+        detector = make_detector(rows, codes, cards)
+        detector.update(
+            np.zeros_like(nybble_counts(rows)),
+            [np.zeros(c, dtype=np.int64) for c in cards],
+            0,
+        )
+        assert detector.pending_rows == 0
+        assert not detector.signal().fired
+
+    def test_window_identical_to_training_scores_exactly_zero(self, fitted):
+        """Same integer counts → same float expressions → score is an
+        exact 0.0, so an identical-to-training batch can never refit."""
+        rows, analysis, codes = fitted
+        cards = analysis.encoder.cardinalities
+        detector = make_detector(rows, codes, cards, threshold=1e-12)
+        detector.update(
+            nybble_counts(rows), variable_code_counts(codes, cards), len(rows)
+        )
+        signal = detector.signal()
+        assert signal.entropy_shift == 0.0
+        assert signal.code_divergence == 0.0
+        assert signal.score == 0.0
+        assert not signal.fired
+
+    def test_flipped_window_fires(self, fitted):
+        """A value-flipped window keeps per-nybble entropy (bijection)
+        but moves the code histograms — the divergence leg catches it."""
+        from repro.ipv6.sets import AddressSet
+
+        rows, analysis, codes = fitted
+        cards = analysis.encoder.cardinalities
+        flipped = AddressSet(15 - rows.matrix)
+        flipped_codes = analysis.encoder.encode_set(flipped)
+        detector = make_detector(rows, codes, cards, threshold=0.05)
+        detector.update(
+            nybble_counts(flipped),
+            variable_code_counts(flipped_codes, cards),
+            len(flipped),
+        )
+        signal = detector.signal()
+        assert signal.code_divergence > 0.05
+        assert signal.score >= signal.entropy_shift
+        assert signal.fired
+
+    def test_min_rows_suppresses_firing(self, fitted):
+        from repro.ipv6.sets import AddressSet
+
+        rows, analysis, codes = fitted
+        cards = analysis.encoder.cardinalities
+        flipped = AddressSet(15 - rows.matrix)
+        detector = make_detector(
+            rows, codes, cards, threshold=0.05, min_rows=len(rows) + 1
+        )
+        detector.update(
+            nybble_counts(flipped),
+            variable_code_counts(analysis.encoder.encode_set(flipped), cards),
+            len(flipped),
+        )
+        signal = detector.signal()
+        assert signal.score > 0.05
+        assert not signal.fired  # window too small to mean anything yet
+
+    def test_signal_reports_threshold_and_rows(self, fitted):
+        rows, analysis, codes = fitted
+        cards = analysis.encoder.cardinalities
+        detector = make_detector(rows, codes, cards, threshold=0.4)
+        detector.update(
+            nybble_counts(rows), variable_code_counts(codes, cards), len(rows)
+        )
+        signal = detector.signal()
+        assert signal.threshold == 0.4
+        assert signal.pending_rows == len(rows)
+
+
+class TestRebase:
+    def test_rebase_clears_window(self, fitted):
+        from repro.ipv6.sets import AddressSet
+
+        rows, analysis, codes = fitted
+        cards = analysis.encoder.cardinalities
+        flipped = AddressSet(15 - rows.matrix)
+        flipped_codes = analysis.encoder.encode_set(flipped)
+        detector = make_detector(rows, codes, cards, threshold=0.05)
+        detector.update(
+            nybble_counts(flipped),
+            variable_code_counts(flipped_codes, cards),
+            len(flipped),
+        )
+        assert detector.signal().fired
+        detector.rebase(
+            nybble_entropies(flipped),
+            variable_code_counts(flipped_codes, cards),
+        )
+        assert detector.pending_rows == 0
+        assert detector.signal().score == 0.0
+        # The adopted distribution is now the baseline: replaying it
+        # scores an exact zero, replaying the *old* one diverges.
+        detector.update(
+            nybble_counts(flipped),
+            variable_code_counts(flipped_codes, cards),
+            len(flipped),
+        )
+        assert detector.signal().score == 0.0
+        detector.rebase(
+            nybble_entropies(flipped),
+            variable_code_counts(flipped_codes, cards),
+        )
+        detector.update(
+            nybble_counts(rows), variable_code_counts(codes, cards), len(rows)
+        )
+        assert detector.signal().fired

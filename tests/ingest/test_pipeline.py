@@ -1,0 +1,302 @@
+"""The ingest pipeline: bit-identity, drift gating, live model rolls."""
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import EntropyIP
+from repro.datasets.networks import build_network
+from repro.errors import (
+    IngestDriftError,
+    SessionCapacityError,
+    StaleModelError,
+)
+from repro.ingest import IngestConfig, IngestPipeline
+from repro.ipv6.sets import AddressSet
+from repro.serve import HitlistService, ModelRegistry, SessionManager
+from repro.serve.registry import model_digest
+from tests.core.test_fit_golden import GOLDEN_DIGESTS, SEED, TRAIN_SIZE
+
+#: Never fires: streams statistics without ever triggering a refit.
+QUIET = IngestConfig(threshold=10.0)
+
+
+def slices(rows, bounds):
+    return [rows.take(range(lo, hi)) for lo, hi in bounds]
+
+
+@pytest.fixture(scope="module")
+def s1_feed():
+    rows = build_network("S1").sample(700, seed=5)
+    train, batches = rows.take(range(0, 400)), slices(
+        rows, [(400, 550), (550, 700)]
+    )
+    return train, batches
+
+
+def quiet_pipeline(train, batches, **kwargs):
+    pipeline = IngestPipeline(
+        "m", EntropyIP.fit(train), config=QUIET, **kwargs
+    )
+    for batch in batches:
+        pipeline.ingest(batch)
+    return pipeline
+
+
+class TestGoldenBitIdentity:
+    """The headline contract: an incremental refit reproduces the
+    pinned from-scratch digest on the same cumulative rows."""
+
+    @pytest.mark.parametrize("name", sorted(GOLDEN_DIGESTS))
+    def test_refit_matches_pinned_digest(self, name):
+        rows = build_network(name).sample(TRAIN_SIZE, seed=SEED)
+        train = rows.take(range(0, 400))
+        pipeline = IngestPipeline(name, EntropyIP.fit(train), config=QUIET)
+        for lo, hi in [(400, 600), (600, 800), (800, TRAIN_SIZE)]:
+            report = pipeline.ingest(rows.take(range(lo, hi)))
+            assert not report.refit
+        pipeline.refit()
+        assert pipeline.digest == GOLDEN_DIGESTS[name], (
+            f"{name}: incremental refit diverged from the from-scratch "
+            "fit on the same cumulative rows"
+        )
+        assert model_digest(pipeline.analysis) == GOLDEN_DIGESTS[name]
+
+    def test_repeated_refits_stay_identical(self, s1_feed):
+        train, batches = s1_feed
+        pipeline = quiet_pipeline(train, batches)
+        pipeline.refit()
+        cumulative = AddressSet(
+            np.concatenate(
+                [train.matrix] + [b.matrix for b in batches], axis=0
+            )
+        )
+        assert pipeline.digest == model_digest(EntropyIP.fit(cumulative))
+        # A second refit on unchanged rows is a fixed point.
+        first = pipeline.digest
+        pipeline.refit()
+        assert pipeline.digest == first
+
+
+class TestDriftGating:
+    def test_empty_batch_is_a_legal_no_op(self, s1_feed):
+        train, _ = s1_feed
+        pipeline = IngestPipeline(
+            "m", EntropyIP.fit(train), config=IngestConfig(threshold=1e-9)
+        )
+        report = pipeline.ingest(train.take(np.array([], dtype=np.intp)))
+        assert report.rows == 0
+        assert report.total_rows == len(train)
+        assert not report.refit
+        assert not report.signal.fired
+        assert pipeline.refits == 0
+
+    def test_batch_identical_to_training_never_refits(self, s1_feed):
+        """Identical counts score an exact 0.0 — below any positive
+        threshold, so replaying the training set cannot refit."""
+        train, _ = s1_feed
+        pipeline = IngestPipeline(
+            "m", EntropyIP.fit(train), config=IngestConfig(threshold=1e-12)
+        )
+        report = pipeline.ingest(train)
+        assert report.signal.score == 0.0
+        assert not report.refit
+        assert pipeline.refits == 0
+
+    def test_adversarial_flip_refits_exactly_once(self, s1_feed):
+        """A flip-every-nybble batch maximally moves the code histograms;
+        one ingest call pays one refit, and the rebased baseline does
+        not fire again without new evidence."""
+        train, _ = s1_feed
+        pipeline = IngestPipeline(
+            "m", EntropyIP.fit(train), config=IngestConfig(threshold=0.05)
+        )
+        flipped = AddressSet(15 - train.matrix)
+        report = pipeline.ingest(flipped)
+        assert report.signal.fired
+        assert report.refit
+        assert pipeline.refits == 1
+        assert pipeline.pending_rows == 0
+        follow_up = pipeline.ingest(train.take(np.array([], dtype=np.intp)))
+        assert not follow_up.refit
+        assert pipeline.refits == 1
+
+    def test_auto_refit_off_raises_and_keeps_the_batch(self, s1_feed):
+        train, _ = s1_feed
+        pipeline = IngestPipeline(
+            "m",
+            EntropyIP.fit(train),
+            config=IngestConfig(threshold=0.05, auto_refit=False),
+        )
+        flipped = AddressSet(15 - train.matrix)
+        with pytest.raises(IngestDriftError, match="kept"):
+            pipeline.ingest(flipped)
+        # The batch folded before the raise: nothing to re-send.
+        assert pipeline.total_rows == 2 * len(train)
+        assert pipeline.pending_rows == len(train)
+        pipeline.refit()
+        assert pipeline.refits == 1
+        assert pipeline.pending_rows == 0
+        cumulative = AddressSet(
+            np.concatenate([train.matrix, flipped.matrix], axis=0)
+        )
+        assert pipeline.digest == model_digest(EntropyIP.fit(cumulative))
+
+    def test_min_refit_rows_defers_firing(self, s1_feed):
+        train, _ = s1_feed
+        pipeline = IngestPipeline(
+            "m",
+            EntropyIP.fit(train),
+            config=IngestConfig(
+                threshold=0.05, min_refit_rows=len(train) + 1
+            ),
+        )
+        flipped = AddressSet(15 - train.matrix)
+        report = pipeline.ingest(flipped)
+        assert report.signal.score > 0.05
+        assert not report.refit  # window below min_refit_rows
+        report = pipeline.ingest(flipped.take(range(0, 1)))
+        assert report.refit  # one more row tips the window over
+
+
+class TestRegistryIntegration:
+    def test_refit_bumps_version_in_registry(self, s1_feed):
+        train, batches = s1_feed
+        registry = ModelRegistry()
+        pipeline = quiet_pipeline(train, batches, registry=registry)
+        assert pipeline.version == 1
+        pipeline.refit()
+        assert pipeline.version == 2
+        entry = registry.get("m")
+        assert entry.digest == pipeline.digest
+        assert entry.version == 2
+
+    def test_stale_registry_entry_refuses_refit(self, s1_feed):
+        train, batches = s1_feed
+        registry = ModelRegistry()
+        pipeline = quiet_pipeline(train, batches, registry=registry)
+        # Another writer replaces the entry behind the pipeline's back.
+        other = EntropyIP.fit(AddressSet(15 - train.matrix))
+        registry.register("m", other)
+        with pytest.raises(StaleModelError, match="replaced"):
+            pipeline.refit()
+
+    def test_library_only_mode_tracks_versions_locally(self, s1_feed):
+        train, batches = s1_feed
+        pipeline = quiet_pipeline(train, batches)
+        assert pipeline.version == 1
+        pipeline.refit()
+        assert pipeline.version == 2
+        stats = pipeline.stats()
+        assert stats["refits"] == 1
+        assert stats["total_rows"] == pipeline.total_rows
+        assert stats["digest"] == pipeline.digest
+
+
+class TestSessionRoll:
+    def test_sessions_preserve_dedup_state_across_refit(self, s1_feed):
+        """The tentpole guarantee: a drift-triggered roll keeps every
+        live stream's exclusion table and RNG position, so clients
+        never see a repeat across the model swap."""
+        train, batches = s1_feed
+        registry = ModelRegistry()
+        sessions = SessionManager(registry)
+        pipeline = quiet_pipeline(
+            train, batches, registry=registry, sessions=sessions
+        )
+        session = sessions.open("m", "alice", seed=7)
+        before = session.generate(300)
+        old_digest = session.entry.digest
+        pipeline.refit()
+        assert session.entry.digest == pipeline.digest != old_digest
+        assert not session.closed
+        assert sessions.get("m", "alice") is session  # same warm object
+        # Everything served pre-roll stays retired post-roll.
+        assert session.membership(before).all()
+        after = session.generate(300)
+        assert before.contains_rows(after).sum() == 0
+
+    def test_rollover_remains_the_full_reset_escape_hatch(self, s1_feed):
+        train, batches = s1_feed
+        registry = ModelRegistry()
+        sessions = SessionManager(registry)
+        pipeline = quiet_pipeline(
+            train, batches, registry=registry, sessions=sessions
+        )
+        session = sessions.open("m", "alice", seed=7)
+        served = session.generate(100)
+        pipeline.refit()
+        rolled = sessions.rollover("m", "alice")
+        assert rolled is not session
+        assert session.closed
+        assert rolled.entry.digest == pipeline.digest
+        assert not rolled.membership(served).any()  # state reset
+
+    def test_adopt_skips_sessions_already_current(self, s1_feed):
+        train, batches = s1_feed
+        registry = ModelRegistry()
+        sessions = SessionManager(registry)
+        pipeline = quiet_pipeline(
+            train, batches, registry=registry, sessions=sessions
+        )
+        sessions.open("m", "alice", seed=1)
+        pipeline.refit()
+        # Pipeline already adopted during refit; nothing left to do.
+        assert sessions.adopt_model("m") == 0
+
+    def test_refit_during_capacity_pressure_rolls_back_observe(
+        self, s1_feed
+    ):
+        """A capped session survives the model roll at its cap, and an
+        over-cap observe afterwards fails atomically — the retired set
+        is exactly what it was before the failed call."""
+        train, batches = s1_feed
+        registry = ModelRegistry()
+        sessions = SessionManager(registry)
+        pipeline = quiet_pipeline(
+            train, batches, registry=registry, sessions=sessions
+        )
+        session = sessions.open("m", "alice", seed=7, capacity=350)
+        served = session.generate(300)
+        assert len(served) == 300
+        pipeline.refit()  # roll lands while the session is near its cap
+        assert session.entry.digest == pipeline.digest
+        retired_before = len(session.session)
+        oversized = batches[0]  # 150 rows > 50 remaining slots
+        mask_before = session.membership(oversized)
+        with pytest.raises(SessionCapacityError, match="capacity"):
+            session.observe(oversized)
+        assert len(session.session) == retired_before
+        assert session.membership(served).all()
+        assert np.array_equal(session.membership(oversized), mask_before)
+        # Within-cap observes still work after the failed one.
+        fresh = session.observe(oversized.take(range(0, 30)))
+        assert 0 < fresh <= 30
+        assert len(session.session) == retired_before + fresh
+
+
+class TestServiceIntegration:
+    def test_service_ingest_end_to_end(self, s1_feed):
+        train, batches = s1_feed
+        with HitlistService() as service:
+            service.fit("m", train)
+            service.open_ingest("m", config=IngestConfig(threshold=0.05))
+            session = service.open_session("m", "alice", seed=3)
+            before = service.generate("m", "alice", 200)
+            flipped = AddressSet(15 - train.matrix)
+            report = service.ingest("m", flipped)
+            assert report.refit
+            assert report.version == 2
+            assert session.entry.version == 2
+            assert service.membership("m", "alice", before).all()
+            after = service.generate("m", "alice", 200)
+            assert before.contains_rows(after).sum() == 0
+            stats = service.stats()
+            assert stats["kinds"]["ingest"]["requests"] == 1
+
+    def test_open_ingest_is_idempotent_per_model(self, s1_feed):
+        train, _ = s1_feed
+        with HitlistService() as service:
+            service.fit("m", train)
+            first = service.open_ingest("m")
+            second = service.open_ingest("m")
+            assert first is second

@@ -1,0 +1,124 @@
+"""Incremental sufficient statistics: exactness vs the one-pass fit."""
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import EntropyIP
+from repro.datasets.networks import build_network
+from repro.ingest.stats import (
+    IncrementalStats,
+    same_code_mapping,
+    variable_code_counts,
+)
+from repro.ipv6.sets import AddressSet
+from repro.stats.entropy import nybble_entropies
+
+
+@pytest.fixture(scope="module")
+def feed():
+    """One S1 sample split into a training slice and three batches."""
+    rows = build_network("S1").sample(800, seed=3)
+    slices = [rows.take(range(lo, hi)) for lo, hi in
+              [(0, 350), (350, 500), (500, 650), (650, 800)]]
+    return rows, slices
+
+
+@pytest.fixture(scope="module")
+def seeded(feed):
+    _, slices = feed
+    analysis = EntropyIP.fit(slices[0])
+    stats = IncrementalStats(analysis.address_set, analysis.encoder)
+    for batch in slices[1:]:
+        stats.update(batch)
+    return analysis, stats
+
+
+class TestVariableCodeCounts:
+    def test_matches_manual_bincount(self):
+        codes = np.array([[0, 2], [1, 2], [0, 0]])
+        counts = variable_code_counts(codes, [2, 3])
+        assert np.array_equal(counts[0], [2, 1])
+        assert np.array_equal(counts[1], [1, 0, 2])
+
+    def test_pads_to_cardinality(self):
+        counts = variable_code_counts(np.zeros((4, 1), dtype=int), [5])
+        assert np.array_equal(counts[0], [4, 0, 0, 0, 0])
+
+
+class TestSameCodeMapping:
+    def test_identity(self, seeded):
+        analysis, _ = seeded
+        assert same_code_mapping(analysis.encoder, analysis.encoder)
+
+    def test_different_fit_differs(self, seeded, feed):
+        analysis, _ = seeded
+        rows, _ = feed
+        other = EntropyIP.fit(AddressSet(15 - rows.matrix))
+        assert not same_code_mapping(analysis.encoder, other.encoder)
+
+
+class TestIncrementalStats:
+    def test_rejects_empty_seed(self, seeded):
+        analysis, _ = seeded
+        empty = analysis.address_set.take([])
+        with pytest.raises(ValueError, match="empty"):
+            IncrementalStats(empty, analysis.encoder)
+
+    def test_rejects_width_mismatch(self, seeded):
+        analysis, _ = seeded
+        narrow = analysis.address_set.truncate(16)
+        with pytest.raises(ValueError, match="width"):
+            IncrementalStats(narrow, analysis.encoder)
+
+    def test_rejects_batch_width_mismatch(self, seeded):
+        analysis, stats = seeded
+        with pytest.raises(ValueError, match="width"):
+            stats.update(analysis.address_set.truncate(16))
+
+    def test_rows_accumulate(self, seeded, feed):
+        rows, _ = feed
+        _, stats = seeded
+        assert stats.rows == len(rows)
+
+    def test_entropies_bit_identical_to_full_pass(self, seeded, feed):
+        rows, _ = feed
+        _, stats = seeded
+        full = nybble_entropies(stats.materialize())
+        assert np.array_equal(stats.entropies(), full)
+        assert np.array_equal(stats.entropies(), nybble_entropies(rows))
+
+    def test_materialize_is_arrival_order_concat(self, seeded, feed):
+        rows, _ = feed
+        _, stats = seeded
+        assert np.array_equal(stats.materialize().matrix, rows.matrix)
+
+    def test_codes_equal_full_encode(self, seeded, feed):
+        rows, _ = feed
+        analysis, stats = seeded
+        assert np.array_equal(
+            stats.codes(), analysis.encoder.encode_set(rows)
+        )
+
+    def test_family_counts_match_cumulative(self, seeded, feed):
+        rows, _ = feed
+        analysis, stats = seeded
+        from repro.bayes.scores import FamilyStats
+
+        fresh = FamilyStats(
+            analysis.encoder.encode_set(rows), analysis.encoder.cardinalities
+        )
+        assert stats.family.n_samples == fresh.n_samples
+        n_vars = len(analysis.encoder.cardinalities)
+        for child in range(n_vars):
+            for parent in range(n_vars):
+                if parent == child:
+                    continue
+                assert np.array_equal(
+                    stats.family.counts2d(child, (parent,)),
+                    fresh.counts2d(child, (parent,)),
+                )
+
+    def test_rebase_rejects_short_codes(self, seeded):
+        analysis, stats = seeded
+        with pytest.raises(ValueError, match="rows"):
+            stats.rebase(analysis.encoder, np.zeros((3, 2), dtype=np.int64))

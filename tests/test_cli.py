@@ -173,6 +173,47 @@ class TestServeCommand:
         assert "error:" in captured.err
         assert len(captured.out.strip().splitlines()) == 2
 
+    def test_line_protocol_ingest_verb(self, address_file, capsys, monkeypatch):
+        import io
+
+        script = "ingest 2001:db8::1 2001:db8::2\nstats\nquit\n"
+        monkeypatch.setattr("sys.stdin", io.StringIO(script))
+        assert main(["serve", address_file, "--name", "m"]) == 0
+        out = capsys.readouterr().out
+        assert "ingested 2 rows, drift" in out
+        assert '"ingest"' in out  # pipeline counters in the stats dump
+
+
+class TestIngestCommand:
+    def test_ingest_args(self):
+        args = build_parser().parse_args(
+            ["ingest", "S1", "--threshold", "0.07", "--renumber-at", "2"]
+        )
+        assert args.name == "S1"
+        assert args.threshold == 0.07
+        assert args.renumber_at == 2
+
+    def test_quiet_feed_never_refits(self, capsys):
+        assert main([
+            "ingest", "S1", "--snapshots", "3", "--sample-size", "300",
+            "--batches", "2", "--churn", "0.1", "--threshold", "0.9",
+            "--count", "50",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "0 refits" in out
+        assert "model version 1 " in out
+
+    def test_renumber_event_triggers_refit(self, capsys):
+        assert main([
+            "ingest", "S1", "--snapshots", "4", "--sample-size", "500",
+            "--batches", "3", "--renumber-at", "2", "--threshold", "0.05",
+            "--count", "50",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "refit in" in out  # at least one drift-triggered refit
+        assert "0 refits" not in out
+        assert "0 repeats" in out  # monitor stream never repeated a row
+
 
 class TestExtensionCommands:
     def test_mi(self, address_file, capsys):
