@@ -46,6 +46,10 @@ from repro.viz.figures import (
 #: :mod:`repro.ipv6.backends`); emitted rows are backend-independent.
 BACKEND_CHOICES = ("memory", "sharded64")
 
+#: Execution backends for sharded draws (see :mod:`repro.exec.pool`);
+#: emitted rows are identical on either — only throughput differs.
+EXEC_BACKEND_CHOICES = ("thread", "process")
+
 
 def _read_addresses(path: str) -> List[str]:
     stream = sys.stdin if path == "-" else open(path, "r", encoding="utf-8")
@@ -84,6 +88,7 @@ def _cmd_generate(args: argparse.Namespace) -> int:
             seed=args.seed,
             backend=args.backend,
             workers=args.workers or None,
+            exec_backend=args.exec_backend,
         )
     for address in candidates.addresses():
         print(address.compressed())
@@ -107,6 +112,7 @@ def _cmd_scan(args: argparse.Namespace) -> int:
         seed=args.seed,
         workers=args.workers or None,
         backend=args.backend,
+        exec_backend=args.exec_backend,
     )
     print(result.row())
     return 0
@@ -244,6 +250,7 @@ def _serve_synthetic(service, name: str, args: argparse.Namespace) -> int:
                 seed=args.seed + index,
                 backend=args.backend,
                 workers=args.workers or None,
+                exec_backend=args.exec_backend,
             )
 
     threads = [
@@ -322,6 +329,7 @@ def _cmd_ingest(args: argparse.Namespace) -> int:
             capacity=args.capacity,
             backend=args.backend,
             workers=args.workers or None,
+            exec_backend=args.exec_backend,
         )
         before = service.generate(args.name, "monitor", args.count)
         per_snapshot = max(1, args.batches)
@@ -394,6 +402,10 @@ def build_parser() -> argparse.ArgumentParser:
     generate.add_argument("--backend", choices=BACKEND_CHOICES, default=None,
                           help="exclusion-store layout (default: memory; "
                           "output is identical for every backend)")
+    generate.add_argument("--exec-backend", choices=EXEC_BACKEND_CHOICES,
+                          default=None,
+                          help="where sharded draws run (thread default, "
+                          "process for multi-core; output is identical)")
     generate.set_defaults(func=_cmd_generate)
 
     dataset = sub.add_parser("dataset", help="emit a built-in synthetic set")
@@ -413,6 +425,10 @@ def build_parser() -> argparse.ArgumentParser:
     scan.add_argument("--backend", choices=BACKEND_CHOICES, default=None,
                       help="exclusion-store layout (default: memory; "
                       "results are identical for every backend)")
+    scan.add_argument("--exec-backend", choices=EXEC_BACKEND_CHOICES,
+                      default=None,
+                      help="where sharded draws run (thread default, "
+                      "process for multi-core; results are identical)")
     scan.set_defaults(func=_cmd_scan)
 
     mi = sub.add_parser("mi", help="mutual-information heat map")
@@ -455,6 +471,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="shard each draw across N worker threads")
     serve.add_argument("--backend", choices=BACKEND_CHOICES, default=None,
                        help="exclusion-store layout for served sessions")
+    serve.add_argument("--exec-backend", choices=EXEC_BACKEND_CHOICES,
+                       default=None,
+                       help="where each session's sharded draws run "
+                       "(thread default, process for multi-core)")
     serve.add_argument("--service-workers", type=int, default=2,
                        help="service worker threads draining the queue")
     serve.add_argument("--max-pending", type=int, default=64,
@@ -491,6 +511,9 @@ def build_parser() -> argparse.ArgumentParser:
                         help="shard monitor draws across N worker threads")
     ingest.add_argument("--backend", choices=BACKEND_CHOICES, default=None,
                         help="exclusion-store layout for the monitor stream")
+    ingest.add_argument("--exec-backend", choices=EXEC_BACKEND_CHOICES,
+                        default=None,
+                        help="where the monitor stream's sharded draws run")
     ingest.add_argument("--capacity", type=int, default=0,
                         help="capacity cap of the monitor stream (0 = "
                         "uncapped)")

@@ -102,9 +102,19 @@ class GenerationSession:
     with no partial state mutation, so a serving layer can bound each
     client's memory and surface a clean typed error instead of
     unbounded growth.
+
+    A session also owns the campaign's **worker pools**: parallel
+    ``generate_set(..., state=session, workers=N)`` calls fetch a
+    long-lived :class:`~repro.exec.pool.WorkerPool` from
+    :meth:`get_pool` (one per ``(workers, exec_backend)`` pair), so a
+    multi-round campaign reuses one executor instead of re-spawning
+    threads/processes every round.  :meth:`close` (or the session as a
+    context manager) releases them; a closed session's table remains
+    readable, and a later parallel call transparently recreates its
+    pool.
     """
 
-    __slots__ = ("_width", "_table", "_excluded", "_capacity")
+    __slots__ = ("_width", "_table", "_excluded", "_capacity", "_pools")
 
     def __init__(
         self,
@@ -132,6 +142,7 @@ class GenerationSession:
         )
         self._table.insert_packed(excluded)
         self._excluded = len(self._table)
+        self._pools: Dict[Tuple[int, str], "object"] = {}
         if self._capacity and self._excluded > self._capacity:
             raise SessionCapacityError(
                 f"seed exclusions ({self._excluded} distinct rows) exceed "
@@ -175,6 +186,45 @@ class GenerationSession:
     def __len__(self) -> int:
         """Total distinct rows the session will never emit again."""
         return len(self._table)
+
+    def get_pool(self, workers: Optional[int], exec_backend: Optional[str]):
+        """The session's long-lived :class:`~repro.exec.pool.WorkerPool`
+        for a ``(workers, exec_backend)`` pair, created on first use.
+
+        Pool construction is cheap (the executor itself is lazy), but
+        the executor a pool eventually spawns persists across the
+        campaign's generate calls until :meth:`close` — that reuse is
+        the point.
+        """
+        from repro.exec.pool import (
+            WorkerPool,
+            resolve_exec_backend,
+            resolve_workers,
+        )
+
+        key = (resolve_workers(workers), resolve_exec_backend(exec_backend))
+        pool = self._pools.get(key)
+        if pool is None:
+            pool = WorkerPool(key[0], backend=key[1])
+            self._pools[key] = pool
+        return pool
+
+    def close(self) -> None:
+        """Release every worker pool's threads/processes (idempotent).
+
+        The exclusion table is untouched — a closed session can still
+        be inspected, observed into, or even generated against (a later
+        parallel call recreates its pool on demand).
+        """
+        pools, self._pools = self._pools, {}
+        for pool in pools.values():
+            pool.close()
+
+    def __enter__(self) -> "GenerationSession":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     def observe(self, exclude: ExcludeLike) -> int:
         """Fold additional exclusions in mid-campaign; returns how many
@@ -531,6 +581,7 @@ class AddressModel:
         shards: Optional[int] = None,
         state: Optional[GenerationSession] = None,
         fused: Optional[bool] = None,
+        exec_backend: Optional[str] = None,
     ) -> AddressSet:
         """Generate ``n`` distinct candidate rows as an :class:`AddressSet`.
 
@@ -571,13 +622,16 @@ class AddressModel:
         campaign pattern, with per-call cost independent of how much
         history the session carries.
 
-        ``workers``/``shards`` switch to the sharded parallel engine
-        (:func:`repro.exec.sharded_generate_set`): each batch is split
-        into ``shards`` fixed sub-draws with independent
+        ``workers``/``shards``/``exec_backend`` switch to the sharded
+        parallel engine (:func:`repro.exec.sharded_generate_set`): each
+        batch is split into ``shards`` fixed sub-draws with independent
         ``SeedSequence``-spawned RNG streams executed across ``workers``
-        threads.  The output depends only on ``(rng, shards)`` — any
-        worker count produces bit-identical rows.  Left as ``None``,
-        the serial single-stream path below runs.
+        threads (``exec_backend="thread"``, the default) or worker
+        processes (``exec_backend="process"``, for real multi-core
+        scaling past the GIL).  The output depends only on ``(rng,
+        shards)`` — any worker count and either backend produce
+        bit-identical rows.  Left all ``None``, the serial
+        single-stream path below runs.
 
         Deterministic for a fixed ``rng``; first-occurrence order within
         the stream is preserved.  Gives up after ``max_batches`` rounds
@@ -586,7 +640,11 @@ class AddressModel:
         """
         if n < 0:
             raise ValueError("n must be non-negative")
-        if workers is not None or shards is not None:
+        if (
+            workers is not None
+            or shards is not None
+            or exec_backend is not None
+        ):
             from repro.exec import sharded_generate_set
 
             return sharded_generate_set(
@@ -600,6 +658,7 @@ class AddressModel:
                 shards=shards,
                 state=state,
                 fused=fused,
+                exec_backend=exec_backend,
             )
 
         plan = (
@@ -636,6 +695,7 @@ class AddressModel:
         shards: Optional[int] = None,
         state: Optional[GenerationSession] = None,
         fused: Optional[bool] = None,
+        exec_backend: Optional[str] = None,
     ) -> List[int]:
         """Generate ``n`` distinct candidate values (``width``-nybble ints).
 
@@ -653,6 +713,7 @@ class AddressModel:
             shards=shards,
             state=state,
             fused=fused,
+            exec_backend=exec_backend,
         ).to_ints()
 
     # ------------------------------------------------------------------

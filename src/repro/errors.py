@@ -93,7 +93,32 @@ class StaleModelError(ReproError, RuntimeError):
     silently clobber someone else's model."""
 
 
+class ExecBackendError(ReproError, ValueError):
+    """An execution backend the worker pool cannot provide.
+
+    Raised for backend names outside
+    :data:`repro.exec.pool.EXEC_BACKENDS`, or when the process backend
+    cannot start *and* automatic fallback to the thread backend was
+    disabled (``WorkerPool(..., fallback=False)``).  With fallback
+    enabled (the default) a failed process start degrades to threads
+    silently — the output is bit-identical either way, only throughput
+    differs."""
+
+
+class DriftWindowOverflowError(ReproError, RuntimeError):
+    """The drift detector's pending window would exceed its configured
+    ``max_pending_rows`` cap.
+
+    Raised *before* the batch's statistics fold in (no partial
+    mutation): the caller must either refit — which rebases the window
+    — or accept dropping the batch.  An uncapped detector
+    (``max_pending_rows=0``) never raises this; it accumulates until a
+    refit rebases it."""
+
+
 __all__ = [
+    "DriftWindowOverflowError",
+    "ExecBackendError",
     "IngestDriftError",
     "ModelDigestMismatch",
     "ReproError",

@@ -18,8 +18,9 @@ machinery:
 The design contract throughout: the *decomposition* is fixed by the
 ``shards`` count and the caller's RNG, and workers only change how the
 shards are executed.  ``workers=4`` is therefore bit-identical to
-``workers=1`` at the same seed — parallelism is a pure throughput knob,
-never a determinism knob.
+``workers=1`` at the same seed — and the ``"process"`` backend is
+bit-identical to the ``"thread"`` default — parallelism is a pure
+throughput knob, never a determinism knob.
 """
 
 from repro.exec.engine import (
@@ -27,13 +28,22 @@ from repro.exec.engine import (
     sharded_generate_set,
     sharded_map_rows,
 )
-from repro.exec.pool import WorkerPool, resolve_workers
+from repro.exec.pool import (
+    EXEC_BACKENDS,
+    WorkerPool,
+    available_cpus,
+    resolve_exec_backend,
+    resolve_workers,
+)
 from repro.exec.sharding import derive_seed_sequence, shard_bounds, shard_sizes
 
 __all__ = [
     "DEFAULT_SHARDS",
+    "EXEC_BACKENDS",
     "WorkerPool",
+    "available_cpus",
     "derive_seed_sequence",
+    "resolve_exec_backend",
     "resolve_workers",
     "shard_bounds",
     "shard_sizes",

@@ -1,29 +1,74 @@
 """A thin, ordered worker pool over ``concurrent.futures``.
 
-Threads, not processes: the shard work units are numpy-heavy (BN
-inverse-CDF sampling, segment decoding, packed-row hashing), and numpy
-releases the GIL inside its kernels, so a thread pool overlaps real
-work without pickling models across process boundaries.  A pool with
-``workers <= 1`` degrades to a plain loop — no executor, no threads —
-which keeps the serial path allocation-free and trivially debuggable.
+Two backends share one interface:
+
+- ``"thread"`` (the default): the shard work units are numpy-heavy
+  (BN inverse-CDF sampling, segment decoding, packed-row hashing), and
+  numpy releases the GIL inside its kernels, so a thread pool overlaps
+  real work without pickling anything across process boundaries.
+- ``"process"``: a ``ProcessPoolExecutor`` for work that is bound by
+  Python-side time the GIL serializes.  Task functions and arguments
+  must be picklable (module-level functions, plain-data payloads); the
+  sharded engine ships each shard's packed-uint64 words back as
+  pickled numpy arrays and merges them in shard order on the caller's
+  thread, so the output contract is backend-independent.
+
+The executor is **long-lived**: it is created lazily on the first
+parallel ``map`` and reused by every later call until :meth:`close`
+(PRs before this one built a fresh ``ThreadPoolExecutor`` per ``map``
+— one per oversampling round).  A pool with ``workers <= 1`` degrades
+to a plain loop — no executor, no threads — which keeps the serial
+path allocation-free and trivially debuggable.
+
+When the process backend cannot start (a sandboxed host without fork/
+spawn, an unpicklable task function) the pool falls back to the thread
+backend and records it in :attr:`WorkerPool.active_backend` — output
+is bit-identical either way, so the fallback can never change results,
+only throughput.  ``fallback=False`` raises
+:class:`~repro.errors.ExecBackendError` instead.
 """
 
 from __future__ import annotations
 
 import os
-from concurrent.futures import ThreadPoolExecutor
+import pickle
 from typing import Callable, List, Optional, Sequence, TypeVar
+
+from repro.errors import ExecBackendError
 
 T = TypeVar("T")
 R = TypeVar("R")
 
+#: Execution backends a :class:`WorkerPool` can run shards on.
+EXEC_BACKENDS = ("thread", "process")
+
+
+def available_cpus() -> int:
+    """CPUs this process may actually run on.
+
+    Prefers ``len(os.sched_getaffinity(0))`` where the platform has it:
+    a cgroup/affinity-restricted container (exactly what CI runs on)
+    may be pinned to far fewer cores than ``os.cpu_count()`` reports,
+    and sizing a pool past the affinity mask only adds contention.
+    Falls back to ``os.cpu_count()`` elsewhere (macOS, Windows).
+    """
+    if hasattr(os, "sched_getaffinity"):
+        try:
+            return len(os.sched_getaffinity(0)) or 1
+        except OSError:  # pragma: no cover - exotic platforms only
+            pass
+    return os.cpu_count() or 1
+
 
 def resolve_workers(workers: Optional[int]) -> int:
-    """Normalize a ``workers`` argument into a concrete thread count.
+    """Normalize a ``workers`` argument into a concrete worker count.
 
     ``None`` means serial (1); any negative value means "all available
-    cores" (``os.cpu_count()``); positive values pass through.  Zero is
-    rejected — a pool with no workers cannot make progress.
+    cores" — measured by :func:`available_cpus`, i.e. the scheduling
+    affinity mask where the platform exposes one (``os.cpu_count()``
+    ignores cgroup/affinity limits and would oversubscribe restricted
+    containers); positive values pass through.  Zero is rejected — a
+    pool with no workers cannot make progress.
     """
     if workers is None:
         return 1
@@ -31,31 +76,170 @@ def resolve_workers(workers: Optional[int]) -> int:
     if workers == 0:
         raise ValueError("workers must be nonzero (None or 1 means serial)")
     if workers < 0:
-        return os.cpu_count() or 1
+        return available_cpus()
     return workers
 
 
+def resolve_exec_backend(backend: Optional[str]) -> str:
+    """Normalize an ``exec_backend`` argument (``None`` = thread)."""
+    if backend is None:
+        return "thread"
+    if backend not in EXEC_BACKENDS:
+        raise ExecBackendError(
+            f"unknown exec backend {backend!r} (choose from "
+            f"{'/'.join(EXEC_BACKENDS)})"
+        )
+    return backend
+
+
+def _picklable(obj) -> bool:
+    try:
+        pickle.dumps(obj)
+    except Exception:
+        return False
+    return True
+
+
 class WorkerPool:
-    """Execute tasks across ``workers`` threads, preserving order.
+    """Execute tasks across ``workers`` threads or processes, in order.
 
     ``map`` returns results in input order regardless of completion
     order, and the first task exception propagates to the caller (the
     remaining tasks still run to completion — shard work units are
     side-effect free, so there is nothing to unwind).
+
+    The pool owns one long-lived executor, created lazily and reused
+    across ``map`` calls; call :meth:`close` (or use the pool as a
+    context manager) to release its threads/processes.  A closed pool
+    transparently re-creates the executor if mapped again — close is a
+    resource release, not a poison pill.
+
+    ``backend`` picks the executor kind (see :data:`EXEC_BACKENDS`);
+    :attr:`active_backend` reports what is actually running, which
+    differs from :attr:`backend` only after a process-start failure
+    fell back to threads (``fallback=False`` raises
+    :class:`~repro.errors.ExecBackendError` instead).
     """
 
-    def __init__(self, workers: Optional[int] = None):
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        backend: Optional[str] = None,
+        fallback: bool = True,
+    ):
         self.workers = resolve_workers(workers)
+        self.backend = resolve_exec_backend(backend)
+        self.active_backend = self.backend
+        self._fallback = fallback
+        self._executor = None
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # executor lifecycle
+    # ------------------------------------------------------------------
+
+    def _make_executor(self, backend: str):
+        if backend == "process":
+            import multiprocessing
+            from concurrent.futures import ProcessPoolExecutor
+
+            # fork is the cheap start method (no re-import, the numpy
+            # pages are shared copy-on-write); fall back to the
+            # platform default where it is unavailable.
+            try:
+                context = multiprocessing.get_context("fork")
+            except ValueError:  # pragma: no cover - non-POSIX only
+                context = None
+            return ProcessPoolExecutor(
+                max_workers=self.workers, mp_context=context
+            )
+        from concurrent.futures import ThreadPoolExecutor
+
+        return ThreadPoolExecutor(max_workers=self.workers)
+
+    def _degrade_to_threads(self, cause: BaseException) -> None:
+        if not self._fallback:
+            raise ExecBackendError(
+                f"process exec backend failed to start: {cause}"
+            ) from cause
+        if self._executor is not None:
+            self._executor.shutdown(wait=False, cancel_futures=True)
+            self._executor = None
+        self.active_backend = "thread"
+
+    def _ensure_executor(self):
+        if self._executor is None:
+            if self.active_backend == "process":
+                try:
+                    self._executor = self._make_executor("process")
+                except (OSError, ValueError, RuntimeError) as exc:
+                    self._degrade_to_threads(exc)
+            if self._executor is None:
+                self._executor = self._make_executor("thread")
+            self._closed = False
+        return self._executor
+
+    def close(self) -> None:
+        """Release the executor's threads/processes (idempotent)."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+        self._closed = True
+
+    @property
+    def closed(self) -> bool:
+        """Whether the pool currently holds no live executor."""
+        return self._executor is None
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # the one operation
+    # ------------------------------------------------------------------
 
     def map(self, fn: Callable[[T], R], items: Sequence[T]) -> List[R]:
         """Apply ``fn`` to every item; results in input order."""
         items = list(items)
         if self.workers <= 1 or len(items) <= 1:
             return [fn(item) for item in items]
-        with ThreadPoolExecutor(
-            max_workers=min(self.workers, len(items))
-        ) as executor:
-            return list(executor.map(fn, items))
+        if (
+            self.active_backend == "process"
+            and self._executor is None
+            and not _picklable(fn)
+        ):
+            # A closure-shaped task can never cross a process boundary;
+            # degrade before paying for a process pool that could only
+            # fail.  (Module-level task functions — the sharded
+            # engine's — pass this probe and keep the process path.)
+            self._degrade_to_threads(
+                pickle.PicklingError(f"task {fn!r} is not picklable")
+            )
+        executor = self._ensure_executor()
+        if self.active_backend == "process":
+            from concurrent.futures.process import BrokenProcessPool
+
+            try:
+                return list(executor.map(fn, items))
+            except (BrokenProcessPool, pickle.PicklingError, OSError) as exc:
+                # Worker start died after construction (resource limits,
+                # a sandbox denying fork at first use) or an argument
+                # refused to pickle: shard tasks are pure, so a thread
+                # retry is safe and bit-identical.
+                self._degrade_to_threads(exc)
+                executor = self._ensure_executor()
+        return list(executor.map(fn, items))
 
     def __repr__(self) -> str:
-        return f"WorkerPool(workers={self.workers})"
+        suffix = (
+            f"->{self.active_backend}"
+            if self.active_backend != self.backend
+            else ""
+        )
+        return (
+            f"WorkerPool(workers={self.workers}, "
+            f"backend={self.backend}{suffix})"
+        )

@@ -29,6 +29,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.core.temporal import jensen_shannon
+from repro.errors import DriftWindowOverflowError
 from repro.stats.entropy import NYBBLE_CARDINALITY, entropy_of_count_rows
 
 #: Default refit threshold, matching the structural-change threshold of
@@ -64,6 +65,14 @@ class DriftDetector:
     :meth:`rebase` resets it after a refit adopts the window into a new
     baseline.  ``min_rows`` suppresses firing until the window holds
     enough rows to mean anything.
+
+    ``max_pending_rows`` caps the pending window (0 = uncapped, the
+    historical behavior).  A drift-free feed with automatic refits
+    disabled accumulates forever otherwise; with a cap, an
+    :meth:`update` that would push the window past it raises
+    :class:`~repro.errors.DriftWindowOverflowError` *before* any
+    statistic mutates — the caller refits (which rebases the window)
+    or drops the batch, but never silently grows without bound.
     """
 
     def __init__(
@@ -72,13 +81,19 @@ class DriftDetector:
         baseline_code_counts: Sequence[np.ndarray],
         threshold: float = DEFAULT_DRIFT_THRESHOLD,
         min_rows: int = 1,
+        max_pending_rows: int = 0,
     ):
         if threshold <= 0:
             raise ValueError(f"threshold must be positive, got {threshold}")
         if min_rows < 1:
             raise ValueError(f"min_rows must be positive, got {min_rows}")
+        if max_pending_rows < 0:
+            raise ValueError(
+                f"max_pending_rows must be >= 0, got {max_pending_rows}"
+            )
         self.threshold = threshold
         self.min_rows = min_rows
+        self.max_pending_rows = int(max_pending_rows)
         self._baseline_entropies = np.asarray(
             baseline_entropies, dtype=np.float64
         )
@@ -99,15 +114,39 @@ class DriftDetector:
         """Rows in the pending window."""
         return self._pending_rows
 
+    def check_capacity(self, rows: int) -> None:
+        """Raise :class:`~repro.errors.DriftWindowOverflowError` if a
+        ``rows``-row batch would push the pending window past
+        ``max_pending_rows`` (no-op when uncapped or ``rows == 0``).
+
+        Exposed separately so callers that maintain statistics of
+        their own alongside the detector (the ingest pipeline) can
+        reject the batch *before* folding it anywhere.
+        """
+        if rows == 0 or not self.max_pending_rows:
+            return
+        if self._pending_rows + rows > self.max_pending_rows:
+            raise DriftWindowOverflowError(
+                f"pending window of {self._pending_rows} rows + batch of "
+                f"{rows} would exceed max_pending_rows="
+                f"{self.max_pending_rows}; refit (rebase) or drop the batch"
+            )
+
     def update(
         self,
         batch_counts: np.ndarray,
         batch_code_counts: Sequence[np.ndarray],
         rows: int,
     ) -> None:
-        """Fold one batch's count statistics into the pending window."""
+        """Fold one batch's count statistics into the pending window.
+
+        Raises :class:`~repro.errors.DriftWindowOverflowError` — with
+        no partial mutation — when a configured ``max_pending_rows``
+        cap would be exceeded.
+        """
         if rows == 0:
             return
+        self.check_capacity(rows)
         self._pending_counts += batch_counts
         for pending, batch in zip(
             self._pending_code_counts, batch_code_counts

@@ -72,13 +72,19 @@ class IngestConfig:
     that many rows.  ``auto_refit=False`` turns a fired signal into
     :class:`~repro.errors.IngestDriftError` instead of an inline refit
     — the batch is *kept* (statistics already folded); the caller
-    decides when to pay the refit.  The three stage configs are passed
-    through to the refit exactly as ``EntropyIP.fit`` would take them.
+    decides when to pay the refit.  ``max_pending_rows`` caps the
+    drift detector's pending window (0 = uncapped): a batch that would
+    push it past the cap raises
+    :class:`~repro.errors.DriftWindowOverflowError` before anything
+    folds in — the guard against unbounded accumulation when refits
+    never fire.  The three stage configs are passed through to the
+    refit exactly as ``EntropyIP.fit`` would take them.
     """
 
     threshold: float = DEFAULT_DRIFT_THRESHOLD
     min_refit_rows: int = 1
     auto_refit: bool = True
+    max_pending_rows: int = 0
     segmentation: SegmentationConfig = SegmentationConfig()
     mining: MiningConfig = MiningConfig()
     structure: StructureConfig = StructureConfig()
@@ -140,6 +146,7 @@ class IngestPipeline:
             ),
             threshold=self.config.threshold,
             min_rows=self.config.min_refit_rows,
+            max_pending_rows=self.config.max_pending_rows,
         )
         if registry is not None:
             entry = registry.register(name, analysis)
@@ -202,6 +209,9 @@ class IngestPipeline:
         with self._lock:
             n = len(batch)
             if n:
+                # Reject an over-cap batch before *anything* folds in —
+                # stats and detector must stay consistent.
+                self._detector.check_capacity(n)
                 batch_counts, codes = self._stats.update(batch)
                 self._detector.update(
                     batch_counts,

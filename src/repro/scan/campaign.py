@@ -95,6 +95,7 @@ class ScanCampaign:
         seed: int = 0,
         workers: "int | None" = None,
         backend=None,
+        exec_backend: "str | None" = None,
     ):
         if probe_budget < 1 or round_size < 1:
             raise ValueError("budget and round size must be positive")
@@ -113,6 +114,10 @@ class ScanCampaign:
         # campaigns whose probed universe outgrows one flat table.
         # Emitted candidates are identical for every backend.
         self._backend = backend
+        # exec_backend= picks where sharded draws execute ("thread"
+        # default, "process" for multi-core scaling); like workers it
+        # is a pure throughput knob — outcomes are bit-identical.
+        self._exec_backend = exec_backend
 
     def run(self) -> CampaignResult:
         """Probe until the budget is exhausted; return the full record.
@@ -138,6 +143,7 @@ class ScanCampaign:
             capacity=len(train) + self._budget,
             backend=self._backend,
             workers=self._workers,
+            exec_backend=self._exec_backend,
         ).open(analysis.model)
         train_64s = train.prefixes64()
         hit_chunks: List[np.ndarray] = []
@@ -150,62 +156,72 @@ class ScanCampaign:
         rounds: List[CampaignRound] = []
         spent = 0
         index = 0
-        while spent < self._budget:
-            round_started = time.perf_counter()
-            want = min(self._round_size, self._budget - spent)
-            candidates = analysis.model.generate_set(
-                want, self._rng, state=session, workers=self._workers
-            )
-            if len(candidates) == 0:
-                break  # model support exhausted
-            # oracle_masks runs inline when workers is None and matches
-            # ping_mask bit for bit, so one call site serves any worker
-            # count.
-            _, hit_mask, _ = self._responder.oracle_masks(
-                candidates, workers=self._workers
-            )
-            hits = candidates.take(np.flatnonzero(hit_mask))
-            spent += len(candidates)
-            hit_count += len(hits)
-            if len(hits):
-                hit_chunks.append(hits.matrix)
-                hits_64 = hits.prefixes64()
-                fresh_64 = hits_64[
-                    ~in_sorted(new_64s, hits_64)
-                    & ~in_sorted(train_64s, hits_64)
-                ]
-                new_64s = merge_sorted_unique(new_64s, fresh_64)
-            index += 1
-            rounds.append(
-                CampaignRound(
-                    index=index,
-                    probes_sent=len(candidates),
-                    hits=len(hits),
-                    cumulative_probes=spent,
-                    cumulative_hits=hit_count,
-                    new_prefixes64=len(new_64s),
-                    seconds=time.perf_counter() - round_started,
+        try:
+            while spent < self._budget:
+                round_started = time.perf_counter()
+                want = min(self._round_size, self._budget - spent)
+                candidates = analysis.model.generate_set(
+                    want,
+                    self._rng,
+                    state=session,
+                    workers=self._workers,
+                    exec_backend=self._exec_backend,
                 )
-            )
-            short_round = len(candidates) < want
-            if short_round and not (self._adaptive and len(hits)):
-                # The model could not fill the round even after its own
-                # oversampling retries: its support is exhausted.  The
-                # partial round is already charged to ``spent`` and
-                # recorded above; asking again would re-run the same
-                # saturated generation loop for zero (or a trickle of)
-                # new candidates per round, so terminate.  An *adaptive*
-                # round with hits continues instead — folding the hits
-                # back in refits the model and can expand its support.
-                break
-            if self._adaptive and len(hits):
-                # Fold confirmed addresses back in and refit — the
-                # bootstrap loop.  The session survives the refit
-                # untouched: only the BN changed, not the probed
-                # universe, and the hits it would re-exclude are
-                # already in the table as generated rows.
-                train = train.concat(hits)
-                analysis = EntropyIP.fit(train, width=train.width)
+                if len(candidates) == 0:
+                    break  # model support exhausted
+                # oracle_masks runs inline when workers is None and
+                # matches ping_mask bit for bit, so one call site serves
+                # any worker count.
+                _, hit_mask, _ = self._responder.oracle_masks(
+                    candidates, workers=self._workers
+                )
+                hits = candidates.take(np.flatnonzero(hit_mask))
+                spent += len(candidates)
+                hit_count += len(hits)
+                if len(hits):
+                    hit_chunks.append(hits.matrix)
+                    hits_64 = hits.prefixes64()
+                    fresh_64 = hits_64[
+                        ~in_sorted(new_64s, hits_64)
+                        & ~in_sorted(train_64s, hits_64)
+                    ]
+                    new_64s = merge_sorted_unique(new_64s, fresh_64)
+                index += 1
+                rounds.append(
+                    CampaignRound(
+                        index=index,
+                        probes_sent=len(candidates),
+                        hits=len(hits),
+                        cumulative_probes=spent,
+                        cumulative_hits=hit_count,
+                        new_prefixes64=len(new_64s),
+                        seconds=time.perf_counter() - round_started,
+                    )
+                )
+                short_round = len(candidates) < want
+                if short_round and not (self._adaptive and len(hits)):
+                    # The model could not fill the round even after its
+                    # own oversampling retries: its support is
+                    # exhausted.  The partial round is already charged
+                    # to ``spent`` and recorded above; asking again
+                    # would re-run the same saturated generation loop
+                    # for zero (or a trickle of) new candidates per
+                    # round, so terminate.  An *adaptive* round with
+                    # hits continues instead — folding the hits back in
+                    # refits the model and can expand its support.
+                    break
+                if self._adaptive and len(hits):
+                    # Fold confirmed addresses back in and refit — the
+                    # bootstrap loop.  The session survives the refit
+                    # untouched: only the BN changed, not the probed
+                    # universe, and the hits it would re-exclude are
+                    # already in the table as generated rows.
+                    train = train.concat(hits)
+                    analysis = EntropyIP.fit(train, width=train.width)
+        finally:
+            # Release the session's long-lived worker pools — a
+            # campaign must not leave executor threads/processes alive.
+            session.close()
         if hit_chunks:
             discovered = AddressSet(np.vstack(hit_chunks))
         else:
@@ -242,7 +258,11 @@ class ScanCampaign:
             round_started = time.perf_counter()
             want = min(self._round_size, self._budget - spent)
             candidates = analysis.model.generate_set(
-                want, self._rng, exclude=probed_words, workers=self._workers
+                want,
+                self._rng,
+                exclude=probed_words,
+                workers=self._workers,
+                exec_backend=self._exec_backend,
             )
             if len(candidates) == 0:
                 break  # model support exhausted
@@ -290,6 +310,7 @@ def run_campaign(
     seed: int = 0,
     workers: "int | None" = None,
     backend=None,
+    exec_backend: "str | None" = None,
 ) -> CampaignResult:
     """Functional one-shot interface to :class:`ScanCampaign`."""
     return ScanCampaign(
@@ -301,4 +322,5 @@ def run_campaign(
         seed=seed,
         workers=workers,
         backend=backend,
+        exec_backend=exec_backend,
     ).run()

@@ -99,6 +99,7 @@ def scan_experiment(
     seed: int = 0,
     workers: Optional[int] = None,
     backend: BackendSpec = None,
+    exec_backend: Optional[str] = None,
 ) -> ScanResult:
     """Run the full §5.5 scanning experiment against one network.
 
@@ -106,11 +107,13 @@ def scan_experiment(
     population (defaults to half the population, leaving the rest as
     never-observed-but-active addresses the ping oracle can confirm).
 
-    ``workers`` runs generation and oracle scoring across a thread
+    ``workers`` runs generation and oracle scoring across a worker
     pool (see :mod:`repro.exec`); results are bit-identical for any
-    worker count, including the serial default.  ``backend`` picks the
-    exclusion-store layout (``"memory"``/``"sharded64"``) — output is
-    identical for every backend.
+    worker count, including the serial default.  ``exec_backend``
+    picks where the shards run (``"thread"`` default, ``"process"``
+    for multi-core scaling) — also output-neutral.  ``backend`` picks
+    the exclusion-store layout (``"memory"``/``"sharded64"``) — output
+    is identical for every backend.
     """
     population = network.population(seed)
     responder = SimulatedResponder(
@@ -138,10 +141,18 @@ def scan_experiment(
         capacity=n_candidates + len(train),
         backend=backend,
         workers=workers,
+        exec_backend=exec_backend,
     ).open(analysis.model)
-    candidates = analysis.model.generate_set(
-        n_candidates, rng, state=session, workers=workers
-    )
+    try:
+        candidates = analysis.model.generate_set(
+            n_candidates,
+            rng,
+            state=session,
+            workers=workers,
+            exec_backend=exec_backend,
+        )
+    finally:
+        session.close()
 
     # One scoring path for any worker count: sharded_map_rows and
     # oracle_masks both run inline when workers is None, and their
@@ -222,9 +233,12 @@ def prefix_prediction_experiment(
     session = SessionSpec(
         exclude=train, backend=backend, workers=workers
     ).open(analysis.model)
-    candidates = analysis.model.generate_set(
-        n_candidates, rng, state=session, workers=workers
-    )
+    try:
+        candidates = analysis.model.generate_set(
+            n_candidates, rng, state=session, workers=workers
+        )
+    finally:
+        session.close()
 
     candidate_words = candidates.prefixes64()  # distinct width-16 rows
     predicted_day = int(np.isin(candidate_words, day_prefixes).sum())

@@ -60,13 +60,17 @@ class SessionSpec:
     :class:`~repro.core.model.SessionCapacityError`, it never silently
     grows past the cap.  ``workers`` is part of the stream identity
     (serial and sharded draws differ by design; any sharded worker
-    *count* is bit-identical to any other).
+    *count* is bit-identical to any other).  ``exec_backend`` is *not*
+    part of the stream identity — thread and process execution are
+    bit-identical, it is recorded here only so a stream's draws run
+    where the deployment asked.
     """
 
     exclude: Optional[ExcludeLike] = None
     capacity: int = 0
     backend: BackendSpec = None
     workers: Optional[int] = None
+    exec_backend: Optional[str] = None
 
     def open(self, model: AddressModel) -> GenerationSession:
         """Open a fresh session on ``model`` per this recipe."""
@@ -139,6 +143,7 @@ class ManagedSession:
                 self.rng,
                 state=self.session,
                 workers=self.spec.workers if workers is None else workers,
+                exec_backend=self.spec.exec_backend,
             )
             self.requests += 1
             self.rows_served += len(out)
@@ -196,6 +201,9 @@ class ManagedSession:
     def close(self) -> None:
         with self._lock:
             self.closed = True
+            # Release the GenerationSession's long-lived worker pools —
+            # eviction/expiry must not leak executor threads/processes.
+            self.session.close()
 
     def __repr__(self) -> str:
         return (
@@ -253,6 +261,7 @@ class SessionManager:
         capacity: int = 0,
         backend: BackendSpec = None,
         workers: Optional[int] = None,
+        exec_backend: Optional[str] = None,
     ) -> ManagedSession:
         """Get-or-create the warm session for ``(model_name, client)``.
 
@@ -286,6 +295,7 @@ class SessionManager:
                     backend if backend is not None else self._default_backend
                 ),
                 workers=workers,
+                exec_backend=exec_backend,
             )
             session = ManagedSession(
                 key, entry, spec, seed=seed, clock=self._clock
@@ -322,6 +332,20 @@ class SessionManager:
                 return False
             session.close()
             return True
+
+    def close_all(self) -> int:
+        """Close and drop every live session; returns how many.
+
+        Used by an owning :class:`~repro.serve.service.HitlistService`
+        on shutdown so no session leaves worker pool threads/processes
+        behind.
+        """
+        with self._lock:
+            sessions = list(self._sessions.values())
+            self._sessions.clear()
+        for session in sessions:
+            session.close()
+        return len(sessions)
 
     def rollover(self, model_name: str, client: str) -> ManagedSession:
         """Close the client's stream and reopen it fresh.

@@ -85,6 +85,10 @@ class HitlistService:
                 f"max_pending must be positive, got {max_pending}"
             )
         self.registry = registry if registry is not None else ModelRegistry()
+        # When the service built its own manager it also owns the
+        # sessions' worker pools: close() shuts them down.  A shared
+        # manager outlives any one service, so its owner closes it.
+        self._owns_sessions = sessions is None
         self.sessions = (
             sessions
             if sessions is not None
@@ -202,6 +206,7 @@ class HitlistService:
         capacity: int = 0,
         backend: BackendSpec = None,
         workers: Optional[int] = None,
+        exec_backend: Optional[str] = None,
     ) -> ManagedSession:
         """Get-or-create the client's warm stream (inline bookkeeping).
 
@@ -217,6 +222,7 @@ class HitlistService:
             capacity=capacity,
             backend=backend,
             workers=workers,
+            exec_backend=exec_backend,
         )
 
     def generate(
@@ -230,6 +236,7 @@ class HitlistService:
         capacity: int = 0,
         backend: BackendSpec = None,
         workers: Optional[int] = None,
+        exec_backend: Optional[str] = None,
     ) -> AddressSet:
         """Serve the next ``n`` candidates of ``(model, client)``'s
         stream; blocks for the result.  See :meth:`generate_async`."""
@@ -243,6 +250,7 @@ class HitlistService:
             capacity=capacity,
             backend=backend,
             workers=workers,
+            exec_backend=exec_backend,
         ).result()
 
     def generate_async(
@@ -256,6 +264,7 @@ class HitlistService:
         capacity: int = 0,
         backend: BackendSpec = None,
         workers: Optional[int] = None,
+        exec_backend: Optional[str] = None,
     ) -> "Future":
         """Queue a generate request; the future resolves to the
         :class:`AddressSet`.
@@ -283,6 +292,7 @@ class HitlistService:
                     capacity=capacity,
                     backend=backend,
                     workers=workers,
+                    exec_backend=exec_backend,
                 )
             return live.generate(n, workers=workers)
 
@@ -425,7 +435,13 @@ class HitlistService:
     # ------------------------------------------------------------------
 
     def close(self, wait: bool = True) -> None:
-        """Stop accepting requests; drain queued work, stop workers."""
+        """Stop accepting requests; drain queued work, stop workers.
+
+        When the service owns its session manager (it was not passed a
+        shared one), every live session is closed too, releasing the
+        sessions' worker pool threads/processes — a closed service
+        leaves nothing running.
+        """
         with self._lock:
             if self._closed:
                 return
@@ -435,6 +451,8 @@ class HitlistService:
         if wait:
             for thread in self._threads:
                 thread.join()
+        if self._owns_sessions:
+            self.sessions.close_all()
 
     def __enter__(self) -> "HitlistService":
         return self

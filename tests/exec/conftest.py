@@ -1,0 +1,20 @@
+"""Shared fixtures for the exec suite.
+
+``REPRO_EXEC_BACKEND`` selects the execution backend the parallel
+calls in this suite run on (``thread`` default, ``process``).  The CI
+matrix re-runs the suite with ``REPRO_EXEC_BACKEND=process`` so the
+bit-identity assertions — parallel output equals serial output — are
+exercised across the process boundary too, with zero duplicated test
+code.
+"""
+
+import os
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def exec_backend():
+    backend = os.environ.get("REPRO_EXEC_BACKEND", "thread")
+    assert backend in ("thread", "process"), backend
+    return backend

@@ -2,25 +2,33 @@
 
 The engine's contract: the shard decomposition (sizes, RNG streams) is
 a pure function of the caller's seed and the ``shards`` count, and the
-worker count only decides how many shards run concurrently.  Everything
-here pins that — ``workers=4`` must be bit-identical to ``workers=1``
-across generation, scan experiments and whole campaigns.
+worker count only decides how many shards run concurrently — the
+``exec_backend`` only *where*.  Everything here pins that —
+``workers=4`` must be bit-identical to ``workers=1`` across
+generation, scan experiments and whole campaigns, on either backend
+(the CI matrix re-runs this suite with ``REPRO_EXEC_BACKEND=process``).
 """
+
+import os
 
 import numpy as np
 import pytest
 
 from repro.core.pipeline import EntropyIP
 from repro.datasets.networks import build_network
+from repro.errors import ExecBackendError
 from repro.exec import (
     DEFAULT_SHARDS,
     WorkerPool,
+    available_cpus,
     derive_seed_sequence,
+    resolve_exec_backend,
     resolve_workers,
     shard_bounds,
     shard_sizes,
     sharded_map_rows,
 )
+from repro.exec.engine import _draw_shard_task
 from repro.exec.sharding import spawn_generators
 from repro.scan.campaign import run_campaign
 from repro.scan.evaluate import scan_experiment
@@ -94,6 +102,38 @@ class TestWorkerPool:
         with pytest.raises(ValueError):
             resolve_workers(0)
 
+    def test_negative_workers_respect_affinity_mask(self, monkeypatch):
+        """Regression: ``resolve_workers(-1)`` must size by the
+        scheduling-affinity mask, not ``os.cpu_count()`` — a cgroup-
+        restricted container pinned to 2 of 64 cores gets 2 workers."""
+        monkeypatch.setattr(os, "cpu_count", lambda: 64)
+        if hasattr(os, "sched_getaffinity"):
+            monkeypatch.setattr(
+                os, "sched_getaffinity", lambda pid: {0, 1}, raising=False
+            )
+            assert available_cpus() == 2
+            assert resolve_workers(-1) == 2
+            assert resolve_workers(-4) == 2
+        else:  # pragma: no cover - non-Linux fallback
+            assert available_cpus() == 64
+
+    def test_negative_workers_fall_back_to_cpu_count(self, monkeypatch):
+        """Platforms without sched_getaffinity use os.cpu_count()."""
+        monkeypatch.delattr(os, "sched_getaffinity", raising=False)
+        monkeypatch.setattr(os, "cpu_count", lambda: 6)
+        assert available_cpus() == 6
+        assert resolve_workers(-1) == 6
+
+    def test_resolve_exec_backend(self):
+        assert resolve_exec_backend(None) == "thread"
+        assert resolve_exec_backend("thread") == "thread"
+        assert resolve_exec_backend("process") == "process"
+        with pytest.raises(ExecBackendError):
+            resolve_exec_backend("mpi")
+        # The typed error is also a ValueError (and a ReproError).
+        with pytest.raises(ValueError):
+            resolve_exec_backend("mpi")
+
     def test_map_preserves_order(self):
         pool = WorkerPool(4)
         assert pool.map(lambda x: x * x, range(20)) == [x * x for x in range(20)]
@@ -112,6 +152,201 @@ class TestWorkerPool:
 
         with pytest.raises(RuntimeError):
             pool.map(boom, range(6))
+
+
+class TestPoolLifetime:
+    def test_executor_is_long_lived_and_reused(self):
+        pool = WorkerPool(2)
+        assert pool.closed  # lazy: nothing spawned yet
+        pool.map(lambda x: x, range(8))
+        assert not pool.closed
+        first = pool._executor
+        pool.map(lambda x: x, range(8))
+        assert pool._executor is first  # reused, not rebuilt per map
+        pool.close()
+        assert pool.closed
+
+    def test_close_is_idempotent_and_pool_recreates(self):
+        pool = WorkerPool(2)
+        pool.map(lambda x: x, range(4))
+        pool.close()
+        pool.close()
+        # A closed pool transparently comes back on the next map.
+        assert pool.map(lambda x: x + 1, [1, 2, 3]) == [2, 3, 4]
+        pool.close()
+
+    def test_context_manager_closes(self):
+        with WorkerPool(2) as pool:
+            pool.map(lambda x: x, range(4))
+            assert not pool.closed
+        assert pool.closed
+
+    def test_serial_pool_never_spawns_executor(self):
+        pool = WorkerPool(1)
+        pool.map(lambda x: x, range(8))
+        assert pool._executor is None
+
+    def test_session_reuses_one_pool_and_closes_it(self, s1_model):
+        model, train = s1_model
+        session = model.session(exclude=train)
+        rng = np.random.default_rng(7)
+        model.generate_set(2000, rng, state=session, workers=2)
+        pool = session.get_pool(2, None)
+        assert not pool.closed
+        model.generate_set(2000, rng, state=session, workers=2)
+        assert session.get_pool(2, None) is pool  # same pool, same executor
+        session.close()
+        assert pool.closed
+
+    def test_session_context_manager_closes_pools(self, s1_model):
+        model, train = s1_model
+        with model.session(exclude=train) as session:
+            model.generate_set(
+                1000, np.random.default_rng(7), state=session, workers=2
+            )
+            pool = session.get_pool(2, None)
+        assert pool.closed
+
+
+class TestProcessBackend:
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ExecBackendError):
+            WorkerPool(2, backend="mpi")
+
+    def test_unpicklable_task_degrades_to_threads(self):
+        pool = WorkerPool(2, backend="process")
+        captured = []  # closures cannot cross a process boundary
+        out = pool.map(lambda x: (captured.append(x) or x * 2), [1, 2, 3])
+        assert out == [2, 4, 6]
+        assert pool.active_backend == "thread"
+        assert pool.backend == "process"  # the request is remembered
+        assert "->" in repr(pool)
+        pool.close()
+
+    def test_unpicklable_task_without_fallback_raises(self):
+        pool = WorkerPool(2, backend="process", fallback=False)
+        with pytest.raises(ExecBackendError):
+            pool.map(lambda x: x * 2, [1, 2, 3])
+        pool.close()
+
+    def test_module_level_task_runs_on_processes(self):
+        pool = WorkerPool(2, backend="process")
+        try:
+            out = pool.map(_square, [1, 2, 3, 4])
+        except ExecBackendError:  # pragma: no cover - sandboxed hosts
+            pytest.skip("process pool cannot start here")
+        assert out == [1, 4, 9, 16]
+        # No fallback happened (or, on fork-less sandboxes, the pool
+        # degraded and said so) — either way the output is identical.
+        assert pool.active_backend in ("process", "thread")
+        pool.close()
+
+    def test_generate_process_backend_bit_identical(self, s1_model):
+        model, train = s1_model
+        ref = model.generate_set(
+            8000, np.random.default_rng(7), exclude=train, workers=1
+        )
+        prc = model.generate_set(
+            8000,
+            np.random.default_rng(7),
+            exclude=train,
+            workers=2,
+            exec_backend="process",
+        )
+        assert np.array_equal(ref.matrix, prc.matrix)
+        assert np.array_equal(ref.packed_rows(), prc.packed_rows())
+
+    def test_generate_process_two_step_bit_identical(self, s1_model):
+        model, train = s1_model
+        ref = model.generate_set(
+            4000,
+            np.random.default_rng(5),
+            exclude=train,
+            workers=1,
+            fused=False,
+        )
+        prc = model.generate_set(
+            4000,
+            np.random.default_rng(5),
+            exclude=train,
+            workers=2,
+            fused=False,
+            exec_backend="process",
+        )
+        assert np.array_equal(ref.matrix, prc.matrix)
+
+    def test_evidence_process_backend_bit_identical(self, s1_model):
+        model, _ = s1_model
+        label = model.encoder.variable_names[0]
+        ref = model.generate_set(
+            500, np.random.default_rng(13), evidence={label: 0}, workers=1
+        )
+        prc = model.generate_set(
+            500,
+            np.random.default_rng(13),
+            evidence={label: 0},
+            workers=2,
+            exec_backend="process",
+        )
+        assert np.array_equal(ref.matrix, prc.matrix)
+
+
+def _square(x):
+    return x * x
+
+
+class TestEmptyShards:
+    """A batch smaller than ``shards`` produces zero-size shards; they
+    must never reach a sampler (size=0 draws are skipped entirely)."""
+
+    @pytest.mark.parametrize("fused", [None, False])
+    @pytest.mark.parametrize("backend", [None, "process"])
+    def test_n_smaller_than_shards(self, s1_model, fused, backend):
+        model, train = s1_model
+        out = model.generate_set(
+            10,
+            np.random.default_rng(9),
+            exclude=train,
+            workers=2,
+            shards=5000,  # far beyond the 4096-row batch floor
+            fused=fused,
+            exec_backend=backend,
+        )
+        assert len(out) == 10
+        uniques = {tuple(row) for row in out.matrix.tolist()}
+        assert len(uniques) == 10
+        assert not train.contains_rows(out).any()
+
+    @pytest.mark.parametrize("backend", [None, "process"])
+    def test_n_zero(self, s1_model, backend):
+        model, train = s1_model
+        out = model.generate_set(
+            0,
+            np.random.default_rng(9),
+            exclude=train,
+            workers=2,
+            exec_backend=backend,
+        )
+        assert len(out) == 0
+        assert out.width == model.encoder.width
+
+    @pytest.mark.parametrize("use_fused", [True, False])
+    def test_zero_size_task_returns_shaped_empties(self, s1_model, use_fused):
+        import pickle
+
+        model, _ = s1_model
+        payload = pickle.dumps(model)
+        child = np.random.SeedSequence(0)
+        matrix, words = _draw_shard_task(
+            ("tok", payload, use_fused, None, 0, child)
+        )
+        width = model.encoder.width
+        assert words.shape == (0, (width + 15) // 16)
+        assert words.dtype == np.uint64
+        if use_fused:
+            assert matrix is None
+        else:
+            assert matrix.shape == (0, width)
 
 
 class TestShardedMapRows:
@@ -140,13 +375,26 @@ class TestGenerationDeterminism:
     """Same seed, any worker count → bit-identical generate_set output."""
 
     @pytest.mark.parametrize("fixture", ["s1_model", "r1_model"])
-    def test_workers_bit_identical(self, fixture, request):
+    def test_workers_bit_identical(self, fixture, request, exec_backend):
         model, train = request.getfixturevalue(fixture)
-        results = []
-        for workers in (1, 2, 4):
+        # The workers=1 reference always runs the thread (inline) path;
+        # the parallel runs use the suite's backend — under
+        # REPRO_EXEC_BACKEND=process this asserts serial-thread ≡
+        # parallel-process, the full cross-backend contract.
+        rng = np.random.default_rng(7)
+        results = [
+            model.generate_set(20_000, rng, exclude=train, workers=1)
+        ]
+        for workers in (2, 4):
             rng = np.random.default_rng(7)
             results.append(
-                model.generate_set(20_000, rng, exclude=train, workers=workers)
+                model.generate_set(
+                    20_000,
+                    rng,
+                    exclude=train,
+                    workers=workers,
+                    exec_backend=exec_backend,
+                )
             )
         assert np.array_equal(results[0].matrix, results[1].matrix)
         assert np.array_equal(results[0].matrix, results[2].matrix)
@@ -193,16 +441,17 @@ class TestGenerationDeterminism:
 
 
 class TestScanDeterminism:
-    def test_scan_experiment_workers_bit_identical(self):
+    def test_scan_experiment_workers_bit_identical(self, exec_backend):
         network = build_network("S1")
         counts = []
-        for workers in (1, 4):
+        for workers, backend in ((1, None), (4, exec_backend)):
             result = scan_experiment(
                 network,
                 train_size=400,
                 n_candidates=20_000,
                 seed=1,
                 workers=workers,
+                exec_backend=backend,
             )
             counts.append(
                 (
@@ -215,7 +464,7 @@ class TestScanDeterminism:
             )
         assert counts[0] == counts[1]
 
-    def test_campaign_workers_bit_identical(self):
+    def test_campaign_workers_bit_identical(self, exec_backend):
         network = build_network("R1")
         train = network.sample(400, seed=2)
         responder = SimulatedResponder(
@@ -225,7 +474,7 @@ class TestScanDeterminism:
             seed=2,
         )
         outcomes = []
-        for workers in (1, 4):
+        for workers, backend in ((1, None), (4, exec_backend)):
             result = run_campaign(
                 train,
                 responder,
@@ -234,6 +483,7 @@ class TestScanDeterminism:
                 adaptive=True,
                 seed=2,
                 workers=workers,
+                exec_backend=backend,
             )
             outcomes.append(
                 (

@@ -1,8 +1,9 @@
-"""Drift detector edge cases: exact zeros, windows, rebasing."""
+"""Drift detector edge cases: exact zeros, windows, caps, rebasing."""
 
 import numpy as np
 import pytest
 
+from repro.errors import DriftWindowOverflowError, ReproError
 from repro.ingest.drift import DEFAULT_DRIFT_THRESHOLD, DriftDetector
 from repro.ingest.stats import variable_code_counts
 from repro.stats.entropy import nybble_counts, nybble_entropies
@@ -44,6 +45,131 @@ class TestValidation:
 
     def test_default_threshold_matches_temporal_change_detection(self):
         assert DEFAULT_DRIFT_THRESHOLD == 0.15
+
+    def test_rejects_negative_max_pending_rows(self, fitted):
+        rows, analysis, codes = fitted
+        with pytest.raises(ValueError, match="max_pending_rows"):
+            make_detector(
+                rows,
+                codes,
+                analysis.encoder.cardinalities,
+                max_pending_rows=-1,
+            )
+
+
+class TestWindowCap:
+    def test_uncapped_detector_never_overflows(self, fitted):
+        rows, analysis, codes = fitted
+        cards = analysis.encoder.cardinalities
+        detector = make_detector(rows, codes, cards)  # max_pending_rows=0
+        for _ in range(5):
+            detector.update(
+                nybble_counts(rows),
+                variable_code_counts(codes, cards),
+                len(rows),
+            )
+        assert detector.pending_rows == 5 * len(rows)
+
+    def test_overflow_raises_with_no_partial_mutation(self, fitted):
+        rows, analysis, codes = fitted
+        cards = analysis.encoder.cardinalities
+        detector = make_detector(
+            rows, codes, cards, max_pending_rows=len(rows) + 10
+        )
+        detector.update(
+            nybble_counts(rows), variable_code_counts(codes, cards), len(rows)
+        )
+        before_counts = detector._pending_counts.copy()
+        with pytest.raises(DriftWindowOverflowError):
+            detector.update(
+                nybble_counts(rows),
+                variable_code_counts(codes, cards),
+                len(rows),
+            )
+        # Nothing folded in: rows and counts are exactly pre-batch.
+        assert detector.pending_rows == len(rows)
+        assert np.array_equal(detector._pending_counts, before_counts)
+
+    def test_overflow_error_is_typed_under_repro_error(self, fitted):
+        rows, analysis, codes = fitted
+        cards = analysis.encoder.cardinalities
+        detector = make_detector(rows, codes, cards, max_pending_rows=1)
+        with pytest.raises(ReproError):
+            detector.update(
+                nybble_counts(rows),
+                variable_code_counts(codes, cards),
+                len(rows),
+            )
+
+    def test_exact_fit_to_cap_is_admitted(self, fitted):
+        rows, analysis, codes = fitted
+        cards = analysis.encoder.cardinalities
+        detector = make_detector(
+            rows, codes, cards, max_pending_rows=len(rows)
+        )
+        detector.update(
+            nybble_counts(rows), variable_code_counts(codes, cards), len(rows)
+        )
+        assert detector.pending_rows == len(rows)
+
+    def test_rebase_resets_the_cap_headroom(self, fitted):
+        rows, analysis, codes = fitted
+        cards = analysis.encoder.cardinalities
+        detector = make_detector(
+            rows, codes, cards, max_pending_rows=len(rows)
+        )
+        detector.update(
+            nybble_counts(rows), variable_code_counts(codes, cards), len(rows)
+        )
+        detector.rebase(
+            nybble_entropies(rows), variable_code_counts(codes, cards)
+        )
+        # Full headroom again after the refit rebased the window.
+        detector.update(
+            nybble_counts(rows), variable_code_counts(codes, cards), len(rows)
+        )
+        assert detector.pending_rows == len(rows)
+
+    def test_capped_scoring_unchanged_exact_zero(self, fitted):
+        """The cap must not perturb scoring: a training-identical
+        window under a cap still scores an exact 0.0."""
+        rows, analysis, codes = fitted
+        cards = analysis.encoder.cardinalities
+        detector = make_detector(
+            rows, codes, cards, threshold=1e-12, max_pending_rows=len(rows)
+        )
+        detector.update(
+            nybble_counts(rows), variable_code_counts(codes, cards), len(rows)
+        )
+        signal = detector.signal()
+        assert signal.score == 0.0
+        assert not signal.fired
+
+    def test_pipeline_overflow_keeps_stats_consistent(self, fitted):
+        """An over-cap ingest batch is rejected before *any* state —
+        incremental stats included — folds it in."""
+        from repro.ingest import IngestConfig, IngestPipeline
+
+        rows, analysis, codes = fitted
+        pipeline = IngestPipeline(
+            "s1",
+            analysis,
+            config=IngestConfig(
+                threshold=10.0,  # never fires: the cap must save us
+                max_pending_rows=len(rows) + 10,
+            ),
+        )
+        first = pipeline.ingest(rows)
+        assert first.rows == len(rows)
+        total_before = pipeline.total_rows
+        with pytest.raises(DriftWindowOverflowError):
+            pipeline.ingest(rows)
+        assert pipeline.total_rows == total_before
+        assert pipeline.pending_rows == len(rows)
+        # An explicit refit rebases the window; ingestion resumes.
+        pipeline.refit()
+        assert pipeline.pending_rows == 0
+        assert pipeline.ingest(rows).rows == len(rows)
 
 
 class TestSignal:

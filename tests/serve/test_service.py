@@ -237,3 +237,66 @@ class TestAccounting:
     @staticmethod
     def _boom():
         raise RuntimeError("request blew up")
+
+
+class TestShutdownHygiene:
+    """A closed service leaves no worker threads or executor pools."""
+
+    def test_close_shuts_down_session_pools(self, analysis):
+        registry = ModelRegistry()
+        registry.register("m", analysis)
+        service = HitlistService(registry=registry, workers=4)
+        # Sharded draws from several clients spin up session-owned
+        # worker pools (one long-lived executor each).
+        for client in ("a", "b"):
+            service.generate("m", client, 300, seed=3, workers=2)
+        pools = [
+            pool
+            for key in service.sessions.keys()
+            for pool in service.sessions.get(*key).session._pools.values()
+        ]
+        assert pools and any(not pool.closed for pool in pools)
+        service.close()
+        assert all(pool.closed for pool in pools)
+
+    def test_close_leaves_no_service_threads(self, analysis):
+        registry = ModelRegistry()
+        registry.register("m", analysis)
+        before = {t for t in threading.enumerate()}
+        service = HitlistService(registry=registry, workers=4)
+        service.generate("m", "c", 300, seed=3, workers=2)
+        service.close()
+        leaked = [
+            t
+            for t in threading.enumerate()
+            if t not in before and t.is_alive() and "hitlist" in t.name
+        ]
+        assert leaked == []
+
+    def test_shared_session_manager_is_not_closed(self, analysis):
+        from repro.serve import SessionManager
+
+        registry = ModelRegistry()
+        registry.register("m", analysis)
+        shared = SessionManager(registry)
+        service = HitlistService(registry=registry, sessions=shared)
+        service.generate("m", "c", 200, seed=3, workers=2)
+        service.close()
+        # The shared manager outlives the service: its session is
+        # still live (the manager's owner decides when to close it).
+        assert shared.get("m", "c").closed is False
+        assert shared.close_all() == 1
+
+    def test_evicted_session_releases_pools(self, analysis):
+        from repro.serve import SessionManager
+
+        registry = ModelRegistry()
+        registry.register("m", analysis)
+        manager = SessionManager(registry, capacity=1)
+        first = manager.open("m", "a", workers=2)
+        first.generate(200)
+        pools = list(first.session._pools.values())
+        assert pools
+        manager.open("m", "b")  # evicts the LRU session "a"
+        assert first.closed
+        assert all(pool.closed for pool in pools)
