@@ -942,8 +942,12 @@ def measure_process_parallel_stage(
     Every run draws the same stream — a fresh session, the same seed —
     through a different executor plan: the serial reference
     (``workers=1``), the thread executor at two workers, and the
-    process executor at 1 and 2 workers plus 4 and 8 where the host's
-    affinity mask grants the cores.  The packed rows must be
+    process executor at 2 workers plus 4 and 8 where the host's
+    affinity mask grants the cores.  (A ``workers=1`` process plan
+    would be a lie: ``WorkerPool.map`` runs single-worker pools
+    inline, so no process executor ever starts and the run would just
+    re-measure the serial path under a ``process`` label.)  The
+    packed rows must be
     bit-identical across all of them: shard decomposition is a pure
     function of (caller RNG, shards), so ``workers`` and
     ``exec_backend`` may only change wall time.  Per-run
@@ -976,7 +980,7 @@ def measure_process_parallel_stage(
     plans = [("serial", 1, None), ("thread_2", 2, "thread")]
     plans += [
         (f"process_{w}", w, "process")
-        for w in [1, 2] + [w for w in (4, 8) if cpus >= w]
+        for w in [2] + [w for w in (4, 8) if cpus >= w]
     ]
 
     runs: Dict[str, Dict] = {}

@@ -404,8 +404,9 @@ def build_parser() -> argparse.ArgumentParser:
                           "output is identical for every backend)")
     generate.add_argument("--exec-backend", choices=EXEC_BACKEND_CHOICES,
                           default=None,
-                          help="where sharded draws run (thread default, "
-                          "process for multi-core; output is identical)")
+                          help="where sharded draws run (with --workers; "
+                          "thread default, process for multi-core; output "
+                          "is identical, and ignored on serial runs)")
     generate.set_defaults(func=_cmd_generate)
 
     dataset = sub.add_parser("dataset", help="emit a built-in synthetic set")
@@ -427,8 +428,9 @@ def build_parser() -> argparse.ArgumentParser:
                       "results are identical for every backend)")
     scan.add_argument("--exec-backend", choices=EXEC_BACKEND_CHOICES,
                       default=None,
-                      help="where sharded draws run (thread default, "
-                      "process for multi-core; results are identical)")
+                      help="where sharded draws run (with --workers; "
+                      "thread default, process for multi-core; results "
+                      "are identical, and ignored on serial runs)")
     scan.set_defaults(func=_cmd_scan)
 
     mi = sub.add_parser("mi", help="mutual-information heat map")
@@ -473,8 +475,8 @@ def build_parser() -> argparse.ArgumentParser:
                        help="exclusion-store layout for served sessions")
     serve.add_argument("--exec-backend", choices=EXEC_BACKEND_CHOICES,
                        default=None,
-                       help="where each session's sharded draws run "
-                       "(thread default, process for multi-core)")
+                       help="where each session's sharded draws run (with "
+                       "--workers; thread default, process for multi-core)")
     serve.add_argument("--service-workers", type=int, default=2,
                        help="service worker threads draining the queue")
     serve.add_argument("--max-pending", type=int, default=64,
@@ -513,7 +515,8 @@ def build_parser() -> argparse.ArgumentParser:
                         help="exclusion-store layout for the monitor stream")
     ingest.add_argument("--exec-backend", choices=EXEC_BACKEND_CHOICES,
                         default=None,
-                        help="where the monitor stream's sharded draws run")
+                        help="where the monitor stream's sharded draws run "
+                        "(with --workers)")
     ingest.add_argument("--capacity", type=int, default=0,
                         help="capacity cap of the monitor stream (0 = "
                         "uncapped)")

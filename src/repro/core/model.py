@@ -622,16 +622,20 @@ class AddressModel:
         campaign pattern, with per-call cost independent of how much
         history the session carries.
 
-        ``workers``/``shards``/``exec_backend`` switch to the sharded
-        parallel engine (:func:`repro.exec.sharded_generate_set`): each
-        batch is split into ``shards`` fixed sub-draws with independent
+        ``workers``/``shards`` switch to the sharded parallel engine
+        (:func:`repro.exec.sharded_generate_set`): each batch is split
+        into ``shards`` fixed sub-draws with independent
         ``SeedSequence``-spawned RNG streams executed across ``workers``
         threads (``exec_backend="thread"``, the default) or worker
         processes (``exec_backend="process"``, for real multi-core
         scaling past the GIL).  The output depends only on ``(rng,
         shards)`` — any worker count and either backend produce
-        bit-identical rows.  Left all ``None``, the serial
-        single-stream path below runs.
+        bit-identical rows.  ``exec_backend`` is a pure throughput
+        knob: it only places shards the ``workers``/``shards``
+        arguments created, never selects the sharded route by itself,
+        so with ``workers`` and ``shards`` both ``None`` the serial
+        single-stream path below runs and ``exec_backend`` is ignored
+        (there are no shards to place).
 
         Deterministic for a fixed ``rng``; first-occurrence order within
         the stream is preserved.  Gives up after ``max_batches`` rounds
@@ -640,11 +644,12 @@ class AddressModel:
         """
         if n < 0:
             raise ValueError("n must be non-negative")
-        if (
-            workers is not None
-            or shards is not None
-            or exec_backend is not None
-        ):
+        # exec_backend deliberately does NOT select the sharded route:
+        # sharding changes the RNG stream (by documented design), while
+        # exec_backend is a pure throughput knob that must never change
+        # the output — `exec_backend="process"` with workers/shards
+        # unset is the serial stream, not a silently different one.
+        if workers is not None or shards is not None:
             from repro.exec import sharded_generate_set
 
             return sharded_generate_set(

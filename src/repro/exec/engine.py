@@ -188,11 +188,21 @@ def sharded_generate_set(
         pool = WorkerPool(workers, backend=backend)
         owns_pool = True
 
-    if pool.backend == "process":
+    payload = None
+    if pool.active_backend == "process":
         # One pickle of the model per generation call; shards re-ship
         # the same bytes object (a memcpy) and worker processes cache
-        # the unpickled model by content digest.
-        payload = pickle.dumps(model)
+        # the unpickled model by content digest.  A model that cannot
+        # cross the process boundary degrades to the thread task form
+        # like every other process-path failure (ExecBackendError when
+        # the pool was built with fallback=False) instead of raising
+        # raw out of the one spot the fallback machinery didn't cover.
+        try:
+            payload = pickle.dumps(model)
+        except Exception as exc:
+            pool.degrade_to_threads(exc)
+
+    if payload is not None:
         token = hashlib.sha1(payload).hexdigest()
 
         def make_task(size: int, child):

@@ -141,13 +141,25 @@ class WorkerPool:
     def _make_executor(self, backend: str):
         if backend == "process":
             import multiprocessing
+            import threading
             from concurrent.futures import ProcessPoolExecutor
 
             # fork is the cheap start method (no re-import, the numpy
-            # pages are shared copy-on-write); fall back to the
-            # platform default where it is unavailable.
+            # pages are shared copy-on-write) — but forking a
+            # multithreaded parent can copy another thread's held lock
+            # into the child permanently locked, a silent deadlock no
+            # BrokenProcessPool fallback can catch (and the reason
+            # fork-with-threads is deprecated in recent CPython).  The
+            # serving/CLI layers here run pools from worker threads, so
+            # fork is only safe when this is the sole thread alive;
+            # otherwise forkserver forks from a clean single-threaded
+            # server process.  Fall back to the platform default where
+            # a method is unavailable.
+            method = (
+                "forkserver" if threading.active_count() > 1 else "fork"
+            )
             try:
-                context = multiprocessing.get_context("fork")
+                context = multiprocessing.get_context(method)
             except ValueError:  # pragma: no cover - non-POSIX only
                 context = None
             return ProcessPoolExecutor(
@@ -157,7 +169,14 @@ class WorkerPool:
 
         return ThreadPoolExecutor(max_workers=self.workers)
 
-    def _degrade_to_threads(self, cause: BaseException) -> None:
+    def degrade_to_threads(self, cause: BaseException) -> None:
+        """Switch :attr:`active_backend` to threads after a process-path
+        failure (``cause``), honoring the fallback policy:
+        ``fallback=False`` raises
+        :class:`~repro.errors.ExecBackendError` instead.  Called
+        internally on executor-start/dispatch failures, and by the
+        sharded engine when a task payload (e.g. the model) cannot be
+        pickled — the same graceful degradation either way."""
         if not self._fallback:
             raise ExecBackendError(
                 f"process exec backend failed to start: {cause}"
@@ -173,7 +192,7 @@ class WorkerPool:
                 try:
                     self._executor = self._make_executor("process")
                 except (OSError, ValueError, RuntimeError) as exc:
-                    self._degrade_to_threads(exc)
+                    self.degrade_to_threads(exc)
             if self._executor is None:
                 self._executor = self._make_executor("thread")
             self._closed = False
@@ -215,7 +234,7 @@ class WorkerPool:
             # degrade before paying for a process pool that could only
             # fail.  (Module-level task functions — the sharded
             # engine's — pass this probe and keep the process path.)
-            self._degrade_to_threads(
+            self.degrade_to_threads(
                 pickle.PicklingError(f"task {fn!r} is not picklable")
             )
         executor = self._ensure_executor()
@@ -229,7 +248,7 @@ class WorkerPool:
                 # a sandbox denying fork at first use) or an argument
                 # refused to pickle: shard tasks are pure, so a thread
                 # retry is safe and bit-identical.
-                self._degrade_to_threads(exc)
+                self.degrade_to_threads(exc)
                 executor = self._ensure_executor()
         return list(executor.map(fn, items))
 

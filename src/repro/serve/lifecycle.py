@@ -63,7 +63,9 @@ class SessionSpec:
     *count* is bit-identical to any other).  ``exec_backend`` is *not*
     part of the stream identity — thread and process execution are
     bit-identical, it is recorded here only so a stream's draws run
-    where the deployment asked.
+    where the deployment asked, and with ``workers`` unset (the serial
+    stream) it is ignored entirely: it can place shards, never create
+    them.
     """
 
     exclude: Optional[ExcludeLike] = None

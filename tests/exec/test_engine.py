@@ -290,6 +290,106 @@ class TestProcessBackend:
         )
         assert np.array_equal(ref.matrix, prc.matrix)
 
+    def test_exec_backend_alone_keeps_serial_stream(self, s1_model):
+        """Regression: ``exec_backend`` is a pure throughput knob.  With
+        ``workers``/``shards`` unset it must NOT select the sharded
+        route (whose stream legitimately differs from serial), so
+        passing it alone is output-identical to the plain serial call
+        — the contract the CLI help and ``SessionSpec`` document."""
+        model, train = s1_model
+        ref = model.generate_set(
+            3000, np.random.default_rng(3), exclude=train
+        )
+        for backend in ("thread", "process"):
+            out = model.generate_set(
+                3000,
+                np.random.default_rng(3),
+                exclude=train,
+                exec_backend=backend,
+            )
+            assert np.array_equal(ref.matrix, out.matrix), backend
+
+    def test_unpicklable_model_degrades_to_threads(
+        self, s1_model, monkeypatch
+    ):
+        """A model that cannot cross the process boundary degrades the
+        pool to threads like every other process-path failure — it must
+        not raise raw out of the model-pickling step."""
+        import pickle
+
+        import repro.exec.engine as engine_mod
+
+        model, train = s1_model
+
+        def refuse(obj, *args, **kwargs):
+            raise pickle.PicklingError("model refuses to pickle")
+
+        monkeypatch.setattr(engine_mod.pickle, "dumps", refuse)
+        session = model.session(exclude=train)
+        try:
+            out = model.generate_set(
+                2000,
+                np.random.default_rng(11),
+                state=session,
+                workers=2,
+                exec_backend="process",
+            )
+            pool = session.get_pool(2, "process")
+            assert pool.active_backend == "thread"
+            assert pool.backend == "process"  # the request is remembered
+        finally:
+            session.close()
+        ref = model.generate_set(
+            2000, np.random.default_rng(11), exclude=train, workers=2
+        )
+        assert np.array_equal(ref.matrix, out.matrix)
+
+    def test_degrade_without_fallback_raises(self):
+        pool = WorkerPool(2, backend="process", fallback=False)
+        with pytest.raises(ExecBackendError):
+            pool.degrade_to_threads(RuntimeError("boom"))
+        pool.close()
+
+    def test_multithreaded_parent_avoids_fork(self):
+        """Forking a multithreaded parent can copy another thread's
+        held lock into the child permanently locked; with other
+        threads alive the pool must pick forkserver, not fork."""
+        import multiprocessing
+        import threading
+
+        if "forkserver" not in multiprocessing.get_all_start_methods():
+            pytest.skip("forkserver unavailable on this platform")
+        pool = WorkerPool(2, backend="process")
+        release = threading.Event()
+        helper = threading.Thread(target=release.wait)
+        helper.start()
+        try:
+            executor = pool._make_executor("process")
+            try:
+                assert (
+                    executor._mp_context.get_start_method() == "forkserver"
+                )
+            finally:
+                executor.shutdown(wait=False)
+        finally:
+            release.set()
+            helper.join()
+
+    def test_single_threaded_parent_keeps_fork(self):
+        import multiprocessing
+        import threading
+
+        if "fork" not in multiprocessing.get_all_start_methods():
+            pytest.skip("fork unavailable on this platform")
+        if threading.active_count() > 1:
+            pytest.skip("test runner has background threads")
+        pool = WorkerPool(2, backend="process")
+        executor = pool._make_executor("process")
+        try:
+            assert executor._mp_context.get_start_method() == "fork"
+        finally:
+            executor.shutdown(wait=False)
+
 
 def _square(x):
     return x * x
