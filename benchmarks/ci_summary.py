@@ -33,6 +33,7 @@ from perf_generation import (
 #: import chain so they cannot drift).
 from test_perf_generation import (
     FUSED_GATE_NETWORK,
+    MAX_FAULT_OVERHEAD,
     MAX_INGEST_REFIT_FRACTION,
     MAX_SERVICE_OVERHEAD,
     MAX_STEADY_FLATNESS,
@@ -203,6 +204,16 @@ def render_markdown(record: Dict) -> str:
             f"(active {best.get('active_backend', '—')}), "
             f"bit-identical {verdict} |"
         )
+    fault = record.get("fault_overhead")
+    if fault:
+        verdict = "✅" if fault.get("bit_identical") else "❌"
+        lines.append(
+            f"| — | fault_overhead (disarmed sites) | "
+            f"{fault.get('addresses_per_second', 0):,.0f} | "
+            f"armed/disarmed {fault.get('overhead_ratio', 0)}x, "
+            f"probe {fault.get('disarmed_site_ns', 0)}ns, "
+            f"bit-identical {verdict} |"
+        )
     return "\n".join(lines)
 
 
@@ -267,8 +278,21 @@ def check_gates(record: Dict) -> List[str]:
             "process-parallel runs not bit-identical to the serial "
             "reference"
         )
+    fault = record.get("fault_overhead")
+    if fault is not None and not fault.get("bit_identical"):
+        failures.append(
+            "armed-but-never-matching fault plan changed the generated "
+            "stream (disarmed vs armed draws differ)"
+        )
     if record.get("n_candidates", 0) < FULL_SCALE_THRESHOLD:
         return failures  # smoke record: no throughput gates
+    if fault is not None:
+        ratio = fault.get("overhead_ratio", 0.0)
+        if ratio > MAX_FAULT_OVERHEAD:
+            failures.append(
+                f"fault-site overhead {ratio}x > {MAX_FAULT_OVERHEAD}x "
+                "(armed vs disarmed draw)"
+            )
     if (
         process_parallel is not None
         and process_parallel.get("available_cpus", 0)

@@ -71,6 +71,14 @@ batch), and verifying both land on the same final model digest
 (``digest_equal_to_reference`` — the incremental path's bit-identity
 contract).
 
+The fault-tolerance PR adds a top-level ``fault_overhead`` record: the
+same sharded draw timed disarmed (no fault plan) and under an armed
+plan whose rules never match, recording the armed/disarmed wall-time
+ratio (the whole measurable cost of the ``fault_point`` probes woven
+into the executor hot path), a per-call microbenchmark of the disarmed
+probe, and bit-identity of the two draws — consulting a site never
+touches the stream.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/perf_generation.py \
@@ -1164,6 +1172,77 @@ def measure_streaming_ingest_stage(
     }
 
 
+def measure_fault_overhead_stage(
+    n_candidates: int, seed: int = 0
+) -> Optional[Dict]:
+    """Price the fault-injection probes woven into the generation path.
+
+    The fault harness plants ``fault_point`` probes inside the
+    executor's dispatch loop and per-shard tasks.  Disarmed (no plan)
+    a probe is a single module-global read; armed with a plan whose
+    rules never match it adds one site lookup per shard.  This stage
+    times the identical sharded draw both ways on the same host — best
+    of two per arm, interleaved, so one scheduler hiccup cannot decide
+    the ratio — and reports ``overhead_ratio`` (armed/disarmed wall
+    time, gated at full scale), a per-call microbenchmark of the
+    disarmed probe, and bit-identity of the two draws: consulting a
+    site must never touch the RNG stream.
+    """
+    import inspect
+
+    from repro.core.pipeline import EntropyIP
+    from repro.datasets.networks import build_network
+    from repro.faults import FaultPlan, fault_point
+
+    train = build_network("S1").sample(TRAIN_SIZE, seed=seed)
+    model = EntropyIP.fit(train).model
+    if "workers" not in inspect.signature(model.generate_set).parameters:
+        return None
+
+    def draw():
+        rng = np.random.default_rng(seed + 11)
+        return model.generate_set(n_candidates, rng, workers=2)
+
+    def armed_draw():
+        # A fresh plan per arm: the selector can never fire, so the
+        # probes pay the full armed lookup on every shard without ever
+        # injecting anything.
+        with FaultPlan.parse("pool.shard@999999999:kill").armed():
+            return _timed(draw)
+
+    disarmed_out, disarmed_elapsed = _timed(draw)
+    armed_out, armed_elapsed = armed_draw()
+    _, again = _timed(draw)
+    disarmed_elapsed = min(disarmed_elapsed, again)
+    _, again = armed_draw()
+    armed_elapsed = min(armed_elapsed, again)
+
+    calls = 200_000
+    start = time.perf_counter()
+    for _ in range(calls):
+        fault_point("pool.shard", call=0, shard=0)
+    disarmed_site_ns = (time.perf_counter() - start) / calls * 1e9
+
+    return {
+        "disarmed_seconds": round(disarmed_elapsed, 6),
+        "armed_seconds": round(armed_elapsed, 6),
+        "addresses_per_second": (
+            round(n_candidates / disarmed_elapsed, 1)
+            if disarmed_elapsed
+            else 0.0
+        ),
+        "overhead_ratio": (
+            round(armed_elapsed / disarmed_elapsed, 3)
+            if disarmed_elapsed
+            else 0.0
+        ),
+        "disarmed_site_ns": round(disarmed_site_ns, 1),
+        "bit_identical": bool(
+            np.array_equal(disarmed_out.matrix, armed_out.matrix)
+        ),
+    }
+
+
 def measure(
     n_candidates: int,
     networks: Optional[List[str]] = None,
@@ -1193,6 +1272,9 @@ def measure(
     process_parallel = measure_process_parallel_stage(n_candidates, seed=seed)
     if process_parallel is not None:
         result["process_parallel"] = process_parallel
+    fault_overhead = measure_fault_overhead_stage(n_candidates, seed=seed)
+    if fault_overhead is not None:
+        result["fault_overhead"] = fault_overhead
     return result
 
 

@@ -144,6 +144,14 @@ MIN_INGEST_ROWS_PER_SECOND = 2_000.0
 PROCESS_PARALLEL_MIN_CORES = 4
 MIN_PROCESS_SCALING_AT_4 = 2.0
 
+#: Fault-harness gate.  The ``fault_point`` probes woven into the
+#: executor hot path must be invisible: the armed-but-never-matching
+#: draw may cost at most this multiple of the disarmed draw (expected
+#: ~1.0 — the probe is one global read disarmed, one site lookup per
+#: shard armed; the ceiling absorbs scheduler noise, not real cost),
+#: and the two draws must be bit-identical at any scale.
+MAX_FAULT_OVERHEAD = 1.25
+
 #: Throughput gates only run at (near) paper scale; below the shared
 #: smoke threshold the run is a smoke pass.
 FULL_SCALE = N_CANDIDATES >= SMOKE_THRESHOLD
@@ -248,6 +256,15 @@ def test_perf_generation(benchmark, artifact):
         lines.append(
             f"exec {process_parallel['available_cpus']:>2} cpus: {parts} "
             f"(bit_identical={process_parallel['bit_identical']})"
+        )
+    fault = result.get("fault_overhead")
+    if fault:
+        lines.append(
+            f"fault sites: "
+            f"{fault['addresses_per_second']:>12,.0f} addr/s disarmed "
+            f"(armed/disarmed {fault['overhead_ratio']}x, "
+            f"probe {fault['disarmed_site_ns']}ns, "
+            f"bit_identical={fault['bit_identical']})"
         )
     artifact("perf_generation", "\n".join(lines))
 
@@ -375,6 +392,14 @@ def test_perf_generation(benchmark, artifact):
         run = process_parallel["runs"]["process_4"]
         assert run["active_backend"] == "process", run
         assert run["speedup_vs_serial"] >= MIN_PROCESS_SCALING_AT_4, run
+
+    # The fault-injection probes must never touch the stream (any
+    # scale) and must cost nothing measurable (full scale).
+    fault = result.get("fault_overhead")
+    assert fault is not None, "fault_overhead stage missing"
+    assert fault["bit_identical"], fault
+    if FULL_SCALE:
+        assert fault["overhead_ratio"] <= MAX_FAULT_OVERHEAD, fault
     if FULL_SCALE:
         assert (
             ingest["refits"]

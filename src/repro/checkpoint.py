@@ -1,0 +1,165 @@
+"""Versioned on-disk checkpoint files for sessions and ingest state.
+
+One tiny container format shared by every checkpointable component
+(:meth:`GenerationSession.snapshot`, :meth:`ManagedSession.snapshot`,
+:meth:`IngestPipeline.snapshot`): a magic string, a format version, a
+``kind`` tag naming what was checkpointed, a payload, and a digest of
+the payload bytes.  The payload itself is a plain dict of
+numpy arrays / ints / strings produced by the component's
+``snapshot()`` and consumed by its ``restore()`` — this module only
+owns the envelope.
+
+Why a bespoke envelope rather than bare ``pickle.dump``: restores must
+fail *loudly and typed* (:class:`~repro.errors.CheckpointError`) on
+the three realistic corruptions — a file that is not a checkpoint at
+all, a checkpoint written by an incompatible future version, and a
+checkpoint of the wrong kind (pointing ``ingest --resume`` at a
+session checkpoint) — rather than unpickling garbage into a running
+service.  A sha256 over the payload bytes additionally catches
+truncation from the very crash scenarios this layer exists for.
+
+Writes are atomic (temp file + ``os.replace`` in the target
+directory), so a checkpoint file is always either the complete old
+state or the complete new state — a process killed mid-write leaves
+the previous checkpoint intact, which is exactly what resume needs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import struct
+import tempfile
+from typing import Any, Dict, Optional
+
+from repro.errors import CheckpointError
+from repro.faults import fault_point
+
+#: Leading bytes of every checkpoint file.
+MAGIC = b"REPRO-CKPT"
+
+#: Current envelope format version.  Bump on incompatible layout
+#: changes; ``load_checkpoint`` refuses versions it does not know.
+FORMAT_VERSION = 1
+
+_HEADER = struct.Struct("<10sHH32sQ")  # magic, version, kind_len, sha256, payload_len
+
+
+def save_checkpoint(path: str, kind: str, payload: Dict[str, Any]) -> None:
+    """Atomically write ``payload`` as a ``kind`` checkpoint at ``path``."""
+    body = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+    kind_bytes = kind.encode("utf-8")
+    if len(kind_bytes) > 0xFFFF:  # pragma: no cover - absurd input only
+        raise ValueError("checkpoint kind too long")
+    header = _HEADER.pack(
+        MAGIC,
+        FORMAT_VERSION,
+        len(kind_bytes),
+        hashlib.sha256(body).digest(),
+        len(body),
+    )
+    fault_point("checkpoint.save")
+    directory = os.path.dirname(os.path.abspath(path)) or "."
+    fd, tmp = tempfile.mkstemp(prefix=".ckpt-", dir=directory)
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(header)
+            handle.write(kind_bytes)
+            handle.write(body)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def load_checkpoint(path: str, kind: Optional[str] = None) -> Dict[str, Any]:
+    """Read a checkpoint back; validate envelope, version, kind, digest.
+
+    ``kind=None`` accepts any kind (the caller can inspect the
+    ``"kind"`` key of the returned dict's envelope via
+    :func:`checkpoint_kind`); otherwise a mismatch raises
+    :class:`~repro.errors.CheckpointError`.
+    """
+    try:
+        with open(path, "rb") as handle:
+            raw_header = handle.read(_HEADER.size)
+            if len(raw_header) < _HEADER.size:
+                raise CheckpointError(
+                    f"checkpoint {path!r} is truncated (no complete header)"
+                )
+            magic, version, kind_len, digest, body_len = _HEADER.unpack(
+                raw_header
+            )
+            if magic != MAGIC:
+                raise CheckpointError(
+                    f"checkpoint {path!r} is not a repro checkpoint file"
+                )
+            if version != FORMAT_VERSION:
+                raise CheckpointError(
+                    f"checkpoint {path!r} has format version {version}, "
+                    f"this build reads version {FORMAT_VERSION}"
+                )
+            file_kind = handle.read(kind_len).decode("utf-8")
+            body = handle.read(body_len)
+    except OSError as exc:
+        raise CheckpointError(
+            f"checkpoint {path!r} could not be read: {exc}"
+        ) from exc
+    if kind is not None and file_kind != kind:
+        raise CheckpointError(
+            f"checkpoint {path!r} holds {file_kind!r} state, "
+            f"expected {kind!r}"
+        )
+    if len(body) != body_len or hashlib.sha256(body).digest() != digest:
+        raise CheckpointError(
+            f"checkpoint {path!r} payload is truncated or corrupt "
+            f"(digest mismatch)"
+        )
+    try:
+        payload = pickle.loads(body)
+    except Exception as exc:
+        raise CheckpointError(
+            f"checkpoint {path!r} payload failed to deserialize: {exc}"
+        ) from exc
+    if not isinstance(payload, dict):
+        raise CheckpointError(
+            f"checkpoint {path!r} payload is {type(payload).__name__}, "
+            f"expected dict"
+        )
+    return payload
+
+
+def checkpoint_kind(path: str) -> str:
+    """The ``kind`` tag of the checkpoint at ``path`` (header only)."""
+    try:
+        with open(path, "rb") as handle:
+            raw_header = handle.read(_HEADER.size)
+            if len(raw_header) < _HEADER.size:
+                raise CheckpointError(
+                    f"checkpoint {path!r} is truncated (no complete header)"
+                )
+            magic, version, kind_len, _, _ = _HEADER.unpack(raw_header)
+            if magic != MAGIC:
+                raise CheckpointError(
+                    f"checkpoint {path!r} is not a repro checkpoint file"
+                )
+            return handle.read(kind_len).decode("utf-8")
+    except OSError as exc:
+        raise CheckpointError(
+            f"checkpoint {path!r} could not be read: {exc}"
+        ) from exc
+
+
+__all__ = [
+    "FORMAT_VERSION",
+    "MAGIC",
+    "checkpoint_kind",
+    "load_checkpoint",
+    "save_checkpoint",
+]

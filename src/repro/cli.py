@@ -161,7 +161,51 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
-def _serve_stdin(service, name: str, width: int, stream) -> int:
+def _save_serve_checkpoint(service, directory: str) -> str:
+    """Snapshot every live session into ``directory`` (one file)."""
+    import os
+
+    from repro.checkpoint import save_checkpoint
+
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, "sessions.ckpt")
+    save_checkpoint(
+        path, "sessions", {"sessions": service.sessions.snapshot_all()}
+    )
+    return path
+
+
+def _restore_serve_checkpoint(service, directory: str) -> int:
+    """Reinstall checkpointed client streams, if a checkpoint exists.
+
+    Returns how many streams were restored.  A stream whose model is
+    missing or has a different digest is skipped with a warning — the
+    rest of the checkpoint still restores (a partial resume beats
+    refusing to start).
+    """
+    import os
+
+    from repro.checkpoint import load_checkpoint
+    from repro.errors import CheckpointError, UnknownModelError
+
+    path = os.path.join(directory, "sessions.ckpt")
+    if not os.path.exists(path):
+        return 0
+    restored = 0
+    for payload in load_checkpoint(path, kind="sessions")["sessions"]:
+        try:
+            service.sessions.restore_session(payload)
+            restored += 1
+        except (CheckpointError, UnknownModelError) as exc:
+            print(f"error: skipping checkpointed stream: {exc}",
+                  file=sys.stderr)
+    return restored
+
+
+def _serve_stdin(
+    service, name: str, width: int, stream,
+    checkpoint_dir: Optional[str] = None,
+) -> int:
     """The ``serve`` line protocol: one request per line.
 
     ``gen <client> <n>``        — next n candidates of the client's stream
@@ -172,7 +216,16 @@ def _serve_stdin(service, name: str, width: int, stream) -> int:
     streaming-ingest pipeline (drift may refit it; live streams adopt
     the new version without resetting)
     ``stats``                   — service counters + latency percentiles
+    ``health``                  — queue depth, shed/timeout/retry and
+    exec degradation counters, registered model versions (JSON)
+    ``checkpoint``              — snapshot live streams to
+    ``--checkpoint-dir`` now (also done automatically on exit)
     ``quit``                    — exit
+
+    A malformed or unknown request — or a request that fails in any
+    unforeseen way — yields an ``error:`` line on stderr and the loop
+    keeps reading; only ``quit``/EOF (or a real shutdown signal) ends
+    it.
     """
     import json
 
@@ -218,10 +271,23 @@ def _serve_stdin(service, name: str, width: int, stream) -> int:
                 print(line)
             elif command == "stats" and not rest:
                 print(json.dumps(service.stats(), sort_keys=True))
+            elif command == "health" and not rest:
+                print(json.dumps(service.health(), sort_keys=True))
+            elif command == "checkpoint" and not rest:
+                if checkpoint_dir is None:
+                    print("error: serve was started without "
+                          "--checkpoint-dir", file=sys.stderr)
+                else:
+                    print(
+                        f"checkpointed to "
+                        f"{_save_serve_checkpoint(service, checkpoint_dir)}"
+                    )
             else:
                 print(f"error: unknown request {raw.strip()!r}", file=sys.stderr)
         except (ReproError, ValueError) as exc:
             print(f"error: {exc}", file=sys.stderr)
+        except Exception as exc:  # never let one request kill the loop
+            print(f"error: {type(exc).__name__}: {exc}", file=sys.stderr)
     return 0
 
 
@@ -289,9 +355,23 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         workers=args.service_workers, max_pending=args.max_pending
     ) as service:
         service.fit(name, addresses, width=args.width)
-        if args.requests:
-            return _serve_synthetic(service, name, args)
-        return _serve_stdin(service, name, args.width, sys.stdin)
+        if args.checkpoint_dir:
+            restored = _restore_serve_checkpoint(service, args.checkpoint_dir)
+            if restored:
+                print(f"restored {restored} checkpointed stream(s)",
+                      file=sys.stderr)
+        try:
+            if args.requests:
+                return _serve_synthetic(service, name, args)
+            return _serve_stdin(
+                service, name, args.width, sys.stdin,
+                checkpoint_dir=args.checkpoint_dir,
+            )
+        finally:
+            # A final sweep so a clean exit (quit/EOF) always leaves a
+            # resumable checkpoint behind.
+            if args.checkpoint_dir:
+                _save_serve_checkpoint(service, args.checkpoint_dir)
 
 
 def _cmd_ingest(args: argparse.Namespace) -> int:
@@ -318,7 +398,20 @@ def _cmd_ingest(args: argparse.Namespace) -> int:
     )
     with HitlistService() as service:
         service.fit(args.name, snapshots[0])
-        service.open_ingest(args.name, config=config)
+        if args.resume:
+            from repro.checkpoint import load_checkpoint
+
+            pipeline = service.restore_ingest(
+                load_checkpoint(args.resume, kind="ingest"), config=config
+            )
+            print(
+                f"resumed from {args.resume}: {pipeline.batches} batches "
+                f"({pipeline.rows_ingested} rows) already ingested, "
+                f"model version {pipeline.version}"
+            )
+        else:
+            pipeline = service.open_ingest(args.name, config=config)
+        batches_done = pipeline.batches
         # A live monitor stream, to demonstrate that drift-triggered
         # rolls never reset a client: rows served before the feed stay
         # retired after it.
@@ -335,6 +428,7 @@ def _cmd_ingest(args: argparse.Namespace) -> int:
         per_snapshot = max(1, args.batches)
         rows = refits = 0
         refit_seconds = 0.0
+        batch_number = 0
         started = time.perf_counter()
         for index, snapshot in enumerate(snapshots[1:], start=1):
             bounds = np.linspace(
@@ -343,6 +437,12 @@ def _cmd_ingest(args: argparse.Namespace) -> int:
             for batch_index, (low, high) in enumerate(
                 zip(bounds[:-1], bounds[1:]), start=1
             ):
+                batch_number += 1
+                if batch_number <= batches_done:
+                    # Already folded in before the checkpointed process
+                    # died; the feed is deterministic, so skipping it
+                    # here continues exactly where that run stopped.
+                    continue
                 report = service.ingest(
                     args.name, snapshot.take(range(low, high))
                 )
@@ -359,6 +459,12 @@ def _cmd_ingest(args: argparse.Namespace) -> int:
                         f"version {report.version}"
                     )
                 print(line)
+                if args.checkpoint:
+                    from repro.checkpoint import save_checkpoint
+
+                    save_checkpoint(
+                        args.checkpoint, "ingest", pipeline.snapshot()
+                    )
         elapsed = time.perf_counter() - started
         after = service.generate(args.name, "monitor", args.count)
         entry = service.registry.get(args.name)
@@ -481,6 +587,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="service worker threads draining the queue")
     serve.add_argument("--max-pending", type=int, default=64,
                        help="bounded work queue depth (backpressure knob)")
+    serve.add_argument("--checkpoint-dir", default=None,
+                       help="restore client streams checkpointed here on "
+                       "startup and snapshot them on exit (plus the "
+                       "'checkpoint' protocol verb on demand); resumed "
+                       "streams continue bit-identically")
     serve.set_defaults(func=_cmd_serve)
 
     ingest = sub.add_parser(
@@ -520,6 +631,15 @@ def build_parser() -> argparse.ArgumentParser:
     ingest.add_argument("--capacity", type=int, default=0,
                         help="capacity cap of the monitor stream (0 = "
                         "uncapped)")
+    ingest.add_argument("--checkpoint", default=None,
+                        help="write the pipeline's resumable state here "
+                        "after every batch (atomic; a killed run resumes "
+                        "with --resume)")
+    ingest.add_argument("--resume", default=None,
+                        help="resume a killed run from this checkpoint "
+                        "file: already-ingested batches of the "
+                        "deterministic feed are skipped, the rest "
+                        "continue bit-identically")
     ingest.set_defaults(func=_cmd_ingest)
 
     return parser

@@ -226,6 +226,76 @@ class GenerationSession:
     def __exit__(self, *exc_info) -> None:
         self.close()
 
+    def exec_stats(self) -> Dict[str, int]:
+        """Fault-tolerance counters aggregated over this session's
+        worker pools: mid-run executor rebuilds (``retries``) and
+        process→thread fallbacks (``degradations``)."""
+        stats = {"retries": 0, "degradations": 0}
+        for pool in self._pools.values():
+            stats["retries"] += pool.retries
+            stats["degradations"] += pool.degradations
+        return stats
+
+    def snapshot(self) -> dict:
+        """The session's complete generation state as plain data.
+
+        The table's stored-rows matrix *is* the session (rehash and
+        rollback already rebuild everything from it), so a snapshot is
+        that matrix plus the exclusion split and the cap — no backend
+        internals, no pool state (pools are lazily recreated).  Pair
+        with :meth:`restore`; persist via
+        :func:`repro.checkpoint.save_checkpoint`.
+        """
+        words = np.array(
+            self._table.stored_words(), dtype=np.uint64, copy=True
+        )
+        return {
+            "width": self._width,
+            "capacity": self._capacity,
+            "excluded_rows": self._excluded,
+            "words": words,
+            "digest": self._table.state_digest(),
+        }
+
+    @classmethod
+    def restore(
+        cls, snapshot: dict, backend: BackendSpec = None
+    ) -> "GenerationSession":
+        """Rebuild a session from a :meth:`snapshot`.
+
+        Re-inserting the stored rows rebuilds a table with exactly the
+        same membership set, exclusion split, and capacity headroom —
+        everything generation behavior depends on — so a restored
+        session continues exactly where the snapshot left off: with
+        the caller resuming the same RNG stream, subsequent draws are
+        bit-identical to an uninterrupted run.  The snapshot's
+        order-independent state digest is re-verified after the
+        rebuild; corruption fails with
+        :class:`~repro.errors.CheckpointError` instead of silently
+        serving rows the original session had already retired.
+        """
+        from repro.errors import CheckpointError
+
+        session = cls(
+            int(snapshot["width"]),
+            capacity=int(snapshot["capacity"]),
+            backend=backend,
+        )
+        words = np.ascontiguousarray(
+            np.asarray(snapshot["words"], dtype=np.uint64)
+        )
+        if len(words):
+            session._table.reserve(len(words))
+            session._table.insert_packed(words)
+        session._excluded = int(snapshot["excluded_rows"])
+        expected = snapshot.get("digest")
+        if expected is not None and session._table.state_digest() != expected:
+            raise CheckpointError(
+                "restored session state digest mismatch (wrong storage "
+                "backend, or a corrupt snapshot)"
+            )
+        return session
+
     def observe(self, exclude: ExcludeLike) -> int:
         """Fold additional exclusions in mid-campaign; returns how many
         of them were actually new to the session.

@@ -105,6 +105,31 @@ class ExecBackendError(ReproError, ValueError):
     differs."""
 
 
+class RequestTimeoutError(ReproError, RuntimeError):
+    """A queued request's deadline expired before a worker picked it
+    up — the work function never ran.
+
+    Deadlines are absolute clock readings on the service's own clock
+    (``HitlistService(clock=...)``); a worker compares the deadline
+    against the clock *before* executing the request and sheds expired
+    entries with this error on their future, so a stalled queue cannot
+    make a slow client's work even later — it fails fast instead."""
+
+
+class CheckpointError(ReproError, RuntimeError):
+    """A checkpoint file could not be read back: wrong magic, an
+    unsupported format version, a payload kind mismatching what the
+    caller asked to restore, or a truncated/corrupt payload.  Raised
+    by :func:`repro.checkpoint.load_checkpoint` and the
+    ``restore``/``resume`` entry points built on it."""
+
+
+class FaultPlanError(ReproError, ValueError):
+    """A fault-injection plan string that cannot be parsed (see
+    :mod:`repro.faults` for the ``site@selector:action`` grammar) or
+    names an exception outside the injectable allowlist."""
+
+
 class DriftWindowOverflowError(ReproError, RuntimeError):
     """The drift detector's pending window would exceed its configured
     ``max_pending_rows`` cap.
@@ -117,11 +142,14 @@ class DriftWindowOverflowError(ReproError, RuntimeError):
 
 
 __all__ = [
+    "CheckpointError",
     "DriftWindowOverflowError",
     "ExecBackendError",
+    "FaultPlanError",
     "IngestDriftError",
     "ModelDigestMismatch",
     "ReproError",
+    "RequestTimeoutError",
     "ServiceClosedError",
     "ServiceOverloadedError",
     "SessionCapacityError",

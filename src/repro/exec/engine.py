@@ -50,6 +50,7 @@ from repro.exec.sharding import (
     shard_bounds,
     shard_sizes,
 )
+from repro.faults import fault_point
 from repro.ipv6.sets import AddressSet
 
 #: Default shard count per generation round.  Part of the determinism
@@ -94,14 +95,18 @@ def _empty_shard(width: int, fused: bool):
 def _draw_shard_task(args):
     """One shard's draw, shaped for the process boundary.
 
-    ``args`` is ``(token, payload, use_fused, resolved, size, child)``:
-    everything is plain picklable data, and the function is
-    module-level, so a ``ProcessPoolExecutor`` can ship it.  The same
-    function runs unchanged on the thread backend after a process-start
-    fallback (the in-process model cache then makes the unpickle a
-    one-time cost there too).
+    ``args`` is ``(token, payload, use_fused, resolved, size, child,
+    call_index, shard_index)``: everything is plain picklable data, and
+    the function is module-level, so a ``ProcessPoolExecutor`` can ship
+    it.  The same function runs unchanged on the thread backend after a
+    process-start fallback (the in-process model cache then makes the
+    unpickle a one-time cost there too).  The trailing indices identify
+    the shard deterministically — call number within the generation
+    call, shard position within the round's decomposition — for the
+    ``pool.shard`` fault site, regardless of which worker runs it.
     """
-    token, payload, use_fused, resolved, size, child = args
+    token, payload, use_fused, resolved, size, child, call_index, shard_index = args
+    fault_point("pool.shard", call=call_index, shard=shard_index)
     model = _cached_model(token, payload)
     if size == 0:
         return _empty_shard(model.encoder.width, use_fused)
@@ -205,17 +210,21 @@ def sharded_generate_set(
     if payload is not None:
         token = hashlib.sha1(payload).hexdigest()
 
-        def make_task(size: int, child):
-            return (token, payload, plan is not None, resolved, size, child)
+        def make_task(size: int, child, call_index: int, shard_index: int):
+            return (
+                token, payload, plan is not None, resolved, size, child,
+                call_index, shard_index,
+            )
 
         task_fn = _draw_shard_task
     else:
 
-        def make_task(size: int, child):
-            return (size, child)
+        def make_task(size: int, child, call_index: int, shard_index: int):
+            return (size, child, call_index, shard_index)
 
         def task_fn(args):
-            size, child = args
+            size, child, call_index, shard_index = args
+            fault_point("pool.shard", call=call_index, shard=shard_index)
             if size == 0:
                 return _empty_shard(width, plan is not None)
             shard_rng = np.random.default_rng(child)
@@ -229,15 +238,20 @@ def sharded_generate_set(
             )
             return decoded.matrix, decoded.packed_rows()
 
+    call_count = 0
+
     def draw(batch_size: int) -> "tuple[np.ndarray, np.ndarray]":
+        nonlocal call_count
+        call_index = call_count
+        call_count += 1
         sizes = shard_sizes(batch_size, shards)
         children = seed_sequence.spawn(shards)
         # Empty shards are skipped, not dispatched: their streams are
         # independent and they contribute zero rows, so the merged
         # output is unchanged — and no worker ever sees size == 0.
         tasks = [
-            make_task(int(size), child)
-            for size, child in zip(sizes, children)
+            make_task(int(size), child, call_index, shard_index)
+            for shard_index, (size, child) in enumerate(zip(sizes, children))
             if size > 0
         ]
         if not tasks:

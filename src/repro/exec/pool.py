@@ -32,15 +32,30 @@ from __future__ import annotations
 
 import os
 import pickle
+import time
 from typing import Callable, List, Optional, Sequence, TypeVar
 
 from repro.errors import ExecBackendError
+from repro.faults import fault_point
 
 T = TypeVar("T")
 R = TypeVar("R")
 
 #: Execution backends a :class:`WorkerPool` can run shards on.
 EXEC_BACKENDS = ("thread", "process")
+
+#: Default cap on mid-``map`` executor rebuilds before the pool gives
+#: up on the process backend and degrades to threads.
+DEFAULT_MAX_RETRIES = 2
+
+#: Base backoff (seconds) between executor rebuilds; doubles each
+#: retry.  Small on purpose — a rebuilt pool is ready immediately, the
+#: pause only spaces out repeated crashes of a genuinely sick host.
+DEFAULT_RETRY_BACKOFF = 0.05
+
+#: Placeholder for a shard result not yet computed (``None`` is a
+#: legitimate task result, so identity against a private sentinel).
+_PENDING = object()
 
 
 def available_cpus() -> int:
@@ -126,6 +141,8 @@ class WorkerPool:
         workers: Optional[int] = None,
         backend: Optional[str] = None,
         fallback: bool = True,
+        max_retries: int = DEFAULT_MAX_RETRIES,
+        retry_backoff: float = DEFAULT_RETRY_BACKOFF,
     ):
         self.workers = resolve_workers(workers)
         self.backend = resolve_exec_backend(backend)
@@ -133,6 +150,12 @@ class WorkerPool:
         self._fallback = fallback
         self._executor = None
         self._closed = False
+        self.max_retries = int(max_retries)
+        self.retry_backoff = float(retry_backoff)
+        #: Mid-``map`` executor rebuilds after losing workers in flight.
+        self.retries = 0
+        #: Process→thread degradations over the pool's lifetime.
+        self.degradations = 0
 
     # ------------------------------------------------------------------
     # executor lifecycle
@@ -179,11 +202,13 @@ class WorkerPool:
         pickled — the same graceful degradation either way."""
         if not self._fallback:
             raise ExecBackendError(
-                f"process exec backend failed to start: {cause}"
+                f"process exec backend failed: {cause}"
             ) from cause
         if self._executor is not None:
             self._executor.shutdown(wait=False, cancel_futures=True)
             self._executor = None
+        if self.active_backend != "thread":
+            self.degradations += 1
         self.active_backend = "thread"
 
     def _ensure_executor(self):
@@ -237,20 +262,84 @@ class WorkerPool:
             self.degrade_to_threads(
                 pickle.PicklingError(f"task {fn!r} is not picklable")
             )
-        executor = self._ensure_executor()
+        self._ensure_executor()
         if self.active_backend == "process":
-            from concurrent.futures.process import BrokenProcessPool
+            return self._map_process(fn, items)
+        return list(self._ensure_executor().map(fn, items))
 
+    def _map_process(self, fn: Callable[[T], R], items: List[T]) -> List[R]:
+        """Process-backend dispatch with mid-run worker-loss recovery.
+
+        Tasks are submitted individually (not ``executor.map``) so that
+        when the pool breaks mid-flight — a worker OOM-killed between
+        shards, a sandbox revoking fork at first real use — the results
+        that *did* complete are kept, the broken executor is rebuilt,
+        and only the unfinished items are re-dispatched, up to
+        :attr:`max_retries` rebuilds with exponential backoff.  Shard
+        tasks are pure functions of their arguments, so a re-dispatch
+        returns bit-identical words and the merged output cannot differ
+        from a fault-free run.  When retries are exhausted (or an
+        argument refuses to pickle, which no rebuild can fix) the pool
+        degrades to threads as before — still bit-identical, and still
+        raising :class:`~repro.errors.ExecBackendError` under
+        ``fallback=False``.
+        """
+        from concurrent.futures.process import BrokenProcessPool
+
+        results: List = [_PENDING] * len(items)
+        for attempt in range(self.max_retries + 1):
+            executor = self._ensure_executor()
+            if self.active_backend != "process":
+                break  # executor restart itself fell back to threads
+            pending = [i for i, r in enumerate(results) if r is _PENDING]
+            futures = {}
             try:
-                return list(executor.map(fn, items))
+                for index in pending:
+                    fault_point("pool.dispatch")
+                    futures[index] = executor.submit(fn, items[index])
+                for index in pending:
+                    results[index] = futures[index].result()
+                return results
             except (BrokenProcessPool, pickle.PicklingError, OSError) as exc:
-                # Worker start died after construction (resource limits,
-                # a sandbox denying fork at first use) or an argument
-                # refused to pickle: shard tasks are pure, so a thread
-                # retry is safe and bit-identical.
-                self.degrade_to_threads(exc)
-                executor = self._ensure_executor()
-        return list(executor.map(fn, items))
+                # Harvest whatever finished before the break — pure
+                # tasks make completed results exactly as valid as
+                # they would be in a fault-free run.
+                for index, future in futures.items():
+                    if (
+                        results[index] is _PENDING
+                        and future.done()
+                        and not future.cancelled()
+                        and future.exception() is None
+                    ):
+                        results[index] = future.result()
+                if self._executor is not None:
+                    self._executor.shutdown(wait=False, cancel_futures=True)
+                    self._executor = None
+                unfixable = isinstance(exc, pickle.PicklingError)
+                if unfixable or attempt == self.max_retries:
+                    self.degrade_to_threads(exc)
+                    break
+                self.retries += 1
+                if self.retry_backoff > 0:
+                    time.sleep(self.retry_backoff * (2 ** attempt))
+        executor = self._ensure_executor()
+        pending = [i for i, r in enumerate(results) if r is _PENDING]
+        if pending:
+            finished = executor.map(fn, [items[i] for i in pending])
+            for index, value in zip(pending, finished):
+                results[index] = value
+        return results
+
+    def stats(self) -> dict:
+        """Operational counters for health reporting: configured vs
+        active backend, mid-run retries, and degradations."""
+        return {
+            "workers": self.workers,
+            "backend": self.backend,
+            "active_backend": self.active_backend,
+            "retries": self.retries,
+            "degradations": self.degradations,
+        }
 
     def __repr__(self) -> str:
         suffix = (

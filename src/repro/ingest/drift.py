@@ -193,6 +193,52 @@ class DriftDetector:
             ),
         )
 
+    def snapshot(self) -> dict:
+        """The detector's full state as plain arrays — baseline *and*
+        pending window.  The baseline is serialized rather than
+        recomputed on restore because rows may have arrived since the
+        last rebase: a freshly constructed detector over the cumulative
+        statistics would fold the pending rows into its baseline and
+        score every future batch against the wrong reference."""
+        return {
+            "threshold": self.threshold,
+            "min_rows": self.min_rows,
+            "max_pending_rows": self.max_pending_rows,
+            "baseline_entropies": np.array(
+                self._baseline_entropies, copy=True
+            ),
+            "baseline_code_counts": [
+                np.array(c, copy=True) for c in self._baseline_code_counts
+            ],
+            "pending_counts": np.array(self._pending_counts, copy=True),
+            "pending_code_counts": [
+                np.array(c, copy=True) for c in self._pending_code_counts
+            ],
+            "pending_rows": self._pending_rows,
+        }
+
+    @classmethod
+    def restore(cls, snapshot: dict) -> "DriftDetector":
+        """Rebuild a detector from a :meth:`snapshot` — same baseline,
+        same pending window, so the next :meth:`signal` is
+        bit-identical to what the snapshotted detector would score."""
+        detector = cls(
+            snapshot["baseline_entropies"],
+            snapshot["baseline_code_counts"],
+            threshold=float(snapshot["threshold"]),
+            min_rows=int(snapshot["min_rows"]),
+            max_pending_rows=int(snapshot["max_pending_rows"]),
+        )
+        detector._pending_counts = np.array(
+            snapshot["pending_counts"], dtype=np.int64, copy=True
+        )
+        detector._pending_code_counts = [
+            np.array(c, dtype=np.int64, copy=True)
+            for c in snapshot["pending_code_counts"]
+        ]
+        detector._pending_rows = int(snapshot["pending_rows"])
+        return detector
+
     def rebase(
         self,
         baseline_entropies: np.ndarray,

@@ -45,6 +45,7 @@ from repro.errors import (
     StaleModelError,
     UnknownModelError,
 )
+from repro.faults import fault_point
 from repro.ingest.drift import (
     DEFAULT_DRIFT_THRESHOLD,
     DriftDetector,
@@ -258,6 +259,10 @@ class IngestPipeline:
         drift baseline, and returns the wall-clock seconds spent.
         """
         with self._lock:
+            # Fault site: a refit that dies here loses no data — the
+            # statistics are already folded, so the caller simply calls
+            # refit() again (or the next fired signal does).
+            fault_point("ingest.refit")
             start = self._clock()
             cumulative = self._stats.materialize()
             entropies = self._stats.entropies()
@@ -314,6 +319,106 @@ class IngestPipeline:
             self.refit_seconds_total += seconds
             self.last_refit_seconds = seconds
             return seconds
+
+    # ------------------------------------------------------------------
+    # checkpoint/restore
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """The pipeline's complete resumable state as plain data.
+
+        Carries the current analysis (model included), the cumulative
+        rows folded in since that analysis' fit (the suffix the
+        analysis itself does not hold), the drift detector's baseline
+        *and* pending window, and the counters.  Taken under the
+        pipeline lock — always a consistent point between batches.
+        Persist via :func:`repro.checkpoint.save_checkpoint`; resume
+        with :meth:`restore`.
+        """
+        import numpy as np
+
+        with self._lock:
+            cumulative = self._stats.materialize()
+            base_rows = len(self._analysis.address_set)
+            return {
+                "name": self.name,
+                "width": self._width,
+                "digest": self._digest,
+                "version": self._version,
+                "analysis": self._analysis,
+                # Rows folded in after the current analysis' fit: the
+                # analysis carries its own training rows, so only the
+                # suffix needs to ride along (it is a prefix-extension
+                # by construction — refits materialize cumulatively).
+                "extra_matrix": np.array(
+                    cumulative.matrix[base_rows:], copy=True
+                ),
+                "detector": self._detector.snapshot(),
+                "counters": {
+                    "batches": self.batches,
+                    "rows_ingested": self.rows_ingested,
+                    "refits": self.refits,
+                    "refit_seconds_total": self.refit_seconds_total,
+                    "last_refit_seconds": self.last_refit_seconds,
+                },
+            }
+
+    @classmethod
+    def restore(
+        cls,
+        payload: dict,
+        config: Optional[IngestConfig] = None,
+        registry: Optional["ModelRegistry"] = None,
+        sessions: Optional["SessionManager"] = None,
+        clock: Callable[[], float] = time.perf_counter,
+    ) -> "IngestPipeline":
+        """Rebuild a pipeline from a :meth:`snapshot`.
+
+        The incremental statistics are reconstructed by folding the
+        snapshot's post-fit rows back in (count sums are
+        order-independent and the row order is preserved, so the
+        cumulative matrix — and therefore any later refit — is
+        bit-identical to the uninterrupted run's), and the drift
+        detector resumes with its exact saved baseline and pending
+        window, so the next batch scores identically too.
+        """
+        from repro.ipv6.sets import AddressSet
+
+        pipeline = cls(
+            payload["name"],
+            payload["analysis"],
+            config=config,
+            registry=registry,
+            sessions=sessions,
+            clock=clock,
+        )
+        with pipeline._lock:
+            extra = payload["extra_matrix"]
+            if len(extra):
+                pipeline._stats.update(AddressSet(extra))
+            pipeline._detector = DriftDetector.restore(payload["detector"])
+            counters = payload["counters"]
+            pipeline.batches = int(counters["batches"])
+            pipeline.rows_ingested = int(counters["rows_ingested"])
+            pipeline.refits = int(counters["refits"])
+            pipeline.refit_seconds_total = float(
+                counters["refit_seconds_total"]
+            )
+            pipeline.last_refit_seconds = counters["last_refit_seconds"]
+            if registry is None:
+                # Library mode tracks digest/version locally.
+                pipeline._digest = payload["digest"]
+                pipeline._version = int(payload["version"])
+            else:
+                # A registry-backed resume re-registered the analysis
+                # in __init__, but a fresh process's registry counter
+                # restarts at 1 — fast-forward the entry so the version
+                # lineage clients saw before the crash never regresses.
+                entry = registry.resume_version(
+                    pipeline.name, int(payload["version"])
+                )
+                pipeline._version = entry.version
+        return pipeline
 
     # ------------------------------------------------------------------
     # introspection

@@ -99,6 +99,11 @@ class AddressSetBackend(Protocol):
         packed matrix (ordering is backend-defined)."""
         ...
 
+    def state_digest(self) -> str:
+        """sha256 over :meth:`stored_words` — a checkpoint round-trip
+        equality witness."""
+        ...
+
     def reserve(self, capacity: int) -> None:
         """Grow hook: pre-size for ``capacity`` stored rows."""
         ...
@@ -217,6 +222,21 @@ class ShardedBucketTable:
         """All stored rows, grouped by shard (insertion order within
         each shard).  A copy — shards keep their own columns."""
         return np.vstack([shard.stored_words() for shard in self._shards])
+
+    def state_digest(self) -> str:
+        """Order-independent sha256 over the stored row set, in the
+        same canonical (lexicographic) order as
+        :meth:`BucketTable.state_digest` — so the digest is stable
+        across a checkpoint round-trip and even across storage
+        backends holding the same rows."""
+        import hashlib
+
+        words = self.stored_words()
+        if len(words):
+            words = words[np.lexsort(words.T[::-1])]
+        return hashlib.sha256(
+            np.ascontiguousarray(words).tobytes()
+        ).hexdigest()
 
     def reserve(self, capacity: int) -> None:
         """Pre-size every shard for its expected share of ``capacity``

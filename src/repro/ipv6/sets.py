@@ -310,6 +310,26 @@ class BucketTable:
         view.setflags(write=False)
         return view
 
+    def state_digest(self) -> str:
+        """Order-independent sha256 over the stored row *set*.
+
+        Rows are hashed in canonical (lexicographic) order, not stored
+        order: the physical append order depends on how the same rows
+        were batched (probe-round resolution appends collided rows
+        later), but every membership-relevant behavior — ``contains``,
+        dedup on insert, ``len`` — depends only on the set.  Two tables
+        with equal digests therefore behave identically, which is
+        exactly what a checkpoint round-trip needs to verify.
+        """
+        import hashlib
+
+        words = self._words[: self._count]
+        if len(words):
+            words = words[np.lexsort(words.T[::-1])]
+        return hashlib.sha256(
+            np.ascontiguousarray(words).tobytes()
+        ).hexdigest()
+
     def reserve(self, capacity: int) -> None:
         """Grow hook: pre-size slot and storage arrays for ``capacity``
         stored rows, so subsequent inserts up to that point never

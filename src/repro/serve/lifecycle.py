@@ -39,7 +39,11 @@ from repro.core.model import (
 )
 # Defined in the consolidated hierarchy (repro.errors); re-exported
 # here because this module is their historical home.
-from repro.errors import SessionClosedError, UnknownSessionError
+from repro.errors import (
+    CheckpointError,
+    SessionClosedError,
+    UnknownSessionError,
+)
 from repro.ipv6.backends import BackendSpec
 from repro.ipv6.sets import AddressSet
 from repro.serve.registry import ModelEntry, ModelRegistry
@@ -199,6 +203,84 @@ class ManagedSession:
             fresh = self.session.observe(rows)
             self.last_used = self._clock()
             return fresh
+
+    def snapshot(self) -> dict:
+        """This stream's complete state as plain data: the generation
+        session's snapshot plus the RNG's bit-generator state (the
+        stream position), the opening spec, and the usage counters.
+
+        Taken under the stream lock, so it is always a consistent
+        point between draws.  The spec's ``exclude`` is deliberately
+        *not* serialized — seed exclusions are already rows in the
+        session table, which the snapshot carries in full.
+        """
+        with self._lock:
+            if self.closed:
+                raise SessionClosedError(f"session {self.key} is closed")
+            return {
+                "model": self.key[0],
+                "client": self.key[1],
+                "seed": self.seed,
+                "model_digest": self.entry.digest,
+                "spec": {
+                    "capacity": self.spec.capacity,
+                    "backend": self.spec.backend,
+                    "workers": self.spec.workers,
+                    "exec_backend": self.spec.exec_backend,
+                },
+                "rng_state": self.rng.bit_generator.state,
+                "requests": self.requests,
+                "rows_served": self.rows_served,
+                "session": self.session.snapshot(),
+            }
+
+    @classmethod
+    def restore(
+        cls,
+        entry: ModelEntry,
+        payload: dict,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> "ManagedSession":
+        """Rebuild a stream from a :meth:`snapshot` against ``entry``.
+
+        The registry entry must carry the *same model* the snapshot
+        was taken under (digest-checked): resuming a stream against a
+        different model would silently break the bit-identity promise
+        — the whole point of a checkpoint.  The restored stream's RNG
+        resumes at the exact saved position, so its subsequent draws
+        are bit-identical to the uninterrupted run's.
+        """
+        if entry.digest != payload["model_digest"]:
+            raise CheckpointError(
+                f"checkpointed stream for model {payload['model']!r} was "
+                f"taken under digest {payload['model_digest'][:12]}..., "
+                f"the registry now holds {entry.digest[:12]}..."
+            )
+        spec_data = payload["spec"]
+        spec = SessionSpec(
+            exclude=None,
+            capacity=int(spec_data["capacity"]),
+            backend=spec_data["backend"],
+            workers=spec_data["workers"],
+            exec_backend=spec_data["exec_backend"],
+        )
+        managed = cls(
+            (payload["model"], payload["client"]),
+            entry,
+            spec,
+            seed=int(payload["seed"]),
+            clock=clock,
+        )
+        # Swap the freshly opened (empty) session for the restored one
+        # and rewind the RNG to the saved stream position.
+        managed.session.close()
+        managed.session = GenerationSession.restore(
+            payload["session"], backend=spec.backend
+        )
+        managed.rng.bit_generator.state = payload["rng_state"]
+        managed.requests = int(payload["requests"])
+        managed.rows_served = int(payload["rows_served"])
+        return managed
 
     def close(self) -> None:
         with self._lock:
@@ -374,6 +456,56 @@ class SessionManager:
             self._sessions[key] = session
             self._sessions.move_to_end(key)
             return session
+
+    def restore_session(self, payload: dict) -> ManagedSession:
+        """Install a stream restored from a
+        :meth:`ManagedSession.snapshot` payload.
+
+        The model is looked up by the snapshot's name and
+        digest-checked (see :meth:`ManagedSession.restore`); an
+        existing live session under the same key is closed and
+        replaced — a resume supersedes whatever partial state a
+        restarted process may have accumulated.
+        """
+        with self._lock:
+            entry = self.registry.get(payload["model"])
+            session = ManagedSession.restore(
+                entry, payload, clock=self._clock
+            )
+            old = self._sessions.pop(session.key, None)
+            if old is not None:
+                old.close()
+            self._sessions[session.key] = session
+            self._sessions.move_to_end(session.key)
+            while len(self._sessions) > self._capacity:
+                _, evicted = self._sessions.popitem(last=False)
+                evicted.close()
+                self._evictions += 1
+            return session
+
+    def snapshot_all(self) -> List[dict]:
+        """Snapshots of every live session (for a checkpoint sweep)."""
+        with self._lock:
+            sessions = [
+                session
+                for session in self._sessions.values()
+                if not session.closed
+            ]
+        return [session.snapshot() for session in sessions]
+
+    def exec_stats(self) -> dict:
+        """Mid-run retry / degradation counters summed over every live
+        session's worker pools (for the service ``health`` verb)."""
+        with self._lock:
+            sessions = list(self._sessions.values())
+        totals = {"retries": 0, "degradations": 0}
+        for session in sessions:
+            if session.closed:
+                continue
+            stats = session.session.exec_stats()
+            totals["retries"] += stats["retries"]
+            totals["degradations"] += stats["degradations"]
+        return totals
 
     def adopt_model(self, model_name: str) -> int:
         """Roll every live session of ``model_name`` onto the model's

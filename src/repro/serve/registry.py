@@ -172,6 +172,24 @@ class ModelRegistry:
                 self._evictions += 1
             return entry
 
+    def resume_version(self, name: str, version: int) -> ModelEntry:
+        """Fast-forward ``name``'s version lineage to at least ``version``.
+
+        A process restored from a checkpoint re-registers its model in
+        a *fresh* registry whose per-name counter restarts at 1, which
+        would roll the version clients observed before the crash
+        backwards.  The checkpointed version is the lineage's
+        high-water mark, so a resume raises the live entry to it; an
+        already-higher live version (the registry moved on while the
+        checkpoint aged) is kept.
+        """
+        with self._lock:
+            entry = self._entries.get(name)
+            if entry is None:
+                raise UnknownModelError(f"no registered model named {name!r}")
+            entry.version = max(entry.version, int(version))
+            return entry
+
     # ------------------------------------------------------------------
     # lookup
     # ------------------------------------------------------------------
@@ -238,6 +256,14 @@ class ModelRegistry:
                 "capacity": self._capacity,
                 "evictions": self._evictions,
                 "expirations": self._expirations,
+            }
+
+    def versions(self) -> dict:
+        """``{model name: current version}`` for every live entry —
+        what the serve protocol's ``health`` verb reports."""
+        with self._lock:
+            return {
+                name: entry.version for name, entry in self._entries.items()
             }
 
     # ------------------------------------------------------------------

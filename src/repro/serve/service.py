@@ -43,7 +43,12 @@ import numpy as np
 from repro.core.model import ExcludeLike
 # Defined in the consolidated hierarchy (repro.errors); re-exported
 # here because this module is their historical home.
-from repro.errors import ServiceClosedError, ServiceOverloadedError
+from repro.errors import (
+    RequestTimeoutError,
+    ServiceClosedError,
+    ServiceOverloadedError,
+)
+from repro.faults import fault_point
 from repro.ipv6.backends import BackendSpec
 from repro.ipv6.sets import AddressSet
 from repro.serve.lifecycle import ManagedSession, SessionManager
@@ -51,6 +56,16 @@ from repro.serve.registry import ModelEntry, ModelRegistry
 
 #: Request kinds with dedicated latency accounting.
 REQUEST_KINDS = ("generate", "membership", "fit", "ingest", "report", "other")
+
+#: Default cap (seconds) on how long :meth:`HitlistService.close`
+#: waits for workers to drain queued requests.  ``None`` waits
+#: forever — the pre-deadline behavior.
+DEFAULT_CLOSE_TIMEOUT = 30.0
+
+#: How many times a request hit by a transient pre-execution fault
+#: (the ``service.worker`` fault site) is requeued before the fault is
+#: surfaced on its future.
+_MAX_WORKER_RETRIES = 3
 
 _SHUTDOWN = object()
 
@@ -110,6 +125,12 @@ class HitlistService:
         self._kind_counts: Dict[str, int] = {
             kind: 0 for kind in REQUEST_KINDS
         }
+        #: Requests shed worker-side: deadline already expired.
+        self._timeouts: Dict[str, int] = {kind: 0 for kind in REQUEST_KINDS}
+        #: Requests shed submit-side: bounded queue full.
+        self._shed: Dict[str, int] = {kind: 0 for kind in REQUEST_KINDS}
+        #: Requests requeued after a transient pre-execution fault.
+        self._retried: Dict[str, int] = {kind: 0 for kind in REQUEST_KINDS}
         #: Completion timestamps for the requests/s window.
         self._completions: deque = deque(maxlen=latency_window)
         #: model name -> live streaming-ingest pipeline (lazy import of
@@ -129,25 +150,43 @@ class HitlistService:
     # the request plane
     # ------------------------------------------------------------------
 
-    def submit(self, kind: str, fn: Callable[[], object]) -> "Future":
+    def submit(
+        self,
+        kind: str,
+        fn: Callable[[], object],
+        deadline: Optional[float] = None,
+    ) -> "Future":
         """Enqueue ``fn`` as a ``kind`` request; returns its future.
 
         The one entry point every typed request goes through: the
         bounded queue is the backpressure boundary, so a full queue
         raises :class:`ServiceOverloadedError` *here*, synchronously —
         the caller knows immediately, holding no ticket.
+
+        ``deadline`` is a queue-wait budget in seconds (on the
+        service's own clock): a worker that dequeues the request after
+        the budget has elapsed sheds it with
+        :class:`~repro.errors.RequestTimeoutError` on the future
+        *before* doing any work, so a stalled queue fails fast instead
+        of making every stream behind the stall later still.  ``None``
+        (the default) never expires.
         """
         if kind not in REQUEST_KINDS:
             kind = "other"
+        if deadline is not None and deadline < 0:
+            raise ValueError(f"deadline must be non-negative, got {deadline}")
         with self._lock:
             if self._closed:
                 raise ServiceClosedError("service is closed")
             future: "Future" = Future()
-            item = (future, kind, fn, self._clock())
+            now = self._clock()
+            expires = None if deadline is None else now + deadline
+            item = (future, kind, fn, now, expires, 0)
             try:
                 self._queue.put_nowait(item)
             except queue.Full:
                 self._rejected += 1
+                self._shed[kind] += 1
                 raise ServiceOverloadedError(
                     f"work queue full ({self._max_pending} pending)"
                 ) from None
@@ -159,12 +198,71 @@ class HitlistService:
             item = self._queue.get()
             if item is _SHUTDOWN:
                 return
-            future, kind, fn, queued_at = item
+            future, kind, fn, queued_at, expires, attempts = item
+            # The pre-execution fault site.  A transient fault here
+            # (injected, or a real pre-dispatch hiccup modeled on one)
+            # requeues the request — bounded, counted — rather than
+            # failing work that never ran; shutdown signals raised at
+            # the site propagate like shutdown signals anywhere else
+            # in this loop.
+            try:
+                fault_point("service.worker")
+            except (KeyboardInterrupt, SystemExit) as exc:
+                # Same contract as a signal during execution below:
+                # unblock the waiter with a typed error, then let the
+                # signal stop this worker.
+                future.set_exception(
+                    ServiceClosedError(
+                        f"worker stopped by {type(exc).__name__} "
+                        f"before a {kind} request"
+                    )
+                )
+                raise
+            except Exception as exc:
+                with self._lock:
+                    self._retried[kind] += 1
+                if attempts < _MAX_WORKER_RETRIES:
+                    self._queue.put(
+                        (future, kind, fn, queued_at, expires, attempts + 1)
+                    )
+                    continue
+                if future.set_running_or_notify_cancel():
+                    with self._lock:
+                        self._failed += 1
+                    future.set_exception(exc)
+                continue
             if not future.set_running_or_notify_cancel():
+                continue
+            now = self._clock()
+            if expires is not None and now >= expires:
+                # Shed before doing the work: the caller's budget is
+                # already blown, so running the request could only
+                # delay everything queued behind it further.
+                with self._lock:
+                    self._failed += 1
+                    self._timeouts[kind] += 1
+                future.set_exception(
+                    RequestTimeoutError(
+                        f"{kind} request deadline expired "
+                        f"{now - expires:.3f}s before a worker reached it"
+                    )
+                )
                 continue
             try:
                 result = fn()
-            except BaseException as exc:  # surfaced via the future
+            except (KeyboardInterrupt, SystemExit) as exc:
+                # A shutdown signal is not a request failure: unblock
+                # the waiter with a typed error, then let the signal
+                # propagate and stop this worker — swallowing it into
+                # the future would leave the process uninterruptible.
+                future.set_exception(
+                    ServiceClosedError(
+                        f"worker stopped by {type(exc).__name__} "
+                        f"during a {kind} request"
+                    )
+                )
+                raise
+            except Exception as exc:  # surfaced via the future
                 with self._lock:
                     self._failed += 1
                 future.set_exception(exc)
@@ -369,6 +467,29 @@ class HitlistService:
                 self._pipelines[model] = pipeline
             return pipeline
 
+    def restore_ingest(self, payload: dict, config=None):
+        """Install a streaming-ingest pipeline restored from an
+        :meth:`~repro.ingest.pipeline.IngestPipeline.snapshot` payload.
+
+        The restored pipeline is wired to this service's registry and
+        session manager (its analysis is re-registered, so a resumed
+        feed rolls refits into live streams exactly like an
+        uninterrupted one) and replaces any pipeline already open for
+        the same model name — a resume supersedes whatever a restarted
+        process built up.
+        """
+        from repro.ingest import IngestPipeline
+
+        pipeline = IngestPipeline.restore(
+            payload,
+            config=config,
+            registry=self.registry,
+            sessions=self.sessions,
+        )
+        with self._pipelines_lock:
+            self._pipelines[pipeline.name] = pipeline
+        return pipeline
+
     def ingest(self, model: str, rows):
         """Feed one batch of arriving addresses into ``model``'s
         streaming-ingest pipeline; blocks for the
@@ -398,9 +519,21 @@ class HitlistService:
             kinds = {}
             for kind in REQUEST_KINDS:
                 samples = self._latencies[kind]
-                if self._kind_counts[kind] == 0:
+                activity = (
+                    self._kind_counts[kind]
+                    + self._timeouts[kind]
+                    + self._shed[kind]
+                    + self._retried[kind]
+                )
+                if activity == 0:
                     continue
                 entry = {"requests": self._kind_counts[kind]}
+                if self._timeouts[kind]:
+                    entry["timeouts"] = self._timeouts[kind]
+                if self._shed[kind]:
+                    entry["shed"] = self._shed[kind]
+                if self._retried[kind]:
+                    entry["retries"] = self._retried[kind]
                 if samples:
                     values = np.asarray(samples, dtype=np.float64)
                     entry["p50_ms"] = round(
@@ -421,6 +554,8 @@ class HitlistService:
                 "completed": self._completed,
                 "failed": self._failed,
                 "rejected": self._rejected,
+                "timeouts": sum(self._timeouts.values()),
+                "retries": sum(self._retried.values()),
                 "pending": self._queue.qsize(),
                 "max_pending": self._max_pending,
                 "workers": len(self._threads),
@@ -430,12 +565,48 @@ class HitlistService:
                 "sessions": self.sessions.stats(),
             }
 
+    def health(self) -> dict:
+        """A compact liveness/ops summary — the ``health`` verb of the
+        serve protocol.
+
+        Everything an operator needs at a glance: queue depth against
+        its bound, worker count, shed/timeout/retry totals, the exec
+        layer's mid-run retry and process→thread degradation counters
+        aggregated across live sessions, and the registered models
+        with their current versions.
+        """
+        with self._lock:
+            depth = self._queue.qsize()
+            summary = {
+                "status": "closed" if self._closed else "ok",
+                "pending": depth,
+                "max_pending": self._max_pending,
+                "workers": len(self._threads),
+                "timeouts": sum(self._timeouts.values()),
+                "shed": self._rejected,
+                "retries": sum(self._retried.values()),
+            }
+        summary["exec"] = self.sessions.exec_stats()
+        summary["models"] = self.registry.versions()
+        return summary
+
     # ------------------------------------------------------------------
     # shutdown
     # ------------------------------------------------------------------
 
-    def close(self, wait: bool = True) -> None:
+    def close(
+        self,
+        wait: bool = True,
+        timeout: Optional[float] = DEFAULT_CLOSE_TIMEOUT,
+    ) -> bool:
         """Stop accepting requests; drain queued work, stop workers.
+
+        The drain runs under a deadline: ``timeout`` bounds the total
+        time spent waiting for workers (seconds; ``None`` waits
+        forever — the pre-deadline behavior).  A request wedged past
+        the deadline no longer hangs shutdown: close returns ``False``
+        with the stuck worker left behind (daemonic, so process exit
+        is never blocked), instead of ``True`` for a clean full drain.
 
         When the service owns its session manager (it was not passed a
         shared one), every live session is closed too, releasing the
@@ -444,15 +615,27 @@ class HitlistService:
         """
         with self._lock:
             if self._closed:
-                return
+                return True
             self._closed = True
         for _ in self._threads:
             self._queue.put(_SHUTDOWN)
+        drained = True
         if wait:
+            deadline = (
+                None if timeout is None else time.monotonic() + timeout
+            )
             for thread in self._threads:
-                thread.join()
+                remaining = (
+                    None
+                    if deadline is None
+                    else max(0.0, deadline - time.monotonic())
+                )
+                thread.join(remaining)
+                if thread.is_alive():
+                    drained = False
         if self._owns_sessions:
             self.sessions.close_all()
+        return drained
 
     def __enter__(self) -> "HitlistService":
         return self

@@ -438,7 +438,7 @@ class TestEmptyShards:
         payload = pickle.dumps(model)
         child = np.random.SeedSequence(0)
         matrix, words = _draw_shard_task(
-            ("tok", payload, use_fused, None, 0, child)
+            ("tok", payload, use_fused, None, 0, child, 0, 0)
         )
         width = model.encoder.width
         assert words.shape == (0, (width + 15) // 16)

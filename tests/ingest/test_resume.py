@@ -1,0 +1,147 @@
+"""Ingest checkpoint/resume: a resumed feed continues bit-identically."""
+
+import numpy as np
+import pytest
+
+from repro.checkpoint import load_checkpoint, save_checkpoint
+from repro.core.pipeline import EntropyIP
+from repro.datasets.networks import build_network
+from repro.faults import FaultPlan
+from repro.ingest import IngestConfig, IngestPipeline
+from repro.serve import HitlistService, ModelRegistry
+
+QUIET = IngestConfig(threshold=10.0)
+
+
+@pytest.fixture(scope="module")
+def s1_feed():
+    rows = build_network("S1").sample(700, seed=5)
+    train = rows.take(range(0, 400))
+    batches = [rows.take(range(400, 550)), rows.take(range(550, 700))]
+    return train, batches
+
+
+class TestSnapshotRestore:
+    def test_resumed_feed_matches_uninterrupted_run(self, s1_feed, tmp_path):
+        train, batches = s1_feed
+        full = IngestPipeline("m", EntropyIP.fit(train), config=QUIET)
+        interrupted = IngestPipeline("m", EntropyIP.fit(train), config=QUIET)
+
+        report_full_1 = full.ingest(batches[0])
+        interrupted.ingest(batches[0])
+        path = str(tmp_path / "feed.ckpt")
+        save_checkpoint(path, "ingest", interrupted.snapshot())
+        del interrupted  # the "killed" process
+
+        resumed = IngestPipeline.restore(
+            load_checkpoint(path, kind="ingest"), config=QUIET
+        )
+        assert resumed.batches == 1
+        assert resumed.rows_ingested == report_full_1.rows
+        report_full_2 = full.ingest(batches[1])
+        report_resumed_2 = resumed.ingest(batches[1])
+        assert report_resumed_2.total_rows == report_full_2.total_rows
+        assert (
+            report_resumed_2.signal.score == report_full_2.signal.score
+        )
+        # The headline: a refit after resume lands on the identical
+        # model bytes the uninterrupted run produces.
+        full.refit()
+        resumed.refit()
+        assert resumed.digest == full.digest
+
+    def test_snapshot_preserves_pending_drift_window(self, s1_feed):
+        train, batches = s1_feed
+        pipeline = IngestPipeline("m", EntropyIP.fit(train), config=QUIET)
+        pipeline.ingest(batches[0])
+        restored = IngestPipeline.restore(pipeline.snapshot(), config=QUIET)
+        assert restored.pending_rows == pipeline.pending_rows
+        assert restored.total_rows == pipeline.total_rows
+        assert restored.digest == pipeline.digest
+        assert restored.version == pipeline.version
+
+    def test_restore_into_service_rolls_refits_forward(self, s1_feed,
+                                                       tmp_path):
+        """A pipeline resumed through the service is wired to its
+        registry: a later refit rolls a new version in as usual."""
+        train, batches = s1_feed
+        library = IngestPipeline("m", EntropyIP.fit(train), config=QUIET)
+        library.ingest(batches[0])
+        path = str(tmp_path / "feed.ckpt")
+        save_checkpoint(path, "ingest", library.snapshot())
+
+        registry = ModelRegistry()
+        registry.register("m", EntropyIP.fit(train))
+        with HitlistService(registry=registry) as svc:
+            pipeline = svc.restore_ingest(
+                load_checkpoint(path, kind="ingest"), config=QUIET
+            )
+            assert svc.open_ingest("m") is pipeline
+            pipeline.ingest(batches[1])
+            pipeline.refit()
+            assert registry.get("m").digest == pipeline.digest
+            assert registry.get("m").version == pipeline.version
+
+    def test_resumed_version_lineage_never_regresses(self, s1_feed,
+                                                     tmp_path):
+        """A fresh process's registry counter restarts at 1; the
+        checkpointed version is the lineage high-water mark and must
+        carry over, with later refits continuing from it."""
+        train, batches = s1_feed
+        registry = ModelRegistry()
+        pipeline = IngestPipeline("m", EntropyIP.fit(train), config=QUIET,
+                                  registry=registry)
+        pipeline.ingest(batches[0])
+        pipeline.refit()
+        assert pipeline.version == 2
+        path = str(tmp_path / "feed.ckpt")
+        save_checkpoint(path, "ingest", pipeline.snapshot())
+
+        fresh = ModelRegistry()  # the "new process" after a crash
+        with HitlistService(registry=fresh) as svc:
+            resumed = svc.restore_ingest(
+                load_checkpoint(path, kind="ingest"), config=QUIET
+            )
+            assert resumed.version == 2
+            assert fresh.get("m").version == 2
+            resumed.ingest(batches[1])
+            resumed.refit()
+            assert resumed.version == 3
+            assert fresh.get("m").version == 3
+
+
+class TestRefitFaultSite:
+    def test_injected_refit_fault_is_recoverable(self, s1_feed):
+        """A refit that dies mid-flight loses nothing: the batch's
+        statistics were already folded, so the caller just refits
+        again."""
+        train, batches = s1_feed
+        pipeline = IngestPipeline("m", EntropyIP.fit(train), config=QUIET)
+        pipeline.ingest(batches[0])
+        before = pipeline.digest
+        with FaultPlan.parse("ingest.refit@1:raise=RuntimeError").armed():
+            with pytest.raises(RuntimeError, match="injected fault"):
+                pipeline.refit()
+            assert pipeline.digest == before  # nothing rolled
+            pipeline.refit()  # the retry succeeds under the same plan
+        assert pipeline.digest != before
+        reference = IngestPipeline("m", EntropyIP.fit(train), config=QUIET)
+        reference.ingest(batches[0])
+        reference.refit()
+        assert pipeline.digest == reference.digest
+
+    def test_checkpoint_save_fault_leaves_no_partial_file(self, s1_feed,
+                                                          tmp_path):
+        train, batches = s1_feed
+        pipeline = IngestPipeline("m", EntropyIP.fit(train), config=QUIET)
+        pipeline.ingest(batches[0])
+        path = tmp_path / "feed.ckpt"
+        with FaultPlan.parse("checkpoint.save@1:raise=OSError").armed():
+            with pytest.raises(OSError, match="injected fault"):
+                save_checkpoint(str(path), "ingest", pipeline.snapshot())
+            assert not path.exists()
+            save_checkpoint(str(path), "ingest", pipeline.snapshot())
+        restored = IngestPipeline.restore(
+            load_checkpoint(str(path), kind="ingest")
+        )
+        assert restored.total_rows == pipeline.total_rows

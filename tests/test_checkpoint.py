@@ -1,0 +1,102 @@
+"""The checkpoint envelope: round trips and loud, typed corruption."""
+
+import os
+import struct
+
+import numpy as np
+import pytest
+
+from repro.checkpoint import (
+    FORMAT_VERSION,
+    MAGIC,
+    checkpoint_kind,
+    load_checkpoint,
+    save_checkpoint,
+)
+from repro.errors import CheckpointError
+
+
+@pytest.fixture
+def payload():
+    return {
+        "words": np.arange(12, dtype=np.uint64).reshape(6, 2),
+        "seed": 7,
+        "name": "m",
+        "nested": {"state": [1, 2, 3]},
+    }
+
+
+class TestRoundTrip:
+    def test_save_load(self, tmp_path, payload):
+        path = str(tmp_path / "state.ckpt")
+        save_checkpoint(path, "session", payload)
+        loaded = load_checkpoint(path, kind="session")
+        assert loaded["seed"] == 7
+        assert loaded["nested"] == {"state": [1, 2, 3]}
+        assert np.array_equal(loaded["words"], payload["words"])
+        assert checkpoint_kind(path) == "session"
+
+    def test_any_kind_accepted_when_unspecified(self, tmp_path, payload):
+        path = str(tmp_path / "state.ckpt")
+        save_checkpoint(path, "ingest", payload)
+        assert load_checkpoint(path)["name"] == "m"
+
+    def test_overwrite_is_atomic_replace(self, tmp_path, payload):
+        path = str(tmp_path / "state.ckpt")
+        save_checkpoint(path, "session", payload)
+        save_checkpoint(path, "session", {"seed": 8})
+        assert load_checkpoint(path, kind="session") == {"seed": 8}
+        # No stray temp files left behind in the directory.
+        assert os.listdir(tmp_path) == ["state.ckpt"]
+
+
+class TestCorruption:
+    def test_wrong_kind(self, tmp_path, payload):
+        path = str(tmp_path / "state.ckpt")
+        save_checkpoint(path, "ingest", payload)
+        with pytest.raises(CheckpointError, match="expected 'session'"):
+            load_checkpoint(path, kind="session")
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(CheckpointError, match="could not be read"):
+            load_checkpoint(str(tmp_path / "nope.ckpt"))
+
+    def test_not_a_checkpoint(self, tmp_path):
+        path = tmp_path / "junk"
+        path.write_bytes(b"definitely not a checkpoint, but long enough" * 3)
+        with pytest.raises(CheckpointError, match="not a repro checkpoint"):
+            load_checkpoint(str(path))
+        with pytest.raises(CheckpointError, match="not a repro checkpoint"):
+            checkpoint_kind(str(path))
+
+    def test_truncated_header(self, tmp_path):
+        path = tmp_path / "short"
+        path.write_bytes(MAGIC[:4])
+        with pytest.raises(CheckpointError, match="truncated"):
+            load_checkpoint(str(path))
+
+    def test_truncated_body(self, tmp_path, payload):
+        path = tmp_path / "state.ckpt"
+        save_checkpoint(str(path), "session", payload)
+        raw = path.read_bytes()
+        path.write_bytes(raw[:-10])
+        with pytest.raises(CheckpointError, match="truncated or corrupt"):
+            load_checkpoint(str(path))
+
+    def test_flipped_payload_byte(self, tmp_path, payload):
+        path = tmp_path / "state.ckpt"
+        save_checkpoint(str(path), "session", payload)
+        raw = bytearray(path.read_bytes())
+        raw[-1] ^= 0xFF
+        path.write_bytes(bytes(raw))
+        with pytest.raises(CheckpointError, match="digest mismatch"):
+            load_checkpoint(str(path))
+
+    def test_future_format_version(self, tmp_path, payload):
+        path = tmp_path / "state.ckpt"
+        save_checkpoint(str(path), "session", payload)
+        raw = bytearray(path.read_bytes())
+        raw[10:12] = struct.pack("<H", FORMAT_VERSION + 1)
+        path.write_bytes(bytes(raw))
+        with pytest.raises(CheckpointError, match="format version"):
+            load_checkpoint(str(path))

@@ -183,6 +183,80 @@ class TestServeCommand:
         assert "ingested 2 rows, drift" in out
         assert '"ingest"' in out  # pipeline counters in the stats dump
 
+    def test_line_protocol_health_verb(self, address_file, capsys,
+                                       monkeypatch):
+        import io
+        import json
+
+        monkeypatch.setattr("sys.stdin", io.StringIO("health\nquit\n"))
+        assert main(["serve", address_file, "--name", "m"]) == 0
+        health = json.loads(capsys.readouterr().out.strip().splitlines()[0])
+        assert health["status"] == "ok"
+        assert health["models"] == {"m": 1}
+        assert health["timeouts"] == 0
+        assert "pending" in health and "exec" in health
+
+    def test_line_protocol_survives_unforeseen_errors(
+        self, address_file, capsys, monkeypatch
+    ):
+        """Any exception inside a request — not just the typed ones —
+        yields an error line and the loop keeps serving."""
+        import io
+
+        script = (
+            "gen alice notanumber\n"   # ValueError from int()
+            "member alice zzzz\n"      # malformed address tokens
+            "checkpoint\n"             # no --checkpoint-dir configured
+            "gen alice 2\n"
+            "quit\n"
+        )
+        monkeypatch.setattr("sys.stdin", io.StringIO(script))
+        assert main(["serve", address_file, "--name", "m"]) == 0
+        captured = capsys.readouterr()
+        assert captured.err.count("error:") == 3
+        assert len(captured.out.strip().splitlines()) == 2
+
+    def test_checkpoint_dir_resumes_streams_bit_identically(
+        self, address_file, capsys, monkeypatch, tmp_path
+    ):
+        import io
+
+        ckpt = str(tmp_path / "ckpt")
+        # Uninterrupted reference: three batches in one process.
+        monkeypatch.setattr(
+            "sys.stdin", io.StringIO("gen a 3\ngen a 3\ngen a 3\nquit\n")
+        )
+        assert main(["serve", address_file, "--name", "m"]) == 0
+        reference = capsys.readouterr().out.strip().splitlines()
+        # Two batches, checkpoint on exit...
+        monkeypatch.setattr("sys.stdin", io.StringIO("gen a 3\ngen a 3\nquit\n"))
+        assert main(["serve", address_file, "--name", "m",
+                     "--checkpoint-dir", ckpt]) == 0
+        first = capsys.readouterr().out.strip().splitlines()
+        # ...then a new process restores and serves the third batch.
+        monkeypatch.setattr("sys.stdin", io.StringIO("gen a 3\nquit\n"))
+        assert main(["serve", address_file, "--name", "m",
+                     "--checkpoint-dir", ckpt]) == 0
+        resumed = capsys.readouterr()
+        assert "restored 1 checkpointed stream(s)" in resumed.err
+        assert first + resumed.out.strip().splitlines() == reference
+
+    def test_checkpoint_verb_writes_on_demand(
+        self, address_file, capsys, monkeypatch, tmp_path
+    ):
+        import io
+        import os
+
+        ckpt = str(tmp_path / "ckpt")
+        monkeypatch.setattr(
+            "sys.stdin", io.StringIO("gen a 2\ncheckpoint\nquit\n")
+        )
+        assert main(["serve", address_file, "--name", "m",
+                     "--checkpoint-dir", ckpt]) == 0
+        out = capsys.readouterr().out
+        assert "checkpointed to" in out
+        assert os.path.exists(os.path.join(ckpt, "sessions.ckpt"))
+
 
 class TestIngestCommand:
     def test_ingest_args(self):
@@ -213,6 +287,57 @@ class TestIngestCommand:
         assert "refit in" in out  # at least one drift-triggered refit
         assert "0 refits" not in out
         assert "0 repeats" in out  # monitor stream never repeated a row
+
+    @pytest.mark.filterwarnings(
+        "ignore::pytest.PytestUnhandledThreadExceptionWarning"
+    )
+    def test_killed_feed_resumes_bit_identically(self, capsys, tmp_path):
+        """Kill the replay mid-feed (deterministic injected shutdown),
+        then resume from the per-batch checkpoint: the remaining
+        batches score and refit exactly as the uninterrupted run."""
+        from repro.errors import ServiceClosedError
+        from repro.faults import FaultPlan
+
+        ckpt = str(tmp_path / "feed.ckpt")
+        base = [
+            "ingest", "S1", "--snapshots", "3", "--sample-size", "400",
+            "--batches", "2", "--renumber-at", "2", "--threshold", "0.05",
+            "--count", "30",
+        ]
+        assert main(base) == 0
+        reference = capsys.readouterr().out.strip().splitlines()
+
+        # service.worker hits: 1 = fit, 2 = the monitor draw, 3 = the
+        # first ingest batch, 4 = the second — the one we kill.
+        plan = FaultPlan.parse("service.worker@4:raise=SystemExit")
+        with plan.armed():
+            with pytest.raises(ServiceClosedError):
+                main(base + ["--checkpoint", ckpt])
+        assert plan.fired() == 1
+        capsys.readouterr()
+
+        assert main(base + ["--checkpoint", ckpt, "--resume", ckpt]) == 0
+        resumed = capsys.readouterr().out.strip().splitlines()
+        assert resumed[0].startswith("resumed from")
+        assert "1 batches (200 rows) already ingested" in resumed[0]
+
+        def drift_lines(lines):
+            # Refit wall-clock varies run to run; everything before it
+            # (rows, drift score, batch coordinates) must not.
+            return [
+                line.split(", refit")[0]
+                for line in lines
+                if line.startswith("snapshot ")
+            ]
+
+        assert drift_lines(resumed) == drift_lines(reference)[1:]
+        ref_final = next(l for l in reference if l.startswith("ingested "))
+        res_final = next(l for l in resumed if l.startswith("ingested "))
+        # Same final model: version and content digest agree.
+        assert (
+            ref_final.split("model version ")[1]
+            == res_final.split("model version ")[1]
+        )
 
 
 class TestExtensionCommands:
